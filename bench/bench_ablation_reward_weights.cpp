@@ -1,0 +1,67 @@
+// Ablation: the reward weights (alpha, beta, gamma) of Eq. (5). The paper
+// leaves them "manually set"; this sweep shows how the serving/efficiency
+// trade-off moves with them. Runs on the quick world by default (each cell
+// retrains the DQN).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace mobirescue;
+
+int main(int argc, char** argv) {
+  bool quick = true;
+  core::WorldConfig config = bench::ParseWorldConfig(argc, argv, &quick);
+  // This sweep always uses the scaled-down world: it retrains per cell.
+  config.city.grid_width = 14;
+  config.city.grid_height = 14;
+  config.city.num_hospitals = 6;
+  config.trace.population.num_people = 700;
+  std::cerr << "[bench] building world...\n";
+  const core::World world = core::BuildWorld(config);
+  auto svm = core::TrainSvmPredictor(world);
+  auto ts = core::BuildTimeSeriesPredictor(world);
+
+  util::PrintFigureBanner(std::cout, "Ablation",
+                          "Reward weights (alpha, beta, gamma) of Eq. (5)");
+  util::TextTable table({"alpha", "beta", "gamma", "served", "timely",
+                         "mean delay (s)", "mean serving teams"});
+
+  struct Cell {
+    double alpha, beta, gamma;
+  };
+  const std::vector<Cell> cells = {
+      {2.0, 1.0 / 7200.0, 0.01},  // defaults
+      {2.0, 1.0 / 7200.0, 0.30},  // heavy fleet-size penalty
+      {2.0, 1.0 / 900.0, 0.01},   // heavy driving penalty
+      {0.5, 1.0 / 7200.0, 0.01},  // weak serving incentive
+  };
+  for (const Cell& cell : cells) {
+    core::TrainingConfig training;
+    training.episodes = 8;
+    training.sim.num_teams = 40;
+    training.dispatcher.reward = {cell.alpha, cell.beta, cell.gamma};
+    std::cerr << "[bench] training with alpha=" << cell.alpha
+              << " beta=" << cell.beta << " gamma=" << cell.gamma << "...\n";
+    auto agent = core::TrainAgent(world, *svm, training);
+
+    sim::SimConfig sim_config;
+    sim_config.num_teams = 40;
+    dispatch::MobiRescueConfig mr;
+    mr.reward = {cell.alpha, cell.beta, cell.gamma};
+    const auto outcome =
+        core::RunMethod(world, core::Method::kMobiRescue, svm.get(), ts.get(),
+                        agent, sim_config, mr);
+    util::RunningStats serving;
+    for (double v : outcome.metrics.ServingTeamsPerHour()) serving.Add(v);
+    table.Row()
+        .Cell(cell.alpha, 2)
+        .Cell(cell.beta, 5)
+        .Cell(cell.gamma, 2)
+        .Cell(static_cast<std::size_t>(outcome.metrics.total_served()))
+        .Cell(static_cast<std::size_t>(outcome.metrics.total_timely()))
+        .Cell(util::Mean(outcome.metrics.delay_samples()), 1)
+        .Cell(serving.mean(), 1);
+  }
+  table.Print(std::cout);
+  return 0;
+}

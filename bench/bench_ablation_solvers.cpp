@@ -1,0 +1,56 @@
+// Ablation: exact Hungarian assignment vs greedy assignment inside the
+// baselines' dispatch step, plus MobiRescue against the two extra
+// ablation dispatchers (GreedyNearest, Random).
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "opt/hungarian.hpp"
+#include "util/rng.hpp"
+
+using namespace mobirescue;
+
+int main(int argc, char** argv) {
+  // Part 1: solver quality/cost on synthetic assignment problems.
+  util::PrintFigureBanner(std::cout, "Ablation",
+                          "Exact vs greedy assignment");
+  util::TextTable solver({"n", "exact cost", "greedy cost", "greedy/exact"});
+  util::Rng rng(77);
+  for (std::size_t n : {10u, 40u, 100u}) {
+    double exact_sum = 0, greedy_sum = 0;
+    for (int trial = 0; trial < 10; ++trial) {
+      opt::AssignmentProblem problem;
+      problem.rows = problem.cols = n;
+      problem.cost.resize(n * n);
+      for (double& c : problem.cost) c = rng.Uniform(0, 1000);
+      exact_sum += opt::SolveAssignment(problem).total_cost;
+      greedy_sum += opt::SolveAssignmentGreedy(problem).total_cost;
+    }
+    solver.Row()
+        .Cell(n)
+        .Cell(exact_sum / 10, 1)
+        .Cell(greedy_sum / 10, 1)
+        .Cell(greedy_sum / exact_sum, 3);
+  }
+  solver.Print(std::cout);
+
+  // Part 2: dispatcher ablations on the evaluation day.
+  auto setup = bench::BuildFull(argc, argv);
+  util::TextTable methods({"dispatcher", "served", "timely",
+                           "mean delay (s)"});
+  for (core::Method method :
+       {core::Method::kMobiRescue, core::Method::kGreedyNearest,
+        core::Method::kRandom}) {
+    std::cerr << "[bench] evaluating " << core::MethodName(method) << "...\n";
+    const auto outcome =
+        core::RunMethod(setup->world, method, setup->svm.get(),
+                        setup->ts.get(), setup->agent, setup->sim_config);
+    methods.Row()
+        .Cell(outcome.name)
+        .Cell(static_cast<std::size_t>(outcome.metrics.total_served()))
+        .Cell(static_cast<std::size_t>(outcome.metrics.total_timely()))
+        .Cell(util::Mean(outcome.metrics.delay_samples()), 1);
+  }
+  methods.Print(std::cout);
+  return 0;
+}

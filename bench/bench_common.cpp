@@ -1,0 +1,169 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+
+namespace mobirescue::bench {
+
+core::WorldConfig ParseWorldConfig(int argc, char** argv, bool* quick) {
+  *quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) *quick = true;
+  }
+  core::WorldConfig config;
+  if (*quick) {
+    config.city.grid_width = 14;
+    config.city.grid_height = 14;
+    config.city.num_hospitals = 6;
+    config.trace.population.num_people = 700;
+  } else {
+    config.trace.population.num_people = 2000;
+  }
+  return config;
+}
+
+std::unique_ptr<BenchSetup> BuildWorldOnly(int argc, char** argv) {
+  auto setup = std::make_unique<BenchSetup>();
+  const core::WorldConfig config =
+      ParseWorldConfig(argc, argv, &setup->quick);
+  std::cerr << "[bench] building world ("
+            << config.trace.population.num_people << " people, "
+            << config.city.grid_width << "x" << config.city.grid_height
+            << " grid)...\n";
+  setup->world = core::BuildWorld(config);
+  setup->sim_config.num_teams = setup->quick ? 40 : 100;
+  std::cerr << "[bench] eval day " << setup->world.eval.spec.eval_day
+            << ", segments " << setup->world.city->network.num_segments()
+            << "\n";
+  return setup;
+}
+
+std::unique_ptr<BenchSetup> BuildWithSvm(int argc, char** argv) {
+  auto setup = BuildWorldOnly(argc, argv);
+  std::cerr << "[bench] training SVM predictor...\n";
+  setup->svm = core::TrainSvmPredictor(setup->world);
+  setup->ts = core::BuildTimeSeriesPredictor(setup->world);
+  return setup;
+}
+
+std::unique_ptr<BenchSetup> BuildFull(int argc, char** argv) {
+  auto setup = BuildWithSvm(argc, argv);
+  core::TrainingConfig training;
+  training.episodes = setup->quick ? 8 : 12;
+  training.sim = setup->sim_config;
+  std::cerr << "[bench] training DQN dispatcher (" << training.episodes
+            << " episodes)...\n";
+  setup->agent = core::TrainAgent(setup->world, *setup->svm, training);
+  return setup;
+}
+
+std::vector<core::EvaluationOutcome> RunComparison(BenchSetup& setup) {
+  std::vector<core::EvaluationOutcome> outcomes;
+  for (core::Method method : {core::Method::kMobiRescue,
+                              core::Method::kRescue,
+                              core::Method::kSchedule}) {
+    std::cerr << "[bench] evaluating " << core::MethodName(method) << "...\n";
+    outcomes.push_back(core::RunMethod(setup.world, method, setup.svm.get(),
+                                       setup.ts.get(), setup.agent,
+                                       setup.sim_config));
+  }
+  return outcomes;
+}
+
+void PrintCdfTable(std::ostream& os, const std::string& value_label,
+                   const std::vector<std::string>& labels,
+                   const std::vector<std::vector<double>>& samples,
+                   std::size_t points, double value_scale) {
+  std::vector<util::EmpiricalCdf> cdfs;
+  double lo = 1e300, hi = -1e300;
+  for (const auto& s : samples) {
+    cdfs.emplace_back(s);
+    if (!s.empty()) {
+      lo = std::min(lo, cdfs.back().min());
+      hi = std::max(hi, cdfs.back().max());
+    }
+  }
+  if (hi < lo) {
+    os << "(no samples)\n";
+    return;
+  }
+  std::vector<std::string> headers = {value_label};
+  for (const auto& label : labels) headers.push_back("CDF " + label);
+  util::TextTable table(headers);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    table.Row().Cell(x * value_scale, 2);
+    for (auto& cdf : cdfs) table.Cell(cdf.At(x), 3);
+  }
+  table.Print(os);
+}
+
+PredictionComparison ComparePredictors(BenchSetup& setup) {
+  const int day = setup.world.eval.spec.eval_day;
+  const auto& net = setup.world.city->network;
+  const mobility::GpsTrace day_trace =
+      sim::DaySlice(setup.world.eval.trace.records, day);
+
+  // Everything is aggregated at pickup-landmark granularity (a segment's
+  // entry landmark) — the same spatial unit the simulator serves at. We
+  // reuse the count-based evaluator by using landmark ids as "segment" keys.
+  auto landmark_of = [&](roadnet::SegmentId seg) {
+    return static_cast<roadnet::SegmentId>(net.segment(seg).from);
+  };
+
+  // Denominator: distinct people whose noon position maps to the landmark.
+  std::unordered_map<roadnet::SegmentId, int> people_at;
+  sim::PopulationTracker tracker(day_trace);
+  const auto& noon_snapshot = tracker.Snapshot(12.0 * 3600.0);
+  for (const mobility::GpsRecord& r : noon_snapshot) {
+    const roadnet::SegmentId seg = setup.world.index->NearestSegment(r.pos);
+    if (seg != roadnet::kInvalidSegment) ++people_at[landmark_of(seg)];
+  }
+
+  // SVM: the dispatcher's own noon distribution ñ_e, re-keyed by landmark.
+  std::unordered_map<roadnet::SegmentId, double> svm_counts;
+  for (const auto& [seg, count] : setup.svm->PredictDistribution(
+           noon_snapshot, 12.0 * 3600.0, day * util::kSecondsPerDay,
+           *setup.world.index)) {
+    svm_counts[landmark_of(seg)] += count;
+  }
+
+  // Time series: expected requests over the day, re-keyed by landmark.
+  std::unordered_map<roadnet::SegmentId, double> ts_counts;
+  for (const roadnet::RoadSegment& seg : net.segments()) {
+    double expected = 0.0;
+    for (int h = 0; h < 24; ++h) {
+      expected += setup.ts->PredictSegmentHour(seg.id, h);
+    }
+    if (expected > 0.0) ts_counts[landmark_of(seg.id)] += expected;
+  }
+
+  // Ground truth: requests from the evaluation day onward (the predicted
+  // distribution is of *potential* requests), re-keyed by landmark.
+  std::vector<mobility::RescueEvent> rekeyed;
+  for (const mobility::RescueEvent& ev : setup.world.eval.trace.rescues) {
+    if (ev.request_segment == roadnet::kInvalidSegment) continue;
+    mobility::RescueEvent copy = ev;
+    copy.request_segment = landmark_of(ev.request_segment);
+    rekeyed.push_back(copy);
+  }
+
+  PredictionComparison cmp;
+  cmp.svm = predict::EvaluateSegmentCountPredictions(rekeyed, day, svm_counts,
+                                                     people_at);
+  cmp.ts = predict::EvaluateSegmentCountPredictions(rekeyed, day, ts_counts,
+                                                    people_at);
+  return cmp;
+}
+
+std::unique_ptr<analysis::DatasetAnalysis> BuildAnalysis(
+    const core::World& world) {
+  std::cerr << "[bench] running the Section III measurement pipeline...\n";
+  return std::make_unique<analysis::DatasetAnalysis>(
+      *world.city, *world.eval.field, *world.eval.flood, world.eval.spec,
+      world.eval.trace);
+}
+
+}  // namespace mobirescue::bench

@@ -1,0 +1,68 @@
+// Shared setup for the figure/table benches.
+//
+// Every bench binary reproduces one table or figure from the paper's
+// evaluation on the same experiment world: a 24x24-block synthetic Charlotte
+// with a 2,000-person population, a Michael-like training storm and a
+// Florence-like evaluation storm, 100 rescue teams of capacity 5, 5-minute
+// dispatch periods and a 30-minute timeliness bound (Section V-B).
+//
+// Benches accept `--quick` to run on a scaled-down world (useful in CI).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset_analysis.hpp"
+#include "core/pipeline.hpp"
+#include "predict/evaluation.hpp"
+#include "core/world.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace mobirescue::bench {
+
+struct BenchSetup {
+  core::World world;
+  std::unique_ptr<predict::SvmRequestPredictor> svm;
+  std::unique_ptr<predict::TimeSeriesPredictor> ts;
+  std::shared_ptr<rl::DqnAgent> agent;
+  sim::SimConfig sim_config;
+  bool quick = false;
+};
+
+/// Parses --quick. Returns the paper-scale or scaled-down world config.
+core::WorldConfig ParseWorldConfig(int argc, char** argv, bool* quick);
+
+/// Builds the world only (Section III benches need no training).
+std::unique_ptr<BenchSetup> BuildWorldOnly(int argc, char** argv);
+
+/// Builds the world and trains the SVM (prediction benches).
+std::unique_ptr<BenchSetup> BuildWithSvm(int argc, char** argv);
+
+/// Builds the world and trains everything (Section V dispatch benches).
+std::unique_ptr<BenchSetup> BuildFull(int argc, char** argv);
+
+/// Runs the three compared methods and returns {MR, Rescue, Schedule}.
+std::vector<core::EvaluationOutcome> RunComparison(BenchSetup& setup);
+
+/// Prints a (value, CDF) table for up to three labelled sample sets side by
+/// side, at the given value grid resolution.
+void PrintCdfTable(std::ostream& os, const std::string& value_label,
+                   const std::vector<std::string>& labels,
+                   const std::vector<std::vector<double>>& samples,
+                   std::size_t points = 15, double value_scale = 1.0);
+
+/// Builds the Section III measurement pipeline over the evaluation trace.
+std::unique_ptr<analysis::DatasetAnalysis> BuildAnalysis(
+    const core::World& world);
+
+/// Fig. 15/16 shared machinery: per-segment count-based prediction scores
+/// for the SVM and the time-series predictor over the evaluation day.
+struct PredictionComparison {
+  predict::SegmentPredictionScores svm;
+  predict::SegmentPredictionScores ts;
+};
+PredictionComparison ComparePredictors(BenchSetup& setup);
+
+}  // namespace mobirescue::bench

@@ -1,0 +1,34 @@
+// Fig. 10: CDF over rescue teams of the number of timely served requests
+// each team handled during the day.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace mobirescue;
+
+int main(int argc, char** argv) {
+  auto setup = bench::BuildFull(argc, argv);
+  const auto outcomes = bench::RunComparison(*setup);
+
+  util::PrintFigureBanner(std::cout, "Figure 10",
+                          "CDF of the numbers of served rescue requests of "
+                          "rescue teams");
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> samples;
+  for (const auto& o : outcomes) {
+    labels.push_back(o.name);
+    std::vector<double> per_team;
+    for (int n : o.metrics.ServedPerTeam(setup->sim_config.num_teams)) {
+      per_team.push_back(n);
+    }
+    samples.push_back(std::move(per_team));
+  }
+  bench::PrintCdfTable(std::cout, "served/team", labels, samples, 12);
+
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    std::cout << labels[i] << ": mean served per team = "
+              << util::FormatDouble(util::Mean(samples[i]), 2) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 11: the rescue teams' average driving delay to the served requests'
+// positions, per hour of the evaluation day. Paper ordering: MobiRescue <
+// Rescue < Schedule.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace mobirescue;
+
+int main(int argc, char** argv) {
+  auto setup = bench::BuildFull(argc, argv);
+  const auto outcomes = bench::RunComparison(*setup);
+
+  util::PrintFigureBanner(std::cout, "Figure 11",
+                          "Average driving delay (s) per hour");
+
+  util::TextTable table({"hour", outcomes[0].name, outcomes[1].name,
+                         outcomes[2].name});
+  std::vector<std::vector<double>> per_hour;
+  for (const auto& o : outcomes) per_hour.push_back(o.metrics.AvgDelayPerHour());
+  for (int h = 0; h < 24; ++h) {
+    table.Row().Cell(h);
+    for (const auto& series : per_hour) table.Cell(series[h], 1);
+  }
+  table.Print(std::cout);
+
+  util::TextTable totals({"method", "mean delay (s)", "median delay (s)"});
+  for (const auto& o : outcomes) {
+    totals.Row()
+        .Cell(o.name)
+        .Cell(util::Mean(o.metrics.delay_samples()), 1)
+        .Cell(util::Percentile(o.metrics.delay_samples(), 50), 1);
+  }
+  totals.Print(std::cout);
+  std::cout << "paper: MobiRescue < Rescue < Schedule on driving delay\n";
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Fig. 12: CDF of the driving delays of all served rescue requests.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace mobirescue;
+
+int main(int argc, char** argv) {
+  auto setup = bench::BuildFull(argc, argv);
+  const auto outcomes = bench::RunComparison(*setup);
+
+  util::PrintFigureBanner(std::cout, "Figure 12",
+                          "CDF of driving delays of served requests");
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> samples;
+  for (const auto& o : outcomes) {
+    labels.push_back(o.name);
+    samples.push_back(o.metrics.delay_samples());
+  }
+  // Printed in minutes for readability.
+  bench::PrintCdfTable(std::cout, "delay (min)", labels, samples, 15,
+                       1.0 / 60.0);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fig. 16: CDF over road segments of the rescue-request prediction
+// precision (TP / (TP + FP)) of MobiRescue's SVM vs Rescue's time-series
+// model. Paper: MobiRescue > Rescue. Same count-based metric realisation as
+// Fig. 15.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace mobirescue;
+
+int main(int argc, char** argv) {
+  auto setup = bench::BuildWithSvm(argc, argv);
+  const bench::PredictionComparison cmp = bench::ComparePredictors(*setup);
+
+  util::PrintFigureBanner(std::cout, "Figure 16",
+                          "CDF of prediction precisions of rescue requests "
+                          "on road segments");
+  bench::PrintCdfTable(std::cout, "precision",
+                       {"MobiRescue(SVM)", "Rescue(TS)"},
+                       {cmp.svm.precisions, cmp.ts.precisions}, 12);
+
+  std::cout << "mean per-segment precision: MobiRescue = "
+            << util::FormatDouble(util::Mean(cmp.svm.precisions), 3)
+            << " (over " << cmp.svm.precisions.size()
+            << " predicted-positive segments), Rescue = "
+            << util::FormatDouble(util::Mean(cmp.ts.precisions), 3)
+            << " (over " << cmp.ts.precisions.size()
+            << "); paper: MobiRescue > Rescue\n";
+  std::cout << "overall precision: MobiRescue = "
+            << util::FormatDouble(cmp.svm.overall.Precision(), 3)
+            << ", Rescue = "
+            << util::FormatDouble(cmp.ts.overall.Precision(), 3) << "\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 9: total number of timely served rescue requests during each hour of
+// the evaluation day, per method. Paper ordering: MobiRescue > Rescue >
+// Schedule.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace mobirescue;
+
+int main(int argc, char** argv) {
+  auto setup = bench::BuildFull(argc, argv);
+  const auto outcomes = bench::RunComparison(*setup);
+
+  util::PrintFigureBanner(std::cout, "Figure 9",
+                          "Total number of timely served rescue requests per "
+                          "hour");
+  std::cout << "requests on the evaluation day: "
+            << outcomes.front().total_requests << ", teams: "
+            << setup->sim_config.num_teams << "\n";
+
+  util::TextTable table({"hour", outcomes[0].name, outcomes[1].name,
+                         outcomes[2].name});
+  for (int h = 0; h < 24; ++h) {
+    table.Row().Cell(h);
+    for (const auto& o : outcomes) {
+      table.Cell(static_cast<std::size_t>(o.metrics.timely_served_per_hour()[h]));
+    }
+  }
+  table.Print(std::cout);
+
+  util::TextTable totals({"method", "timely served (day)", "served (day)"});
+  for (const auto& o : outcomes) {
+    totals.Row()
+        .Cell(o.name)
+        .Cell(static_cast<std::size_t>(o.metrics.total_timely()))
+        .Cell(static_cast<std::size_t>(o.metrics.total_served()));
+  }
+  totals.Print(std::cout);
+  std::cout << "paper: MobiRescue > Rescue > Schedule on timely served\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Substrate microbenchmarks (google-benchmark): the hot paths every
+// experiment leans on — Dijkstra routing, reverse trees, spatial-index
+// matching, flood evaluation, SVM kernel evaluation and DQN inference.
+#include <benchmark/benchmark.h>
+
+#include "ml/nn/mlp.hpp"
+#include "ml/svm/kernel.hpp"
+#include "roadnet/city_builder.hpp"
+#include "roadnet/router.hpp"
+#include "roadnet/spatial_index.hpp"
+#include "util/rng.hpp"
+#include "weather/flood_model.hpp"
+#include "weather/scenario.hpp"
+
+using namespace mobirescue;
+
+namespace {
+
+const roadnet::City& TestCity() {
+  static const roadnet::City city = [] {
+    roadnet::CityConfig config;
+    return roadnet::BuildCity(config);  // 24x24 default
+  }();
+  return city;
+}
+
+void BM_DijkstraTree(benchmark::State& state) {
+  const roadnet::City& city = TestCity();
+  roadnet::Router router(city.network);
+  roadnet::NetworkCondition cond(city.network.num_segments());
+  util::Rng rng(1);
+  for (auto _ : state) {
+    const auto source = static_cast<roadnet::LandmarkId>(
+        rng.Index(city.network.num_landmarks()));
+    benchmark::DoNotOptimize(router.Tree(source, cond));
+  }
+}
+BENCHMARK(BM_DijkstraTree)->Unit(benchmark::kMicrosecond);
+
+void BM_ReverseTree(benchmark::State& state) {
+  const roadnet::City& city = TestCity();
+  roadnet::Router router(city.network);
+  roadnet::NetworkCondition cond(city.network.num_segments());
+  util::Rng rng(2);
+  for (auto _ : state) {
+    const auto target = static_cast<roadnet::LandmarkId>(
+        rng.Index(city.network.num_landmarks()));
+    benchmark::DoNotOptimize(router.ReverseTree(target, cond));
+  }
+}
+BENCHMARK(BM_ReverseTree)->Unit(benchmark::kMicrosecond);
+
+void BM_PointToPointRoute(benchmark::State& state) {
+  const roadnet::City& city = TestCity();
+  roadnet::Router router(city.network);
+  roadnet::NetworkCondition cond(city.network.num_segments());
+  util::Rng rng(3);
+  for (auto _ : state) {
+    const auto a = static_cast<roadnet::LandmarkId>(
+        rng.Index(city.network.num_landmarks()));
+    const auto b = static_cast<roadnet::LandmarkId>(
+        rng.Index(city.network.num_landmarks()));
+    benchmark::DoNotOptimize(router.ShortestRoute(a, b, cond));
+  }
+}
+BENCHMARK(BM_PointToPointRoute)->Unit(benchmark::kMicrosecond);
+
+void BM_NearestSegment(benchmark::State& state) {
+  const roadnet::City& city = TestCity();
+  roadnet::SpatialIndex index(city.network, city.box);
+  util::Rng rng(4);
+  for (auto _ : state) {
+    const util::GeoPoint p =
+        city.box.At(rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0));
+    benchmark::DoNotOptimize(index.NearestSegment(p));
+  }
+}
+BENCHMARK(BM_NearestSegment)->Unit(benchmark::kNanosecond);
+
+void BM_FloodNetworkCondition(benchmark::State& state) {
+  const roadnet::City& city = TestCity();
+  const weather::ScenarioSpec spec = weather::FlorenceScenario();
+  weather::WeatherField field(city.box, spec.storm);
+  weather::FloodModel flood(field, city.terrain);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        flood.NetworkConditionAt(city.network, spec.storm.storm_peak_s));
+  }
+}
+BENCHMARK(BM_FloodNetworkCondition)->Unit(benchmark::kMicrosecond);
+
+void BM_RbfKernel(benchmark::State& state) {
+  ml::KernelConfig config;
+  const std::vector<double> x = {0.3, -0.8, 1.2};
+  const std::vector<double> y = {-1.0, 0.5, 0.1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::EvalKernel(config, x, y));
+  }
+}
+BENCHMARK(BM_RbfKernel)->Unit(benchmark::kNanosecond);
+
+void BM_MlpForward(benchmark::State& state) {
+  ml::MlpConfig config;
+  config.input_dim = 11;
+  config.hidden = {32, 32};
+  ml::Mlp net(config);
+  const std::vector<double> x(11, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Predict(x));
+  }
+}
+BENCHMARK(BM_MlpForward)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+#include "analysis/dataset_analysis.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace mobirescue::analysis {
+
+DatasetAnalysis::DatasetAnalysis(const roadnet::City& city,
+                                 const weather::WeatherField& field,
+                                 const weather::FloodModel& flood,
+                                 const weather::ScenarioSpec& scenario,
+                                 const mobility::TraceResult& trace)
+    : city_(city),
+      field_(field),
+      scenario_(scenario),
+      index_(city.network, city.box) {
+  mobility::CleaningConfig clean_config;
+  clean_config.box = city.box;
+  const mobility::GpsTrace cleaned =
+      mobility::CleanTrace(trace.records, clean_config, &clean_stats_);
+
+  mobility::MapMatcher matcher(city.network, index_);
+  const auto matched = matcher.MatchTrace(cleaned);
+
+  flow_ = std::make_unique<mobility::FlowRateAnalyzer>(
+      city.network, scenario.window_days * 24);
+  flow_->Ingest(matched);
+
+  mobility::HospitalDeliveryDetector detector(city, flood);
+  deliveries_ = detector.Detect(cleaned);
+}
+
+std::vector<RegionFactorSummary> DatasetAnalysis::RegionFactors() const {
+  std::vector<RegionFactorSummary> out;
+  const util::SimTime peak = field_.storm().storm_peak_s;
+  const util::SimTime end = field_.storm().storm_end_s;
+  for (roadnet::RegionId region = 1; region <= roadnet::kNumRegions; ++region) {
+    RegionFactorSummary s;
+    s.region = region;
+    std::size_t n = 0;
+    for (const roadnet::Landmark& lm : city_.network.landmarks()) {
+      if (lm.region != region) continue;
+      s.precipitation_mm += field_.AccumulatedPrecipitation(lm.pos, end);
+      s.wind_mph += field_.WindAt(lm.pos, peak);
+      s.altitude_m += lm.altitude_m;
+      ++n;
+    }
+    if (n > 0) {
+      s.precipitation_mm /= static_cast<double>(n);
+      s.wind_mph /= static_cast<double>(n);
+      s.altitude_m /= static_cast<double>(n);
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+CorrelationTable DatasetAnalysis::FactorFlowCorrelation() const {
+  // Flow rate per region averaged over the disaster days.
+  const int first_day = util::DayIndex(field_.storm().storm_begin_s);
+  const int last_day = util::DayIndex(field_.storm().storm_end_s);
+  std::vector<double> flow, precip, wind, alt;
+  const auto factors = RegionFactors();
+  for (const RegionFactorSummary& s : factors) {
+    double f = 0.0;
+    int days = 0;
+    for (int d = first_day; d <= last_day && d < scenario_.window_days; ++d) {
+      f += flow_->RegionFlowAvg(s.region, d * 24, d * 24 + 24);
+      ++days;
+    }
+    if (days > 0) f /= days;
+    flow.push_back(f);
+    precip.push_back(s.precipitation_mm);
+    wind.push_back(s.wind_mph);
+    alt.push_back(s.altitude_m);
+  }
+  CorrelationTable table;
+  table.precipitation = util::PearsonCorrelation(flow, precip);
+  table.wind = util::PearsonCorrelation(flow, wind);
+  table.altitude = util::PearsonCorrelation(flow, alt);
+  return table;
+}
+
+std::vector<double> DatasetAnalysis::RegionDayProfile(roadnet::RegionId region,
+                                                      int day) const {
+  return flow_->RegionDayProfile(region, day);
+}
+
+std::vector<double> DatasetAnalysis::FlowDifferenceSamples(
+    int before_day, int after_day) const {
+  return flow_->SegmentDailyFlowDifference(before_day, after_day);
+}
+
+double DatasetAnalysis::RegionDayAverage(roadnet::RegionId region,
+                                         int day) const {
+  return flow_->RegionFlowAvg(region, day * 24, day * 24 + 24);
+}
+
+std::vector<int> DatasetAnalysis::DeliveriesPerDay(bool flood_only) const {
+  std::vector<int> out(scenario_.window_days, 0);
+  for (const mobility::HospitalDelivery& d : deliveries_) {
+    if (flood_only && !d.flood_rescue) continue;
+    const int day = util::DayIndex(d.arrival_time);
+    if (day >= 0 && day < scenario_.window_days) ++out[day];
+  }
+  return out;
+}
+
+std::array<int, roadnet::kNumRegions + 1> DatasetAnalysis::RescuesPerRegion()
+    const {
+  std::array<int, roadnet::kNumRegions + 1> out{};
+  for (const mobility::HospitalDelivery& d : deliveries_) {
+    if (!d.flood_rescue) continue;
+    if (d.previous_region >= 1 && d.previous_region <= roadnet::kNumRegions) {
+      ++out[d.previous_region];
+    }
+  }
+  return out;
+}
+
+}  // namespace mobirescue::analysis

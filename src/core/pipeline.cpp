@@ -1,0 +1,174 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dispatch/featurizer.hpp"
+#include "dispatch/rescue_dispatcher.hpp"
+#include "dispatch/schedule_dispatcher.hpp"
+#include "dispatch/simple_dispatchers.hpp"
+#include "mobility/data_cleaner.hpp"
+#include "mobility/hospital_detector.hpp"
+#include "sim/population_tracker.hpp"
+#include "sim/request.hpp"
+
+namespace mobirescue::core {
+
+std::string MethodName(Method method) {
+  switch (method) {
+    case Method::kMobiRescue: return "MobiRescue";
+    case Method::kRescue: return "Rescue";
+    case Method::kSchedule: return "Schedule";
+    case Method::kGreedyNearest: return "GreedyNearest";
+    case Method::kRandom: return "Random";
+  }
+  return "?";
+}
+
+std::unique_ptr<predict::SvmRequestPredictor> TrainSvmPredictor(
+    const World& world, predict::SvmPredictorConfig config) {
+  // Label the historical (training-storm) trace with the Section III-B2
+  // detector: clean -> detect deliveries -> flood back-check.
+  mobility::CleaningConfig clean_config;
+  clean_config.box = world.city->box;
+  const mobility::GpsTrace cleaned =
+      mobility::CleanTrace(world.train.trace.records, clean_config, nullptr);
+  mobility::HospitalDeliveryDetector detector(*world.city, *world.train.flood);
+  const auto deliveries = detector.Detect(cleaned);
+
+  const util::SimTime storm_mid = 0.5 * (world.train.spec.storm.storm_begin_s +
+                                         world.train.spec.storm.storm_end_s);
+  return std::make_unique<predict::SvmRequestPredictor>(
+      *world.train.factors, deliveries, cleaned, storm_mid, config);
+}
+
+std::unique_ptr<predict::TimeSeriesPredictor> BuildTimeSeriesPredictor(
+    const World& world, predict::TimeSeriesConfig config) {
+  return std::make_unique<predict::TimeSeriesPredictor>(
+      world.eval.trace.rescues, world.eval.spec.eval_day, config);
+}
+
+std::shared_ptr<rl::DqnAgent> TrainAgent(
+    const World& world, const predict::SvmRequestPredictor& svm,
+    const TrainingConfig& config, TrainingReport* report) {
+  rl::DqnConfig dqn_config = config.dqn;
+  dqn_config.feature_dim = dispatch::DispatchFeaturizer::kFeatureDim;
+  auto agent = std::make_shared<rl::DqnAgent>(dqn_config);
+
+  // Training days: rank the training scenario's days by request volume and
+  // train mostly on the heaviest ones — the regime the evaluation day is
+  // drawn from.
+  std::vector<int> per_day(world.train.spec.window_days, 0);
+  for (const mobility::RescueEvent& ev : world.train.trace.rescues) {
+    const int d = util::DayIndex(ev.request_time);
+    if (d >= 0 && d < world.train.spec.window_days) ++per_day[d];
+  }
+  std::vector<int> days;
+  for (int d = 0; d < world.train.spec.window_days; ++d) days.push_back(d);
+  std::sort(days.begin(), days.end(),
+            [&](int a, int b) { return per_day[a] > per_day[b]; });
+  if (days.size() > 3) days.resize(3);  // the 3 busiest days, cycled
+
+  for (int ep = 0; ep < config.episodes; ++ep) {
+    const int day = days[ep % days.size()];
+    auto requests = sim::RequestsFromEvents(world.train.trace.rescues, day);
+    sim::PopulationTracker tracker(
+        sim::DaySlice(world.train.trace.records, day));
+
+    dispatch::MobiRescueConfig mr_config = config.dispatcher;
+    mr_config.training = true;
+    // Residual prior steers exploration while the Q network is cold.
+    mr_config.prior_weight = 1.0;
+    dispatch::MobiRescueDispatcher dispatcher(
+        *world.city, svm, tracker, *world.index, agent,
+        day * util::kSecondsPerDay, mr_config);
+
+    sim::SimConfig sim_config = config.sim;
+    sim_config.seed += static_cast<std::uint64_t>(ep);
+    sim::RescueSimulator simulator(*world.city, *world.train.flood,
+                                   std::move(requests),
+                                   day * util::kSecondsPerDay, sim_config);
+    const sim::MetricsCollector metrics = simulator.Run(dispatcher);
+    if (report != nullptr) {
+      report->episode_served.push_back(metrics.total_served());
+      report->episode_loss.push_back(dispatcher.last_train_loss());
+    }
+  }
+  return agent;
+}
+
+EvaluationOutcome RunMethod(const World& world, Method method,
+                            const predict::SvmRequestPredictor* svm,
+                            const predict::TimeSeriesPredictor* ts,
+                            std::shared_ptr<rl::DqnAgent> agent,
+                            sim::SimConfig sim_config,
+                            dispatch::MobiRescueConfig mr_config) {
+  const int day = world.eval.spec.eval_day;
+  auto requests = sim::RequestsFromEvents(world.eval.trace.rescues, day);
+
+  EvaluationOutcome outcome;
+  outcome.method = method;
+  outcome.name = MethodName(method);
+  outcome.total_requests = static_cast<int>(requests.size());
+
+  sim::RescueSimulator simulator(*world.city, *world.eval.flood,
+                                 std::move(requests),
+                                 day * util::kSecondsPerDay, sim_config);
+
+  std::unique_ptr<sim::Dispatcher> dispatcher;
+  std::unique_ptr<sim::PopulationTracker> tracker;
+  switch (method) {
+    case Method::kMobiRescue: {
+      if (svm == nullptr || agent == nullptr) {
+        throw std::invalid_argument("RunMethod: MobiRescue needs svm + agent");
+      }
+      tracker = std::make_unique<sim::PopulationTracker>(
+          sim::DaySlice(world.eval.trace.records, day));
+      dispatcher = std::make_unique<dispatch::MobiRescueDispatcher>(
+          *world.city, *svm, *tracker, *world.index, agent,
+          day * util::kSecondsPerDay, mr_config);
+      break;
+    }
+    case Method::kRescue: {
+      if (ts == nullptr) {
+        throw std::invalid_argument("RunMethod: Rescue needs ts predictor");
+      }
+      dispatcher =
+          std::make_unique<dispatch::RescueDispatcher>(*world.city, *ts);
+      break;
+    }
+    case Method::kSchedule:
+      dispatcher = std::make_unique<dispatch::ScheduleDispatcher>(
+          *world.city, sim_config.num_teams);
+      break;
+    case Method::kGreedyNearest:
+      dispatcher = std::make_unique<dispatch::GreedyNearestDispatcher>(
+          *world.city);
+      break;
+    case Method::kRandom:
+      dispatcher = std::make_unique<dispatch::RandomDispatcher>(*world.city);
+      break;
+  }
+
+  outcome.metrics = simulator.Run(*dispatcher);
+  return outcome;
+}
+
+std::vector<EvaluationOutcome> RunPaperEvaluation(
+    const World& world, const TrainingConfig& training,
+    sim::SimConfig sim_config) {
+  auto svm = TrainSvmPredictor(world);
+  auto ts = BuildTimeSeriesPredictor(world);
+  auto agent = TrainAgent(world, *svm, training);
+
+  std::vector<EvaluationOutcome> outcomes;
+  outcomes.push_back(RunMethod(world, Method::kMobiRescue, svm.get(), ts.get(),
+                               agent, sim_config));
+  outcomes.push_back(
+      RunMethod(world, Method::kRescue, svm.get(), ts.get(), agent, sim_config));
+  outcomes.push_back(RunMethod(world, Method::kSchedule, svm.get(), ts.get(),
+                               agent, sim_config));
+  return outcomes;
+}
+
+}  // namespace mobirescue::core

@@ -1,0 +1,59 @@
+// The experiment world: one synthetic city plus the two disaster scenarios
+// the paper uses — a Michael-like training storm and a Florence-like
+// evaluation storm — each with its weather field, flood model and generated
+// mobility trace.
+#pragma once
+
+#include <memory>
+
+#include "mobility/trace_generator.hpp"
+#include "roadnet/city_builder.hpp"
+#include "roadnet/spatial_index.hpp"
+#include "weather/disaster_factors.hpp"
+#include "weather/flood_model.hpp"
+#include "weather/scenario.hpp"
+
+namespace mobirescue::core {
+
+struct WorldConfig {
+  roadnet::CityConfig city;
+  mobility::TraceConfig trace;
+  weather::ScenarioSpec train_scenario = weather::MichaelScenario();
+  weather::ScenarioSpec eval_scenario = weather::FlorenceScenario();
+  weather::FloodConfig flood;
+
+  /// Small preset for unit tests: 10x10 city, few hundred people, 3-day
+  /// window.
+  static WorldConfig Small();
+};
+
+/// One scenario's bound objects. Holds references into the owning World's
+/// city; do not outlive it.
+struct ScenarioData {
+  weather::ScenarioSpec spec;
+  std::unique_ptr<weather::WeatherField> field;
+  std::unique_ptr<weather::FloodModel> flood;
+  std::unique_ptr<weather::FactorSampler> factors;
+  mobility::TraceResult trace;
+};
+
+/// Built world. Non-copyable (internal reference wiring).
+struct World {
+  WorldConfig config;
+  std::unique_ptr<roadnet::City> city;
+  std::unique_ptr<roadnet::SpatialIndex> index;
+  ScenarioData train;
+  ScenarioData eval;
+
+  World() = default;
+  World(World&&) = default;
+  World& operator=(World&&) = default;
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+};
+
+/// Builds the city, both scenarios and both traces. The expensive step
+/// (trace generation) runs once per scenario.
+World BuildWorld(const WorldConfig& config);
+
+}  // namespace mobirescue::core

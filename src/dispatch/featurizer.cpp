@@ -1,0 +1,146 @@
+#include "dispatch/featurizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace mobirescue::dispatch {
+
+DispatchFeaturizer::DispatchFeaturizer(const roadnet::City& city,
+                                       FeaturizerConfig config)
+    : city_(city), router_(city.network), config_(config) {}
+
+RoundData DispatchFeaturizer::PrepareRound(
+    const predict::Distribution& demand,
+    const roadnet::NetworkCondition& condition,
+    const std::vector<roadnet::SegmentId>& must_include) const {
+  RoundData round;
+  round.demand = demand;
+
+  std::unordered_set<roadnet::SegmentId> included;
+  for (roadnet::SegmentId seg : must_include) {
+    round.pending.insert(seg);
+    if (included.insert(seg).second) round.candidates.push_back(seg);
+  }
+
+  std::vector<std::pair<int, roadnet::SegmentId>> ranked;
+  for (const auto& [seg, count] : demand) {
+    if (count <= 0) continue;
+    round.total_demand += count;
+    if (included.count(seg) != 0) continue;
+    // Closed (flooded) segments stay eligible: trapped people are exactly
+    // there, and teams drive to the water's edge (the segment's entry
+    // landmark) to pick them up.
+    ranked.emplace_back(count, seg);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  const std::size_t k =
+      std::min<std::size_t>(ranked.size(), static_cast<std::size_t>(config_.top_k));
+  for (std::size_t i = 0; i < k; ++i) round.candidates.push_back(ranked[i].second);
+
+  round.trees.reserve(round.candidates.size() + 1);
+  for (roadnet::SegmentId seg : round.candidates) {
+    round.trees.push_back(
+        router_.ReverseTree(city_.network.segment(seg).from, condition));
+  }
+  round.trees.push_back(router_.ReverseTree(city_.depot, condition));
+  return round;
+}
+
+std::vector<double> DispatchFeaturizer::Features(
+    const RoundData& round, const sim::TeamView& team, std::size_t idx,
+    const std::vector<sim::TeamView>* all_teams) const {
+  std::vector<double> f(kFeatureDim, 0.0);
+  const bool depot = round.IsDepotAction(idx);
+  const roadnet::ShortestPathTree& tree = round.trees.at(idx);
+
+  double time_to = config_.time_norm_s * 3.0;  // unreachable sentinel
+  if (tree.Reachable(team.at)) time_to = tree.time_s[team.at];
+
+  double seg_demand = 0.0;
+  if (!depot) {
+    const auto it = round.demand.find(round.candidates[idx]);
+    if (it != round.demand.end()) seg_demand = it->second;
+  }
+
+  f[0] = std::min(3.0, time_to / config_.time_norm_s);
+  f[1] = std::min(3.0, seg_demand / config_.demand_norm);
+  f[2] = std::min(3.0, round.total_demand / config_.total_demand_norm);
+  f[3] = team.capacity > 0
+             ? static_cast<double>(team.onboard) / team.capacity
+             : 0.0;
+  f[4] = depot ? 1.0 : 0.0;
+  f[5] = team.mode == sim::TeamMode::kIdle ? 1.0 : 0.0;
+  f[6] = team.mode == sim::TeamMode::kToTarget ? 1.0 : 0.0;
+  // Stickiness signal: is this candidate the team's current destination?
+  // Lets the policy learn to finish a leg instead of thrashing targets.
+  f[7] = (!depot && team.target_segment == round.candidates[idx]) ? 1.0 : 0.0;
+  f[8] = 1.0;  // bias
+  // Certain demand: an appeared request is waiting on this segment. Kept
+  // separate from f[1] so the policy can rank certain above speculative.
+  if (!depot && round.pending.count(round.candidates[idx]) != 0) {
+    f[10] = 1.0;
+  }
+  // Competition: fraction of other available teams strictly closer to this
+  // candidate. Without it the policy piles the whole fleet onto the top
+  // demand segment.
+  if (!depot && all_teams != nullptr && tree.Reachable(team.at)) {
+    int closer = 0;
+    for (const sim::TeamView& other : *all_teams) {
+      if (other.id == team.id) continue;
+      if (other.mode == sim::TeamMode::kToHospital) continue;
+      if (tree.Reachable(other.at) &&
+          tree.time_s[other.at] < tree.time_s[team.at]) {
+        ++closer;
+      }
+    }
+    f[9] = static_cast<double>(closer) /
+           std::max<std::size_t>(1, all_teams->size());
+  }
+  return f;
+}
+
+std::vector<std::vector<double>> DispatchFeaturizer::AllFeatures(
+    const RoundData& round, const sim::TeamView& team,
+    const std::vector<sim::TeamView>* all_teams) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(round.NumActions());
+  for (std::size_t idx = 0; idx < round.NumActions(); ++idx) {
+    out.push_back(Features(round, team, idx, all_teams));
+  }
+  return out;
+}
+
+std::vector<std::size_t> DispatchFeaturizer::TeamActionSet(
+    const RoundData& round, const sim::TeamView& team) const {
+  std::vector<std::pair<double, std::size_t>> by_time;
+  for (std::size_t idx = 0; idx < round.candidates.size(); ++idx) {
+    const roadnet::ShortestPathTree& tree = round.trees[idx];
+    if (!tree.Reachable(team.at)) continue;
+    by_time.emplace_back(tree.time_s[team.at], idx);
+  }
+  std::sort(by_time.begin(), by_time.end());
+  std::vector<std::size_t> out;
+  const std::size_t k = std::min<std::size_t>(
+      by_time.size(), static_cast<std::size_t>(config_.per_team_k));
+  out.reserve(k + 1);
+  for (std::size_t i = 0; i < k; ++i) out.push_back(by_time[i].second);
+  out.push_back(round.candidates.size());  // depot action, always available
+  return out;
+}
+
+std::vector<std::vector<double>> DispatchFeaturizer::FeaturesFor(
+    const RoundData& round, const sim::TeamView& team,
+    const std::vector<std::size_t>& action_set,
+    const std::vector<sim::TeamView>* all_teams) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(action_set.size());
+  for (std::size_t idx : action_set) {
+    out.push_back(Features(round, team, idx, all_teams));
+  }
+  return out;
+}
+
+}  // namespace mobirescue::dispatch

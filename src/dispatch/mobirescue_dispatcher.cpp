@@ -1,0 +1,377 @@
+#include "dispatch/mobirescue_dispatcher.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "opt/hungarian.hpp"
+
+namespace mobirescue::dispatch {
+
+MobiRescueDispatcher::MobiRescueDispatcher(
+    const roadnet::City& city, const predict::SvmRequestPredictor& predictor,
+    sim::PopulationTracker& tracker, const roadnet::SpatialIndex& index,
+    std::shared_ptr<rl::DqnAgent> agent, double day_offset_s,
+    MobiRescueConfig config)
+    : city_(city),
+      predictor_(predictor),
+      tracker_(tracker),
+      index_(index),
+      agent_(std::move(agent)),
+      day_offset_s_(day_offset_s),
+      config_(config),
+      featurizer_(city, config.featurizer) {}
+
+double MobiRescueDispatcher::HeuristicPrior(
+    const std::vector<double>& features) {
+  if (features[4] > 0.5) return 0.05;  // depot: small standby margin
+  return 2.0 * features[1] + 2.0 * features[10] - features[0] - features[9];
+}
+
+void MobiRescueDispatcher::DecideByAssignment(
+    const sim::DispatchContext& context, RoundData& round,
+    std::unordered_set<roadnet::SegmentId>& pending_now,
+    sim::DispatchDecision& decision) {
+  // Serving teams keep their legs, with the pending-swing exception.
+  std::vector<std::size_t> rows;  // decidable teams
+  for (std::size_t k = 0; k < context.teams.size(); ++k) {
+    const sim::TeamView& team = context.teams[k];
+    sim::TeamAction& action = decision.actions[k];
+    if (team.mode == sim::TeamMode::kIdle ||
+        team.mode == sim::TeamMode::kToDepot) {
+      rows.push_back(k);
+      continue;
+    }
+    action.kind = sim::ActionKind::kKeep;
+    if (team.mode != sim::TeamMode::kToTarget) continue;
+    // Swing to an appeared request when decisively better than finishing.
+    std::size_t best_idx = round.candidates.size();
+    double best_time = team.leg_remaining_s - config_.retarget_margin_s;
+    for (std::size_t i = 0; i < round.candidates.size(); ++i) {
+      const roadnet::SegmentId seg = round.candidates[i];
+      if (seg == team.target_segment || pending_now.count(seg) == 0) continue;
+      const auto& tree = round.trees[i];
+      if (tree.Reachable(team.at) && tree.time_s[team.at] < best_time) {
+        best_time = tree.time_s[team.at];
+        best_idx = i;
+      }
+    }
+    if (best_idx < round.candidates.size()) {
+      action.kind = sim::ActionKind::kGoto;
+      action.target = round.candidates[best_idx];
+      pending_now.erase(action.target);
+    }
+  }
+  if (rows.empty()) return;
+  if (round.candidates.empty()) {
+    for (std::size_t k : rows) decision.actions[k].kind = sim::ActionKind::kDepot;
+    return;
+  }
+
+  // Columns: candidate instances, replicated for multi-person demand so
+  // several teams can be sent to a deep cluster.
+  std::vector<std::size_t> columns;  // candidate index per column
+  for (std::size_t i = 0; i < round.candidates.size(); ++i) {
+    int copies = 1;
+    const auto it = round.demand.find(round.candidates[i]);
+    if (it != round.demand.end() && it->second > 5) {
+      copies = std::min(3, (it->second + 4) / 5);
+    }
+    for (int c = 0; c < copies; ++c) columns.push_back(i);
+  }
+
+  // Scores: prior + Q per (team, candidate); margin over the team's depot
+  // value. Positive margin means the pair is worth serving.
+  opt::AssignmentProblem problem;
+  problem.rows = rows.size();
+  problem.cols = columns.size();
+  problem.cost.assign(problem.rows * problem.cols, opt::kForbiddenCost);
+  std::vector<std::vector<double>> margin(rows.size(),
+                                          std::vector<double>(columns.size()));
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const sim::TeamView& team = context.teams[rows[r]];
+    const auto depot_f =
+        featurizer_.Features(round, team, round.candidates.size(),
+                             &context.teams);
+    const double depot_score =
+        config_.prior_weight * HeuristicPrior(depot_f) +
+        agent_->QValue(depot_f);
+    // Score each distinct candidate once, then spread to its columns.
+    std::vector<double> by_candidate(round.candidates.size(),
+                                     -std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < round.candidates.size(); ++i) {
+      if (!round.trees[i].Reachable(team.at)) continue;
+      const auto f = featurizer_.Features(round, team, i, &context.teams);
+      by_candidate[i] = config_.prior_weight * HeuristicPrior(f) +
+                        agent_->QValue(f) - depot_score;
+    }
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      const double m = by_candidate[columns[c]];
+      margin[r][c] = m;
+      if (std::isfinite(m)) {
+        problem.at(r, c) = -m;  // Hungarian minimises
+      }
+    }
+  }
+  const opt::AssignmentResult result = opt::SolveAssignment(problem);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const std::size_t k = rows[r];
+    sim::TeamAction& action = decision.actions[k];
+    const int col = result.row_to_col[r];
+    if (col >= 0 && margin[r][static_cast<std::size_t>(col)] > 0.0) {
+      action.kind = sim::ActionKind::kGoto;
+      action.target = round.candidates[columns[static_cast<std::size_t>(col)]];
+    } else {
+      // Stand down in place: the team stops serving (it is not counted as
+      // a serving team) but stays staged where it is — typically the
+      // hospital it last delivered to — instead of burning fuel on a trek
+      // to the dispatching centre.
+      action.kind = sim::ActionKind::kKeep;
+    }
+  }
+}
+
+void MobiRescueDispatcher::AccrueRewards(const sim::DispatchContext& context) {
+  if (pending_.size() != context.teams.size()) return;
+  for (std::size_t k = 0; k < context.teams.size(); ++k) {
+    PendingTransition& pt = pending_[k];
+    if (!pt.valid) continue;
+    const sim::TeamView& team = context.teams[k];
+    // Per-team decomposition of Eq. (5): this team's served requests and
+    // its driving time toward its assignment since the last round (the
+    // serving-team cost gamma is charged once, at decision time).
+    pt.accumulated += config_.reward.alpha * team.served_since_dispatch -
+                      config_.reward.beta * team.drive_time_since_dispatch;
+    ++pt.rounds;
+  }
+}
+
+sim::DispatchDecision MobiRescueDispatcher::Decide(
+    const sim::DispatchContext& context) {
+  // Stage 2 of the framework: refresh the predicted distribution of
+  // potential rescue requests from the current population snapshot.
+  if (context.now - cached_at_ >= config_.prediction_refresh_s) {
+    const auto& snapshot = tracker_.Snapshot(context.now);
+    cached_distribution_ = predictor_.PredictDistribution(
+        snapshot, context.now, day_offset_s_, index_);
+    cached_at_ = context.now;
+  }
+  // The dispatching centre also knows about already-appeared pending
+  // requests; fold them into the demand map with a higher weight than the
+  // speculative SVM counts — an appeared request is certain demand.
+  predict::Distribution demand = cached_distribution_;
+  std::vector<roadnet::SegmentId> pending_segments;
+  std::unordered_set<roadnet::SegmentId> pending_now;
+  for (const sim::RequestView& r : context.pending) {
+    demand[r.segment] += 4;
+    pending_segments.push_back(r.segment);
+    pending_now.insert(r.segment);
+  }
+
+  RoundData round =
+      featurizer_.PrepareRound(demand, *context.condition, pending_segments);
+
+  // Segments already being targeted by some team are covered: they are not
+  // re-target opportunities for other serving teams.
+  for (const sim::TeamView& t : context.teams) {
+    if (t.mode == sim::TeamMode::kToTarget) {
+      pending_now.erase(t.target_segment);
+    }
+  }
+
+  if (pending_.size() != context.teams.size()) {
+    pending_.assign(context.teams.size(), {});
+  }
+  if (config_.training) {
+    AccrueRewards(context);
+  }
+
+  sim::DispatchDecision decision;
+  decision.compute_latency_s = config_.compute_latency_s;
+  decision.actions.resize(context.teams.size());
+
+  if (!config_.training) {
+    // Joint-action argmax: the Q-network (plus prior) scores每 (team,
+    // candidate) pair; the best joint action under "one team per candidate
+    // instance" is a maximum-score bipartite assignment. Teams whose best
+    // use is standing down go to the depot. Serving/delivering teams keep
+    // their legs (with the pending-swing exception below).
+    DecideByAssignment(context, round, pending_now, decision);
+    return decision;
+  }
+
+  for (std::size_t k = 0; k < context.teams.size(); ++k) {
+    const sim::TeamView& team = context.teams[k];
+    sim::TeamAction& action = decision.actions[k];
+    // Commitment semantics: a team mid-leg finishes its leg; idle teams and
+    // depot-bound teams (standing down is always interruptible) receive new
+    // decisions. Exception (the paper's real-time route adjustment):
+    // outside training, a serving team swings to a candidate with an
+    // *appeared* request when that is a decisive improvement over finishing
+    // its current leg.
+    const bool decidable = team.mode == sim::TeamMode::kIdle ||
+                           team.mode == sim::TeamMode::kToDepot;
+    if (!decidable) {
+      action.kind = sim::ActionKind::kKeep;
+      if (!config_.training && team.mode == sim::TeamMode::kToTarget) {
+        std::size_t best_idx = round.candidates.size();  // none
+        double best_time = team.leg_remaining_s - config_.retarget_margin_s;
+        for (std::size_t i = 0; i < round.candidates.size(); ++i) {
+          const roadnet::SegmentId seg = round.candidates[i];
+          if (seg == team.target_segment) continue;
+          if (!pending_now.count(seg)) continue;
+          const auto& tree = round.trees[i];
+          if (!tree.Reachable(team.at)) continue;
+          if (tree.time_s[team.at] < best_time) {
+            best_time = tree.time_s[team.at];
+            best_idx = i;
+          }
+        }
+        if (best_idx < round.candidates.size()) {
+          action.kind = sim::ActionKind::kGoto;
+          action.target = round.candidates[best_idx];
+          pending_now.erase(action.target);  // claimed by this swing
+          auto it = round.demand.find(action.target);
+          if (it != round.demand.end()) it->second = 0;
+        }
+      }
+      continue;
+    }
+
+    const std::vector<std::size_t> action_set =
+        featurizer_.TeamActionSet(round, team);
+    auto features =
+        featurizer_.FeaturesFor(round, team, action_set, &context.teams);
+
+    // The team is idle: its previous macro-transition (if any) is complete.
+    if (config_.training && pending_[k].valid) {
+      rl::Transition t;
+      t.features = std::move(pending_[k].features);
+      t.reward = pending_[k].accumulated;
+      t.next_candidates = features;
+      t.terminal = false;
+      t.duration_rounds = std::max(1, pending_[k].rounds);
+      agent_->Push(std::move(t));
+      pending_[k].valid = false;
+    }
+
+    if (round.candidates.empty()) {
+      action.kind = sim::ActionKind::kDepot;
+      continue;
+    }
+    std::size_t local_idx = 0;
+    if (config_.training && agent_->ExploreNow()) {
+      local_idx = agent_->RandomAction(features.size());
+    } else {
+      double best = -1e300;
+      for (std::size_t i = 0; i < features.size(); ++i) {
+        const double score =
+            config_.prior_weight * HeuristicPrior(features[i]) +
+            agent_->QValue(features[i]);
+        if (score > best) {
+          best = score;
+          local_idx = i;
+        }
+      }
+    }
+    const std::size_t idx = action_set[local_idx];
+    double gamma_charge = 0.0;
+    if (round.IsDepotAction(idx)) {
+      action.kind = sim::ActionKind::kDepot;
+      if (team.at == city_.depot || team.mode == sim::TeamMode::kToDepot) {
+        // Re-affirming a stand-down is a no-op; don't open a
+        // zero-information transition that would flood the replay buffer.
+        continue;
+      }
+    } else {
+      action.kind = sim::ActionKind::kGoto;
+      action.target = round.candidates[idx];
+      gamma_charge = config_.reward.gamma;
+      // Sequential claiming: this team absorbs part of the candidate's
+      // demand, so later teams in the same round see the residual and
+      // spread instead of piling onto one segment.
+      auto it = round.demand.find(action.target);
+      if (it != round.demand.end()) {
+        const int claim = std::max(1, team.capacity - team.onboard);
+        const int absorbed = std::min(it->second, claim);
+        it->second -= absorbed;
+        round.total_demand = std::max(0.0, round.total_demand - absorbed);
+      }
+    }
+    if (config_.training) {
+      pending_[k].features = std::move(features[local_idx]);
+      pending_[k].accumulated = -gamma_charge;
+      pending_[k].rounds = 0;
+      pending_[k].valid = true;
+    }
+  }
+
+  // Realisation pass: the policy has decided *which* destination segments
+  // get covered (and by how many teams); assign the choosing teams to the
+  // chosen segment instances with minimum total travel time. This permutes
+  // teams within the same joint action a = (x_mk), so it changes no
+  // coverage decision — it only removes crossed-over driving.
+  std::vector<std::size_t> goers;
+  std::vector<roadnet::SegmentId> chosen;
+  for (std::size_t k = 0; k < decision.actions.size(); ++k) {
+    if (decision.actions[k].kind == sim::ActionKind::kGoto &&
+        context.teams[k].mode == sim::TeamMode::kIdle) {
+      goers.push_back(k);
+      chosen.push_back(decision.actions[k].target);
+    }
+  }
+  if (goers.size() > 1) {
+    // Travel times from the round's reverse trees (one per candidate).
+    std::unordered_map<roadnet::SegmentId, const roadnet::ShortestPathTree*>
+        tree_of;
+    for (std::size_t i = 0; i < round.candidates.size(); ++i) {
+      tree_of[round.candidates[i]] = &round.trees[i];
+    }
+    opt::AssignmentProblem problem;
+    problem.rows = goers.size();
+    problem.cols = chosen.size();
+    problem.cost.assign(problem.rows * problem.cols, opt::kForbiddenCost);
+    for (std::size_t c = 0; c < chosen.size(); ++c) {
+      const auto it = tree_of.find(chosen[c]);
+      if (it == tree_of.end()) continue;
+      for (std::size_t r = 0; r < goers.size(); ++r) {
+        const roadnet::LandmarkId at = context.teams[goers[r]].at;
+        if (it->second->Reachable(at)) {
+          problem.at(r, c) = it->second->time_s[at];
+        }
+      }
+    }
+    const opt::AssignmentResult assignment = opt::SolveAssignment(problem);
+    for (std::size_t r = 0; r < goers.size(); ++r) {
+      if (assignment.row_to_col[r] >= 0) {
+        decision.actions[goers[r]].target =
+            chosen[static_cast<std::size_t>(assignment.row_to_col[r])];
+      }
+    }
+    // Keep the learning attribution consistent with what each team will
+    // actually do: re-featurise the assigned destination.
+    if (config_.training) {
+      for (std::size_t r = 0; r < goers.size(); ++r) {
+        const std::size_t k = goers[r];
+        if (!pending_[k].valid) continue;
+        for (std::size_t i = 0; i < round.candidates.size(); ++i) {
+          if (round.candidates[i] == decision.actions[k].target) {
+            pending_[k].features =
+                featurizer_.Features(round, context.teams[k], i,
+                                     &context.teams);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  if (config_.training) {
+    for (int i = 0; i < config_.train_steps_per_round; ++i) {
+      last_loss_ = agent_->TrainStep();
+    }
+  }
+  return decision;
+}
+
+}  // namespace mobirescue::dispatch

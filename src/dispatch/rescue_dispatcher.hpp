@@ -1,0 +1,48 @@
+// The `Rescue` baseline (Section V-A, after Huang et al. [8]): a rescue-team
+// dispatcher for catastrophic situations. It
+//   * predicts per-segment demand with time-series analysis over previous
+//     days' request appearances (no disaster-related factors — its accuracy
+//     handicap in Figs. 15/16),
+//   * merges in requests that have already appeared,
+//   * solves an integer program (Hungarian assignment over demand-weighted
+//     target segments) minimising total driving delay, on the operable
+//     (flood-aware) network,
+//   * deploys the whole fleet every round (no serving-team minimisation),
+//   * pays ~300 s of solver latency per round.
+#pragma once
+
+#include <vector>
+
+#include "predict/time_series_predictor.hpp"
+#include "roadnet/city_builder.hpp"
+#include "roadnet/router.hpp"
+#include "sim/dispatcher.hpp"
+
+namespace mobirescue::dispatch {
+
+struct RescueConfig {
+  double base_latency_s = 290.0;
+  double latency_per_request_s = 0.5;
+  /// Demand threshold for a segment to become a dispatch target.
+  double demand_threshold = 0.05;
+  /// At most this many target segments per round.
+  std::size_t max_targets = 60;
+};
+
+class RescueDispatcher : public sim::Dispatcher {
+ public:
+  RescueDispatcher(const roadnet::City& city,
+                   const predict::TimeSeriesPredictor& predictor,
+                   RescueConfig config = {});
+
+  std::string name() const override { return "Rescue"; }
+  sim::DispatchDecision Decide(const sim::DispatchContext& context) override;
+
+ private:
+  const roadnet::City& city_;
+  const predict::TimeSeriesPredictor& predictor_;
+  roadnet::Router router_;
+  RescueConfig config_;
+};
+
+}  // namespace mobirescue::dispatch

@@ -1,0 +1,48 @@
+// The `Schedule` baseline (Section V-A, after Van den Berg et al. [5]):
+// an emergency-vehicle dispatcher for *normal* situations. It
+//   * reacts on demand to requests that have already appeared (no
+//     prediction),
+//   * solves an integer program (here: the equivalent Hungarian assignment)
+//     minimising total driving delay from teams to request positions,
+//   * deploys the rest of the fleet to static standby positions spread over
+//     the network (the static ambulance-location model of [5]),
+//   * plans on the *pre-disaster* road network — it does not know about
+//     flood closures, which is exactly why the paper finds it wastes
+//     driving time on unavailable segments,
+//   * pays ~300 s of solver latency per round, growing with demand.
+#pragma once
+
+#include <vector>
+
+#include "roadnet/city_builder.hpp"
+#include "roadnet/router.hpp"
+#include "sim/dispatcher.hpp"
+
+namespace mobirescue::dispatch {
+
+struct ScheduleConfig {
+  /// Base solver latency plus a per-request increment (paper: "around
+  /// 300 seconds ... varies under different amounts of request demands").
+  double base_latency_s = 280.0;
+  double latency_per_request_s = 0.6;
+  /// At most this many pending requests enter one assignment problem.
+  std::size_t max_requests_per_round = 150;
+};
+
+class ScheduleDispatcher : public sim::Dispatcher {
+ public:
+  ScheduleDispatcher(const roadnet::City& city, int num_teams,
+                     ScheduleConfig config = {});
+
+  std::string name() const override { return "Schedule"; }
+  sim::DispatchDecision Decide(const sim::DispatchContext& context) override;
+
+ private:
+  const roadnet::City& city_;
+  roadnet::Router router_;
+  ScheduleConfig config_;
+  /// Static standby destination per team (the location model of [5]).
+  std::vector<roadnet::SegmentId> standby_;
+};
+
+}  // namespace mobirescue::dispatch

@@ -1,0 +1,83 @@
+#include "dispatch/simple_dispatchers.hpp"
+
+#include <algorithm>
+
+namespace mobirescue::dispatch {
+
+RandomDispatcher::RandomDispatcher(const roadnet::City& city,
+                                   std::uint64_t seed)
+    : city_(city), rng_(seed) {}
+
+sim::DispatchDecision RandomDispatcher::Decide(
+    const sim::DispatchContext& context) {
+  sim::DispatchDecision decision;
+  decision.compute_latency_s = 0.1;
+  decision.actions.resize(context.teams.size());
+  for (std::size_t k = 0; k < context.teams.size(); ++k) {
+    const sim::TeamView& team = context.teams[k];
+    sim::TeamAction& action = decision.actions[k];
+    if (team.mode != sim::TeamMode::kIdle) {
+      action.kind = sim::ActionKind::kKeep;
+      continue;
+    }
+    // Rejection-sample an open segment.
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto seg = static_cast<roadnet::SegmentId>(
+          rng_.Index(city_.network.num_segments()));
+      if (context.condition->IsOpen(seg)) {
+        action.kind = sim::ActionKind::kGoto;
+        action.target = seg;
+        break;
+      }
+    }
+  }
+  return decision;
+}
+
+GreedyNearestDispatcher::GreedyNearestDispatcher(const roadnet::City& city)
+    : city_(city), router_(city.network) {}
+
+sim::DispatchDecision GreedyNearestDispatcher::Decide(
+    const sim::DispatchContext& context) {
+  sim::DispatchDecision decision;
+  decision.compute_latency_s = 0.1;
+  decision.actions.resize(context.teams.size());
+
+  std::vector<char> team_taken(context.teams.size(), 0);
+  // Requests oldest-first each grab their nearest free team.
+  std::vector<sim::RequestView> pending = context.pending;
+  std::sort(pending.begin(), pending.end(),
+            [](const sim::RequestView& a, const sim::RequestView& b) {
+              return a.appear_time < b.appear_time;
+            });
+
+  for (const sim::RequestView& request : pending) {
+    const roadnet::RoadSegment& seg = city_.network.segment(request.segment);
+    const roadnet::ShortestPathTree tree =
+        router_.ReverseTree(seg.from, *context.condition);
+    int best = -1;
+    double best_t = 0.0;
+    for (std::size_t k = 0; k < context.teams.size(); ++k) {
+      if (team_taken[k]) continue;
+      const sim::TeamView& team = context.teams[k];
+      if (team.mode != sim::TeamMode::kIdle) continue;
+      if (!tree.Reachable(team.at)) continue;
+      const double t = tree.time_s[team.at];
+      if (best < 0 || t < best_t) {
+        best = static_cast<int>(k);
+        best_t = t;
+      }
+    }
+    if (best >= 0) {
+      team_taken[best] = 1;
+      decision.actions[best].kind = sim::ActionKind::kGoto;
+      decision.actions[best].target = request.segment;
+    }
+  }
+  for (std::size_t k = 0; k < context.teams.size(); ++k) {
+    if (!team_taken[k]) decision.actions[k].kind = sim::ActionKind::kKeep;
+  }
+  return decision;
+}
+
+}  // namespace mobirescue::dispatch

@@ -1,0 +1,39 @@
+// Ablation dispatchers that are not in the paper but isolate MobiRescue's
+// design choices: a uniform-random policy (lower bound) and a greedy
+// nearest-pending policy (a strong myopic heuristic without prediction or
+// learning).
+#pragma once
+
+#include "roadnet/city_builder.hpp"
+#include "roadnet/router.hpp"
+#include "sim/dispatcher.hpp"
+#include "util/rng.hpp"
+
+namespace mobirescue::dispatch {
+
+/// Sends every idle team to a uniformly random open segment each round.
+class RandomDispatcher : public sim::Dispatcher {
+ public:
+  RandomDispatcher(const roadnet::City& city, std::uint64_t seed = 17);
+  std::string name() const override { return "Random"; }
+  sim::DispatchDecision Decide(const sim::DispatchContext& context) override;
+
+ private:
+  const roadnet::City& city_;
+  util::Rng rng_;
+};
+
+/// Greedy: each pending request grabs the nearest free team (no look-ahead,
+/// no prediction, but flood-aware and zero latency).
+class GreedyNearestDispatcher : public sim::Dispatcher {
+ public:
+  explicit GreedyNearestDispatcher(const roadnet::City& city);
+  std::string name() const override { return "GreedyNearest"; }
+  sim::DispatchDecision Decide(const sim::DispatchContext& context) override;
+
+ private:
+  const roadnet::City& city_;
+  roadnet::Router router_;
+};
+
+}  // namespace mobirescue::dispatch

@@ -1,0 +1,100 @@
+#include "ml/nn/matrix.hpp"
+
+namespace mobirescue::ml {
+
+void Matrix::CheckShape(std::size_t rows, std::size_t cols) const {
+  if (rows_ != rows || cols_ != cols) {
+    throw std::invalid_argument("Matrix: shape mismatch");
+  }
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("MatMul: shapes");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += a * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposedMatMul(const Matrix& other) const {
+  if (rows_ != other.rows_) {
+    throw std::invalid_argument("TransposedMatMul: shapes");
+  }
+  Matrix out(cols_, other.cols_);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double a = (*this)(k, i);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += a * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTransposed(const Matrix& other) const {
+  if (cols_ != other.cols_) {
+    throw std::invalid_argument("MatMulTransposed: shapes");
+  }
+  Matrix out(rows_, other.rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < other.rows_; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) {
+        acc += (*this)(i, k) * other(j, k);
+      }
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+void Matrix::AddRowVector(const Matrix& row) {
+  if (row.rows_ != 1 || row.cols_ != cols_) {
+    throw std::invalid_argument("AddRowVector: shapes");
+  }
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      (*this)(i, j) += row(0, j);
+    }
+  }
+}
+
+void Matrix::Apply(const std::function<double(double)>& f) {
+  for (double& v : data_) v = f(v);
+}
+
+Matrix Matrix::Map(const std::function<double(double)>& f) const {
+  Matrix out = *this;
+  out.Apply(f);
+  return out;
+}
+
+Matrix Matrix::Hadamard(const Matrix& other) const {
+  other.CheckShape(rows_, cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] *= other.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::ColSum() const {
+  Matrix out(1, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out(0, j) += (*this)(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace mobirescue::ml

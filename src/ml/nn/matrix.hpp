@@ -1,0 +1,62 @@
+// Minimal dense row-major matrix for the from-scratch neural network.
+// Only the operations the MLP needs: matmul, transpose-matmul variants,
+// element-wise ops. Sized for small DQN networks (hundreds of units), so
+// clarity beats blocking/vectorisation tricks.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+namespace mobirescue::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// this (rows x cols) * other (cols x k) -> (rows x k).
+  Matrix MatMul(const Matrix& other) const;
+
+  /// this^T * other : (cols x rows)*(rows x k) -> (cols x k).
+  Matrix TransposedMatMul(const Matrix& other) const;
+
+  /// this * other^T : (rows x cols)*(k x cols) -> (rows x k).
+  Matrix MatMulTransposed(const Matrix& other) const;
+
+  /// Adds a row vector (1 x cols) to every row.
+  void AddRowVector(const Matrix& row);
+
+  void Apply(const std::function<double(double)>& f);
+  Matrix Map(const std::function<double(double)>& f) const;
+
+  /// Element-wise product (Hadamard); shapes must match.
+  Matrix Hadamard(const Matrix& other) const;
+
+  /// Column-wise sum -> (1 x cols).
+  Matrix ColSum() const;
+
+  void CheckShape(std::size_t rows, std::size_t cols) const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace mobirescue::ml

@@ -1,0 +1,230 @@
+#include "ml/nn/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mobirescue::ml {
+
+Mlp::Mlp(const MlpConfig& config) : config_(config) {
+  if (config.input_dim == 0 || config.output_dim == 0) {
+    throw std::invalid_argument("Mlp: zero dimension");
+  }
+  util::Rng rng(config.seed);
+  std::vector<std::size_t> dims;
+  dims.push_back(config.input_dim);
+  for (std::size_t h : config.hidden) dims.push_back(h);
+  dims.push_back(config.output_dim);
+
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    DenseLayer layer;
+    const std::size_t in = dims[l], out = dims[l + 1];
+    layer.w = Matrix(in, out);
+    layer.b = Matrix(1, out);
+    // He initialisation for ReLU nets.
+    const double scale = std::sqrt(2.0 / static_cast<double>(in));
+    for (double& v : layer.w.data()) v = rng.Normal(0.0, scale);
+    layer.act = (l + 2 == dims.size()) ? Activation::kLinear
+                                       : config.hidden_activation;
+    layer.mw = Matrix(in, out);
+    layer.vw = Matrix(in, out);
+    layer.mb = Matrix(1, out);
+    layer.vb = Matrix(1, out);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+double Mlp::Act(double x, Activation a) {
+  switch (a) {
+    case Activation::kReLU: return x > 0.0 ? x : 0.0;
+    case Activation::kTanh: return std::tanh(x);
+    case Activation::kLinear: return x;
+  }
+  return x;
+}
+
+double Mlp::ActGrad(double pre, Activation a) {
+  switch (a) {
+    case Activation::kReLU: return pre > 0.0 ? 1.0 : 0.0;
+    case Activation::kTanh: {
+      const double t = std::tanh(pre);
+      return 1.0 - t * t;
+    }
+    case Activation::kLinear: return 1.0;
+  }
+  return 1.0;
+}
+
+Matrix Mlp::Forward(const Matrix& batch) {
+  if (batch.cols() != config_.input_dim) {
+    throw std::invalid_argument("Mlp::Forward: input dim mismatch");
+  }
+  Matrix act = batch;
+  for (DenseLayer& layer : layers_) {
+    layer.input = act;
+    Matrix pre = act.MatMul(layer.w);
+    pre.AddRowVector(layer.b);
+    layer.pre = pre;
+    const Activation a = layer.act;
+    pre.Apply([a](double x) { return Act(x, a); });
+    act = std::move(pre);
+  }
+  return act;
+}
+
+std::vector<double> Mlp::Predict(std::span<const double> input) {
+  Matrix batch(1, config_.input_dim);
+  if (input.size() != config_.input_dim) {
+    throw std::invalid_argument("Mlp::Predict: input dim mismatch");
+  }
+  for (std::size_t j = 0; j < input.size(); ++j) batch(0, j) = input[j];
+  const Matrix out = Forward(batch);
+  return out.data();
+}
+
+double Mlp::Backward(const Matrix& targets, const Matrix* mask) {
+  DenseLayer& last = layers_.back();
+  const std::size_t batch = last.pre.rows();
+  const std::size_t out_dim = last.pre.cols();
+  targets.CheckShape(batch, out_dim);
+  if (mask != nullptr) mask->CheckShape(batch, out_dim);
+
+  // Recompute the output activations from the cached pre-activations.
+  const Activation last_act = last.act;
+  Matrix output = last.pre.Map([last_act](double x) { return Act(x, last_act); });
+
+  // Loss and its gradient wrt the output.
+  Matrix delta(batch, out_dim);
+  double loss = 0.0;
+  std::size_t counted = 0;
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    for (std::size_t j = 0; j < out_dim; ++j) {
+      if (mask != nullptr && (*mask)(i, j) == 0.0) continue;
+      const double err = output(i, j) - targets(i, j);
+      ++counted;
+      if (config_.loss == LossKind::kMse) {
+        loss += 0.5 * err * err;
+        delta(i, j) = err * inv_batch;
+      } else {
+        const double d = config_.huber_delta;
+        if (std::abs(err) <= d) {
+          loss += 0.5 * err * err;
+          delta(i, j) = err * inv_batch;
+        } else {
+          loss += d * (std::abs(err) - 0.5 * d);
+          delta(i, j) = (err > 0 ? d : -d) * inv_batch;
+        }
+      }
+    }
+  }
+  if (counted == 0) return 0.0;
+  loss /= static_cast<double>(counted);
+
+  // Backprop through layers. One Adam timestep per Backward call.
+  if (config_.use_adam) ++adam_t_;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    DenseLayer& layer = *it;
+    // delta through the activation.
+    const Activation a = layer.act;
+    Matrix act_grad = layer.pre.Map([a](double x) { return ActGrad(x, a); });
+    delta = delta.Hadamard(act_grad);
+
+    Matrix grad_w = layer.input.TransposedMatMul(delta);
+    Matrix grad_b = delta.ColSum();
+    if (config_.grad_clip > 0.0) {
+      const double c = config_.grad_clip;
+      grad_w.Apply([c](double g) { return std::clamp(g, -c, c); });
+      grad_b.Apply([c](double g) { return std::clamp(g, -c, c); });
+    }
+    // Propagate before updating weights.
+    Matrix next_delta = delta.MatMulTransposed(layer.w);
+
+    if (config_.use_adam) {
+      AdamStep(layer.w, grad_w, layer.mw, layer.vw);
+      AdamStep(layer.b, grad_b, layer.mb, layer.vb);
+    } else {
+      for (std::size_t k = 0; k < layer.w.size(); ++k) {
+        layer.w.data()[k] -= config_.learning_rate * grad_w.data()[k];
+      }
+      for (std::size_t k = 0; k < layer.b.size(); ++k) {
+        layer.b.data()[k] -= config_.learning_rate * grad_b.data()[k];
+      }
+    }
+    delta = std::move(next_delta);
+  }
+  return loss;
+}
+
+void Mlp::AdamStep(Matrix& param, Matrix& grad, Matrix& m, Matrix& v) {
+  const double b1 = config_.adam_beta1, b2 = config_.adam_beta2;
+  const double lr = config_.learning_rate, eps = config_.adam_eps;
+  const double t = static_cast<double>(adam_t_);
+  const double bc1 = 1.0 - std::pow(b1, t);
+  const double bc2 = 1.0 - std::pow(b2, t);
+  for (std::size_t k = 0; k < param.size(); ++k) {
+    const double g = grad.data()[k];
+    m.data()[k] = b1 * m.data()[k] + (1.0 - b1) * g;
+    v.data()[k] = b2 * v.data()[k] + (1.0 - b2) * g * g;
+    const double mhat = m.data()[k] / bc1;
+    const double vhat = v.data()[k] / bc2;
+    param.data()[k] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+void Mlp::CopyWeightsFrom(const Mlp& other) {
+  if (other.layers_.size() != layers_.size()) {
+    throw std::invalid_argument("CopyWeightsFrom: topology mismatch");
+  }
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].w = other.layers_[l].w;
+    layers_[l].b = other.layers_[l].b;
+  }
+}
+
+void Mlp::SoftUpdateFrom(const Mlp& other, double tau) {
+  if (other.layers_.size() != layers_.size()) {
+    throw std::invalid_argument("SoftUpdateFrom: topology mismatch");
+  }
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    for (std::size_t k = 0; k < layers_[l].w.size(); ++k) {
+      layers_[l].w.data()[k] = tau * other.layers_[l].w.data()[k] +
+                               (1.0 - tau) * layers_[l].w.data()[k];
+    }
+    for (std::size_t k = 0; k < layers_[l].b.size(); ++k) {
+      layers_[l].b.data()[k] = tau * other.layers_[l].b.data()[k] +
+                               (1.0 - tau) * layers_[l].b.data()[k];
+    }
+  }
+}
+
+std::size_t Mlp::num_parameters() const {
+  std::size_t n = 0;
+  for (const DenseLayer& layer : layers_) n += layer.w.size() + layer.b.size();
+  return n;
+}
+
+std::vector<double> Mlp::SaveWeights() const {
+  std::vector<double> flat;
+  flat.reserve(num_parameters());
+  for (const DenseLayer& layer : layers_) {
+    flat.insert(flat.end(), layer.w.data().begin(), layer.w.data().end());
+    flat.insert(flat.end(), layer.b.data().begin(), layer.b.data().end());
+  }
+  return flat;
+}
+
+void Mlp::LoadWeights(std::span<const double> flat) {
+  if (flat.size() != num_parameters()) {
+    throw std::invalid_argument("LoadWeights: size mismatch");
+  }
+  std::size_t pos = 0;
+  for (DenseLayer& layer : layers_) {
+    std::copy_n(flat.begin() + pos, layer.w.size(), layer.w.data().begin());
+    pos += layer.w.size();
+    std::copy_n(flat.begin() + pos, layer.b.size(), layer.b.data().begin());
+    pos += layer.b.size();
+  }
+}
+
+}  // namespace mobirescue::ml

@@ -1,0 +1,86 @@
+// Multi-layer perceptron with backpropagation and Adam — the DNN of the
+// paper's Section IV-C4 (trained "as in Pensieve") implemented from scratch.
+// Dense layers with ReLU hidden activations and a linear output head; MSE or
+// Huber loss; SGD or Adam updates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace mobirescue::ml {
+
+enum class Activation { kReLU, kTanh, kLinear };
+enum class LossKind { kMse, kHuber };
+
+struct MlpConfig {
+  std::size_t input_dim = 1;
+  std::vector<std::size_t> hidden = {64, 64};
+  std::size_t output_dim = 1;
+  Activation hidden_activation = Activation::kReLU;
+  double learning_rate = 1e-3;
+  LossKind loss = LossKind::kHuber;
+  double huber_delta = 1.0;
+  bool use_adam = true;
+  double adam_beta1 = 0.9;
+  double adam_beta2 = 0.999;
+  double adam_eps = 1e-8;
+  double grad_clip = 5.0;  // per-element gradient clipping; <=0 disables
+  std::uint64_t seed = 1234;
+};
+
+/// One dense layer with its Adam moments.
+struct DenseLayer {
+  Matrix w;        // (in x out)
+  Matrix b;        // (1 x out)
+  Activation act = Activation::kLinear;
+  // Adam state
+  Matrix mw, vw, mb, vb;
+  // Forward cache (batch x out pre-activation, batch x in input)
+  Matrix input, pre;
+};
+
+class Mlp {
+ public:
+  explicit Mlp(const MlpConfig& config);
+
+  /// Forward pass for a batch (rows = samples). Caches activations for a
+  /// following Backward call.
+  Matrix Forward(const Matrix& batch);
+
+  /// Convenience single-sample forward (no training cache semantics needed
+  /// by callers; still overwrites the cache).
+  std::vector<double> Predict(std::span<const double> input);
+
+  /// One gradient step toward `targets` (same shape as last Forward output).
+  /// `mask`, when non-null, zeroes the loss on unmasked outputs — DQN
+  /// updates only the taken action's Q-value. Returns the batch loss.
+  double Backward(const Matrix& targets, const Matrix* mask = nullptr);
+
+  /// Copies weights from another network (DQN target-network sync).
+  void CopyWeightsFrom(const Mlp& other);
+
+  /// Polyak averaging: w <- tau * other + (1 - tau) * w.
+  void SoftUpdateFrom(const Mlp& other, double tau);
+
+  const MlpConfig& config() const { return config_; }
+  std::size_t num_parameters() const;
+
+  /// Serialises weights to a flat vector (and back); for checkpoint tests.
+  std::vector<double> SaveWeights() const;
+  void LoadWeights(std::span<const double> flat);
+
+ private:
+  static double Act(double x, Activation a);
+  static double ActGrad(double pre, Activation a);
+  void AdamStep(Matrix& param, Matrix& grad, Matrix& m, Matrix& v);
+
+  MlpConfig config_;
+  std::vector<DenseLayer> layers_;
+  std::int64_t adam_t_ = 0;
+};
+
+}  // namespace mobirescue::ml

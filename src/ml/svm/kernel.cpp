@@ -1,0 +1,45 @@
+#include "ml/svm/kernel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mobirescue::ml {
+
+double EvalKernel(const KernelConfig& config, std::span<const double> x,
+                  std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("EvalKernel: dimension mismatch");
+  }
+  switch (config.type) {
+    case KernelType::kLinear: {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < x.size(); ++i) dot += x[i] * y[i];
+      return dot;
+    }
+    case KernelType::kRbf: {
+      double d2 = 0.0;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        const double d = x[i] - y[i];
+        d2 += d * d;
+      }
+      return std::exp(-config.gamma * d2);
+    }
+    case KernelType::kPolynomial: {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < x.size(); ++i) dot += x[i] * y[i];
+      return std::pow(dot + config.coef0, config.degree);
+    }
+  }
+  throw std::logic_error("EvalKernel: unknown kernel");
+}
+
+std::string KernelName(KernelType type) {
+  switch (type) {
+    case KernelType::kLinear: return "linear";
+    case KernelType::kRbf: return "rbf";
+    case KernelType::kPolynomial: return "poly";
+  }
+  return "?";
+}
+
+}  // namespace mobirescue::ml

@@ -1,0 +1,26 @@
+// SVM kernel functions (Section IV-B): the paper motivates SVM partly by the
+// kernel trick, so linear, RBF and polynomial kernels are provided. RBF is
+// the default used by MobiRescue's rescue-request predictor.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace mobirescue::ml {
+
+enum class KernelType { kLinear, kRbf, kPolynomial };
+
+struct KernelConfig {
+  KernelType type = KernelType::kRbf;
+  double gamma = 0.5;    // RBF: exp(-gamma * |x - y|^2)
+  int degree = 3;        // polynomial degree
+  double coef0 = 1.0;    // polynomial bias term
+};
+
+/// Evaluates k(x, y) for equal-length feature vectors.
+double EvalKernel(const KernelConfig& config, std::span<const double> x,
+                  std::span<const double> y);
+
+std::string KernelName(KernelType type);
+
+}  // namespace mobirescue::ml

@@ -1,0 +1,37 @@
+#include "ml/svm/metrics.hpp"
+
+namespace mobirescue::ml {
+
+void ConfusionMatrix::Add(bool truth_positive, bool predicted_positive) {
+  if (truth_positive && predicted_positive) {
+    ++tp;
+  } else if (!truth_positive && predicted_positive) {
+    ++fp;
+  } else if (!truth_positive && !predicted_positive) {
+    ++tn;
+  } else {
+    ++fn;
+  }
+}
+
+double ConfusionMatrix::Accuracy() const {
+  const std::size_t t = total();
+  return t == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(t);
+}
+
+double ConfusionMatrix::Precision() const {
+  const std::size_t denom = tp + fp;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::Recall() const {
+  const std::size_t denom = tp + fn;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::F1() const {
+  const double p = Precision(), r = Recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+}  // namespace mobirescue::ml

@@ -1,0 +1,27 @@
+// Binary-classification metrics exactly as defined in Section V-B:
+// accuracy = (TP+TN)/(TP+TN+FP+FN) and precision = TP/(TP+FP), plus recall
+// and F1 for completeness.
+#pragma once
+
+#include <cstddef>
+
+namespace mobirescue::ml {
+
+struct ConfusionMatrix {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t tn = 0;
+  std::size_t fn = 0;
+
+  /// Records one (ground truth, prediction) pair; positive == true means
+  /// "sends a rescue request".
+  void Add(bool truth_positive, bool predicted_positive);
+
+  std::size_t total() const { return tp + fp + tn + fn; }
+  double Accuracy() const;
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+};
+
+}  // namespace mobirescue::ml

@@ -1,0 +1,138 @@
+#include "ml/svm/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mobirescue::ml {
+
+void SvmDataset::Add(std::vector<double> features, int label) {
+  if (label != 1 && label != -1) {
+    throw std::invalid_argument("SvmDataset: label must be +-1");
+  }
+  x.push_back(std::move(features));
+  y.push_back(label);
+}
+
+SvmModel::SvmModel(KernelConfig kernel,
+                   std::vector<std::vector<double>> support_x,
+                   std::vector<double> coeff, double bias)
+    : kernel_(kernel),
+      support_x_(std::move(support_x)),
+      coeff_(std::move(coeff)),
+      bias_(bias) {
+  if (support_x_.size() != coeff_.size()) {
+    throw std::invalid_argument("SvmModel: sv/coeff size mismatch");
+  }
+}
+
+double SvmModel::DecisionValue(std::span<const double> features) const {
+  double v = bias_;
+  for (std::size_t i = 0; i < support_x_.size(); ++i) {
+    v += coeff_[i] * EvalKernel(kernel_, support_x_[i], features);
+  }
+  return v;
+}
+
+int SvmModel::Predict(std::span<const double> features) const {
+  return DecisionValue(features) >= 0.0 ? 1 : -1;
+}
+
+SvmModel TrainSvm(const SvmDataset& data, const SvmConfig& config) {
+  const std::size_t n = data.size();
+  if (n == 0) throw std::invalid_argument("TrainSvm: empty dataset");
+  if (data.y.size() != n) throw std::invalid_argument("TrainSvm: x/y mismatch");
+
+  // Precompute the Gram matrix; the training sets here (a few thousand
+  // rows) keep this comfortably in memory and dominate runtime otherwise.
+  std::vector<double> gram(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double k = EvalKernel(config.kernel, data.x[i], data.x[j]);
+      gram[i * n + j] = k;
+      gram[j * n + i] = k;
+    }
+  }
+  auto K = [&](std::size_t i, std::size_t j) { return gram[i * n + j]; };
+
+  std::vector<double> alpha(n, 0.0);
+  double b = 0.0;
+  util::Rng rng(config.seed);
+
+  auto decision = [&](std::size_t i) {
+    double v = b;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (alpha[j] != 0.0) v += alpha[j] * data.y[j] * K(j, i);
+    }
+    return v;
+  };
+
+  int passes = 0;
+  int iter = 0;
+  while (passes < config.max_passes && iter < config.max_iterations) {
+    ++iter;
+    int changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ei = decision(i) - data.y[i];
+      const bool violates =
+          (data.y[i] * ei < -config.tolerance && alpha[i] < config.c) ||
+          (data.y[i] * ei > config.tolerance && alpha[i] > 0.0);
+      if (!violates) continue;
+
+      std::size_t j = rng.Index(n - 1);
+      if (j >= i) ++j;  // j != i, uniform over the rest
+      const double ej = decision(j) - data.y[j];
+
+      const double ai_old = alpha[i], aj_old = alpha[j];
+      double lo, hi;
+      if (data.y[i] != data.y[j]) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(config.c, config.c + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - config.c);
+        hi = std::min(config.c, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+
+      const double eta = 2.0 * K(i, j) - K(i, i) - K(j, j);
+      if (eta >= 0.0) continue;
+
+      double aj = aj_old - data.y[j] * (ei - ej) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::abs(aj - aj_old) < 1e-6) continue;
+
+      const double ai = ai_old + data.y[i] * data.y[j] * (aj_old - aj);
+      alpha[i] = ai;
+      alpha[j] = aj;
+
+      const double b1 = b - ei - data.y[i] * (ai - ai_old) * K(i, i) -
+                        data.y[j] * (aj - aj_old) * K(i, j);
+      const double b2 = b - ej - data.y[i] * (ai - ai_old) * K(i, j) -
+                        data.y[j] * (aj - aj_old) * K(j, j);
+      if (ai > 0.0 && ai < config.c) {
+        b = b1;
+      } else if (aj > 0.0 && aj < config.c) {
+        b = b2;
+      } else {
+        b = (b1 + b2) / 2.0;
+      }
+      ++changed;
+    }
+    passes = (changed == 0) ? passes + 1 : 0;
+  }
+
+  // Keep only the support vectors.
+  std::vector<std::vector<double>> sv;
+  std::vector<double> coeff;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-8) {
+      sv.push_back(data.x[i]);
+      coeff.push_back(alpha[i] * data.y[i]);
+    }
+  }
+  return SvmModel(config.kernel, std::move(sv), std::move(coeff), b);
+}
+
+}  // namespace mobirescue::ml

@@ -1,0 +1,71 @@
+// Support Vector Machine with SMO training (Cortes & Vapnik; Platt's SMO).
+//
+// This is the classifier at the heart of the paper's Section IV-B: given a
+// disaster-factor vector it outputs the binary rescue decision f(p_q, h_q).
+// Implemented from scratch: the simplified SMO algorithm over a kernel Gram
+// evaluation, soft margin C, KKT tolerance, bounded passes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/svm/kernel.hpp"
+
+namespace mobirescue::ml {
+
+/// Labelled dataset: rows of features plus labels in {-1, +1}.
+struct SvmDataset {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+
+  std::size_t size() const { return x.size(); }
+  void Add(std::vector<double> features, int label);
+};
+
+struct SvmConfig {
+  KernelConfig kernel;
+  double c = 1.0;          // soft-margin penalty
+  double tolerance = 1e-3; // KKT violation tolerance
+  int max_passes = 8;      // passes with no alpha change before stopping
+  int max_iterations = 300;
+  std::uint64_t seed = 13;
+};
+
+/// A trained SVM: the support vectors, their alpha*y coefficients and bias.
+class SvmModel {
+ public:
+  SvmModel() = default;
+  SvmModel(KernelConfig kernel, std::vector<std::vector<double>> support_x,
+           std::vector<double> coeff, double bias);
+
+  /// Signed decision value; >= 0 classifies as +1.
+  double DecisionValue(std::span<const double> features) const;
+
+  /// Binary prediction in {-1, +1}.
+  int Predict(std::span<const double> features) const;
+
+  std::size_t num_support_vectors() const { return support_x_.size(); }
+  double bias() const { return bias_; }
+  const KernelConfig& kernel() const { return kernel_; }
+
+  /// Introspection for serialization/tests.
+  std::size_t dimension() const {
+    return support_x_.empty() ? 0 : support_x_.front().size();
+  }
+  const std::vector<double>& support_vector(std::size_t i) const {
+    return support_x_.at(i);
+  }
+  double coefficient(std::size_t i) const { return coeff_.at(i); }
+
+ private:
+  KernelConfig kernel_;
+  std::vector<std::vector<double>> support_x_;
+  std::vector<double> coeff_;  // alpha_i * y_i
+  double bias_ = 0.0;
+};
+
+/// Trains an SVM on the dataset with simplified SMO.
+SvmModel TrainSvm(const SvmDataset& data, const SvmConfig& config);
+
+}  // namespace mobirescue::ml

@@ -1,0 +1,40 @@
+#include "mobility/data_cleaner.hpp"
+
+namespace mobirescue::mobility {
+
+GpsTrace CleanTrace(const GpsTrace& input, const CleaningConfig& config,
+                    CleaningStats* stats) {
+  CleaningStats local;
+  local.input = input.size();
+  GpsTrace out;
+  out.reserve(input.size());
+
+  GpsRecord prev_kept;
+  bool have_prev = false;
+  for (const GpsRecord& r : input) {
+    if (!config.box.Contains(r.pos)) {
+      ++local.out_of_box;
+      continue;
+    }
+    if (have_prev && prev_kept.person == r.person) {
+      const double dt = r.t - prev_kept.t;
+      if (dt < config.dedup_window_s) {
+        ++local.duplicates;
+        continue;
+      }
+      const double d = util::ApproxDistanceMeters(prev_kept.pos, r.pos);
+      if (d / dt > config.max_speed_mps) {
+        ++local.teleports;
+        continue;
+      }
+    }
+    out.push_back(r);
+    prev_kept = r;
+    have_prev = true;
+  }
+  local.kept = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace mobirescue::mobility

@@ -1,0 +1,33 @@
+// Stage-1 data cleaning from the MobiRescue framework (Fig. 7): drop
+// positions outside the city bounding box, drop duplicate/out-of-order
+// samples, and clamp physically impossible speeds.
+#pragma once
+
+#include "mobility/gps_record.hpp"
+#include "util/geo.hpp"
+
+namespace mobirescue::mobility {
+
+struct CleaningConfig {
+  util::BoundingBox box = util::kCharlotteBox;
+  /// Two samples of the same person closer than this in time are duplicates.
+  double dedup_window_s = 1.0;
+  /// Records implying a speed above this between consecutive points are
+  /// GPS glitches and dropped.
+  double max_speed_mps = 55.0;
+};
+
+struct CleaningStats {
+  std::size_t input = 0;
+  std::size_t out_of_box = 0;
+  std::size_t duplicates = 0;
+  std::size_t teleports = 0;
+  std::size_t kept = 0;
+};
+
+/// Cleans a trace sorted by (person, time); returns the cleaned trace and
+/// fills `stats` when non-null. Output preserves the sort order.
+GpsTrace CleanTrace(const GpsTrace& input, const CleaningConfig& config,
+                    CleaningStats* stats = nullptr);
+
+}  // namespace mobirescue::mobility

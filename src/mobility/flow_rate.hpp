@@ -1,0 +1,63 @@
+// Vehicle flow rate measurement (Definition 2 of the paper): the average
+// number of vehicles driving through a road segment per hour; a region's
+// flow rate is the average over its segments.
+//
+// We estimate "a vehicle drove through segment e during hour h" from matched
+// GPS records: a moving record (speed above a threshold) of person p matched
+// to e in hour h counts p as one vehicle on e for h (deduplicated), which is
+// how sparse cellphone data supports flow estimation.
+#pragma once
+
+#include <vector>
+
+#include "mobility/map_matcher.hpp"
+#include "roadnet/road_network.hpp"
+
+namespace mobirescue::mobility {
+
+class FlowRateAnalyzer {
+ public:
+  /// `total_hours` is the experiment-window length in hours.
+  FlowRateAnalyzer(const roadnet::RoadNetwork& net, int total_hours,
+                   double moving_speed_threshold_mps = 2.0);
+
+  /// Ingests matched records sorted by (person, time).
+  void Ingest(const std::vector<MatchedRecord>& matched);
+
+  /// Vehicles observed on a segment during an absolute hour.
+  double SegmentFlow(roadnet::SegmentId seg, int hour) const;
+
+  /// Average flow over a segment for a [begin_hour, end_hour) window.
+  double SegmentFlowAvg(roadnet::SegmentId seg, int begin_hour,
+                        int end_hour) const;
+
+  /// Region flow at an absolute hour: mean over the region's segments.
+  double RegionFlow(roadnet::RegionId region, int hour) const;
+
+  /// Region flow averaged over a window of hours.
+  double RegionFlowAvg(roadnet::RegionId region, int begin_hour,
+                       int end_hour) const;
+
+  /// 24 hourly region flows for a given day.
+  std::vector<double> RegionDayProfile(roadnet::RegionId region,
+                                       int day) const;
+
+  /// Per-segment |flow(day_a) - flow(day_b)| averaged over 24 h, for every
+  /// segment (Fig. 3's distribution).
+  std::vector<double> SegmentDailyFlowDifference(int day_a, int day_b) const;
+
+  int total_hours() const { return total_hours_; }
+
+ private:
+  std::size_t CellIndex(roadnet::SegmentId seg, int hour) const;
+
+  const roadnet::RoadNetwork& net_;
+  int total_hours_;
+  double moving_threshold_;
+  /// Dense (segment x hour) vehicle counts.
+  std::vector<std::uint32_t> counts_;
+  /// Dedup bookkeeping: last person counted per (segment, hour).
+  std::vector<PersonId> last_person_;
+};
+
+}  // namespace mobirescue::mobility

@@ -1,0 +1,27 @@
+// Raw GPS record schema, matching the paper's dataset description
+// (Section III-A): timestamp, latitude, longitude, altitude and speed, with
+// an anonymous per-person id.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/geo.hpp"
+#include "util/sim_time.hpp"
+
+namespace mobirescue::mobility {
+
+using PersonId = std::int32_t;
+inline constexpr PersonId kInvalidPerson = -1;
+
+struct GpsRecord {
+  PersonId person = kInvalidPerson;
+  util::SimTime t = 0.0;
+  util::GeoPoint pos;
+  double altitude_m = 0.0;
+  double speed_mps = 0.0;
+};
+
+using GpsTrace = std::vector<GpsRecord>;
+
+}  // namespace mobirescue::mobility

@@ -1,0 +1,87 @@
+#include "mobility/hospital_detector.hpp"
+
+namespace mobirescue::mobility {
+
+HospitalDeliveryDetector::HospitalDeliveryDetector(
+    const roadnet::City& city, const weather::FloodModel& flood,
+    DetectorConfig config)
+    : city_(city), flood_(flood), config_(config) {}
+
+roadnet::LandmarkId HospitalDeliveryDetector::HospitalAt(
+    const util::GeoPoint& p) const {
+  for (roadnet::LandmarkId h : city_.hospitals) {
+    if (util::ApproxDistanceMeters(p, city_.network.landmark(h).pos) <=
+        config_.hospital_radius_m) {
+      return h;
+    }
+  }
+  return roadnet::kInvalidLandmark;
+}
+
+std::vector<HospitalDelivery> HospitalDeliveryDetector::Detect(
+    const GpsTrace& trace) const {
+  std::vector<HospitalDelivery> out;
+
+  // Per-person scan: track the current "at hospital h since t" run and the
+  // last record seen before the run started.
+  std::size_t i = 0;
+  while (i < trace.size()) {
+    const PersonId person = trace[i].person;
+    roadnet::LandmarkId run_hospital = roadnet::kInvalidLandmark;
+    util::SimTime run_start = 0.0;
+    util::SimTime run_last = 0.0;
+    const GpsRecord* prev_outside = nullptr;
+    const GpsRecord* pre_run_outside = nullptr;
+
+    auto close_run = [&]() {
+      if (run_hospital != roadnet::kInvalidLandmark &&
+          run_last - run_start >= config_.min_stay_s) {
+        HospitalDelivery d;
+        d.person = person;
+        d.hospital = run_hospital;
+        d.arrival_time = run_start;
+        d.departure_time = run_last;
+        if (pre_run_outside != nullptr) {
+          d.previous_pos = pre_run_outside->pos;
+          d.previous_time = pre_run_outside->t;
+          d.flood_rescue =
+              flood_.InFloodZone(pre_run_outside->pos, pre_run_outside->t);
+          d.previous_region = city_.regions.RegionOf(pre_run_outside->pos);
+        }
+        out.push_back(d);
+      }
+      run_hospital = roadnet::kInvalidLandmark;
+    };
+
+    for (; i < trace.size() && trace[i].person == person; ++i) {
+      const GpsRecord& r = trace[i];
+      const roadnet::LandmarkId h = HospitalAt(r.pos);
+      if (h != roadnet::kInvalidLandmark) {
+        if (run_hospital == h) {
+          run_last = r.t;
+        } else {
+          close_run();
+          run_hospital = h;
+          run_start = run_last = r.t;
+          pre_run_outside = prev_outside;
+        }
+      } else {
+        close_run();
+        prev_outside = &r;
+      }
+    }
+    close_run();
+  }
+  return out;
+}
+
+std::vector<HospitalDelivery> HospitalDeliveryDetector::FloodRescuesOnly(
+    const std::vector<HospitalDelivery>& all) {
+  std::vector<HospitalDelivery> out;
+  for (const HospitalDelivery& d : all) {
+    if (d.flood_rescue) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace mobirescue::mobility

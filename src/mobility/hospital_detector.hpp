@@ -1,0 +1,63 @@
+// Rescued-person detection from GPS data alone (Section III-B2).
+//
+// The paper's labelling procedure, reproduced exactly:
+//   1. a person who stays within a hospital's vicinity for more than a time
+//      threshold (2 hours) was "delivered to the hospital";
+//   2. if the person's previous position before the delivery lies in a
+//      flooding zone (per the satellite-imaging substitute, FloodModel),
+//      the person was "trapped by flooding and rescued to the hospital".
+// These detections are the ground truth used to train the SVM and to draw
+// Figs. 4 and 6.
+#pragma once
+
+#include <vector>
+
+#include "mobility/gps_record.hpp"
+#include "roadnet/city_builder.hpp"
+#include "weather/flood_model.hpp"
+
+namespace mobirescue::mobility {
+
+struct HospitalDelivery {
+  PersonId person = kInvalidPerson;
+  roadnet::LandmarkId hospital = roadnet::kInvalidLandmark;
+  util::SimTime arrival_time = 0.0;
+  util::SimTime departure_time = 0.0;
+  /// Position the person occupied immediately before the delivery.
+  util::GeoPoint previous_pos;
+  util::SimTime previous_time = 0.0;
+  /// True when previous_pos was inside a flooding zone: a flood rescue.
+  bool flood_rescue = false;
+  roadnet::RegionId previous_region = roadnet::kInvalidRegion;
+};
+
+struct DetectorConfig {
+  /// Radius around a hospital landmark that counts as "at the hospital".
+  double hospital_radius_m = 300.0;
+  /// Minimum stay to count as a delivery (the paper's 2 hours).
+  double min_stay_s = 2.0 * 3600.0;
+};
+
+class HospitalDeliveryDetector {
+ public:
+  HospitalDeliveryDetector(const roadnet::City& city,
+                           const weather::FloodModel& flood,
+                           DetectorConfig config = {});
+
+  /// Scans a (person, time)-sorted trace for deliveries.
+  std::vector<HospitalDelivery> Detect(const GpsTrace& trace) const;
+
+  /// Of the detections, only those back-checked into a flood zone.
+  static std::vector<HospitalDelivery> FloodRescuesOnly(
+      const std::vector<HospitalDelivery>& all);
+
+ private:
+  /// Hospital landmark within radius of p, or kInvalidLandmark.
+  roadnet::LandmarkId HospitalAt(const util::GeoPoint& p) const;
+
+  const roadnet::City& city_;
+  const weather::FloodModel& flood_;
+  DetectorConfig config_;
+};
+
+}  // namespace mobirescue::mobility

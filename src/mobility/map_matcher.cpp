@@ -1,0 +1,34 @@
+#include "mobility/map_matcher.hpp"
+
+namespace mobirescue::mobility {
+
+std::vector<MatchedRecord> MapMatcher::MatchTrace(const GpsTrace& trace) const {
+  std::vector<MatchedRecord> out;
+  out.reserve(trace.size());
+  for (const GpsRecord& r : trace) {
+    const roadnet::SegmentId sid =
+        index_.NearestSegment(r.pos, config_.max_match_distance_m);
+    if (sid == roadnet::kInvalidSegment) continue;
+    out.push_back({r.person, r.t, sid, r.speed_mps, r.pos});
+  }
+  return out;
+}
+
+std::vector<Trajectory> MapMatcher::BuildTrajectories(
+    const std::vector<MatchedRecord>& matched) const {
+  std::vector<Trajectory> out;
+  for (const MatchedRecord& m : matched) {
+    if (out.empty() || out.back().person != m.person) {
+      out.push_back({m.person, {}, {}});
+    }
+    Trajectory& traj = out.back();
+    const roadnet::LandmarkId lm = net_.segment(m.segment).from;
+    // Collapse consecutive identical landmarks (stationary pings).
+    if (!traj.landmarks.empty() && traj.landmarks.back() == lm) continue;
+    traj.times.push_back(m.t);
+    traj.landmarks.push_back(lm);
+  }
+  return out;
+}
+
+}  // namespace mobirescue::mobility

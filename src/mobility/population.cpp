@@ -1,0 +1,41 @@
+#include "mobility/population.hpp"
+
+#include <stdexcept>
+
+namespace mobirescue::mobility {
+
+std::vector<Person> BuildPopulation(const roadnet::City& city,
+                                    const PopulationConfig& config) {
+  if (config.num_people <= 0) {
+    throw std::invalid_argument("BuildPopulation: num_people <= 0");
+  }
+  util::Rng rng(config.seed);
+  const auto& net = city.network;
+
+  // Per-landmark sampling weights: downtown landmarks get extra mass.
+  std::vector<double> home_weights(net.num_landmarks(), 1.0);
+  std::vector<double> work_weights(net.num_landmarks(), 1.0);
+  for (const roadnet::Landmark& lm : net.landmarks()) {
+    if (lm.region == roadnet::kDowntownRegion) {
+      home_weights[lm.id] += config.downtown_weight;
+      work_weights[lm.id] += 2.0 * config.downtown_weight;
+    }
+  }
+
+  std::vector<Person> people;
+  people.reserve(static_cast<std::size_t>(config.num_people));
+  for (int i = 0; i < config.num_people; ++i) {
+    Person p;
+    p.id = static_cast<PersonId>(i);
+    p.home = static_cast<roadnet::LandmarkId>(rng.WeightedIndex(home_weights));
+    do {
+      p.work = static_cast<roadnet::LandmarkId>(rng.WeightedIndex(work_weights));
+    } while (p.work == p.home && net.num_landmarks() > 1);
+    p.home_region = net.landmark(p.home).region;
+    p.trip_rate = std::max(0.5, rng.Normal(config.mean_trip_rate, 0.8));
+    people.push_back(p);
+  }
+  return people;
+}
+
+}  // namespace mobirescue::mobility

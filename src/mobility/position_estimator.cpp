@@ -1,0 +1,126 @@
+#include "mobility/position_estimator.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace mobirescue::mobility {
+
+namespace {
+
+/// Crude modal-location estimate: average of the densest half of samples
+/// (robust enough against excursions for anchor discovery).
+util::GeoPoint ModalLocation(std::vector<util::GeoPoint> points) {
+  if (points.empty()) return {};
+  // Median per axis is robust and cheap.
+  std::vector<double> lats, lons;
+  lats.reserve(points.size());
+  lons.reserve(points.size());
+  for (const auto& p : points) {
+    lats.push_back(p.lat);
+    lons.push_back(p.lon);
+  }
+  auto median = [](std::vector<double>& v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  return {median(lats), median(lons)};
+}
+
+}  // namespace
+
+PositionEstimator::PositionEstimator(const GpsTrace& history,
+                                     double anchor_radius_m) {
+  // Pass 1: bucket night and mid-day samples per person.
+  std::unordered_map<PersonId, std::vector<util::GeoPoint>> night, midday;
+  for (const GpsRecord& r : history) {
+    const int h = util::HourOfDay(r.t);
+    if (h >= 22 || h < 6) {
+      night[r.person].push_back(r.pos);
+    } else if (h >= 9 && h < 17) {
+      midday[r.person].push_back(r.pos);
+    }
+  }
+
+  // Anchors.
+  for (auto& [person, points] : night) {
+    profiles_[person].home = ModalLocation(points);
+  }
+  for (auto& [person, points] : midday) {
+    MobilityProfile& prof = profiles_[person];
+    prof.work = ModalLocation(points);
+    if (night.count(person) == 0) prof.home = prof.work;
+  }
+  for (auto& [person, prof] : profiles_) {
+    if (midday.count(person) == 0) prof.work = prof.home;
+  }
+
+  // Pass 2: hourly home-vs-work presence counts.
+  std::unordered_map<PersonId, std::array<std::pair<int, int>, 24>> counts;
+  for (const GpsRecord& r : history) {
+    const auto it = profiles_.find(r.person);
+    if (it == profiles_.end()) continue;
+    const int h = util::HourOfDay(r.t);
+    const double d_home = util::ApproxDistanceMeters(r.pos, it->second.home);
+    const double d_work = util::ApproxDistanceMeters(r.pos, it->second.work);
+    auto& cell = counts[r.person][static_cast<std::size_t>(h)];
+    if (d_home <= d_work && d_home <= anchor_radius_m) {
+      ++cell.first;
+    } else {
+      ++cell.second;
+    }
+    ++it->second.observations;
+  }
+  for (auto& [person, by_hour] : counts) {
+    MobilityProfile& prof = profiles_[person];
+    for (int h = 0; h < 24; ++h) {
+      const auto [at_home, away] = by_hour[static_cast<std::size_t>(h)];
+      const int total = at_home + away;
+      // Laplace-smoothed toward "home at night, out at mid-day".
+      const double prior = (h >= 20 || h < 7) ? 0.85 : 0.35;
+      prof.home_probability[static_cast<std::size_t>(h)] =
+          (at_home + 2.0 * prior) / (total + 2.0);
+    }
+  }
+}
+
+std::optional<util::GeoPoint> PositionEstimator::Estimate(PersonId person,
+                                                          int hour) const {
+  const auto it = profiles_.find(person);
+  if (it == profiles_.end() || !it->second.valid()) return std::nullopt;
+  hour = std::clamp(hour, 0, 23);
+  const MobilityProfile& prof = it->second;
+  return prof.home_probability[static_cast<std::size_t>(hour)] >= 0.5
+             ? prof.home
+             : prof.work;
+}
+
+const MobilityProfile* PositionEstimator::Profile(PersonId person) const {
+  const auto it = profiles_.find(person);
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+std::size_t PositionEstimator::AugmentSnapshot(
+    std::vector<GpsRecord>* snapshot,
+    const std::vector<PersonId>& known_people, util::SimTime t) const {
+  std::unordered_set<PersonId> present;
+  for (const GpsRecord& r : *snapshot) present.insert(r.person);
+  std::size_t added = 0;
+  const int hour = util::HourOfDay(t);
+  for (PersonId person : known_people) {
+    if (present.count(person) != 0) continue;
+    const auto est = Estimate(person, hour);
+    if (!est.has_value()) continue;
+    GpsRecord r;
+    r.person = person;
+    r.t = t;
+    r.pos = *est;
+    snapshot->push_back(r);
+    ++added;
+  }
+  return added;
+}
+
+}  // namespace mobirescue::mobility

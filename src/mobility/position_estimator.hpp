@@ -1,0 +1,62 @@
+// Extension (paper Section IV-C5, item 2): availability of real-time GPS
+// data. "Under severe situations, the GPS locations of some people may not
+// be readily available. We can refer to these people's historical GPS data
+// to analyze the home address / work address / preferred driving pattern and
+// estimate the approximate position/area of the people."
+//
+// PositionEstimator learns each person's home/work anchors and an
+// hour-of-day presence profile from a historical trace, then answers
+// "where is person p most likely at hour h" for people whose real-time feed
+// has gone dark.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <unordered_map>
+
+#include "mobility/gps_record.hpp"
+#include "util/geo.hpp"
+
+namespace mobirescue::mobility {
+
+/// A person's learned anchors and schedule.
+struct MobilityProfile {
+  util::GeoPoint home;
+  util::GeoPoint work;
+  /// P(at home | hour of day); the complement is "at work / out".
+  std::array<double, 24> home_probability{};
+  std::size_t observations = 0;
+
+  bool valid() const { return observations > 0; }
+};
+
+class PositionEstimator {
+ public:
+  /// Learns profiles from a historical trace (sorted by (person, time)).
+  /// Home := the modal night-time (22:00-06:00) location cluster; work :=
+  /// the modal mid-day (09:00-17:00) cluster; the hourly presence profile
+  /// comes from which of the two anchors each record is nearer to.
+  explicit PositionEstimator(const GpsTrace& history,
+                             double anchor_radius_m = 500.0);
+
+  /// Most likely position of a person at an hour of day; nullopt for people
+  /// never seen in the history.
+  std::optional<util::GeoPoint> Estimate(PersonId person, int hour) const;
+
+  /// The learned profile (for inspection/tests).
+  const MobilityProfile* Profile(PersonId person) const;
+
+  std::size_t num_profiles() const { return profiles_.size(); }
+
+  /// Fills gaps in a real-time snapshot: every person in `known_people`
+  /// missing from `snapshot` gets an estimated record appended (timestamped
+  /// `t`). Returns how many were estimated.
+  std::size_t AugmentSnapshot(std::vector<GpsRecord>* snapshot,
+                              const std::vector<PersonId>& known_people,
+                              util::SimTime t) const;
+
+ private:
+  std::unordered_map<PersonId, MobilityProfile> profiles_;
+};
+
+}  // namespace mobirescue::mobility

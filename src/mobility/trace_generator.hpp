@@ -1,0 +1,130 @@
+// City-scale synthetic GPS trace generator.
+//
+// Substitutes for the paper's proprietary X-Mode cellphone dataset (8,590
+// people, Charlotte, Hurricanes Florence & Michael). For an experiment
+// window of N days it produces:
+//   * raw GPS records (timestamp, lat/lon, altitude, speed) per person, with
+//     denser sampling while moving and sparse 0.5-2 h sampling while
+//     stationary, exactly the schema of Section III-A;
+//   * ground-truth rescue events: when a person becomes flood-trapped, when
+//     they request rescue, and (in the historical trace) when legacy
+//     ambulances delivered them to which hospital. These drive SVM training
+//     labels, the Section III measurements, and the Section V request
+//     streams.
+//
+// Behavioural model:
+//   * pre-disaster days: home/work commuting plus errand trips, with
+//     morning/evening peaks;
+//   * during the storm: trip-making is suppressed by local storm severity
+//     (rain intensity + flood depth); people in deep flood water become
+//     trapped and emit rescue requests;
+//   * after the storm: flood recedes (FloodModel recession), mobility
+//     partially recovers — the Fig. 5 "after < before" gap.
+#pragma once
+
+#include <vector>
+
+#include "mobility/gps_record.hpp"
+#include "mobility/population.hpp"
+#include "roadnet/city_builder.hpp"
+#include "roadnet/router.hpp"
+#include "roadnet/spatial_index.hpp"
+#include "weather/flood_model.hpp"
+#include "weather/scenario.hpp"
+
+namespace mobirescue::mobility {
+
+/// A ground-truth rescue episode (the generator's omniscient record; the
+/// measurement pipeline must *re-detect* these from the GPS data alone).
+struct RescueEvent {
+  PersonId person = kInvalidPerson;
+  util::SimTime request_time = 0.0;
+  util::GeoPoint request_pos;
+  roadnet::SegmentId request_segment = roadnet::kInvalidSegment;
+  roadnet::RegionId region = roadnet::kInvalidRegion;
+  /// Whether the historical (legacy-ambulance) trace delivered the person.
+  bool delivered = false;
+  util::SimTime delivery_time = 0.0;
+  roadnet::LandmarkId hospital = roadnet::kInvalidLandmark;
+};
+
+struct TraceConfig {
+  PopulationConfig population;
+  double moving_sample_s = 90.0;
+  double stationary_sample_min_s = 1800.0;   // 0.5 h
+  double stationary_sample_max_s = 7200.0;   // 2 h
+  double trapped_sample_s = 1800.0;
+  /// Flood depth (m) above which a person at that position can trap.
+  double trap_depth_m = 0.25;
+  /// Depth at/above which an area counts as pre-evacuated (boat-rescue
+  /// territory, outside the paper's vehicle-based scope): no pick-up
+  /// requests originate there.
+  double evacuated_depth_m = 1.2;
+  /// Per-check trapping hazard: base + per_m * depth, capped at max. Keeps
+  /// requests spread across hours and days instead of firing all at once.
+  double trap_hazard_base = 0.02;
+  double trap_hazard_per_m = 0.22;
+  double trap_hazard_max = 0.55;
+  /// Probability a trapped person is delivered to a hospital by the
+  /// legacy response in the historical trace.
+  double delivery_prob = 0.97;
+  /// Legacy delivery delay range (s) after the request.
+  double delivery_delay_min_s = 1800.0, delivery_delay_max_s = 18000.0;
+  /// Hospital stay after delivery (s); >= 2 h so the paper's detector fires.
+  double hospital_stay_min_s = 9000.0, hospital_stay_max_s = 28800.0;
+  /// Background (non-flood) hospital visits per person per day.
+  double background_hospital_prob = 0.004;
+  /// GPS noise in metres (1 sigma).
+  double gps_noise_m = 12.0;
+  std::uint64_t seed = 99;
+};
+
+struct TraceResult {
+  std::vector<Person> population;
+  GpsTrace records;                 // sorted by (person, time)
+  std::vector<RescueEvent> rescues; // ground truth, sorted by request time
+};
+
+/// Generates the trace for one scenario over the city. Deterministic for a
+/// fixed config (seed included).
+class TraceGenerator {
+ public:
+  TraceGenerator(const roadnet::City& city, const weather::WeatherField& field,
+                 const weather::FloodModel& flood,
+                 const weather::ScenarioSpec& scenario, TraceConfig config);
+
+  TraceResult Generate();
+
+  /// Storm severity in [0, 1] at a position/time: blends rain intensity and
+  /// flood depth; drives trip suppression. Exposed for tests.
+  double SeverityAt(const util::GeoPoint& p, util::SimTime t) const;
+
+ private:
+  /// Hour-of-day trip weighting (commute peaks).
+  static double HourWeight(int hour);
+
+  /// Network condition (flood closures) for a given hour, cached.
+  const roadnet::NetworkCondition& ConditionAtHour(int hour_index);
+
+  void EmitStationary(PersonId person, const util::GeoPoint& pos,
+                      double altitude, util::SimTime from, util::SimTime to,
+                      double sample_s, GpsTrace& out);
+  /// Drives a route, emitting samples; returns arrival time.
+  util::SimTime EmitTrip(PersonId person, roadnet::LandmarkId from,
+                         roadnet::LandmarkId to, util::SimTime depart,
+                         GpsTrace& out);
+  util::GeoPoint Jitter(const util::GeoPoint& p);
+
+  const roadnet::City& city_;
+  const weather::WeatherField& field_;
+  const weather::FloodModel& flood_;
+  weather::ScenarioSpec scenario_;
+  TraceConfig config_;
+  roadnet::Router router_;
+  roadnet::SpatialIndex index_;
+  util::Rng rng_;
+  std::vector<roadnet::NetworkCondition> hour_conditions_;
+  std::vector<bool> hour_condition_ready_;
+};
+
+}  // namespace mobirescue::mobility

@@ -1,0 +1,89 @@
+#include "mobility/trip_extractor.hpp"
+
+#include <algorithm>
+
+namespace mobirescue::mobility {
+
+namespace {
+
+/// Running centroid of a candidate stay cluster.
+struct Cluster {
+  double lat_sum = 0.0, lon_sum = 0.0;
+  std::size_t n = 0;
+  util::SimTime first = 0.0, last = 0.0;
+
+  void Add(const GpsRecord& r) {
+    lat_sum += r.pos.lat;
+    lon_sum += r.pos.lon;
+    if (n == 0) first = r.t;
+    last = r.t;
+    ++n;
+  }
+  util::GeoPoint Centroid() const {
+    return {lat_sum / static_cast<double>(n), lon_sum / static_cast<double>(n)};
+  }
+};
+
+}  // namespace
+
+TripExtraction ExtractTrips(const GpsTrace& trace,
+                            const TripExtractorConfig& config) {
+  TripExtraction out;
+
+  std::size_t i = 0;
+  while (i < trace.size()) {
+    const PersonId person = trace[i].person;
+
+    // 1. Stay-point pass for this person.
+    std::vector<StayPoint> stays;
+    Cluster cluster;
+    auto close_cluster = [&]() {
+      if (cluster.n > 0 &&
+          cluster.last - cluster.first >= config.min_stay_s) {
+        stays.push_back({person, cluster.Centroid(), cluster.first,
+                         cluster.last});
+      }
+      cluster = Cluster{};
+    };
+    for (; i < trace.size() && trace[i].person == person; ++i) {
+      const GpsRecord& r = trace[i];
+      if (cluster.n == 0 ||
+          util::ApproxDistanceMeters(cluster.Centroid(), r.pos) <=
+              config.stay_radius_m) {
+        cluster.Add(r);
+      } else {
+        close_cluster();
+        cluster.Add(r);
+      }
+    }
+    close_cluster();
+
+    // 2. Consecutive stays bound a trip.
+    for (std::size_t s = 1; s < stays.size(); ++s) {
+      Trip trip;
+      trip.person = person;
+      trip.origin = stays[s - 1].centroid;
+      trip.destination = stays[s].centroid;
+      trip.depart = stays[s - 1].depart;
+      trip.arrive = stays[s].arrive;
+      trip.path_length_m = trip.StraightLineM();  // lower bound
+      if (trip.StraightLineM() >= config.min_trip_m &&
+          trip.arrive > trip.depart) {
+        out.trips.push_back(trip);
+      }
+    }
+    out.stays.insert(out.stays.end(), stays.begin(), stays.end());
+  }
+  return out;
+}
+
+std::vector<int> TripsPerDay(const std::vector<Trip>& trips, int window_days) {
+  std::vector<int> out(std::max(0, window_days), 0);
+  for (const Trip& trip : trips) {
+    const int d = util::DayIndex(trip.depart);
+    if (d >= 0 && d < window_days) ++out[d];
+  }
+  return out;
+}
+
+}  // namespace mobirescue::mobility

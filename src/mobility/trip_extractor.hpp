@@ -1,0 +1,59 @@
+// Trip extraction from raw GPS traces (paper Section III-A studies mobility
+// "in terms of trips"): stay-point detection splits each person's record
+// stream into stays and moves; each move becomes a trip with origin,
+// destination, distance and duration.
+#pragma once
+
+#include <vector>
+
+#include "mobility/gps_record.hpp"
+#include "util/geo.hpp"
+
+namespace mobirescue::mobility {
+
+struct StayPoint {
+  PersonId person = kInvalidPerson;
+  util::GeoPoint centroid;
+  util::SimTime arrive = 0.0;
+  util::SimTime depart = 0.0;
+
+  double DurationS() const { return depart - arrive; }
+};
+
+struct Trip {
+  PersonId person = kInvalidPerson;
+  util::GeoPoint origin;
+  util::GeoPoint destination;
+  util::SimTime depart = 0.0;
+  util::SimTime arrive = 0.0;
+  /// Sum of inter-fix distances along the move (>= straight-line distance).
+  double path_length_m = 0.0;
+
+  double DurationS() const { return arrive - depart; }
+  double StraightLineM() const {
+    return util::HaversineMeters(origin, destination);
+  }
+};
+
+struct TripExtractorConfig {
+  /// Consecutive fixes within this radius belong to the same stay.
+  double stay_radius_m = 250.0;
+  /// A stay must last at least this long to split two trips.
+  double min_stay_s = 900.0;
+  /// Trips shorter than this (straight line) are jitter, not travel.
+  double min_trip_m = 400.0;
+};
+
+struct TripExtraction {
+  std::vector<StayPoint> stays;
+  std::vector<Trip> trips;
+};
+
+/// Extracts stays and trips from a (person, time)-sorted trace.
+TripExtraction ExtractTrips(const GpsTrace& trace,
+                            const TripExtractorConfig& config = {});
+
+/// Daily trip counts: trips_per_day[d] = trips departing on day d.
+std::vector<int> TripsPerDay(const std::vector<Trip>& trips, int window_days);
+
+}  // namespace mobirescue::mobility

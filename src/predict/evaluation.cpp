@@ -1,0 +1,89 @@
+#include "predict/evaluation.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/sim_time.hpp"
+
+namespace mobirescue::predict {
+
+SegmentPredictionScores EvaluateSegmentPredictions(
+    const roadnet::RoadNetwork& net,
+    const std::vector<mobility::RescueEvent>& events, int eval_day,
+    const SegmentHourPredictor& predictor) {
+  // Ground truth: (segment -> bitmask over 24 hours).
+  std::unordered_map<roadnet::SegmentId, std::uint32_t> truth;
+  for (const mobility::RescueEvent& ev : events) {
+    if (util::DayIndex(ev.request_time) != eval_day) continue;
+    if (ev.request_segment == roadnet::kInvalidSegment) continue;
+    truth[ev.request_segment] |= 1u << util::HourOfDay(ev.request_time);
+  }
+
+  SegmentPredictionScores scores;
+  for (const roadnet::RoadSegment& seg : net.segments()) {
+    ml::ConfusionMatrix cm;
+    bool any_activity = false;
+    for (int h = 0; h < 24; ++h) {
+      const bool actual =
+          truth.count(seg.id) != 0 && (truth[seg.id] & (1u << h)) != 0;
+      const bool predicted = predictor(seg.id, h);
+      any_activity = any_activity || actual || predicted;
+      cm.Add(actual, predicted);
+      scores.overall.Add(actual, predicted);
+    }
+    if (!any_activity) continue;
+    scores.accuracies.push_back(cm.Accuracy());
+    if (cm.tp + cm.fp > 0) scores.precisions.push_back(cm.Precision());
+  }
+  return scores;
+}
+
+SegmentPredictionScores EvaluateSegmentCountPredictions(
+    const std::vector<mobility::RescueEvent>& events, int eval_day,
+    const std::unordered_map<roadnet::SegmentId, double>& predicted_counts,
+    const std::unordered_map<roadnet::SegmentId, int>& people_on_segment,
+    int last_day) {
+  if (last_day < eval_day) {
+    last_day = std::numeric_limits<int>::max();
+  }
+  std::unordered_map<roadnet::SegmentId, int> actual;
+  for (const mobility::RescueEvent& ev : events) {
+    const int d = util::DayIndex(ev.request_time);
+    if (d < eval_day || d > last_day) continue;
+    if (ev.request_segment == roadnet::kInvalidSegment) continue;
+    ++actual[ev.request_segment];
+  }
+
+  SegmentPredictionScores scores;
+  for (const auto& [seg, people] : people_on_segment) {
+    if (people <= 0) continue;
+    const auto it_a = actual.find(seg);
+    const int a = it_a == actual.end() ? 0 : it_a->second;
+    const auto it_p = predicted_counts.find(seg);
+    const int p = it_p == predicted_counts.end()
+                      ? 0
+                      : static_cast<int>(it_p->second + 0.5);
+    if (a == 0 && p == 0) continue;  // trivially all-TN segment
+
+    const int tp = std::min(p, a);
+    const int fp = std::max(0, p - a);
+    const int fn = std::max(0, a - p);
+    const int tn = std::max(0, people - std::max(p, a));
+    const int total = tp + fp + fn + tn;
+    if (total <= 0) continue;
+
+    scores.overall.tp += tp;
+    scores.overall.fp += fp;
+    scores.overall.fn += fn;
+    scores.overall.tn += tn;
+    scores.accuracies.push_back(static_cast<double>(tp + tn) / total);
+    if (tp + fp > 0) {
+      scores.precisions.push_back(static_cast<double>(tp) / (tp + fp));
+    }
+  }
+  return scores;
+}
+
+}  // namespace mobirescue::predict

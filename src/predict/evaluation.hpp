@@ -1,0 +1,62 @@
+// Per-road-segment prediction accuracy / precision evaluation (Figs 15/16).
+//
+// Section V-B defines accuracy = (TP+TN)/(TP+TN+FP+FN) and precision =
+// TP/(TP+FP) per road segment, over people predicted to send rescue
+// requests. We evaluate both predictors on a common footing: for every
+// (segment, hour) cell of the evaluation day, the predictor is positive when
+// it forecasts demand on the segment for that hour and the ground truth is
+// positive when a request actually appeared there; per-segment confusion
+// counts accumulate over the 24 hours.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/svm/metrics.hpp"
+#include "mobility/trace_generator.hpp"
+#include "roadnet/road_network.hpp"
+#include "util/stats.hpp"
+
+namespace mobirescue::predict {
+
+/// Predictor adapter: does the method predict >= 1 request on (segment,
+/// hour-of-day) of the evaluation day?
+using SegmentHourPredictor =
+    std::function<bool(roadnet::SegmentId, int hour)>;
+
+struct SegmentPredictionScores {
+  std::vector<double> accuracies;   // one entry per segment with activity
+  std::vector<double> precisions;   // one entry per segment with >= 1
+                                    // predicted positive
+  ml::ConfusionMatrix overall;
+};
+
+/// Evaluates a predictor against the ground-truth requests of `eval_day`.
+/// Only segments with at least one actual or predicted request enter the
+/// per-segment CDFs (segments that are trivially all-TN would flatten the
+/// figure to 1.0 everywhere).
+SegmentPredictionScores EvaluateSegmentPredictions(
+    const roadnet::RoadNetwork& net,
+    const std::vector<mobility::RescueEvent>& events, int eval_day,
+    const SegmentHourPredictor& predictor);
+
+/// Count-based per-segment evaluation — the closest executable analogue of
+/// the paper's person-level Fig. 15/16 definition. For each segment with
+/// people on it during the evaluation day:
+///   A = actual requests, P = predicted requests, N = people present;
+///   TP = min(P, A); FP = max(0, P-A); FN = max(0, A-P);
+///   TN = max(0, N - max(P, A)).
+/// Per-segment accuracy = (TP+TN)/N; precision = TP/(TP+FP) for segments
+/// with P > 0.
+/// `last_day` (inclusive) widens the ground-truth window: the predicted
+/// distribution is of *potential* requests, which materialise over the
+/// remaining disaster days, not only on eval_day. Pass last_day = eval_day
+/// for a single-day ground truth.
+SegmentPredictionScores EvaluateSegmentCountPredictions(
+    const std::vector<mobility::RescueEvent>& events, int eval_day,
+    const std::unordered_map<roadnet::SegmentId, double>& predicted_counts,
+    const std::unordered_map<roadnet::SegmentId, int>& people_on_segment,
+    int last_day = -1);
+
+}  // namespace mobirescue::predict

@@ -1,0 +1,198 @@
+#include "predict/svm_predictor.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mobirescue::predict {
+
+SvmRequestPredictor::SvmRequestPredictor(
+    const weather::FactorSampler& factors,
+    const std::vector<mobility::HospitalDelivery>& deliveries,
+    const mobility::GpsTrace& trace, util::SimTime storm_mid_time,
+    SvmPredictorConfig config)
+    : factors_(factors) {
+  util::Rng rng(config.seed);
+
+  // Positive rows: factor vectors at rescued people's pre-delivery
+  // positions/times.
+  std::vector<std::vector<double>> pos_rows;
+  std::vector<util::SimTime> pos_times;
+  std::unordered_set<mobility::PersonId> rescued;
+  for (const mobility::HospitalDelivery& d : deliveries) {
+    if (!d.flood_rescue) continue;
+    rescued.insert(d.person);
+    const weather::FactorVector h = factors_.At(d.previous_pos, d.previous_time);
+    pos_rows.push_back({h.precipitation_mm, h.wind_mph, h.altitude_m});
+    pos_times.push_back(d.previous_time);
+  }
+
+  // Negative rows: positions of people never flood-rescued, sampled at the
+  // SAME time distribution as the positives. Sampling negatives at a fixed
+  // time (e.g. the storm midpoint) would teach the classifier the *time*
+  // difference between the classes instead of the place difference — e.g.
+  // "high instantaneous wind => not rescued" because many rescues are
+  // detected post-peak.
+  std::vector<std::vector<double>> neg_rows;
+  mobility::PersonId cur = mobility::kInvalidPerson;
+  const mobility::GpsRecord* best_matched = nullptr;   // near a positive time
+  const mobility::GpsRecord* best_early = nullptr;     // pre-disaster time
+  util::SimTime target_time = storm_mid_time;
+  util::SimTime early_time = 0.0;
+  auto next_targets = [&]() {
+    target_time = pos_times.empty() ? storm_mid_time
+                                    : pos_times[rng.Index(pos_times.size())];
+    early_time = rng.Uniform(0.0, 0.8 * storm_mid_time);
+  };
+  next_targets();
+  auto flush = [&]() {
+    // (a) Never-rescued people at rescue-time-matched instants: the peer
+    //     who faced the same storm hour but did not need rescue.
+    if (best_matched != nullptr && rescued.count(cur) == 0) {
+      const weather::FactorVector h =
+          factors_.At(best_matched->pos, target_time);
+      neg_rows.push_back({h.precipitation_mm, h.wind_mph, h.altitude_m});
+    }
+    // (b) Everyone at a pre-/early-disaster instant: nobody needed rescue
+    //     before the water rose — the factor-threshold signal itself.
+    if (best_early != nullptr) {
+      const weather::FactorVector h = factors_.At(best_early->pos, early_time);
+      neg_rows.push_back({h.precipitation_mm, h.wind_mph, h.altitude_m});
+    }
+    best_matched = nullptr;
+    best_early = nullptr;
+    next_targets();
+  };
+  for (const mobility::GpsRecord& r : trace) {
+    if (r.person != cur) {
+      flush();
+      cur = r.person;
+    }
+    if (best_matched == nullptr ||
+        std::abs(r.t - target_time) < std::abs(best_matched->t - target_time)) {
+      best_matched = &r;
+    }
+    if (best_early == nullptr ||
+        std::abs(r.t - early_time) < std::abs(best_early->t - early_time)) {
+      best_early = &r;
+    }
+  }
+  flush();
+
+  // Balance and cap: bound the class ratio from BOTH sides — a severely
+  // imbalanced training set pushes the soft-margin SVM toward the trivial
+  // majority classifier.
+  rng.Shuffle(pos_rows);
+  rng.Shuffle(neg_rows);
+  std::size_t n_pos = pos_rows.size();
+  std::size_t n_neg = std::min(
+      neg_rows.size(),
+      static_cast<std::size_t>(config.negative_ratio * (n_pos > 0 ? n_pos : 1)));
+  n_pos = std::min(
+      n_pos, static_cast<std::size_t>(config.negative_ratio *
+                                      (n_neg > 0 ? n_neg : 1)));
+  while (n_pos + n_neg > config.max_training_rows) {
+    if (n_neg > n_pos && n_neg > 1) {
+      --n_neg;
+    } else if (n_pos > 1) {
+      --n_pos;
+    } else {
+      break;
+    }
+  }
+  pos_rows.resize(n_pos);
+  neg_rows.resize(n_neg);
+
+  std::vector<std::vector<double>> all_rows;
+  std::vector<int> labels;
+  for (auto& r : pos_rows) {
+    all_rows.push_back(std::move(r));
+    labels.push_back(1);
+  }
+  for (auto& r : neg_rows) {
+    all_rows.push_back(std::move(r));
+    labels.push_back(-1);
+  }
+  // Shuffle rows and labels together, then split 80/20 train/validation.
+  std::vector<std::size_t> perm(all_rows.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.Shuffle(perm);
+
+  scaler_.Fit(all_rows);
+
+  ml::SvmDataset train;
+  std::vector<std::pair<std::vector<double>, int>> holdout;
+  const std::size_t train_n = perm.size() - perm.size() / 5;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    auto scaled = scaler_.Transform(all_rows[perm[i]]);
+    if (i < train_n) {
+      train.Add(std::move(scaled), labels[perm[i]]);
+    } else {
+      holdout.emplace_back(std::move(scaled), labels[perm[i]]);
+    }
+  }
+  training_rows_ = train.size();
+  model_ = ml::TrainSvm(train, config.svm);
+
+  // Calibrate the decision threshold on the hold-out: the raw 0-threshold
+  // tends to be recall-heavy on this data (everyone inside the storm looks
+  // somewhat endangered); the F1-optimal threshold restores selectivity so
+  // that ñ_e concentrates on the genuinely endangered.
+  std::vector<std::pair<double, int>> scored;
+  for (const auto& [row, label] : holdout) {
+    scored.emplace_back(model_.DecisionValue(row), label);
+  }
+  std::sort(scored.begin(), scored.end());
+  double best_f1 = -1.0;
+  threshold_ = 0.0;
+  for (std::size_t cut = 0; cut <= scored.size(); ++cut) {
+    // Predict positive for entries at index >= cut.
+    int tp = 0, fp = 0, fn = 0;
+    for (std::size_t i = 0; i < scored.size(); ++i) {
+      const bool pred = i >= cut;
+      if (pred && scored[i].second == 1) ++tp;
+      if (pred && scored[i].second == -1) ++fp;
+      if (!pred && scored[i].second == 1) ++fn;
+    }
+    const double f1 = (2 * tp + fp + fn) > 0
+                          ? 2.0 * tp / (2.0 * tp + fp + fn)
+                          : 0.0;
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      if (cut == 0) {
+        threshold_ = scored.empty() ? 0.0 : scored.front().first - 1.0;
+      } else if (cut == scored.size()) {
+        threshold_ = scored.back().first + 1.0;
+      } else {
+        threshold_ = 0.5 * (scored[cut - 1].first + scored[cut].first);
+      }
+    }
+  }
+
+  for (const auto& [row, label] : holdout) {
+    validation_.Add(label == 1, model_.DecisionValue(row) >= threshold_);
+  }
+}
+
+bool SvmRequestPredictor::PredictPerson(const util::GeoPoint& pos,
+                                        util::SimTime t) const {
+  const weather::FactorVector h = factors_.At(pos, t);
+  const std::vector<double> row =
+      scaler_.Transform(std::vector<double>{h.precipitation_mm, h.wind_mph,
+                                            h.altitude_m});
+  return model_.DecisionValue(row) >= threshold_;
+}
+
+Distribution SvmRequestPredictor::PredictDistribution(
+    const std::vector<mobility::GpsRecord>& snapshot, util::SimTime t,
+    double time_offset, const roadnet::SpatialIndex& index) const {
+  Distribution dist;
+  for (const mobility::GpsRecord& r : snapshot) {
+    if (!PredictPerson(r.pos, t + time_offset)) continue;
+    const roadnet::SegmentId seg = index.NearestSegment(r.pos);
+    if (seg == roadnet::kInvalidSegment) continue;
+    ++dist[seg];
+  }
+  return dist;
+}
+
+}  // namespace mobirescue::predict

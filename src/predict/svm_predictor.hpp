@@ -1,0 +1,88 @@
+// MobiRescue's rescue-request predictor (Section IV-B): an SVM over the
+// disaster-related factor vector h = (precipitation, wind, altitude).
+//
+// Training data construction follows Section V-B: from a historical disaster
+// trace (the Michael-like scenario) the hospital-delivery detector yields the
+// ground truth "was rescued"; each rescued person contributes the factor
+// vector at their previous staying position before delivery (positive), and
+// non-rescued people contribute factors at sampled storm-time positions
+// (negative).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ml/svm/metrics.hpp"
+#include "ml/svm/scaler.hpp"
+#include "ml/svm/svm.hpp"
+#include "mobility/gps_record.hpp"
+#include "mobility/hospital_detector.hpp"
+#include "roadnet/spatial_index.hpp"
+#include "weather/disaster_factors.hpp"
+
+namespace mobirescue::predict {
+
+/// Per-segment predicted request counts: the paper's {ñ_e}.
+using Distribution = std::unordered_map<roadnet::SegmentId, int>;
+
+struct SvmPredictorConfig {
+  SvmPredictorConfig() {
+    // Linear kernel by default: the predictor must extrapolate from the
+    // training storm to a *different* storm whose factor magnitudes can
+    // exceed anything seen in training. An RBF kernel's response vanishes
+    // far from the support vectors (it falls back to the bias sign there),
+    // while a linear decision function extrapolates monotonically — more
+    // rain, more wind, lower ground => more danger. The kernel ablation
+    // bench compares all three kernels.
+    svm.kernel.type = ml::KernelType::kLinear;
+    svm.c = 2.0;
+  }
+
+  ml::SvmConfig svm;
+  /// Cap on training rows (SMO is O(n^2)); data is subsampled beyond this.
+  std::size_t max_training_rows = 1200;
+  /// Negative : positive class ratio kept after subsampling.
+  double negative_ratio = 2.0;
+  std::uint64_t seed = 31;
+};
+
+class SvmRequestPredictor {
+ public:
+  /// Builds training rows from a historical trace and trains the SVM.
+  /// `deliveries` must come from the same trace (detector output);
+  /// `trace` provides the negative-class position samples.
+  SvmRequestPredictor(const weather::FactorSampler& factors,
+                      const std::vector<mobility::HospitalDelivery>& deliveries,
+                      const mobility::GpsTrace& trace,
+                      util::SimTime storm_mid_time,
+                      SvmPredictorConfig config = {});
+
+  /// The paper's Equation (1): should this person (at pos, time t) be
+  /// rescued?
+  bool PredictPerson(const util::GeoPoint& pos, util::SimTime t) const;
+
+  /// Equation (2): predicted distribution of potential rescue requests over
+  /// road segments from a population snapshot. `time_offset` re-anchors the
+  /// snapshot's relative timestamps into scenario time.
+  Distribution PredictDistribution(
+      const std::vector<mobility::GpsRecord>& snapshot, util::SimTime t,
+      double time_offset, const roadnet::SpatialIndex& index) const;
+
+  /// Held-out confusion matrix built during training (20% split), at the
+  /// calibrated threshold.
+  const ml::ConfusionMatrix& validation() const { return validation_; }
+  const ml::SvmModel& model() const { return model_; }
+  std::size_t training_rows() const { return training_rows_; }
+  /// F1-calibrated decision threshold (raw SVM uses 0).
+  double threshold() const { return threshold_; }
+
+ private:
+  const weather::FactorSampler& factors_;
+  ml::FeatureScaler scaler_;
+  ml::SvmModel model_;
+  ml::ConfusionMatrix validation_;
+  std::size_t training_rows_ = 0;
+  double threshold_ = 0.0;
+};
+
+}  // namespace mobirescue::predict

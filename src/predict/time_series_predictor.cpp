@@ -1,0 +1,59 @@
+#include "predict/time_series_predictor.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace mobirescue::predict {
+
+TimeSeriesPredictor::TimeSeriesPredictor(
+    const std::vector<mobility::RescueEvent>& history, int eval_day,
+    TimeSeriesConfig config)
+    : config_(config) {
+  const int first_day = std::max(0, eval_day - config.history_days);
+  // Raw counts per (segment, day, hour).
+  std::unordered_map<roadnet::SegmentId,
+                     std::unordered_map<int, std::array<double, 24>>> counts;
+  for (const mobility::RescueEvent& ev : history) {
+    const int day = util::DayIndex(ev.request_time);
+    if (day < first_day || day >= eval_day) continue;
+    if (ev.request_segment == roadnet::kInvalidSegment) continue;
+    counts[ev.request_segment][day][util::HourOfDay(ev.request_time)] += 1.0;
+  }
+  for (auto& [seg, by_day] : counts) {
+    std::vector<double> avg(24, 0.0);
+    std::array<double, 24> weight_sum{};
+    for (int day = first_day; day < eval_day; ++day) {
+      const double w = std::pow(config.decay, eval_day - 1 - day);
+      auto it = by_day.find(day);
+      for (int h = 0; h < 24; ++h) {
+        const double c = (it != by_day.end()) ? it->second[h] : 0.0;
+        avg[h] += w * c;
+        weight_sum[h] += w;
+      }
+    }
+    for (int h = 0; h < 24; ++h) {
+      if (weight_sum[h] > 0.0) avg[h] /= weight_sum[h];
+    }
+    demand_[seg] = std::move(avg);
+  }
+}
+
+double TimeSeriesPredictor::PredictSegmentHour(roadnet::SegmentId seg,
+                                               int hour) const {
+  const auto it = demand_.find(seg);
+  if (it == demand_.end()) return 0.0;
+  return it->second[std::clamp(hour, 0, 23)];
+}
+
+std::unordered_map<roadnet::SegmentId, double> TimeSeriesPredictor::PredictHour(
+    int hour, double threshold) const {
+  std::unordered_map<roadnet::SegmentId, double> out;
+  for (const auto& [seg, hours] : demand_) {
+    const double v = hours[std::clamp(hour, 0, 23)];
+    if (v >= threshold) out[seg] = v;
+  }
+  return out;
+}
+
+}  // namespace mobirescue::predict

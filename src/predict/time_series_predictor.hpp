@@ -1,0 +1,44 @@
+// The `Rescue` baseline's demand predictor (Section V-A): time-series
+// analysis over the historical distribution of rescue-request appearances —
+// the predicted demand on a segment at hour h is the weighted average of the
+// demand at hour h over the previous days, recent days weighted heavier. It
+// deliberately ignores the disaster-related factors, which is the accuracy
+// gap the paper measures in Figs. 15/16.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "mobility/trace_generator.hpp"
+#include "roadnet/types.hpp"
+#include "util/sim_time.hpp"
+
+namespace mobirescue::predict {
+
+struct TimeSeriesConfig {
+  /// Exponential day weights: weight(day d counting back) = decay^d.
+  double decay = 0.6;
+  int history_days = 5;
+};
+
+class TimeSeriesPredictor {
+ public:
+  /// Builds per-(segment, hour-of-day) demand history from ground-truth
+  /// rescue events on days strictly before `eval_day`.
+  TimeSeriesPredictor(const std::vector<mobility::RescueEvent>& history,
+                      int eval_day, TimeSeriesConfig config = {});
+
+  /// Predicted demand on a segment at an hour-of-day (fractional count).
+  double PredictSegmentHour(roadnet::SegmentId seg, int hour) const;
+
+  /// All segments with predicted demand >= threshold at an hour.
+  std::unordered_map<roadnet::SegmentId, double> PredictHour(
+      int hour, double threshold = 0.05) const;
+
+ private:
+  TimeSeriesConfig config_;
+  /// (segment -> 24 weighted-average hourly demands).
+  std::unordered_map<roadnet::SegmentId, std::vector<double>> demand_;
+};
+
+}  // namespace mobirescue::predict

@@ -1,0 +1,125 @@
+#include "rl/dqn_agent.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mobirescue::rl {
+
+namespace {
+
+ml::MlpConfig MakeNetConfig(const DqnConfig& config, std::uint64_t seed) {
+  ml::MlpConfig net;
+  net.input_dim = config.feature_dim;
+  net.hidden = config.hidden;
+  net.output_dim = 1;
+  net.learning_rate = config.learning_rate;
+  net.loss = ml::LossKind::kHuber;
+  net.seed = seed;
+  return net;
+}
+
+}  // namespace
+
+DqnAgent::DqnAgent(const DqnConfig& config)
+    : config_(config),
+      online_(MakeNetConfig(config, config.seed)),
+      target_(MakeNetConfig(config, config.seed)),
+      buffer_(config.buffer_capacity),
+      rng_(config.seed ^ 0xABCDEF) {
+  target_.CopyWeightsFrom(online_);
+}
+
+double DqnAgent::CurrentEpsilon() const {
+  if (config_.epsilon_decay_steps == 0) return config_.epsilon_end;
+  const double frac = std::min(
+      1.0, static_cast<double>(decisions_) /
+               static_cast<double>(config_.epsilon_decay_steps));
+  return config_.epsilon_start +
+         frac * (config_.epsilon_end - config_.epsilon_start);
+}
+
+bool DqnAgent::ExploreNow() {
+  const double eps = CurrentEpsilon();
+  ++decisions_;
+  return rng_.Bernoulli(eps);
+}
+
+std::size_t DqnAgent::SelectAction(
+    const std::vector<std::vector<double>>& candidates, bool explore) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("SelectAction: no candidates");
+  }
+  const double eps = CurrentEpsilon();
+  ++decisions_;
+  if (explore && rng_.Bernoulli(eps)) {
+    return rng_.Index(candidates.size());
+  }
+  std::size_t best = 0;
+  double best_q = -1e300;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double q = QValue(candidates[i]);
+    if (q > best_q) {
+      best_q = q;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double DqnAgent::QValue(std::span<const double> features) {
+  return online_.Predict(features)[0];
+}
+
+double DqnAgent::MaxTargetQ(
+    const std::vector<std::vector<double>>& candidates) {
+  double best = 0.0;
+  bool first = true;
+  for (const auto& c : candidates) {
+    const double q = target_.Predict(c)[0];
+    if (first || q > best) {
+      best = q;
+      first = false;
+    }
+  }
+  return first ? 0.0 : best;
+}
+
+double DqnAgent::TrainStep() {
+  if (buffer_.size() < config_.batch_size) return 0.0;
+  const auto batch = buffer_.Sample(config_.batch_size, rng_);
+
+  ml::Matrix inputs(batch.size(), config_.feature_dim);
+  ml::Matrix targets(batch.size(), 1);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Transition& t = *batch[i];
+    if (t.features.size() != config_.feature_dim) {
+      throw std::invalid_argument("TrainStep: bad feature dim in buffer");
+    }
+    for (std::size_t j = 0; j < config_.feature_dim; ++j) {
+      inputs(i, j) = t.features[j];
+    }
+    double y = t.reward;
+    if (!t.terminal && !t.next_candidates.empty()) {
+      const double discount =
+          std::pow(config_.gamma, std::max(1, t.duration_rounds));
+      y += discount * MaxTargetQ(t.next_candidates);
+    }
+    targets(i, 0) = y;
+  }
+  online_.Forward(inputs);
+  const double loss = online_.Backward(targets);
+  ++train_steps_;
+  if (config_.target_sync_every > 0 &&
+      train_steps_ % static_cast<std::size_t>(config_.target_sync_every) == 0) {
+    target_.CopyWeightsFrom(online_);
+  }
+  return loss;
+}
+
+void DqnAgent::LoadWeights(std::span<const double> w) {
+  online_.LoadWeights(w);
+  target_.CopyWeightsFrom(online_);
+}
+
+}  // namespace mobirescue::rl

@@ -1,0 +1,86 @@
+// DQN agent over per-(team, candidate) feature vectors.
+//
+// Section IV-C: the state is (team positions, predicted request
+// distribution) and a team's action is a destination segment or the depot.
+// Enumerating joint actions is intractable, so — following the paper's own
+// Pensieve-style DNN framing — a shared Q-network scores each candidate
+// action from a featurisation of (state, team, candidate); each team picks
+// the argmax (epsilon-greedy during training). See DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/nn/mlp.hpp"
+#include "rl/replay_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace mobirescue::rl {
+
+struct DqnConfig {
+  std::size_t feature_dim = 9;
+  std::vector<std::size_t> hidden = {32, 32};
+  double gamma = 0.9;
+  double learning_rate = 2e-3;
+  std::size_t batch_size = 64;
+  std::size_t buffer_capacity = 50000;
+  /// Gradient steps between target-network syncs.
+  int target_sync_every = 100;
+  double epsilon_start = 0.5;
+  double epsilon_end = 0.05;
+  /// Decisions over which epsilon anneals linearly.
+  std::size_t epsilon_decay_steps = 12000;
+  std::uint64_t seed = 21;
+};
+
+class DqnAgent {
+ public:
+  explicit DqnAgent(const DqnConfig& config);
+
+  /// Epsilon-greedy candidate selection (training mode) or pure greedy
+  /// (when `explore` is false). `candidates` must be non-empty rows of
+  /// feature_dim.
+  std::size_t SelectAction(
+      const std::vector<std::vector<double>>& candidates, bool explore);
+
+  /// Q-value of a single action.
+  double QValue(std::span<const double> features);
+
+  /// Draws the exploration coin at the current epsilon and advances the
+  /// decision counter (for callers that mix Q with an external prior).
+  bool ExploreNow();
+
+  /// Uniform random action index in [0, n).
+  std::size_t RandomAction(std::size_t n) { return rng_.Index(n); }
+
+  /// max_a Q_target(s, a) over the candidate set; 0 for empty.
+  double MaxTargetQ(const std::vector<std::vector<double>>& candidates);
+
+  void Push(Transition t) { buffer_.Push(std::move(t)); }
+
+  /// One minibatch gradient step; returns the loss (0 when the buffer is
+  /// too small to sample).
+  double TrainStep();
+
+  double CurrentEpsilon() const;
+  std::size_t decisions_made() const { return decisions_; }
+  std::size_t train_steps() const { return train_steps_; }
+  const ReplayBuffer& buffer() const { return buffer_; }
+  const DqnConfig& config() const { return config_; }
+
+  /// Direct weight access for checkpointing.
+  std::vector<double> SaveWeights() const { return online_.SaveWeights(); }
+  void LoadWeights(std::span<const double> w);
+
+ private:
+  DqnConfig config_;
+  ml::Mlp online_;
+  ml::Mlp target_;
+  ReplayBuffer buffer_;
+  util::Rng rng_;
+  std::size_t decisions_ = 0;
+  std::size_t train_steps_ = 0;
+};
+
+}  // namespace mobirescue::rl

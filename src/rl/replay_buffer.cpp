@@ -1,0 +1,25 @@
+#include "rl/replay_buffer.hpp"
+
+namespace mobirescue::rl {
+
+void ReplayBuffer::Push(Transition t) {
+  if (data_.size() < capacity_) {
+    data_.push_back(std::move(t));
+  } else {
+    data_[next_] = std::move(t);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<const Transition*> ReplayBuffer::Sample(std::size_t n,
+                                                    util::Rng& rng) const {
+  std::vector<const Transition*> out;
+  if (data_.empty()) return out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(&data_[rng.Index(data_.size())]);
+  }
+  return out;
+}
+
+}  // namespace mobirescue::rl

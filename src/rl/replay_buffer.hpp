@@ -1,0 +1,46 @@
+// Experience replay for the DQN dispatcher (Section IV-C4: the model keeps
+// training online from freshly sampled state/action data).
+//
+// A transition is one team's dispatch decision: the feature vector of the
+// chosen (team, candidate) pair, the team's share of the Eq. (5) reward, and
+// the feature vectors of every candidate available at the next round (for
+// the max_a' Q(s', a') bootstrap target).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mobirescue::rl {
+
+struct Transition {
+  std::vector<double> features;                     // chosen action features
+  double reward = 0.0;
+  std::vector<std::vector<double>> next_candidates; // empty if terminal
+  bool terminal = false;
+  /// Semi-MDP macro-action duration in dispatch rounds; the bootstrap
+  /// target discounts by gamma^duration so long legs and short waits are
+  /// priced consistently.
+  int duration_rounds = 1;
+};
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  void Push(Transition t);
+  std::size_t size() const { return data_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return data_.empty(); }
+
+  /// Uniform random sample with replacement.
+  std::vector<const Transition*> Sample(std::size_t n, util::Rng& rng) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::vector<Transition> data_;
+};
+
+}  // namespace mobirescue::rl

@@ -1,0 +1,144 @@
+#include "roadnet/city_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mobirescue::roadnet {
+
+RegionMap::RegionMap(const util::BoundingBox& box, double downtown_radius_frac)
+    : box_(box), downtown_radius_frac_(downtown_radius_frac) {}
+
+RegionId RegionMap::RegionOf(const util::GeoPoint& p) const {
+  const util::GeoPoint c = box_.Center();
+  // Normalised offsets in [-0.5, 0.5]-ish space.
+  const double dx =
+      (p.lon - c.lon) / (box_.north_east.lon - box_.south_west.lon);
+  const double dy =
+      (p.lat - c.lat) / (box_.north_east.lat - box_.south_west.lat);
+  const double r = std::sqrt(dx * dx + dy * dy);
+  if (r <= downtown_radius_frac_) return kDowntownRegion;
+  // Six wedges for regions {1, 2, 4, 5, 6, 7}, counter-clockwise from east.
+  double angle = std::atan2(dy, dx);  // (-pi, pi]
+  if (angle < 0) angle += 2.0 * M_PI;
+  const int wedge = std::min(5, static_cast<int>(angle / (2.0 * M_PI / 6.0)));
+  static constexpr RegionId kWedgeRegions[6] = {1, 2, 4, 5, 6, 7};
+  return kWedgeRegions[wedge];
+}
+
+util::GeoPoint RegionMap::RegionCentroid(RegionId region) const {
+  const util::GeoPoint c = box_.Center();
+  if (region == kDowntownRegion) return c;
+  static constexpr RegionId kWedgeRegions[6] = {1, 2, 4, 5, 6, 7};
+  int wedge = -1;
+  for (int i = 0; i < 6; ++i) {
+    if (kWedgeRegions[i] == region) wedge = i;
+  }
+  if (wedge < 0) throw std::invalid_argument("RegionCentroid: bad region");
+  const double angle = (wedge + 0.5) * (2.0 * M_PI / 6.0);
+  const double r = 0.30;  // representative wedge radius (normalised)
+  return {c.lat + r * std::sin(angle) * (box_.north_east.lat - box_.south_west.lat),
+          c.lon + r * std::cos(angle) * (box_.north_east.lon - box_.south_west.lon)};
+}
+
+TerrainModel::TerrainModel(const util::BoundingBox& box, double base_m,
+                           double relief_m)
+    : box_(box), base_m_(base_m), relief_m_(relief_m) {}
+
+double TerrainModel::AltitudeAt(const util::GeoPoint& p) const {
+  // Normalised coordinates in [0, 1].
+  const double x = (p.lon - box_.south_west.lon) /
+                   (box_.north_east.lon - box_.south_west.lon);
+  const double y = (p.lat - box_.south_west.lat) /
+                   (box_.north_east.lat - box_.south_west.lat);
+  // North-west highlands sloping toward the south-east basin, with two
+  // deterministic sinusoidal hill bands for local relief.
+  const double slope = (1.0 - x) * 0.55 + y * 0.45;
+  const double hills = 0.10 * std::sin(5.0 * M_PI * x) * std::cos(4.0 * M_PI * y);
+  return base_m_ - relief_m_ + relief_m_ * std::clamp(slope + hills, 0.0, 1.2);
+}
+
+City BuildCity(const CityConfig& config) {
+  if (config.grid_width < 2 || config.grid_height < 2) {
+    throw std::invalid_argument("BuildCity: grid must be at least 2x2");
+  }
+  util::Rng rng(config.seed);
+  City city{RoadNetwork{}, RegionMap{config.box}, TerrainModel{config.box},
+            {}, kInvalidLandmark, config.box};
+
+  const int W = config.grid_width;
+  const int H = config.grid_height;
+  std::vector<LandmarkId> ids(static_cast<std::size_t>(W) * H);
+
+  // Landmarks: jittered grid. Keep a margin so jitter stays inside the box.
+  const double cell_x = 1.0 / (W + 1);
+  const double cell_y = 1.0 / (H + 1);
+  for (int gy = 0; gy < H; ++gy) {
+    for (int gx = 0; gx < W; ++gx) {
+      const double jx = rng.Uniform(-config.jitter_frac, config.jitter_frac);
+      const double jy = rng.Uniform(-config.jitter_frac, config.jitter_frac);
+      const util::GeoPoint pos =
+          config.box.At((gx + 1 + jx) * cell_x, (gy + 1 + jy) * cell_y);
+      const double alt = city.terrain.AltitudeAt(pos) + rng.Normal(0.0, 2.0);
+      const RegionId region = city.regions.RegionOf(pos);
+      ids[static_cast<std::size_t>(gy) * W + gx] =
+          city.network.AddLandmark(pos, alt, region);
+    }
+  }
+
+  auto lm = [&](int gx, int gy) {
+    return ids[static_cast<std::size_t>(gy) * W + gx];
+  };
+  auto speed = [&](int gx, int gy) {
+    // Arterials along every 4th grid line; residential otherwise. Downtown
+    // streets are slower.
+    const bool arterial = (gx % 4 == 0) || (gy % 4 == 0);
+    double s = arterial
+                   ? rng.Uniform(0.7 * config.max_speed_mps, config.max_speed_mps)
+                   : rng.Uniform(config.min_speed_mps, 1.6 * config.min_speed_mps);
+    return s;
+  };
+
+  // Grid edges (two-way), a few randomly missing; plus sparse diagonals.
+  for (int gy = 0; gy < H; ++gy) {
+    for (int gx = 0; gx < W; ++gx) {
+      if (gx + 1 < W && !rng.Bernoulli(config.missing_edge_prob)) {
+        city.network.AddTwoWaySegment(lm(gx, gy), lm(gx + 1, gy), speed(gx, gy));
+      }
+      if (gy + 1 < H && !rng.Bernoulli(config.missing_edge_prob)) {
+        city.network.AddTwoWaySegment(lm(gx, gy), lm(gx, gy + 1), speed(gx, gy));
+      }
+      if (gx + 1 < W && gy + 1 < H && rng.Bernoulli(config.diagonal_prob)) {
+        city.network.AddTwoWaySegment(lm(gx, gy), lm(gx + 1, gy + 1),
+                                      speed(gx, gy));
+      }
+    }
+  }
+
+  // Hospitals: one near the centre of each region first, the remainder
+  // spread uniformly, mirroring the real Charlotte hospital deployment the
+  // paper assumes for all three compared methods.
+  std::vector<LandmarkId> hospitals;
+  for (RegionId r : {1, 2, 3, 4, 5, 6, 7}) {
+    if (static_cast<int>(hospitals.size()) >= config.num_hospitals) break;
+    const LandmarkId h =
+        city.network.NearestLandmark(city.regions.RegionCentroid(r));
+    if (std::find(hospitals.begin(), hospitals.end(), h) == hospitals.end()) {
+      hospitals.push_back(h);
+    }
+  }
+  while (static_cast<int>(hospitals.size()) < config.num_hospitals) {
+    const auto id =
+        static_cast<LandmarkId>(rng.Index(city.network.num_landmarks()));
+    if (std::find(hospitals.begin(), hospitals.end(), id) == hospitals.end()) {
+      hospitals.push_back(id);
+    }
+  }
+  city.hospitals = std::move(hospitals);
+  // The rescue dispatching centre sits on high ground in the north-west
+  // (staging areas are placed outside the flood-risk zone), not downtown.
+  city.depot = city.network.NearestLandmark(config.box.At(0.12, 0.88));
+  return city;
+}
+
+}  // namespace mobirescue::roadnet

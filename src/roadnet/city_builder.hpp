@@ -1,0 +1,90 @@
+// Synthetic Charlotte city generator.
+//
+// The paper's road map comes from OpenStreetMap cropped to the Charlotte
+// bounding box, partitioned into the 7 City-Council regions (Fig. 1). We do
+// not have OSM offline, so CityBuilder generates a comparable substrate: a
+// jittered grid of landmarks over the same bounding box, two-way road
+// segments with realistic speed limits, a smooth synthetic terrain (altitude
+// field), the 7-region partition (region 3 = central downtown disk, the rest
+// radial wedges), a set of hospitals and the rescue dispatching-center depot.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "roadnet/road_network.hpp"
+#include "roadnet/types.hpp"
+#include "util/geo.hpp"
+#include "util/rng.hpp"
+
+namespace mobirescue::roadnet {
+
+/// Maps geo points to the 7-region partition of the city.
+class RegionMap {
+ public:
+  RegionMap() : RegionMap(util::kCharlotteCropBox) {}
+  explicit RegionMap(const util::BoundingBox& box,
+                     double downtown_radius_frac = 0.18);
+
+  /// Region id in 1..7. Region 3 is the central downtown disk.
+  RegionId RegionOf(const util::GeoPoint& p) const;
+
+  /// Geographic centroid (approximate) of a region, for reporting.
+  util::GeoPoint RegionCentroid(RegionId region) const;
+
+  const util::BoundingBox& box() const { return box_; }
+
+ private:
+  util::BoundingBox box_;
+  double downtown_radius_frac_;
+};
+
+/// Terrain (altitude) model: a smooth field over the bounding box. Altitude
+/// decreases from the north-west highlands toward the south-east river basin
+/// with gentle hills, so the per-region averages differ the way the paper's
+/// Fig. 1 annotations do (R1 high ~233 m, R2 low ~195 m).
+class TerrainModel {
+ public:
+  TerrainModel() : TerrainModel(util::kCharlotteCropBox) {}
+  explicit TerrainModel(const util::BoundingBox& box, double base_m = 280.0,
+                        double relief_m = 120.0);
+
+  double AltitudeAt(const util::GeoPoint& p) const;
+
+ private:
+  util::BoundingBox box_;
+  double base_m_;
+  double relief_m_;
+};
+
+/// Everything the rest of the system needs to know about the city.
+struct City {
+  RoadNetwork network;
+  RegionMap regions;
+  TerrainModel terrain;
+  std::vector<LandmarkId> hospitals;
+  LandmarkId depot = kInvalidLandmark;
+  util::BoundingBox box;
+};
+
+/// Generation knobs. Defaults produce ~576 landmarks / ~2100 directed
+/// segments — city-scale enough for the experiments yet fast to route over.
+struct CityConfig {
+  int grid_width = 24;
+  int grid_height = 24;
+  double jitter_frac = 0.25;       // landmark jitter as fraction of cell size
+  double diagonal_prob = 0.15;     // extra diagonal connections
+  double missing_edge_prob = 0.06; // grid edges randomly absent
+  int num_hospitals = 10;
+  double min_speed_mps = 8.9;      // ~20 mph residential
+  double max_speed_mps = 24.6;     // ~55 mph arterial
+  std::uint64_t seed = 42;
+  util::BoundingBox box = util::kCharlotteCropBox;
+};
+
+/// Builds the synthetic city. The resulting graph is strongly connected on
+/// its grid core (verified by tests), hospitals are spread across regions and
+/// the depot sits near the city centre.
+City BuildCity(const CityConfig& config);
+
+}  // namespace mobirescue::roadnet

@@ -1,0 +1,102 @@
+#include "roadnet/road_network.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mobirescue::roadnet {
+
+LandmarkId RoadNetwork::AddLandmark(util::GeoPoint pos, double altitude_m,
+                                    RegionId region) {
+  const auto id = static_cast<LandmarkId>(landmarks_.size());
+  landmarks_.push_back({id, pos, altitude_m, region});
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+SegmentId RoadNetwork::AddSegment(LandmarkId from, LandmarkId to,
+                                  double speed_limit_mps, double length_m) {
+  if (from < 0 || to < 0 ||
+      static_cast<std::size_t>(from) >= landmarks_.size() ||
+      static_cast<std::size_t>(to) >= landmarks_.size()) {
+    throw std::out_of_range("AddSegment: unknown landmark");
+  }
+  if (from == to) throw std::invalid_argument("AddSegment: self loop");
+  if (speed_limit_mps <= 0.0) {
+    throw std::invalid_argument("AddSegment: non-positive speed limit");
+  }
+  if (length_m <= 0.0) {
+    length_m = util::HaversineMeters(landmarks_[from].pos, landmarks_[to].pos);
+  }
+  const auto id = static_cast<SegmentId>(segments_.size());
+  RoadSegment seg;
+  seg.id = id;
+  seg.from = from;
+  seg.to = to;
+  seg.length_m = length_m;
+  seg.speed_limit_mps = speed_limit_mps;
+  // A segment spanning two regions is attributed to its origin's region,
+  // matching how the dataset analysis buckets per-region flow rates.
+  seg.region = landmarks_[from].region;
+  segments_.push_back(seg);
+  out_[from].push_back(id);
+  in_[to].push_back(id);
+  return id;
+}
+
+SegmentId RoadNetwork::AddTwoWaySegment(LandmarkId a, LandmarkId b,
+                                        double speed_limit_mps) {
+  const SegmentId forward = AddSegment(a, b, speed_limit_mps);
+  AddSegment(b, a, speed_limit_mps);
+  return forward;
+}
+
+util::GeoPoint RoadNetwork::SegmentMidpoint(SegmentId id) const {
+  const RoadSegment& s = segment(id);
+  return util::Lerp(landmarks_[s.from].pos, landmarks_[s.to].pos, 0.5);
+}
+
+double RoadNetwork::SegmentAltitude(SegmentId id) const {
+  const RoadSegment& s = segment(id);
+  return (landmarks_[s.from].altitude_m + landmarks_[s.to].altitude_m) / 2.0;
+}
+
+LandmarkId RoadNetwork::NearestLandmark(const util::GeoPoint& p) const {
+  LandmarkId best = kInvalidLandmark;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const Landmark& lm : landmarks_) {
+    const double d = util::ApproxDistanceMeters(p, lm.pos);
+    if (d < best_d) {
+      best_d = d;
+      best = lm.id;
+    }
+  }
+  return best;
+}
+
+std::vector<SegmentId> RoadNetwork::SegmentsInRegion(RegionId region) const {
+  std::vector<SegmentId> out;
+  for (const RoadSegment& s : segments_) {
+    if (s.region == region) out.push_back(s.id);
+  }
+  return out;
+}
+
+void NetworkCondition::SetSpeedFactor(SegmentId id, double f) {
+  if (f <= 0.0 || f > 1.0) {
+    throw std::invalid_argument("SetSpeedFactor: factor must be in (0, 1]");
+  }
+  speed_factor_.at(id) = f;
+}
+
+double NetworkCondition::TravelTime(const RoadSegment& seg) const {
+  if (!IsOpen(seg.id)) return std::numeric_limits<double>::infinity();
+  return seg.length_m / (seg.speed_limit_mps * SpeedFactor(seg.id));
+}
+
+std::size_t NetworkCondition::NumOpen() const {
+  return static_cast<std::size_t>(
+      std::count(open_.begin(), open_.end(), true));
+}
+
+}  // namespace mobirescue::roadnet

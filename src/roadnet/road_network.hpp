@@ -1,0 +1,123 @@
+// Directed road-network graph: landmarks (vertices) and road segments (edges).
+//
+// Mirrors the paper's Section III-A representation of Charlotte: G = (E, V)
+// with per-segment length and speed limit. Each landmark additionally carries
+// an altitude (metres) and the region it belongs to, because the disaster
+// model and the dataset analysis are region- and altitude-driven.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "roadnet/types.hpp"
+#include "util/geo.hpp"
+
+namespace mobirescue::roadnet {
+
+/// A vertex of the road graph: an intersection or turning point.
+struct Landmark {
+  LandmarkId id = kInvalidLandmark;
+  util::GeoPoint pos;
+  double altitude_m = 0.0;
+  RegionId region = kInvalidRegion;
+};
+
+/// A directed edge of the road graph.
+struct RoadSegment {
+  SegmentId id = kInvalidSegment;
+  LandmarkId from = kInvalidLandmark;
+  LandmarkId to = kInvalidLandmark;
+  double length_m = 0.0;
+  double speed_limit_mps = 13.4;  // ~30 mph default
+  RegionId region = kInvalidRegion;
+
+  /// Free-flow traversal time in seconds.
+  double FreeFlowTravelTime() const { return length_m / speed_limit_mps; }
+};
+
+/// The road graph. Landmarks and segments are stored densely and addressed
+/// by their integer ids, which are assigned contiguously on insertion.
+class RoadNetwork {
+ public:
+  /// Adds a landmark and returns its id.
+  LandmarkId AddLandmark(util::GeoPoint pos, double altitude_m,
+                         RegionId region);
+
+  /// Adds a directed segment and returns its id. Length defaults to the
+  /// great-circle distance between the endpoints when <= 0 is passed.
+  SegmentId AddSegment(LandmarkId from, LandmarkId to, double speed_limit_mps,
+                       double length_m = -1.0);
+
+  /// Adds segments in both directions; returns the forward segment id.
+  SegmentId AddTwoWaySegment(LandmarkId a, LandmarkId b,
+                             double speed_limit_mps);
+
+  const Landmark& landmark(LandmarkId id) const { return landmarks_.at(id); }
+  const RoadSegment& segment(SegmentId id) const { return segments_.at(id); }
+  std::span<const Landmark> landmarks() const { return landmarks_; }
+  std::span<const RoadSegment> segments() const { return segments_; }
+  std::size_t num_landmarks() const { return landmarks_.size(); }
+  std::size_t num_segments() const { return segments_.size(); }
+
+  /// Segments leaving the given landmark.
+  std::span<const SegmentId> OutSegments(LandmarkId id) const {
+    return out_.at(id);
+  }
+  /// Segments arriving at the given landmark.
+  std::span<const SegmentId> InSegments(LandmarkId id) const {
+    return in_.at(id);
+  }
+
+  /// Midpoint of a segment (used when placing requests "on" a segment).
+  util::GeoPoint SegmentMidpoint(SegmentId id) const;
+
+  /// Mean altitude of a segment's endpoints.
+  double SegmentAltitude(SegmentId id) const;
+
+  /// Brute-force nearest landmark to a point. Prefer SpatialIndex in hot
+  /// paths; this is for setup-time lookups.
+  LandmarkId NearestLandmark(const util::GeoPoint& p) const;
+
+  /// All segment ids in the given region.
+  std::vector<SegmentId> SegmentsInRegion(RegionId region) const;
+
+ private:
+  std::vector<Landmark> landmarks_;
+  std::vector<RoadSegment> segments_;
+  std::vector<std::vector<SegmentId>> out_;
+  std::vector<std::vector<SegmentId>> in_;
+};
+
+/// Mutable per-segment disaster condition overlay for a RoadNetwork.
+///
+/// This is the paper's "remaining available road network" G̃: a segment can
+/// be closed outright by flooding, or have its effective speed reduced.
+/// Kept separate from RoadNetwork so the same static graph can carry many
+/// time-varying conditions.
+class NetworkCondition {
+ public:
+  NetworkCondition() = default;
+  explicit NetworkCondition(std::size_t num_segments)
+      : open_(num_segments, true), speed_factor_(num_segments, 1.0) {}
+
+  bool IsOpen(SegmentId id) const { return open_.at(id); }
+  double SpeedFactor(SegmentId id) const { return speed_factor_.at(id); }
+
+  void Close(SegmentId id) { open_.at(id) = false; }
+  void Open(SegmentId id) { open_.at(id) = true; }
+  void SetSpeedFactor(SegmentId id, double f);
+
+  /// Effective traversal time of a segment under this condition;
+  /// +inf when closed.
+  double TravelTime(const RoadSegment& seg) const;
+
+  std::size_t NumOpen() const;
+  std::size_t size() const { return open_.size(); }
+
+ private:
+  std::vector<bool> open_;
+  std::vector<double> speed_factor_;
+};
+
+}  // namespace mobirescue::roadnet

@@ -1,0 +1,142 @@
+#include "roadnet/router.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace mobirescue::roadnet {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+bool ShortestPathTree::Reachable(LandmarkId to) const {
+  return to >= 0 && static_cast<std::size_t>(to) < time_s.size() &&
+         time_s[to] < kInf;
+}
+
+std::optional<Route> ShortestPathTree::RouteTo(const RoadNetwork& net,
+                                               LandmarkId to) const {
+  if (!Reachable(to)) return std::nullopt;
+  Route route;
+  route.travel_time_s = time_s[to];
+  LandmarkId cur = to;
+  while (cur != source) {
+    const SegmentId sid = parent_seg[cur];
+    if (sid == kInvalidSegment) return std::nullopt;  // corrupt tree
+    const RoadSegment& seg = net.segment(sid);
+    route.segments.push_back(sid);
+    route.length_m += seg.length_m;
+    cur = seg.from;
+  }
+  std::reverse(route.segments.begin(), route.segments.end());
+  return route;
+}
+
+ShortestPathTree Router::RunDijkstra(LandmarkId source,
+                                     const NetworkCondition& cond,
+                                     LandmarkId stop_at) const {
+  if (source < 0 || static_cast<std::size_t>(source) >= net_.num_landmarks()) {
+    throw std::out_of_range("Router: bad source landmark");
+  }
+  if (cond.size() != net_.num_segments()) {
+    throw std::invalid_argument("Router: condition size mismatch");
+  }
+  ShortestPathTree tree;
+  tree.source = source;
+  tree.time_s.assign(net_.num_landmarks(), kInf);
+  tree.parent_seg.assign(net_.num_landmarks(), kInvalidSegment);
+  tree.time_s[source] = 0.0;
+
+  using Item = std::pair<double, LandmarkId>;  // (time, landmark)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.emplace(0.0, source);
+
+  while (!pq.empty()) {
+    const auto [t, u] = pq.top();
+    pq.pop();
+    if (t > tree.time_s[u]) continue;  // stale entry
+    if (u == stop_at) break;
+    for (SegmentId sid : net_.OutSegments(u)) {
+      const RoadSegment& seg = net_.segment(sid);
+      const double w = cond.TravelTime(seg);
+      if (w == kInf) continue;
+      const double nt = t + w;
+      if (nt < tree.time_s[seg.to]) {
+        tree.time_s[seg.to] = nt;
+        tree.parent_seg[seg.to] = sid;
+        pq.emplace(nt, seg.to);
+      }
+    }
+  }
+  return tree;
+}
+
+ShortestPathTree Router::Tree(LandmarkId source,
+                              const NetworkCondition& cond) const {
+  return RunDijkstra(source, cond, kInvalidLandmark);
+}
+
+ShortestPathTree Router::ReverseTree(LandmarkId target,
+                                     const NetworkCondition& cond) const {
+  if (target < 0 || static_cast<std::size_t>(target) >= net_.num_landmarks()) {
+    throw std::out_of_range("Router: bad target landmark");
+  }
+  ShortestPathTree tree;
+  tree.source = target;
+  tree.time_s.assign(net_.num_landmarks(), kInf);
+  tree.parent_seg.assign(net_.num_landmarks(), kInvalidSegment);
+  tree.time_s[target] = 0.0;
+
+  using Item = std::pair<double, LandmarkId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.emplace(0.0, target);
+  while (!pq.empty()) {
+    const auto [t, u] = pq.top();
+    pq.pop();
+    if (t > tree.time_s[u]) continue;
+    for (SegmentId sid : net_.InSegments(u)) {
+      const RoadSegment& seg = net_.segment(sid);
+      const double w = cond.TravelTime(seg);
+      if (w == kInf) continue;
+      const double nt = t + w;
+      if (nt < tree.time_s[seg.from]) {
+        tree.time_s[seg.from] = nt;
+        tree.parent_seg[seg.from] = sid;
+        pq.emplace(nt, seg.from);
+      }
+    }
+  }
+  return tree;
+}
+
+std::optional<Route> Router::ShortestRoute(LandmarkId from, LandmarkId to,
+                                           const NetworkCondition& cond) const {
+  const ShortestPathTree tree = RunDijkstra(from, cond, to);
+  return tree.RouteTo(net_, to);
+}
+
+double Router::TravelTime(LandmarkId from, LandmarkId to,
+                          const NetworkCondition& cond) const {
+  const ShortestPathTree tree = RunDijkstra(from, cond, to);
+  return tree.Reachable(to) ? tree.time_s[to] : kInf;
+}
+
+LandmarkId Router::NearestTarget(LandmarkId from,
+                                 const std::vector<LandmarkId>& targets,
+                                 const NetworkCondition& cond) const {
+  if (targets.empty()) return kInvalidLandmark;
+  const ShortestPathTree tree = RunDijkstra(from, cond, kInvalidLandmark);
+  LandmarkId best = kInvalidLandmark;
+  double best_t = kInf;
+  for (LandmarkId t : targets) {
+    if (tree.Reachable(t) && tree.time_s[t] < best_t) {
+      best_t = tree.time_s[t];
+      best = t;
+    }
+  }
+  return best;
+}
+
+}  // namespace mobirescue::roadnet

@@ -1,0 +1,76 @@
+// Shortest-path routing over the (possibly flood-degraded) road network.
+//
+// The paper uses Dijkstra (Section IV-C3) to compute each rescue team's
+// driving route Φ_kj from its current position to its destination segment,
+// and the driving delay t_kj = Σ l_e / v_e along that route.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "roadnet/road_network.hpp"
+
+namespace mobirescue::roadnet {
+
+/// A computed driving route: the ordered segments to traverse, plus totals.
+struct Route {
+  std::vector<SegmentId> segments;
+  double travel_time_s = 0.0;
+  double length_m = 0.0;
+
+  bool empty() const { return segments.empty(); }
+};
+
+/// One-to-all shortest-path result from a single source landmark.
+struct ShortestPathTree {
+  LandmarkId source = kInvalidLandmark;
+  std::vector<double> time_s;         // per landmark; +inf if unreachable
+  std::vector<SegmentId> parent_seg;  // segment used to reach each landmark
+
+  bool Reachable(LandmarkId to) const;
+  /// Extracts the route source -> to; nullopt when unreachable.
+  std::optional<Route> RouteTo(const RoadNetwork& net, LandmarkId to) const;
+};
+
+/// Dijkstra router. Weights are travel times under a NetworkCondition
+/// (closed segments are impassable). Stateless apart from the bound graph;
+/// safe to share across dispatchers.
+class Router {
+ public:
+  explicit Router(const RoadNetwork& net) : net_(net) {}
+
+  /// Full one-to-all Dijkstra from `source` under `cond`.
+  ShortestPathTree Tree(LandmarkId source, const NetworkCondition& cond) const;
+
+  /// All-to-one Dijkstra on the reversed graph: time_s[u] is the travel
+  /// time from u *to* `target`. parent_seg is not meaningful for route
+  /// extraction here (times only). Used to score many teams against one
+  /// candidate destination in a single pass.
+  ShortestPathTree ReverseTree(LandmarkId target,
+                               const NetworkCondition& cond) const;
+
+  /// Point-to-point route; nullopt when unreachable. Early-exits once the
+  /// target is settled.
+  std::optional<Route> ShortestRoute(LandmarkId from, LandmarkId to,
+                                     const NetworkCondition& cond) const;
+
+  /// Travel time of the shortest route, +inf when unreachable.
+  double TravelTime(LandmarkId from, LandmarkId to,
+                    const NetworkCondition& cond) const;
+
+  /// Nearest landmark (by travel time) among `targets`, e.g. the nearest
+  /// hospital; kInvalidLandmark when none reachable.
+  LandmarkId NearestTarget(LandmarkId from,
+                           const std::vector<LandmarkId>& targets,
+                           const NetworkCondition& cond) const;
+
+  const RoadNetwork& network() const { return net_; }
+
+ private:
+  ShortestPathTree RunDijkstra(LandmarkId source, const NetworkCondition& cond,
+                               LandmarkId stop_at) const;
+
+  const RoadNetwork& net_;
+};
+
+}  // namespace mobirescue::roadnet

@@ -1,0 +1,117 @@
+#include "roadnet/spatial_index.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mobirescue::roadnet {
+
+SpatialIndex::SpatialIndex(const RoadNetwork& net,
+                           const util::BoundingBox& box, int cells)
+    : net_(net), box_(box), cells_(cells) {
+  if (cells <= 0) throw std::invalid_argument("SpatialIndex: cells <= 0");
+  cell_w_deg_ = (box.north_east.lon - box.south_west.lon) / cells_;
+  cell_h_deg_ = (box.north_east.lat - box.south_west.lat) / cells_;
+  const double cw_m = box.WidthMeters() / cells_;
+  const double ch_m = box.HeightMeters() / cells_;
+  cell_diag_m_ = std::sqrt(cw_m * cw_m + ch_m * ch_m);
+  grid_.resize(static_cast<std::size_t>(cells_) * cells_);
+  max_half_len_m_ = 0.0;
+  for (const RoadSegment& s : net.segments()) {
+    const util::GeoPoint mid = net.SegmentMidpoint(s.id);
+    const int cx = CellX(mid.lon);
+    const int cy = CellY(mid.lat);
+    grid_[static_cast<std::size_t>(cy) * cells_ + cx].push_back(s.id);
+    max_half_len_m_ = std::max(max_half_len_m_, s.length_m / 2.0);
+  }
+}
+
+int SpatialIndex::CellX(double lon) const {
+  const int c = static_cast<int>((lon - box_.south_west.lon) / cell_w_deg_);
+  return std::clamp(c, 0, cells_ - 1);
+}
+
+int SpatialIndex::CellY(double lat) const {
+  const int c = static_cast<int>((lat - box_.south_west.lat) / cell_h_deg_);
+  return std::clamp(c, 0, cells_ - 1);
+}
+
+const std::vector<SegmentId>& SpatialIndex::Cell(int cx, int cy) const {
+  return grid_[static_cast<std::size_t>(cy) * cells_ + cx];
+}
+
+SegmentId SpatialIndex::NearestSegment(const util::GeoPoint& p,
+                                       double max_radius_m) const {
+  if (net_.num_segments() == 0) return kInvalidSegment;
+  const int cx = CellX(p.lon);
+  const int cy = CellY(p.lat);
+
+  SegmentId best = kInvalidSegment;
+  double best_d = std::numeric_limits<double>::infinity();
+
+  auto consider_cell = [&](int x, int y) {
+    if (x < 0 || y < 0 || x >= cells_ || y >= cells_) return;
+    for (SegmentId sid : Cell(x, y)) {
+      const RoadSegment& s = net_.segment(sid);
+      const double d = util::PointToSegmentMeters(
+          p, net_.landmark(s.from).pos, net_.landmark(s.to).pos);
+      if (d < best_d) {
+        best_d = d;
+        best = sid;
+      }
+    }
+  };
+
+  for (int ring = 0; ring < cells_; ++ring) {
+    if (ring == 0) {
+      consider_cell(cx, cy);
+    } else {
+      for (int x = cx - ring; x <= cx + ring; ++x) {
+        consider_cell(x, cy - ring);
+        consider_cell(x, cy + ring);
+      }
+      for (int y = cy - ring + 1; y <= cy + ring - 1; ++y) {
+        consider_cell(cx - ring, y);
+        consider_cell(cx + ring, y);
+      }
+    }
+    // A segment bucketed in ring r has its midpoint at least (r-1) cell
+    // diagonals away, so its nearest point is at least that minus half its
+    // length. Stop once no farther ring can beat the current best.
+    const double ring_lower_bound =
+        (ring > 0 ? (ring - 1) : 0) * cell_diag_m_ - max_half_len_m_;
+    if (best != kInvalidSegment && best_d < ring_lower_bound) {
+      break;
+    }
+    // Bounded search: nothing within the radius can live farther out.
+    if (max_radius_m > 0.0 && best == kInvalidSegment &&
+        ring_lower_bound > max_radius_m) {
+      break;
+    }
+  }
+  if (max_radius_m > 0.0 && best_d > max_radius_m) return kInvalidSegment;
+  return best;
+}
+
+std::vector<SegmentId> SpatialIndex::SegmentsNear(const util::GeoPoint& p,
+                                                  double radius_m) const {
+  std::vector<SegmentId> out;
+  const int rings =
+      std::max(1, static_cast<int>(radius_m / cell_diag_m_) + 1);
+  const int cx = CellX(p.lon);
+  const int cy = CellY(p.lat);
+  for (int y = cy - rings; y <= cy + rings; ++y) {
+    for (int x = cx - rings; x <= cx + rings; ++x) {
+      if (x < 0 || y < 0 || x >= cells_ || y >= cells_) continue;
+      for (SegmentId sid : Cell(x, y)) {
+        const util::GeoPoint mid = net_.SegmentMidpoint(sid);
+        if (util::ApproxDistanceMeters(p, mid) <= radius_m) {
+          out.push_back(sid);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mobirescue::roadnet

@@ -1,0 +1,49 @@
+// Uniform-grid spatial index over road segments for fast nearest-segment
+// queries — the hot path of GPS map matching (Section IV-A stage 1).
+#pragma once
+
+#include <vector>
+
+#include "roadnet/road_network.hpp"
+#include "util/geo.hpp"
+
+namespace mobirescue::roadnet {
+
+/// Buckets segment midpoints into a lat/lon grid. Nearest-segment queries
+/// search outward ring-by-ring from the query cell, then refine candidates
+/// by exact point-to-segment distance.
+class SpatialIndex {
+ public:
+  /// Builds an index over all segments of `net`, covering `box`. The grid is
+  /// `cells x cells`.
+  SpatialIndex(const RoadNetwork& net, const util::BoundingBox& box,
+               int cells = 64);
+
+  /// Segment nearest to `p` (by point-to-segment distance). Returns
+  /// kInvalidSegment for an empty network. `max_radius_m`, when positive,
+  /// bounds the search: if no segment lies within it, kInvalidSegment is
+  /// returned.
+  SegmentId NearestSegment(const util::GeoPoint& p,
+                           double max_radius_m = -1.0) const;
+
+  /// All segments whose midpoint lies within `radius_m` of `p`.
+  std::vector<SegmentId> SegmentsNear(const util::GeoPoint& p,
+                                      double radius_m) const;
+
+ private:
+  int CellX(double lon) const;
+  int CellY(double lat) const;
+  const std::vector<SegmentId>& Cell(int cx, int cy) const;
+
+  const RoadNetwork& net_;
+  util::BoundingBox box_;
+  int cells_;
+  double cell_w_deg_, cell_h_deg_;
+  double cell_diag_m_;
+  /// Half the longest segment: bounds how far a segment's nearest point can
+  /// be from its (bucketed) midpoint.
+  double max_half_len_m_ = 0.0;
+  std::vector<std::vector<SegmentId>> grid_;
+};
+
+}  // namespace mobirescue::roadnet

@@ -1,0 +1,25 @@
+// Identifier types for the road network.
+//
+// The paper models the city as a directed graph G = (E, V): vertices are
+// landmarks (intersections / turning points) and edges are road segments.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mobirescue::roadnet {
+
+using LandmarkId = std::int32_t;
+using SegmentId = std::int32_t;
+using RegionId = std::int32_t;
+
+inline constexpr LandmarkId kInvalidLandmark = -1;
+inline constexpr SegmentId kInvalidSegment = -1;
+inline constexpr RegionId kInvalidRegion = -1;
+
+/// Charlotte City Council districts partition the city into 7 regions
+/// (paper Fig. 1); region ids are 1..7 and region 3 is downtown.
+inline constexpr int kNumRegions = 7;
+inline constexpr RegionId kDowntownRegion = 3;
+
+}  // namespace mobirescue::roadnet

@@ -1,0 +1,84 @@
+// The dispatcher interface the simulator calls every period (Section IV-A:
+// MobiRescue runs periodically, e.g. every 5 minutes). Concrete policies
+// (MobiRescue RL, the Schedule and Rescue integer-programming baselines)
+// live in src/dispatch/.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "roadnet/road_network.hpp"
+#include "sim/request.hpp"
+#include "sim/team.hpp"
+
+namespace mobirescue::sim {
+
+/// What a dispatcher may observe about a team.
+struct TeamView {
+  int id = -1;
+  roadnet::LandmarkId at = roadnet::kInvalidLandmark;
+  TeamMode mode = TeamMode::kIdle;
+  /// Destination segment of the current serving leg, if any.
+  roadnet::SegmentId target_segment = roadnet::kInvalidSegment;
+  /// Remaining travel time of the current leg under the true condition (s);
+  /// 0 when idle.
+  double leg_remaining_s = 0.0;
+  int onboard = 0;
+  int capacity = 0;
+  /// Requests picked up / drive time spent since the previous dispatch
+  /// round — the ingredients of the paper's reward Eq. (5).
+  int served_since_dispatch = 0;
+  double drive_time_since_dispatch = 0.0;
+};
+
+/// What a dispatcher may observe about a pending request. Note: predictive
+/// dispatchers (MobiRescue, Rescue) are built on *predicted* distributions
+/// and may not peek at future requests; the simulator only exposes requests
+/// that have already appeared.
+struct RequestView {
+  int id = -1;
+  roadnet::SegmentId segment = roadnet::kInvalidSegment;
+  util::SimTime appear_time = 0.0;
+};
+
+struct DispatchContext {
+  util::SimTime now = 0.0;
+  std::vector<TeamView> teams;
+  std::vector<RequestView> pending;  // appeared, unassigned/unpicked
+  /// Remaining available road network G̃ at `now` (from the flood model,
+  /// i.e. the satellite-imaging substitute).
+  const roadnet::NetworkCondition* condition = nullptr;
+  /// Free-flow condition (what a disaster-unaware method believes).
+  const roadnet::NetworkCondition* free_condition = nullptr;
+};
+
+enum class ActionKind {
+  kKeep,   // continue whatever the team is doing
+  kGoto,   // drive to a destination segment (serving)
+  kDepot,  // return to the dispatching centre (not serving)
+};
+
+struct TeamAction {
+  ActionKind kind = ActionKind::kKeep;
+  roadnet::SegmentId target = roadnet::kInvalidSegment;
+};
+
+struct DispatchDecision {
+  std::vector<TeamAction> actions;  // parallel to context.teams
+  /// Computation latency charged before the actions take effect: the paper
+  /// measures ~300 s for the integer-programming baselines and < 0.5 s for
+  /// the trained RL model (Section V-C3).
+  double compute_latency_s = 0.0;
+};
+
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+  virtual std::string name() const = 0;
+  virtual DispatchDecision Decide(const DispatchContext& context) = 0;
+  /// Hook for online-learning dispatchers (the paper keeps training the RL
+  /// model while it runs); default is a no-op.
+  virtual void OnRoundComplete(const DispatchContext& /*after*/) {}
+};
+
+}  // namespace mobirescue::sim

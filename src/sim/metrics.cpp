@@ -1,0 +1,70 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+namespace mobirescue::sim {
+
+MetricsCollector::MetricsCollector(int hours)
+    : hours_(hours),
+      timely_per_hour_(hours, 0),
+      served_per_hour_(hours, 0),
+      delay_sum_per_hour_(hours, 0.0),
+      delay_count_per_hour_(hours, 0),
+      serving_sum_per_hour_(hours, 0.0),
+      serving_count_per_hour_(hours, 0) {}
+
+void MetricsCollector::RecordPickup(util::SimTime t, double driving_delay_s,
+                                    double timeliness_s, bool timely,
+                                    int team_id) {
+  const int h = std::clamp(util::HourIndex(t), 0, hours_ - 1);
+  ++served_per_hour_[h];
+  if (timely) {
+    ++timely_per_hour_[h];
+    ++total_timely_;
+  }
+  delay_sum_per_hour_[h] += driving_delay_s;
+  ++delay_count_per_hour_[h];
+  delays_.push_back(driving_delay_s);
+  timeliness_.push_back(timeliness_s);
+  team_served_.emplace_back(team_id, 1);
+}
+
+void MetricsCollector::RecordDelivery(util::SimTime /*t*/) {
+  ++total_delivered_;
+}
+
+void MetricsCollector::RecordServingTeams(util::SimTime t, int serving) {
+  const int h = std::clamp(util::HourIndex(t), 0, hours_ - 1);
+  serving_sum_per_hour_[h] += serving;
+  ++serving_count_per_hour_[h];
+}
+
+std::vector<double> MetricsCollector::AvgDelayPerHour() const {
+  std::vector<double> out(hours_, 0.0);
+  for (int h = 0; h < hours_; ++h) {
+    if (delay_count_per_hour_[h] > 0) {
+      out[h] = delay_sum_per_hour_[h] / delay_count_per_hour_[h];
+    }
+  }
+  return out;
+}
+
+std::vector<double> MetricsCollector::ServingTeamsPerHour() const {
+  std::vector<double> out(hours_, 0.0);
+  for (int h = 0; h < hours_; ++h) {
+    if (serving_count_per_hour_[h] > 0) {
+      out[h] = serving_sum_per_hour_[h] / serving_count_per_hour_[h];
+    }
+  }
+  return out;
+}
+
+std::vector<int> MetricsCollector::ServedPerTeam(int num_teams) const {
+  std::vector<int> out(num_teams, 0);
+  for (const auto& [team, n] : team_served_) {
+    if (team >= 0 && team < num_teams) out[team] += n;
+  }
+  return out;
+}
+
+}  // namespace mobirescue::sim

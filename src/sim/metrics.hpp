@@ -1,0 +1,61 @@
+// Metrics instrumentation for the Section V evaluation: per-hour series and
+// raw samples for every figure of the paper.
+#pragma once
+
+#include <vector>
+
+#include "util/sim_time.hpp"
+#include "util/stats.hpp"
+
+namespace mobirescue::sim {
+
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(int hours = 24);
+
+  void RecordPickup(util::SimTime t, double driving_delay_s,
+                    double timeliness_s, bool timely, int team_id);
+  void RecordDelivery(util::SimTime t);
+  void RecordServingTeams(util::SimTime t, int serving);
+
+  /// Fig. 9: timely served requests per hour.
+  const std::vector<int>& timely_served_per_hour() const {
+    return timely_per_hour_;
+  }
+  const std::vector<int>& served_per_hour() const { return served_per_hour_; }
+
+  /// Fig. 11: average driving delay per hour (s).
+  std::vector<double> AvgDelayPerHour() const;
+
+  /// Fig. 12: all driving-delay samples (s).
+  const std::vector<double>& delay_samples() const { return delays_; }
+
+  /// Fig. 13: all timeliness samples (s).
+  const std::vector<double>& timeliness_samples() const { return timeliness_; }
+
+  /// Fig. 14: mean number of serving teams per hour.
+  std::vector<double> ServingTeamsPerHour() const;
+
+  /// Fig. 10: per-team served totals.
+  std::vector<int> ServedPerTeam(int num_teams) const;
+
+  int total_served() const { return static_cast<int>(delays_.size()); }
+  int total_timely() const { return total_timely_; }
+  int total_delivered() const { return total_delivered_; }
+
+ private:
+  int hours_;
+  std::vector<int> timely_per_hour_;
+  std::vector<int> served_per_hour_;
+  std::vector<double> delay_sum_per_hour_;
+  std::vector<int> delay_count_per_hour_;
+  std::vector<double> serving_sum_per_hour_;
+  std::vector<int> serving_count_per_hour_;
+  std::vector<double> delays_;
+  std::vector<double> timeliness_;
+  std::vector<std::pair<int, int>> team_served_;  // (team, count) increments
+  int total_timely_ = 0;
+  int total_delivered_ = 0;
+};
+
+}  // namespace mobirescue::sim

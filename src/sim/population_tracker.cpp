@@ -1,0 +1,46 @@
+#include "sim/population_tracker.hpp"
+
+#include <algorithm>
+
+namespace mobirescue::sim {
+
+PopulationTracker::PopulationTracker(mobility::GpsTrace records)
+    : records_(std::move(records)) {
+  std::sort(records_.begin(), records_.end(),
+            [](const mobility::GpsRecord& a, const mobility::GpsRecord& b) {
+              return a.t < b.t;
+            });
+}
+
+const std::vector<mobility::GpsRecord>& PopulationTracker::Snapshot(
+    util::SimTime t) {
+  bool changed = false;
+  while (cursor_ < records_.size() && records_[cursor_].t <= t) {
+    latest_[records_[cursor_].person] = records_[cursor_];
+    ++cursor_;
+    changed = true;
+  }
+  if (changed || snapshot_time_ < 0.0) {
+    snapshot_.clear();
+    snapshot_.reserve(latest_.size());
+    for (const auto& [id, rec] : latest_) snapshot_.push_back(rec);
+    snapshot_time_ = t;
+  }
+  return snapshot_;
+}
+
+mobility::GpsTrace DaySlice(const mobility::GpsTrace& trace, int day) {
+  mobility::GpsTrace out;
+  const double begin = day * util::kSecondsPerDay;
+  const double end = begin + util::kSecondsPerDay;
+  for (const mobility::GpsRecord& r : trace) {
+    if (r.t >= begin && r.t < end) {
+      mobility::GpsRecord copy = r;
+      copy.t -= begin;
+      out.push_back(copy);
+    }
+  }
+  return out;
+}
+
+}  // namespace mobirescue::sim

@@ -1,0 +1,39 @@
+// Tracks each person's latest known GPS position as simulation time
+// advances — the "real-time distribution of people collected from people's
+// cellphones" that MobiRescue's SVM predictor consumes (problem statement,
+// Section III).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "mobility/gps_record.hpp"
+
+namespace mobirescue::sim {
+
+class PopulationTracker {
+ public:
+  /// `records` may be in any order; they are re-sorted by time. Timestamps
+  /// must already be re-timed to simulation time (0 = day start).
+  explicit PopulationTracker(mobility::GpsTrace records);
+
+  /// Advances to time t and returns every person's latest position at or
+  /// before t. The returned reference is valid until the next call.
+  const std::vector<mobility::GpsRecord>& Snapshot(util::SimTime t);
+
+  std::size_t num_people_seen() const { return latest_.size(); }
+
+ private:
+  mobility::GpsTrace records_;  // sorted by time
+  std::size_t cursor_ = 0;
+  std::unordered_map<mobility::PersonId, std::size_t> latest_index_;
+  std::unordered_map<mobility::PersonId, mobility::GpsRecord> latest_;
+  std::vector<mobility::GpsRecord> snapshot_;
+  double snapshot_time_ = -1.0;
+};
+
+/// Extracts one day's records from a full-window trace and re-times them to
+/// [0, 24 h).
+mobility::GpsTrace DaySlice(const mobility::GpsTrace& trace, int day);
+
+}  // namespace mobirescue::sim

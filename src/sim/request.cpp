@@ -1,0 +1,26 @@
+#include "sim/request.hpp"
+
+namespace mobirescue::sim {
+
+std::vector<Request> RequestsFromEvents(
+    const std::vector<mobility::RescueEvent>& events, int day) {
+  std::vector<Request> out;
+  const double begin = day * util::kSecondsPerDay;
+  const double end = begin + util::kSecondsPerDay;
+  int next_id = 0;
+  for (const mobility::RescueEvent& ev : events) {
+    if (ev.request_time < begin || ev.request_time >= end) continue;
+    if (ev.request_segment == roadnet::kInvalidSegment) continue;
+    Request r;
+    r.id = next_id++;
+    r.person = ev.person;
+    r.appear_time = ev.request_time - begin;
+    r.segment = ev.request_segment;
+    r.pos = ev.request_pos;
+    r.region = ev.region;
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace mobirescue::sim

@@ -1,0 +1,49 @@
+// Rescue-request lifecycle inside the evaluation simulator.
+#pragma once
+
+#include <vector>
+
+#include "mobility/gps_record.hpp"
+#include "mobility/trace_generator.hpp"
+#include "roadnet/types.hpp"
+#include "util/geo.hpp"
+#include "util/sim_time.hpp"
+
+namespace mobirescue::sim {
+
+enum class RequestStatus {
+  kFuture,     // not yet appeared
+  kPending,    // appeared, waiting for a team
+  kOnBoard,    // picked up, riding to a hospital
+  kDelivered,  // dropped at a hospital
+};
+
+struct Request {
+  int id = -1;
+  mobility::PersonId person = mobility::kInvalidPerson;
+  util::SimTime appear_time = 0.0;
+  roadnet::SegmentId segment = roadnet::kInvalidSegment;
+  util::GeoPoint pos;
+  roadnet::RegionId region = roadnet::kInvalidRegion;
+
+  /// The landmark a team must reach to pick this person up: the request
+  /// segment's endpoint nearest to the person's position. Filled by the
+  /// simulator.
+  roadnet::LandmarkId pickup_landmark = roadnet::kInvalidLandmark;
+
+  RequestStatus status = RequestStatus::kFuture;
+  util::SimTime pickup_time = -1.0;
+  util::SimTime delivery_time = -1.0;
+  int served_by_team = -1;
+  /// Driving delay of the serving team to this request's position
+  /// (Section V-B metric), filled at pickup.
+  double driving_delay_s = -1.0;
+};
+
+/// Builds the evaluation request stream from the ground-truth rescue events
+/// of one day: every event whose request_time falls inside
+/// [day*24h, (day+1)*24h) becomes a request, re-timed relative to day start.
+std::vector<Request> RequestsFromEvents(
+    const std::vector<mobility::RescueEvent>& events, int day);
+
+}  // namespace mobirescue::sim

@@ -1,0 +1,429 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mobirescue::sim {
+
+using util::SimTime;
+
+RescueSimulator::RescueSimulator(const roadnet::City& city,
+                                 const weather::FloodModel& flood,
+                                 std::vector<Request> requests,
+                                 double day_offset_s, SimConfig config)
+    : city_(city),
+      flood_(flood),
+      router_(city.network),
+      requests_(std::move(requests)),
+      day_offset_s_(day_offset_s),
+      config_(config),
+      rng_(config.seed),
+      metrics_(static_cast<int>(config.horizon_s / util::kSecondsPerHour) + 1),
+      free_cond_(city.network.num_segments()) {
+  PlaceTeamsAtHospitals();
+  team_blocked_until_.assign(teams_.size(), -1.0);
+  for (Request& r : requests_) {
+    const roadnet::RoadSegment& seg = city_.network.segment(r.segment);
+    const double d_from =
+        util::ApproxDistanceMeters(r.pos, city_.network.landmark(seg.from).pos);
+    const double d_to =
+        util::ApproxDistanceMeters(r.pos, city_.network.landmark(seg.to).pos);
+    r.pickup_landmark = d_from <= d_to ? seg.from : seg.to;
+  }
+  appear_order_.resize(requests_.size());
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    appear_order_[i] = static_cast<int>(i);
+  }
+  std::sort(appear_order_.begin(), appear_order_.end(), [&](int a, int b) {
+    return requests_[a].appear_time < requests_[b].appear_time;
+  });
+}
+
+void RescueSimulator::PlaceTeamsAtHospitals() {
+  // Paper V-B: initial team positions randomly distributed among hospitals.
+  teams_.resize(config_.num_teams);
+  for (int k = 0; k < config_.num_teams; ++k) {
+    Team& team = teams_[k];
+    team.id = k;
+    team.capacity = config_.team_capacity;
+    team.at = city_.hospitals[rng_.Index(city_.hospitals.size())];
+  }
+}
+
+const roadnet::NetworkCondition& RescueSimulator::ConditionAt(SimTime t) {
+  const int hour = util::HourIndex(t + day_offset_s_);
+  auto it = cond_cache_.find(hour);
+  if (it == cond_cache_.end()) {
+    it = cond_cache_
+             .emplace(hour, flood_.NetworkConditionAt(
+                                city_.network,
+                                (hour + 0.5) * util::kSecondsPerHour))
+             .first;
+  }
+  return it->second;
+}
+
+DispatchContext RescueSimulator::BuildContext(SimTime now) {
+  DispatchContext ctx;
+  ctx.now = now;
+  ctx.teams.reserve(teams_.size());
+  for (const Team& team : teams_) {
+    TeamView v;
+    v.id = team.id;
+    v.at = team.at;
+    v.mode = team.mode;
+    v.target_segment = team.target_segment;
+    v.onboard = static_cast<int>(team.onboard.size());
+    const roadnet::NetworkCondition& cond = ConditionAt(now);
+    double remaining = 0.0;
+    for (std::size_t i = 0; i < team.route.size(); ++i) {
+      const double tt = cond.TravelTime(city_.network.segment(team.route[i]));
+      if (std::isfinite(tt)) remaining += tt;
+    }
+    remaining -= team.seg_elapsed_s;
+    v.leg_remaining_s = std::max(0.0, remaining);
+    v.capacity = team.capacity;
+    v.served_since_dispatch = team.served_since_dispatch;
+    v.drive_time_since_dispatch = team.drive_time_since_dispatch;
+    ctx.teams.push_back(v);
+  }
+  // Deduplicate: each request is indexed under both endpoints.
+  std::vector<int> seen;
+  for (const auto& [lm, ids] : pending_by_landmark_) {
+    for (int id : ids) seen.push_back(id);
+  }
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  for (int id : seen) {
+    ctx.pending.push_back(
+        {id, requests_[id].segment, requests_[id].appear_time});
+  }
+  ctx.condition = &ConditionAt(now);
+  ctx.free_condition = &free_cond_;
+  return ctx;
+}
+
+void RescueSimulator::StartRouteToSegment(
+    Team& team, roadnet::SegmentId target, SimTime now,
+    const roadnet::NetworkCondition& plan_cond) {
+  const roadnet::RoadSegment& seg = city_.network.segment(target);
+  // Route to the segment's entry landmark, then traverse the segment itself
+  // (the paper dispatches teams "to the end of the destination segment").
+  // When the segment is impassable, head for the endpoint where the people
+  // actually wait (the water's edge they can reach on foot).
+  roadnet::LandmarkId entry = seg.from;
+  if (!plan_cond.IsOpen(target)) {
+    const auto it_to = pending_by_landmark_.find(seg.to);
+    const auto it_from = pending_by_landmark_.find(seg.from);
+    if (it_from == pending_by_landmark_.end() &&
+        it_to != pending_by_landmark_.end()) {
+      entry = seg.to;
+    }
+  }
+  auto route = router_.ShortestRoute(team.at, entry, plan_cond);
+  if (!route.has_value()) {
+    // Unreachable under the planner's view: the team stays put.
+    team.mode = TeamMode::kIdle;
+    team.route.clear();
+    team.target_segment = roadnet::kInvalidSegment;
+    return;
+  }
+  team.route = std::move(route->segments);
+  if (plan_cond.IsOpen(target)) team.route.push_back(target);
+  team.seg_elapsed_s = 0.0;
+  team.mode = TeamMode::kToTarget;
+  team.target_segment = target;
+  team.leg_start_time = now;
+  if (team.route.empty()) {
+    // Already at the target: act as arrived.
+    ArriveAtLandmark(team, team.at, now);
+  }
+}
+
+void RescueSimulator::StartRouteToLandmark(Team& team,
+                                           roadnet::LandmarkId target,
+                                           SimTime now, TeamMode mode) {
+  auto route = router_.ShortestRoute(team.at, target, ConditionAt(now));
+  team.mode = mode;
+  team.leg_start_time = now;
+  team.seg_elapsed_s = 0.0;
+  team.target_segment = roadnet::kInvalidSegment;
+  if (!route.has_value() || route->segments.empty()) {
+    team.route.clear();
+    // Unreachable or already there.
+    if (team.at == target || !route.has_value()) {
+      if (mode == TeamMode::kToHospital && team.at == target) {
+        ArriveAtLandmark(team, team.at, now);
+      } else {
+        team.mode = TeamMode::kIdle;
+      }
+    }
+    return;
+  }
+  team.route = std::move(route->segments);
+}
+
+void RescueSimulator::HeadToHospital(Team& team, SimTime now) {
+  const roadnet::LandmarkId h =
+      router_.NearestTarget(team.at, city_.hospitals, ConditionAt(now));
+  if (h == roadnet::kInvalidLandmark) {
+    // Cut off by flooding: wait; a later condition may reopen a path.
+    team.mode = TeamMode::kIdle;
+    team.route.clear();
+    return;
+  }
+  if (h == team.at) {
+    // Already at a hospital: deliver immediately.
+    for (int rid : team.onboard) {
+      requests_[rid].status = RequestStatus::kDelivered;
+      requests_[rid].delivery_time = now;
+      metrics_.RecordDelivery(now);
+    }
+    team.onboard.clear();
+    team.mode = TeamMode::kIdle;
+    team.route.clear();
+    return;
+  }
+  StartRouteToLandmark(team, h, now, TeamMode::kToHospital);
+}
+
+void RescueSimulator::Pickup(Team& team, Request& request, SimTime now) {
+  request.status = RequestStatus::kOnBoard;
+  request.pickup_time = now;
+  request.served_by_team = team.id;
+  // Driving delay to *this* request: the team cannot have been driving
+  // toward it before it appeared, so an en-route pickup of a fresh request
+  // is charged from its appearance, not from the leg start.
+  request.driving_delay_s = std::max(
+      0.0, std::min(now - team.leg_start_time, now - request.appear_time));
+  const double timeliness = std::max(0.0, now - request.appear_time);
+  metrics_.RecordPickup(now, request.driving_delay_s, timeliness,
+                        timeliness <= config_.timely_threshold_s, team.id);
+  team.onboard.push_back(request.id);
+  ++team.served_total;
+  ++team.served_since_dispatch;
+  // Remove from the pending index.
+  auto it = pending_by_landmark_.find(request.pickup_landmark);
+  if (it != pending_by_landmark_.end()) {
+    auto& ids = it->second;
+    ids.erase(std::remove(ids.begin(), ids.end(), request.id), ids.end());
+    if (ids.empty()) pending_by_landmark_.erase(it);
+  }
+}
+
+void RescueSimulator::TryPickupsAtLandmark(Team& team, roadnet::LandmarkId lm,
+                                           SimTime now) {
+  // Teams recalled to the dispatching centre are standing down (Section
+  // IV-C2: they are not serving teams); only serving/idle teams pick up.
+  if (team.mode == TeamMode::kToDepot) return;
+  auto it = pending_by_landmark_.find(lm);
+  if (it == pending_by_landmark_.end()) return;
+  // Copy: Pickup mutates the index.
+  const std::vector<int> ids = it->second;
+  for (int rid : ids) {
+    if (team.Full()) break;
+    if (requests_[rid].status != RequestStatus::kPending) continue;
+    Pickup(team, requests_[rid], now);
+  }
+}
+
+void RescueSimulator::ArriveAtLandmark(Team& team, roadnet::LandmarkId lm,
+                                       SimTime now) {
+  team.at = lm;
+  TryPickupsAtLandmark(team, lm, now);
+  if (!team.route.empty()) return;
+  switch (team.mode) {
+    case TeamMode::kToTarget:
+      team.target_segment = roadnet::kInvalidSegment;
+      if (!team.onboard.empty()) {
+        HeadToHospital(team, now);
+      } else {
+        team.mode = TeamMode::kIdle;
+      }
+      break;
+    case TeamMode::kToHospital:
+      for (int rid : team.onboard) {
+        requests_[rid].status = RequestStatus::kDelivered;
+        requests_[rid].delivery_time = now;
+        metrics_.RecordDelivery(now);
+      }
+      team.onboard.clear();
+      team.mode = TeamMode::kIdle;
+      break;
+    case TeamMode::kToDepot:
+      team.mode = TeamMode::kIdle;
+      break;
+    case TeamMode::kIdle:
+      break;
+  }
+}
+
+void RescueSimulator::StepTeams(SimTime now) {
+  const roadnet::NetworkCondition& cond = ConditionAt(now);
+  for (Team& team : teams_) {
+    // An idle team holding rescued people departs for the hospital after a
+    // short grace period (it may briefly wait to fill remaining seats from
+    // co-located requests, but never strands passengers).
+    if (team.route.empty() && team.mode == TeamMode::kIdle &&
+        !team.onboard.empty()) {
+      const double last_pickup = requests_[team.onboard.back()].pickup_time;
+      if (now - last_pickup > 300.0) HeadToHospital(team, now);
+    }
+    if (team.route.empty()) continue;
+    if (team_blocked_until_[team.id] > now) continue;
+    double budget = config_.step_s;
+    // Only the drive *toward an assignment* counts as the Eq. (5) driving
+    // delay; the hospital delivery leg is the service itself.
+    if (team.mode == TeamMode::kToTarget) {
+      team.drive_time_since_dispatch += budget;
+    }
+    while (budget > 0.0 && !team.route.empty()) {
+      const roadnet::SegmentId sid = team.route.front();
+      const roadnet::RoadSegment& seg = city_.network.segment(sid);
+      if (!cond.IsOpen(sid)) {
+        // Flooded segment discovered en route: block, then replan to the
+        // current objective on the true network.
+        ++blockage_events_;
+        team_blocked_until_[team.id] = now + config_.blockage_penalty_s;
+        const TeamMode mode = team.mode;
+        const roadnet::SegmentId target = team.target_segment;
+        if (mode == TeamMode::kToTarget &&
+            target != roadnet::kInvalidSegment) {
+          const SimTime leg_start = team.leg_start_time;
+          StartRouteToSegment(team, target, now, cond);
+          team.leg_start_time = leg_start;  // delay keeps accruing
+        } else if (mode == TeamMode::kToHospital) {
+          HeadToHospital(team, now);
+        } else {
+          team.route.clear();
+          team.mode = TeamMode::kIdle;
+        }
+        break;
+      }
+      const double travel = seg.length_m /
+                            (seg.speed_limit_mps * cond.SpeedFactor(sid));
+      const double remaining = travel - team.seg_elapsed_s;
+      if (budget >= remaining) {
+        budget -= remaining;
+        team.seg_elapsed_s = 0.0;
+        team.route.erase(team.route.begin());
+        const SimTime arrive = now + (config_.step_s - budget);
+        ArriveAtLandmark(team, seg.to, arrive);
+        if (team.Full() && team.mode == TeamMode::kToTarget) {
+          HeadToHospital(team, arrive);
+          break;
+        }
+      } else {
+        team.seg_elapsed_s += budget;
+        budget = 0.0;
+      }
+    }
+  }
+}
+
+void RescueSimulator::OnRequestAppear(Request& request, SimTime now) {
+  request.status = RequestStatus::kPending;
+  // The paper's zero-timeliness case: a team already positioned at the
+  // request's pickup landmark takes the person immediately.
+  for (Team& team : teams_) {
+    if (team.mode != TeamMode::kIdle || team.Full()) continue;
+    if (team.at == request.pickup_landmark) {
+      request.pickup_time = now;
+      request.status = RequestStatus::kOnBoard;
+      request.served_by_team = team.id;
+      request.driving_delay_s = 0.0;
+      metrics_.RecordPickup(now, 0.0, 0.0, true, team.id);
+      team.onboard.push_back(request.id);
+      ++team.served_total;
+      ++team.served_since_dispatch;
+      if (team.Full()) HeadToHospital(team, now);
+      return;
+    }
+  }
+  pending_by_landmark_[request.pickup_landmark].push_back(request.id);
+}
+
+void RescueSimulator::ApplyActions(const std::vector<TeamAction>& actions,
+                                   SimTime now) {
+  const roadnet::NetworkCondition& cond = ConditionAt(now);
+  int serving = 0;
+  for (std::size_t k = 0; k < actions.size() && k < teams_.size(); ++k) {
+    Team& team = teams_[k];
+    const TeamAction& action = actions[k];
+    // Teams carrying people finish their delivery first; the dispatcher's
+    // instruction applies to available teams.
+    const bool busy_delivering = team.mode == TeamMode::kToHospital;
+    switch (action.kind) {
+      case ActionKind::kKeep:
+        if (team.Serving()) ++serving;
+        break;
+      case ActionKind::kGoto:
+        if (!busy_delivering && action.target != roadnet::kInvalidSegment) {
+          StartRouteToSegment(team, action.target, now, cond);
+        }
+        // Chosen to drive to a destination segment => a serving team
+        // (Section IV-C3), regardless of route feasibility.
+        ++serving;
+        break;
+      case ActionKind::kDepot:
+        if (!busy_delivering) {
+          if (!team.onboard.empty()) {
+            // Recalled with passengers: deliver them first.
+            HeadToHospital(team, now);
+          } else if (team.at != city_.depot) {
+            StartRouteToLandmark(team, city_.depot, now, TeamMode::kToDepot);
+          } else {
+            team.mode = TeamMode::kIdle;
+            team.route.clear();
+          }
+        }
+        break;
+    }
+  }
+  metrics_.RecordServingTeams(now, serving);
+}
+
+MetricsCollector RescueSimulator::Run(Dispatcher& dispatcher) {
+  SimTime now = 0.0;
+  SimTime next_dispatch = 0.0;
+
+  while (now < config_.horizon_s) {
+    // 1. Surface newly appeared requests.
+    while (appear_cursor_ < appear_order_.size()) {
+      Request& r = requests_[appear_order_[appear_cursor_]];
+      if (r.appear_time > now) break;
+      OnRequestAppear(r, now);
+      ++appear_cursor_;
+    }
+
+    // 2. Dispatch round (decision computed now, applied after latency).
+    if (now >= next_dispatch) {
+      DispatchContext ctx = BuildContext(now);
+      DispatchDecision decision = dispatcher.Decide(ctx);
+      PendingDecision pd;
+      pd.effective_time = now + std::max(0.0, decision.compute_latency_s);
+      pd.actions = std::move(decision.actions);
+      pending_decisions_.push_back(std::move(pd));
+      for (Team& team : teams_) {
+        team.served_since_dispatch = 0;
+        team.drive_time_since_dispatch = 0.0;
+      }
+      next_dispatch = now + config_.dispatch_period_s;
+    }
+
+    // 3. Apply decisions whose latency has elapsed.
+    while (!pending_decisions_.empty() &&
+           pending_decisions_.front().effective_time <= now) {
+      ApplyActions(pending_decisions_.front().actions, now);
+      pending_decisions_.pop_front();
+      dispatcher.OnRoundComplete(BuildContext(now));
+    }
+
+    // 4. Move the fleet.
+    StepTeams(now);
+    now += config_.step_s;
+  }
+  return metrics_;
+}
+
+}  // namespace mobirescue::sim

@@ -1,0 +1,43 @@
+// Rescue-team state inside the simulator. Each team is one vehicle with
+// capacity c (paper: e.g. c = 5), moving landmark-to-landmark along routes.
+#pragma once
+
+#include <vector>
+
+#include "roadnet/road_network.hpp"
+#include "util/sim_time.hpp"
+
+namespace mobirescue::sim {
+
+enum class TeamMode {
+  kIdle,        // standing by (at depot or last drop-off)
+  kToTarget,    // serving: driving to an assigned destination segment
+  kToHospital,  // carrying rescued people to a hospital
+  kToDepot,     // recalled to the dispatching centre
+};
+
+struct Team {
+  int id = -1;
+  roadnet::LandmarkId at = roadnet::kInvalidLandmark;  // last reached landmark
+  TeamMode mode = TeamMode::kIdle;
+  int capacity = 5;
+  std::vector<int> onboard;  // request ids riding along
+
+  // Current route (remaining segments) and progress on the first of them.
+  std::vector<roadnet::SegmentId> route;
+  double seg_elapsed_s = 0.0;
+
+  // Destination bookkeeping.
+  roadnet::SegmentId target_segment = roadnet::kInvalidSegment;
+  util::SimTime leg_start_time = 0.0;  // when the current driving leg began
+
+  // Metrics counters.
+  int served_total = 0;
+  int served_since_dispatch = 0;
+  double drive_time_since_dispatch = 0.0;
+
+  bool Full() const { return static_cast<int>(onboard.size()) >= capacity; }
+  bool Serving() const { return mode == TeamMode::kToTarget; }
+};
+
+}  // namespace mobirescue::sim

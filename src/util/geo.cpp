@@ -1,0 +1,62 @@
+#include "util/geo.hpp"
+
+#include <algorithm>
+
+namespace mobirescue::util {
+
+double HaversineMeters(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = DegToRad(a.lat);
+  const double lat2 = DegToRad(b.lat);
+  const double dlat = lat2 - lat1;
+  const double dlon = DegToRad(b.lon - a.lon);
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double ApproxDistanceMeters(const GeoPoint& a, const GeoPoint& b) {
+  const double mean_lat = DegToRad((a.lat + b.lat) / 2.0);
+  const double dx = DegToRad(b.lon - a.lon) * std::cos(mean_lat);
+  const double dy = DegToRad(b.lat - a.lat);
+  return kEarthRadiusM * std::sqrt(dx * dx + dy * dy);
+}
+
+GeoPoint Lerp(const GeoPoint& a, const GeoPoint& b, double t) {
+  return {a.lat + t * (b.lat - a.lat), a.lon + t * (b.lon - a.lon)};
+}
+
+double BoundingBox::WidthMeters() const {
+  return ApproxDistanceMeters({south_west.lat, south_west.lon},
+                              {south_west.lat, north_east.lon});
+}
+
+double BoundingBox::HeightMeters() const {
+  return ApproxDistanceMeters({south_west.lat, south_west.lon},
+                              {north_east.lat, south_west.lon});
+}
+
+double PointToSegmentMeters(const GeoPoint& p, const GeoPoint& a,
+                            const GeoPoint& b, double* t_out) {
+  // Project into a local planar frame centred on `a`.
+  const double mean_lat = DegToRad(a.lat);
+  const double cos_lat = std::cos(mean_lat);
+  const double ax = 0.0, ay = 0.0;
+  const double bx = DegToRad(b.lon - a.lon) * cos_lat;
+  const double by = DegToRad(b.lat - a.lat);
+  const double px = DegToRad(p.lon - a.lon) * cos_lat;
+  const double py = DegToRad(p.lat - a.lat);
+
+  const double vx = bx - ax, vy = by - ay;
+  const double len2 = vx * vx + vy * vy;
+  double t = 0.0;
+  if (len2 > 0.0) {
+    t = std::clamp((px * vx + py * vy) / len2, 0.0, 1.0);
+  }
+  const double cx = ax + t * vx, cy = ay + t * vy;
+  const double dx = px - cx, dy = py - cy;
+  if (t_out != nullptr) *t_out = t;
+  return kEarthRadiusM * std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace mobirescue::util

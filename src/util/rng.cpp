@@ -1,0 +1,27 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace mobirescue::util {
+
+std::size_t Rng::WeightedIndex(std::span<const double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("WeightedIndex: empty weights");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("WeightedIndex: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) return Index(weights.size());
+  double r = Uniform(0.0, total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace mobirescue::util

@@ -1,0 +1,20 @@
+#include "util/sim_time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mobirescue::util {
+
+std::string FormatSimTime(SimTime t) {
+  if (t < 0) t = 0;
+  const int day = DayIndex(t);
+  const double within = t - day * kSecondsPerDay;
+  const int h = static_cast<int>(within / 3600.0);
+  const int m = static_cast<int>(std::fmod(within, 3600.0) / 60.0);
+  const int s = static_cast<int>(std::fmod(within, 60.0));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "d%d %02d:%02d:%02d", day, h, m, s);
+  return buf;
+}
+
+}  // namespace mobirescue::util

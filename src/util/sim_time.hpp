@@ -1,0 +1,37 @@
+// Simulation time helpers.
+//
+// All simulator timestamps are seconds since the start of the experiment
+// window (a multi-day trace). Helpers convert to day index / hour-of-day,
+// which is how the paper's measurement section buckets everything.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mobirescue::util {
+
+using SimTime = double;  // seconds since experiment start
+
+inline constexpr double kSecondsPerMinute = 60.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+
+/// Day index (0-based) of a timestamp.
+inline int DayIndex(SimTime t) {
+  return static_cast<int>(t / kSecondsPerDay);
+}
+
+/// Hour-of-day in [0, 24).
+inline int HourOfDay(SimTime t) {
+  const double within = t - static_cast<double>(DayIndex(t)) * kSecondsPerDay;
+  int h = static_cast<int>(within / kSecondsPerHour);
+  return h < 0 ? 0 : (h > 23 ? 23 : h);
+}
+
+/// Absolute hour index since experiment start.
+inline int HourIndex(SimTime t) { return static_cast<int>(t / kSecondsPerHour); }
+
+/// "d3 07:15:42"-style rendering, for logs and bench output.
+std::string FormatSimTime(SimTime t);
+
+}  // namespace mobirescue::util

@@ -1,0 +1,160 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mobirescue::util {
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double Covariance(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("Covariance: length mismatch");
+  }
+  if (xs.empty()) return 0.0;
+  const double mx = Mean(xs), my = Mean(ys);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += (xs[i] - mx) * (ys[i] - my);
+  }
+  return acc / static_cast<double>(xs.size());
+}
+
+double PearsonCorrelation(std::span<const double> xs, std::span<const double> ys) {
+  const double sx = StdDev(xs), sy = StdDev(ys);
+  if (sx == 0.0 || sy == 0.0) return 0.0;
+  return Covariance(xs, ys) / (sx * sy);
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : samples_(std::move(samples)), sorted_(false) {
+  Finalize();
+}
+
+void EmpiricalCdf::Add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::Finalize() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::At(double x) const {
+  if (samples_.empty()) return 0.0;
+  const_cast<EmpiricalCdf*>(this)->Finalize();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  const_cast<EmpiricalCdf*>(this)->Finalize();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  return samples_[idx == 0 ? 0 : idx - 1];
+}
+
+double EmpiricalCdf::min() const {
+  const_cast<EmpiricalCdf*>(this)->Finalize();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double EmpiricalCdf::max() const {
+  const_cast<EmpiricalCdf*>(this)->Finalize();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::Curve(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> curve;
+  if (samples_.empty() || points < 2) return curve;
+  const_cast<EmpiricalCdf*>(this)->Finalize();
+  const double lo = samples_.front(), hi = samples_.back();
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    curve.emplace_back(x, At(x));
+  }
+  return curve;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || hi <= lo) {
+    throw std::invalid_argument("Histogram: bad bounds/bins");
+  }
+}
+
+void Histogram::Add(double x) {
+  const double span = hi_ - lo_;
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / span *
+                                         static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::BinCenter(std::size_t bin) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * w;
+}
+
+double Histogram::Fraction(std::size_t bin) const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(counts_.at(bin)) /
+                           static_cast<double>(total_);
+}
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace mobirescue::util

@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace mobirescue::util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("TextTable: no headers");
+}
+
+TextTable& TextTable::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::Cell(const std::string& value) {
+  if (rows_.empty()) Row();
+  if (rows_.back().size() >= headers_.size()) {
+    throw std::logic_error("TextTable: too many cells in row");
+  }
+  rows_.back().push_back(value);
+  return *this;
+}
+
+TextTable& TextTable::Cell(double value, int precision) {
+  return Cell(FormatDouble(value, precision));
+}
+
+TextTable& TextTable::Cell(std::size_t value) {
+  return Cell(std::to_string(value));
+}
+
+TextTable& TextTable::Cell(int value) { return Cell(std::to_string(value)); }
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << v;
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TextTable::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+void PrintFigureBanner(std::ostream& os, const std::string& id,
+                       const std::string& caption) {
+  os << "\n=== " << id << ": " << caption << " ===\n";
+}
+
+}  // namespace mobirescue::util

@@ -1,0 +1,44 @@
+// Plain-text table rendering for the benchmark binaries.
+//
+// Each bench prints the rows/series of one paper table or figure; this
+// helper keeps the output aligned and easy to diff across runs.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mobirescue::util {
+
+/// A fixed-column text table. Cells are strings; numeric helpers format with
+/// a configurable precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent Cell() calls append to it.
+  TextTable& Row();
+  TextTable& Cell(const std::string& value);
+  TextTable& Cell(double value, int precision = 3);
+  TextTable& Cell(std::size_t value);
+  TextTable& Cell(int value);
+
+  /// Renders with column alignment and a header underline.
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by benches).
+std::string FormatDouble(double value, int precision = 3);
+
+/// Prints a standard figure banner: "=== Figure 9: ... ===".
+void PrintFigureBanner(std::ostream& os, const std::string& id,
+                       const std::string& caption);
+
+}  // namespace mobirescue::util

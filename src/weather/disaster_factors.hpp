@@ -1,0 +1,46 @@
+// Disaster-related factor vectors h = (precipitation, wind speed, altitude).
+//
+// Section IV-B: each person carries a factor vector sampled at their current
+// position; the SVM classifies the vector into rescue / no-rescue. The same
+// vector type is the SVM feature type.
+#pragma once
+
+#include <array>
+
+#include "roadnet/city_builder.hpp"
+#include "util/geo.hpp"
+#include "util/sim_time.hpp"
+#include "weather/weather_field.hpp"
+
+namespace mobirescue::weather {
+
+/// The hurricane factor vector the paper uses: h = (P, W, A).
+struct FactorVector {
+  double precipitation_mm = 0.0;  // accumulated precipitation, mm
+  double wind_mph = 0.0;          // instantaneous sustained wind, mph
+  double altitude_m = 0.0;        // terrain altitude, m
+
+  std::array<double, 3> AsArray() const {
+    return {precipitation_mm, wind_mph, altitude_m};
+  }
+
+  friend bool operator==(const FactorVector&, const FactorVector&) = default;
+};
+
+/// Samples factor vectors from the weather field + terrain.
+class FactorSampler {
+ public:
+  FactorSampler(const WeatherField& field, const roadnet::TerrainModel& terrain)
+      : field_(field), terrain_(terrain) {}
+
+  FactorVector At(const util::GeoPoint& p, util::SimTime t) const {
+    return {field_.AccumulatedPrecipitation(p, t), field_.WindAt(p, t),
+            terrain_.AltitudeAt(p)};
+  }
+
+ private:
+  const WeatherField& field_;
+  const roadnet::TerrainModel& terrain_;
+};
+
+}  // namespace mobirescue::weather

@@ -1,0 +1,69 @@
+#include "weather/earthquake.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mobirescue::weather {
+
+double BuildingDensityModel::DensityAt(const util::GeoPoint& p) const {
+  const double x = (p.lon - box_.south_west.lon) /
+                   (box_.north_east.lon - box_.south_west.lon);
+  const double y = (p.lat - box_.south_west.lat) /
+                   (box_.north_east.lat - box_.south_west.lat);
+  const double dx = x - 0.5, dy = y - 0.5;
+  const double r2 = dx * dx + dy * dy;
+  // Dense core decaying outward, with a secondary corridor to the east
+  // (office parks along the arterial).
+  const double core = std::exp(-r2 / 0.045);
+  const double corridor =
+      0.4 * std::exp(-((x - 0.75) * (x - 0.75) + dy * dy) / 0.02);
+  return std::clamp(0.12 + core + corridor, 0.0, 1.0);
+}
+
+EarthquakeField::EarthquakeField(const util::BoundingBox& box,
+                                 EarthquakeConfig config)
+    : box_(box), config_(config) {}
+
+double EarthquakeField::LocalMagnitudeAt(const util::GeoPoint& p,
+                                         util::SimTime t) const {
+  if (t < config_.shock_time_s) return 0.0;
+  const double x = (p.lon - box_.south_west.lon) /
+                   (box_.north_east.lon - box_.south_west.lon);
+  const double y = (p.lat - box_.south_west.lat) /
+                   (box_.north_east.lat - box_.south_west.lat);
+  const double dx = x - config_.epicentre_x, dy = y - config_.epicentre_y;
+  const double d = std::sqrt(dx * dx + dy * dy);
+  // Log-like attenuation with distance: halves every attenuation_radius.
+  return config_.magnitude * std::pow(0.5, d / config_.attenuation_radius);
+}
+
+double EarthquakeField::IntensityAt(const util::GeoPoint& p, util::SimTime t,
+                                    const BuildingDensityModel& density) const {
+  const double m = LocalMagnitudeAt(p, t);
+  if (m <= 0.0) return 0.0;
+  const double age = t - config_.shock_time_s;
+  const double decay =
+      std::exp(-age / (config_.aftershock_decay_days * util::kSecondsPerDay));
+  // The built environment is what actually hurts people and roads.
+  return m * (0.3 + 0.7 * density.DensityAt(p)) * (0.4 + 0.6 * decay);
+}
+
+roadnet::NetworkCondition EarthquakeNetworkCondition(
+    const roadnet::RoadNetwork& net, const EarthquakeField& field,
+    const BuildingDensityModel& density, util::SimTime t) {
+  roadnet::NetworkCondition cond(net.num_segments());
+  for (const roadnet::RoadSegment& seg : net.segments()) {
+    const util::GeoPoint mid = net.SegmentMidpoint(seg.id);
+    const double m = field.LocalMagnitudeAt(mid, t);
+    if (m <= 0.0) continue;
+    const double debris = m * (0.2 + 0.8 * density.DensityAt(mid));
+    if (debris >= field.config().road_damage_intensity) {
+      cond.Close(seg.id);
+    } else if (debris >= 0.7 * field.config().road_damage_intensity) {
+      cond.SetSpeedFactor(seg.id, 0.5);
+    }
+  }
+  return cond;
+}
+
+}  // namespace mobirescue::weather

@@ -1,0 +1,98 @@
+// Extension (paper Section IV-C5): general catastrophic situations.
+//
+// The paper notes the disaster-related factor vector is pluggable —
+// "(seismic magnitude, altitude, building density) for earthquake" — and
+// that the rest of MobiRescue is unchanged. This module provides that
+// second disaster type end-to-end: a synthetic earthquake field (epicentre,
+// magnitude attenuation, aftershocks), a building-density field, the
+// earthquake factor sampler, and damage applied to the road network.
+#pragma once
+
+#include "roadnet/city_builder.hpp"
+#include "roadnet/road_network.hpp"
+#include "util/geo.hpp"
+#include "util/sim_time.hpp"
+
+namespace mobirescue::weather {
+
+struct EarthquakeConfig {
+  /// Main shock.
+  util::SimTime shock_time_s = 1.5 * util::kSecondsPerDay;
+  double magnitude = 6.8;                   // moment magnitude at epicentre
+  double epicentre_x = 0.6, epicentre_y = 0.35;  // normalised box coords
+  /// Local intensity halves at this normalised distance from the epicentre.
+  double attenuation_radius = 0.25;
+  /// Aftershock decay: effective shaking at the site decays with this time
+  /// constant (days) for the purpose of ongoing entrapment risk.
+  double aftershock_decay_days = 1.5;
+  /// Intensity needed to damage a road at building density 1 (collapse
+  /// debris); scaled down by building density.
+  double road_damage_intensity = 5.2;
+};
+
+/// Building density in [0, 1]: peaks downtown and decays outward — dense
+/// blocks shed more debris and trap more people.
+class BuildingDensityModel {
+ public:
+  explicit BuildingDensityModel(const util::BoundingBox& box) : box_(box) {}
+
+  double DensityAt(const util::GeoPoint& p) const;
+
+ private:
+  util::BoundingBox box_;
+};
+
+/// The earthquake factor vector of Section IV-C5:
+/// (seismic magnitude, altitude, building density).
+struct EarthquakeFactors {
+  double local_magnitude = 0.0;
+  double altitude_m = 0.0;
+  double building_density = 0.0;
+};
+
+/// Deterministic earthquake field over the city.
+class EarthquakeField {
+ public:
+  EarthquakeField(const util::BoundingBox& box, EarthquakeConfig config = {});
+
+  /// Local (attenuated) magnitude felt at p; 0 before the shock.
+  double LocalMagnitudeAt(const util::GeoPoint& p, util::SimTime t) const;
+
+  /// Entrapment-relevant intensity: local magnitude x building density,
+  /// decaying with the aftershock time constant.
+  double IntensityAt(const util::GeoPoint& p, util::SimTime t,
+                     const BuildingDensityModel& density) const;
+
+  const EarthquakeConfig& config() const { return config_; }
+
+ private:
+  util::BoundingBox box_;
+  EarthquakeConfig config_;
+};
+
+/// Samples the Section IV-C5 earthquake factor vector.
+class EarthquakeFactorSampler {
+ public:
+  EarthquakeFactorSampler(const EarthquakeField& field,
+                          const roadnet::TerrainModel& terrain,
+                          const BuildingDensityModel& density)
+      : field_(field), terrain_(terrain), density_(density) {}
+
+  EarthquakeFactors At(const util::GeoPoint& p, util::SimTime t) const {
+    return {field_.LocalMagnitudeAt(p, t), terrain_.AltitudeAt(p),
+            density_.DensityAt(p)};
+  }
+
+ private:
+  const EarthquakeField& field_;
+  const roadnet::TerrainModel& terrain_;
+  const BuildingDensityModel& density_;
+};
+
+/// Road damage from the shock: dense, hard-shaken blocks lose streets to
+/// collapse debris. Analogous to FloodModel::NetworkConditionAt.
+roadnet::NetworkCondition EarthquakeNetworkCondition(
+    const roadnet::RoadNetwork& net, const EarthquakeField& field,
+    const BuildingDensityModel& density, util::SimTime t);
+
+}  // namespace mobirescue::weather

@@ -1,0 +1,57 @@
+#include "weather/flood_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mobirescue::weather {
+
+FloodModel::FloodModel(const WeatherField& field,
+                       const roadnet::TerrainModel& terrain,
+                       FloodConfig config)
+    : field_(field), terrain_(terrain), config_(config) {}
+
+double FloodModel::DepthAt(const util::GeoPoint& p, util::SimTime t) const {
+  const double accum = field_.AccumulatedPrecipitation(p, t);
+  double excess = accum - config_.drainage_capacity_mm;
+  if (excess <= 0.0) return 0.0;
+  const double past_end = t - field_.storm().storm_end_s;
+  if (past_end > 0.0) {
+    excess *= std::exp(-past_end /
+                       (config_.recession_days * util::kSecondsPerDay));
+  }
+  const double alt = terrain_.AltitudeAt(p);
+  const double attenuation =
+      std::exp(-std::max(0.0, alt - config_.basin_altitude_m) /
+               config_.altitude_scale_m);
+  return excess * config_.depth_per_mm * attenuation;
+}
+
+bool FloodModel::InFloodZone(const util::GeoPoint& p, util::SimTime t) const {
+  return DepthAt(p, t) >= config_.zone_depth_m;
+}
+
+roadnet::NetworkCondition FloodModel::NetworkConditionAt(
+    const roadnet::RoadNetwork& net, util::SimTime t) const {
+  roadnet::NetworkCondition cond(net.num_segments());
+  for (const roadnet::RoadSegment& seg : net.segments()) {
+    const double depth = DepthAt(net.SegmentMidpoint(seg.id), t);
+    if (depth >= config_.close_depth_m) {
+      cond.Close(seg.id);
+    } else if (depth >= config_.zone_depth_m) {
+      // Deterministic per-segment "debris lottery": a fixed fraction of
+      // flood-zone streets is blocked by washouts/debris while the zone is
+      // wet; the rest are slow but passable.
+      const std::uint64_t h =
+          (static_cast<std::uint64_t>(seg.id) * 0x9E3779B97F4A7C15ULL) >> 40;
+      const double u = static_cast<double>(h % 10000) / 10000.0;
+      if (u < config_.debris_close_prob) {
+        cond.Close(seg.id);
+      } else {
+        cond.SetSpeedFactor(seg.id, config_.slow_factor);
+      }
+    }
+  }
+  return cond;
+}
+
+}  // namespace mobirescue::weather

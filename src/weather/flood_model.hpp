@@ -1,0 +1,71 @@
+// Flooding model: turns accumulated precipitation + terrain into flood depth,
+// flood zones, and damage to the road network.
+//
+// Substitutes for the paper's NWS satellite imaging of flooding zones. The
+// dispatching algorithms receive exactly what the paper assumes external
+// support provides: (a) a predicate "is this position in a flood zone" and
+// (b) the remaining available road network G̃ (closed / slowed segments).
+#pragma once
+
+#include "roadnet/city_builder.hpp"
+#include "roadnet/road_network.hpp"
+#include "util/geo.hpp"
+#include "util/sim_time.hpp"
+#include "weather/weather_field.hpp"
+
+namespace mobirescue::weather {
+
+struct FloodConfig {
+  /// mm of effective accumulated precipitation absorbed before ponding.
+  double drainage_capacity_mm = 120.0;
+  /// Metres of flood depth per mm of excess precipitation at the lowest
+  /// altitude; attenuated exponentially with altitude.
+  double depth_per_mm = 0.010;
+  /// Altitude attenuation scale (m): higher ground floods much less.
+  double altitude_scale_m = 28.0;
+  /// Altitude treated as the basin floor.
+  double basin_altitude_m = 172.0;
+  /// A position is "in a flood zone" above this depth (m).
+  double zone_depth_m = 0.25;
+  /// Segments with flood depth above this are closed (impassable).
+  double close_depth_m = 1.1;
+  /// Segments between zone and close depth get this speed factor.
+  double slow_factor = 0.35;
+  /// Fraction of flood-zone segments additionally closed by debris,
+  /// washouts and downed trees (deterministic per segment). This is what
+  /// makes disaster-unaware route planning expensive: scattered closures
+  /// sit exactly where the rescue demand is.
+  double debris_close_prob = 0.25;
+  /// After the storm ends, flood water recedes exponentially with this time
+  /// constant (days). Keeps post-disaster mobility impaired but recovering,
+  /// matching the paper's Fig. 5/6 shape.
+  double recession_days = 3.0;
+};
+
+/// Deterministic flood field derived from the weather field and terrain.
+class FloodModel {
+ public:
+  FloodModel(const WeatherField& field, const roadnet::TerrainModel& terrain,
+             FloodConfig config = {});
+
+  /// Flood water depth (m) at a position/time; 0 when dry.
+  double DepthAt(const util::GeoPoint& p, util::SimTime t) const;
+
+  /// The paper's "flooding zone" predicate from satellite imaging.
+  bool InFloodZone(const util::GeoPoint& p, util::SimTime t) const;
+
+  /// Computes the remaining available road network G̃ at time t: closed
+  /// segments (depth > close threshold) and slowed segments (flood-zone
+  /// depth). Midpoint depth decides a segment's fate.
+  roadnet::NetworkCondition NetworkConditionAt(const roadnet::RoadNetwork& net,
+                                               util::SimTime t) const;
+
+  const FloodConfig& config() const { return config_; }
+
+ private:
+  const WeatherField& field_;
+  const roadnet::TerrainModel& terrain_;
+  FloodConfig config_;
+};
+
+}  // namespace mobirescue::weather

@@ -1,0 +1,50 @@
+#include "weather/scenario.hpp"
+
+namespace mobirescue::weather {
+
+ScenarioSpec FlorenceScenario() {
+  ScenarioSpec spec;
+  spec.name = "florence";
+  spec.storm.storm_begin_s = 3.0 * util::kSecondsPerDay;
+  spec.storm.storm_peak_s = 4.3 * util::kSecondsPerDay;
+  spec.storm.storm_end_s = 6.0 * util::kSecondsPerDay;
+  spec.storm.peak_precip_mm_per_h = 30.0;
+  spec.storm.peak_wind_mph = 90.0;
+  spec.storm.track_start_x = 0.9;
+  spec.storm.track_start_y = 0.1;
+  spec.storm.track_end_x = 0.5;
+  spec.storm.track_end_y = 0.5;
+  spec.storm.southeast_bias = 0.4;
+  return spec;
+}
+
+ScenarioSpec MichaelScenario() {
+  ScenarioSpec spec;
+  spec.name = "michael";
+  spec.storm.storm_begin_s = 3.0 * util::kSecondsPerDay;
+  spec.storm.storm_peak_s = 4.6 * util::kSecondsPerDay;
+  spec.storm.storm_end_s = 6.2 * util::kSecondsPerDay;
+  spec.storm.peak_precip_mm_per_h = 24.0;
+  spec.storm.peak_wind_mph = 75.0;
+  spec.storm.track_start_x = 0.7;
+  spec.storm.track_start_y = 0.05;
+  spec.storm.track_end_x = 0.35;
+  spec.storm.track_end_y = 0.6;
+  spec.storm.southeast_bias = 0.3;
+  return spec;
+}
+
+ScenarioSpec TestScenario() {
+  ScenarioSpec spec;
+  spec.name = "test";
+  spec.window_days = 3;
+  spec.eval_day = 2;
+  spec.before_day = 0;
+  spec.after_day = 2;
+  spec.storm.storm_begin_s = 1.0 * util::kSecondsPerDay;
+  spec.storm.storm_peak_s = 1.4 * util::kSecondsPerDay;
+  spec.storm.storm_end_s = 2.0 * util::kSecondsPerDay;
+  return spec;
+}
+
+}  // namespace mobirescue::weather

@@ -1,0 +1,40 @@
+// Disaster scenario presets.
+//
+// The paper trains on Hurricane Michael (Oct 7-16, 2018) and evaluates on
+// Hurricane Florence data (Sep 12-15, 2018; evaluation day = Sep 16, the day
+// with the most rescue requests). We mirror that: two storm presets with
+// different tracks/intensities over the same city, each inside a 10-day
+// experiment window:
+//   days 0-2  : before disaster
+//   days 3-5  : during disaster (storm envelope active)
+//   days 6-9  : after disaster (flood receding, movement impaired)
+// The evaluation day used by the Section V experiments is day 6 — the first
+// post-landfall day, analogous to Sep 16.
+#pragma once
+
+#include <string>
+
+#include "weather/weather_field.hpp"
+
+namespace mobirescue::weather {
+
+struct ScenarioSpec {
+  std::string name;
+  StormConfig storm;
+  int window_days = 10;
+  int eval_day = 6;          // the "Sep 16" analogue
+  int before_day = 1;        // representative pre-disaster day ("Aug 25")
+  int after_day = 7;         // representative post-disaster day ("Sep 20")
+};
+
+/// Florence-like evaluation scenario (stronger rain, SE-heavy).
+ScenarioSpec FlorenceScenario();
+
+/// Michael-like training scenario: same city, different track and slightly
+/// different intensity, so models trained here must generalise.
+ScenarioSpec MichaelScenario();
+
+/// A small fast storm for unit tests.
+ScenarioSpec TestScenario();
+
+}  // namespace mobirescue::weather

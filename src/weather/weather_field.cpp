@@ -1,0 +1,97 @@
+#include "weather/weather_field.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mobirescue::weather {
+
+WeatherField::WeatherField(const util::BoundingBox& box,
+                           const StormConfig& storm)
+    : box_(box), storm_(storm) {
+  if (!(storm.storm_begin_s < storm.storm_peak_s &&
+        storm.storm_peak_s < storm.storm_end_s)) {
+    throw std::invalid_argument("WeatherField: begin < peak < end required");
+  }
+}
+
+double WeatherField::Envelope(util::SimTime t) const {
+  if (t <= storm_.storm_begin_s || t >= storm_.storm_end_s) return 0.0;
+  if (t <= storm_.storm_peak_s) {
+    return (t - storm_.storm_begin_s) /
+           (storm_.storm_peak_s - storm_.storm_begin_s);
+  }
+  return (storm_.storm_end_s - t) / (storm_.storm_end_s - storm_.storm_peak_s);
+}
+
+double WeatherField::EnvelopeIntegralHours(util::SimTime t) const {
+  // The envelope is a triangle; integrate it piecewise in seconds, then
+  // convert to hours.
+  const double b = storm_.storm_begin_s;
+  const double p = storm_.storm_peak_s;
+  const double e = storm_.storm_end_s;
+  double integral_s = 0.0;
+  if (t <= b) {
+    integral_s = 0.0;
+  } else if (t <= p) {
+    const double u = (t - b) / (p - b);
+    integral_s = 0.5 * u * u * (p - b);
+  } else if (t <= e) {
+    const double u = (e - t) / (e - p);
+    integral_s = 0.5 * (p - b) + (0.5 - 0.5 * u * u) * (e - p);
+  } else {
+    integral_s = 0.5 * (p - b) + 0.5 * (e - p);
+  }
+  return integral_s / util::kSecondsPerHour;
+}
+
+double WeatherField::SpatialFactor(const util::GeoPoint& p,
+                                   util::SimTime t) const {
+  // Normalised position.
+  const double x = (p.lon - box_.south_west.lon) /
+                   (box_.north_east.lon - box_.south_west.lon);
+  const double y = (p.lat - box_.south_west.lat) /
+                   (box_.north_east.lat - box_.south_west.lat);
+  // Core position along the track (clamped to storm interval).
+  double u = 0.5;
+  if (storm_.storm_end_s > storm_.storm_begin_s) {
+    u = std::clamp((t - storm_.storm_begin_s) /
+                       (storm_.storm_end_s - storm_.storm_begin_s),
+                   0.0, 1.0);
+  }
+  const double cx =
+      storm_.track_start_x + u * (storm_.track_end_x - storm_.track_start_x);
+  const double cy =
+      storm_.track_start_y + u * (storm_.track_end_y - storm_.track_start_y);
+  const double dx = x - cx, dy = y - cy;
+  const double d2 = dx * dx + dy * dy;
+  const double core = std::exp(-d2 / (2.0 * storm_.footprint * storm_.footprint));
+  // South-east bias: x grows eastward, (1 - y) grows southward.
+  const double se = 1.0 + storm_.southeast_bias * (0.5 * x + 0.5 * (1.0 - y) - 0.5);
+  return std::max(0.05, core * se);
+}
+
+double WeatherField::MeanSpatialFactor(const util::GeoPoint& p) const {
+  // Evaluate the spatial factor at the temporal midpoint of the storm,
+  // a good closed-form stand-in for the track-averaged factor.
+  return SpatialFactor(p, 0.5 * (storm_.storm_begin_s + storm_.storm_end_s));
+}
+
+double WeatherField::PrecipitationAt(const util::GeoPoint& p,
+                                     util::SimTime t) const {
+  return storm_.base_precip_mm_per_h +
+         storm_.peak_precip_mm_per_h * Envelope(t) * SpatialFactor(p, t);
+}
+
+double WeatherField::WindAt(const util::GeoPoint& p, util::SimTime t) const {
+  return storm_.base_wind_mph +
+         storm_.peak_wind_mph * Envelope(t) * SpatialFactor(p, t);
+}
+
+double WeatherField::AccumulatedPrecipitation(const util::GeoPoint& p,
+                                              util::SimTime t) const {
+  return storm_.peak_precip_mm_per_h * EnvelopeIntegralHours(t) *
+         MeanSpatialFactor(p);
+}
+
+}  // namespace mobirescue::weather

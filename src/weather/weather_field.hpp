@@ -1,0 +1,86 @@
+// Spatio-temporal synthetic hurricane weather field.
+//
+// Substitutes for the National Weather Service data the paper uses: per
+// position and time it yields precipitation rate (mm/h) and wind speed (mph),
+// plus accumulated precipitation (mm) which drives the flood model. The storm
+// follows a track across the city with a temporal ramp-peak-decay envelope
+// and a spatial gradient, so different regions experience measurably
+// different severities — the premise of the paper's Observation 1.
+#pragma once
+
+#include <vector>
+
+#include "util/geo.hpp"
+#include "util/sim_time.hpp"
+
+namespace mobirescue::weather {
+
+/// Parameters describing one hurricane event inside an experiment window.
+struct StormConfig {
+  // Temporal envelope (seconds since experiment start).
+  util::SimTime storm_begin_s = 3 * util::kSecondsPerDay;
+  util::SimTime storm_peak_s = 4.5 * util::kSecondsPerDay;
+  util::SimTime storm_end_s = 6 * util::kSecondsPerDay;
+
+  // Peak intensities at the storm core.
+  double peak_precip_mm_per_h = 28.0;
+  double peak_wind_mph = 85.0;
+
+  // Background (fair weather) values.
+  double base_precip_mm_per_h = 0.15;
+  double base_wind_mph = 6.0;
+
+  // Storm core track, in normalised box coordinates (x west->east,
+  // y south->north): the core moves from `track_start` to `track_end`
+  // over the storm interval.
+  double track_start_x = 0.85, track_start_y = 0.15;
+  double track_end_x = 0.55, track_end_y = 0.55;
+
+  // Spatial footprint of the core (normalised radius at which intensity
+  // halves).
+  double footprint = 0.55;
+
+  // East/south bias: the paper's R2 (south-east) gets more rain than the
+  // north-west R1. 0 disables the gradient.
+  double southeast_bias = 0.35;
+};
+
+/// Deterministic analytic weather field.
+class WeatherField {
+ public:
+  WeatherField(const util::BoundingBox& box, const StormConfig& storm);
+
+  /// Instantaneous precipitation rate, mm/h.
+  double PrecipitationAt(const util::GeoPoint& p, util::SimTime t) const;
+
+  /// Instantaneous sustained wind speed, mph.
+  double WindAt(const util::GeoPoint& p, util::SimTime t) const;
+
+  /// Precipitation accumulated over [storm_begin, t], mm. Integrated
+  /// analytically from the envelope (no numeric quadrature needed).
+  double AccumulatedPrecipitation(const util::GeoPoint& p,
+                                  util::SimTime t) const;
+
+  const StormConfig& storm() const { return storm_; }
+  const util::BoundingBox& box() const { return box_; }
+
+  /// True while the storm envelope is non-zero.
+  bool StormActive(util::SimTime t) const {
+    return t >= storm_.storm_begin_s && t <= storm_.storm_end_s;
+  }
+
+ private:
+  /// Temporal envelope in [0, 1]: 0 outside the storm, 1 at the peak.
+  double Envelope(util::SimTime t) const;
+  /// Integral of the envelope over [storm_begin, t], in hours.
+  double EnvelopeIntegralHours(util::SimTime t) const;
+  /// Spatial intensity factor in (0, 1]: storm-core proximity x SE bias.
+  double SpatialFactor(const util::GeoPoint& p, util::SimTime t) const;
+  /// Time-averaged spatial factor (track midpoint), used for accumulation.
+  double MeanSpatialFactor(const util::GeoPoint& p) const;
+
+  util::BoundingBox box_;
+  StormConfig storm_;
+};
+
+}  // namespace mobirescue::weather

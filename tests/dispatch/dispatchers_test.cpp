@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "dispatch/mobirescue_dispatcher.hpp"
+#include "dispatch/rescue_dispatcher.hpp"
+#include "dispatch/schedule_dispatcher.hpp"
+#include "dispatch/simple_dispatchers.hpp"
+#include "predict/time_series_predictor.hpp"
+
+namespace mobirescue::dispatch {
+namespace {
+
+class DispatchersTest : public ::testing::Test {
+ protected:
+  DispatchersTest() {
+    roadnet::CityConfig config;
+    config.grid_width = 8;
+    config.grid_height = 8;
+    config.num_hospitals = 3;
+    city_ = roadnet::BuildCity(config);
+    free_cond_ = roadnet::NetworkCondition(city_.network.num_segments());
+  }
+
+  sim::DispatchContext Context(int teams, std::vector<int> pending_segments) {
+    sim::DispatchContext ctx;
+    ctx.now = 3600.0;
+    for (int k = 0; k < teams; ++k) {
+      sim::TeamView v;
+      v.id = k;
+      v.at = city_.hospitals[static_cast<std::size_t>(k) %
+                             city_.hospitals.size()];
+      v.capacity = 5;
+      v.mode = sim::TeamMode::kIdle;
+      ctx.teams.push_back(v);
+    }
+    int id = 0;
+    for (int seg : pending_segments) {
+      ctx.pending.push_back({id++, static_cast<roadnet::SegmentId>(seg), 0.0});
+    }
+    ctx.condition = &free_cond_;
+    ctx.free_condition = &free_cond_;
+    return ctx;
+  }
+
+  roadnet::City city_;
+  roadnet::NetworkCondition free_cond_;
+};
+
+TEST_F(DispatchersTest, ScheduleAssignsPendingAndStandby) {
+  ScheduleDispatcher dispatcher(city_, 4);
+  auto ctx = Context(4, {0, 10});
+  const auto decision = dispatcher.Decide(ctx);
+  ASSERT_EQ(decision.actions.size(), 4u);
+  // All idle teams are deployed (full-fleet model): every action is kGoto.
+  int gotos = 0;
+  std::set<roadnet::SegmentId> targets;
+  for (const auto& a : decision.actions) {
+    if (a.kind == sim::ActionKind::kGoto) {
+      ++gotos;
+      targets.insert(a.target);
+    }
+  }
+  EXPECT_EQ(gotos, 4);
+  // The two pending segments are covered by someone.
+  EXPECT_TRUE(targets.count(0));
+  EXPECT_TRUE(targets.count(10));
+  // Integer-programming latency is charged.
+  EXPECT_GE(decision.compute_latency_s, 200.0);
+}
+
+TEST_F(DispatchersTest, ScheduleLatencyGrowsWithDemand) {
+  ScheduleDispatcher dispatcher(city_, 2);
+  const double lat_small = dispatcher.Decide(Context(2, {0})).compute_latency_s;
+  std::vector<int> many;
+  for (int i = 0; i < 60; ++i) many.push_back(i % 20);
+  const double lat_large =
+      dispatcher.Decide(Context(2, many)).compute_latency_s;
+  EXPECT_GT(lat_large, lat_small);
+}
+
+TEST_F(DispatchersTest, ScheduleKeepsBusyTeams) {
+  ScheduleDispatcher dispatcher(city_, 2);
+  auto ctx = Context(2, {0});
+  ctx.teams[0].mode = sim::TeamMode::kToHospital;
+  ctx.teams[1].mode = sim::TeamMode::kToTarget;
+  const auto decision = dispatcher.Decide(ctx);
+  EXPECT_EQ(decision.actions[0].kind, sim::ActionKind::kKeep);
+  EXPECT_EQ(decision.actions[1].kind, sim::ActionKind::kKeep);
+}
+
+TEST_F(DispatchersTest, RescueFollowsPrediction) {
+  // History: all demand on segment 7 at hour 1 of previous days.
+  std::vector<mobility::RescueEvent> history;
+  for (int day = 1; day < 4; ++day) {
+    mobility::RescueEvent ev;
+    ev.request_time = day * util::kSecondsPerDay + 1.5 * 3600.0;
+    ev.request_segment = 7;
+    history.push_back(ev);
+  }
+  predict::TimeSeriesPredictor predictor(history, 4);
+  RescueDispatcher dispatcher(city_, predictor);
+  auto ctx = Context(3, {});
+  const auto decision = dispatcher.Decide(ctx);
+  int toward_7 = 0;
+  for (const auto& a : decision.actions) {
+    if (a.kind == sim::ActionKind::kGoto && a.target == 7) ++toward_7;
+  }
+  EXPECT_GT(toward_7, 0);
+  EXPECT_GE(decision.compute_latency_s, 200.0);
+}
+
+TEST_F(DispatchersTest, RescueWithNoSignalKeeps) {
+  predict::TimeSeriesPredictor predictor({}, 4);
+  RescueDispatcher dispatcher(city_, predictor);
+  const auto decision = dispatcher.Decide(Context(2, {}));
+  for (const auto& a : decision.actions) {
+    EXPECT_EQ(a.kind, sim::ActionKind::kKeep);
+  }
+}
+
+TEST_F(DispatchersTest, GreedyNearestCoversPending) {
+  GreedyNearestDispatcher dispatcher(city_);
+  const auto decision = dispatcher.Decide(Context(3, {5}));
+  int gotos = 0;
+  for (const auto& a : decision.actions) {
+    if (a.kind == sim::ActionKind::kGoto) {
+      ++gotos;
+      EXPECT_EQ(a.target, 5);
+    }
+  }
+  EXPECT_EQ(gotos, 1);
+  EXPECT_LT(decision.compute_latency_s, 1.0);
+}
+
+TEST_F(DispatchersTest, RandomTargetsOpenSegments) {
+  RandomDispatcher dispatcher(city_);
+  roadnet::NetworkCondition cond(city_.network.num_segments());
+  for (roadnet::SegmentId s = 0; s < 10; ++s) cond.Close(s);
+  auto ctx = Context(5, {});
+  ctx.condition = &cond;
+  const auto decision = dispatcher.Decide(ctx);
+  for (const auto& a : decision.actions) {
+    if (a.kind == sim::ActionKind::kGoto) {
+      EXPECT_TRUE(cond.IsOpen(a.target));
+    }
+  }
+}
+
+TEST_F(DispatchersTest, HeuristicPriorOrdersSensibly) {
+  // Near + demanded + pending beats far + empty; depot sits in between.
+  std::vector<double> good(DispatchFeaturizer::kFeatureDim, 0.0);
+  good[0] = 0.1;   // close
+  good[1] = 1.0;   // high demand
+  good[10] = 1.0;  // pending
+  std::vector<double> bad(DispatchFeaturizer::kFeatureDim, 0.0);
+  bad[0] = 2.5;  // far
+  std::vector<double> depot(DispatchFeaturizer::kFeatureDim, 0.0);
+  depot[4] = 1.0;
+  EXPECT_GT(MobiRescueDispatcher::HeuristicPrior(good),
+            MobiRescueDispatcher::HeuristicPrior(depot));
+  EXPECT_GT(MobiRescueDispatcher::HeuristicPrior(depot),
+            MobiRescueDispatcher::HeuristicPrior(bad));
+}
+
+}  // namespace
+}  // namespace mobirescue::dispatch

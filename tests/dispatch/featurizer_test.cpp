@@ -1,0 +1,139 @@
+#include "dispatch/featurizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobirescue::dispatch {
+namespace {
+
+class FeaturizerTest : public ::testing::Test {
+ protected:
+  FeaturizerTest() {
+    roadnet::CityConfig config;
+    config.grid_width = 8;
+    config.grid_height = 8;
+    city_ = roadnet::BuildCity(config);
+    cond_ = roadnet::NetworkCondition(city_.network.num_segments());
+  }
+
+  sim::TeamView TeamAt(roadnet::LandmarkId lm) {
+    sim::TeamView v;
+    v.id = 0;
+    v.at = lm;
+    v.capacity = 5;
+    v.mode = sim::TeamMode::kIdle;
+    return v;
+  }
+
+  roadnet::City city_;
+  roadnet::NetworkCondition cond_;
+};
+
+TEST_F(FeaturizerTest, CandidatesRankedByDemand) {
+  DispatchFeaturizer featurizer(city_, {});
+  predict::Distribution demand = {{0, 5}, {4, 9}, {8, 1}};
+  const RoundData round = featurizer.PrepareRound(demand, cond_);
+  ASSERT_EQ(round.candidates.size(), 3u);
+  EXPECT_EQ(round.candidates[0], 4);  // highest demand first
+  EXPECT_EQ(round.candidates[1], 0);
+  EXPECT_EQ(round.candidates[2], 8);
+  EXPECT_DOUBLE_EQ(round.total_demand, 15.0);
+  EXPECT_EQ(round.trees.size(), 4u);  // +1 for the depot
+}
+
+TEST_F(FeaturizerTest, TopKCapsSpeculativeCandidates) {
+  FeaturizerConfig config;
+  config.top_k = 2;
+  DispatchFeaturizer featurizer(city_, config);
+  predict::Distribution demand = {{0, 5}, {4, 9}, {8, 1}, {12, 2}};
+  const RoundData round = featurizer.PrepareRound(demand, cond_);
+  EXPECT_EQ(round.candidates.size(), 2u);
+}
+
+TEST_F(FeaturizerTest, MustIncludeBypassesTopK) {
+  FeaturizerConfig config;
+  config.top_k = 1;
+  DispatchFeaturizer featurizer(city_, config);
+  predict::Distribution demand = {{0, 5}, {4, 9}};
+  const RoundData round = featurizer.PrepareRound(demand, cond_, {8, 12});
+  // 2 must-include + 1 speculative.
+  EXPECT_EQ(round.candidates.size(), 3u);
+  EXPECT_EQ(round.candidates[0], 8);
+  EXPECT_EQ(round.candidates[1], 12);
+  EXPECT_TRUE(round.pending.count(8));
+  EXPECT_TRUE(round.pending.count(12));
+  EXPECT_FALSE(round.pending.count(4));
+}
+
+TEST_F(FeaturizerTest, FeatureVectorShapeAndSemantics) {
+  DispatchFeaturizer featurizer(city_, {});
+  predict::Distribution demand = {{0, 8}};
+  const RoundData round = featurizer.PrepareRound(demand, cond_, {0});
+  const sim::TeamView team = TeamAt(city_.network.segment(0).from);
+  const auto f = featurizer.Features(round, team, 0);
+  ASSERT_EQ(f.size(), DispatchFeaturizer::kFeatureDim);
+  EXPECT_NEAR(f[0], 0.0, 1e-9);   // already at the candidate
+  EXPECT_DOUBLE_EQ(f[1], 1.0);    // demand 8 / norm 8
+  EXPECT_DOUBLE_EQ(f[4], 0.0);    // not depot
+  EXPECT_DOUBLE_EQ(f[5], 1.0);    // idle
+  EXPECT_DOUBLE_EQ(f[8], 1.0);    // bias
+  EXPECT_DOUBLE_EQ(f[10], 1.0);   // pending flag
+
+  const auto depot = featurizer.Features(round, team, round.candidates.size());
+  EXPECT_DOUBLE_EQ(depot[4], 1.0);
+  EXPECT_DOUBLE_EQ(depot[1], 0.0);
+  EXPECT_DOUBLE_EQ(depot[10], 0.0);
+}
+
+TEST_F(FeaturizerTest, CompetitionCountsCloserTeams) {
+  DispatchFeaturizer featurizer(city_, {});
+  predict::Distribution demand = {{0, 4}};
+  const RoundData round = featurizer.PrepareRound(demand, cond_);
+  const roadnet::LandmarkId near = city_.network.segment(0).from;
+  // Find a far landmark.
+  roadnet::LandmarkId far = near;
+  double best = 0.0;
+  for (const roadnet::Landmark& lm : city_.network.landmarks()) {
+    const double d = util::ApproxDistanceMeters(
+        lm.pos, city_.network.landmark(near).pos);
+    if (d > best) {
+      best = d;
+      far = lm.id;
+    }
+  }
+  std::vector<sim::TeamView> teams = {TeamAt(far), TeamAt(near)};
+  teams[0].id = 0;
+  teams[1].id = 1;
+  const auto f_far = featurizer.Features(round, teams[0], 0, &teams);
+  const auto f_near = featurizer.Features(round, teams[1], 0, &teams);
+  EXPECT_GT(f_far[9], f_near[9]);
+  EXPECT_DOUBLE_EQ(f_near[9], 0.0);
+}
+
+TEST_F(FeaturizerTest, TeamActionSetNearestPlusDepot) {
+  FeaturizerConfig config;
+  config.per_team_k = 2;
+  DispatchFeaturizer featurizer(city_, config);
+  predict::Distribution demand;
+  for (roadnet::SegmentId s = 0; s < 20; ++s) demand[s] = 1;
+  const RoundData round = featurizer.PrepareRound(demand, cond_);
+  const sim::TeamView team = TeamAt(0);
+  const auto set = featurizer.TeamActionSet(round, team);
+  ASSERT_EQ(set.size(), 3u);  // 2 nearest + depot
+  EXPECT_TRUE(round.IsDepotAction(set.back()));
+  // The two non-depot entries must be sorted by travel time.
+  const double t0 = round.trees[set[0]].time_s[team.at];
+  const double t1 = round.trees[set[1]].time_s[team.at];
+  EXPECT_LE(t0, t1);
+}
+
+TEST_F(FeaturizerTest, ClosedSegmentsStillCandidates) {
+  DispatchFeaturizer featurizer(city_, {});
+  predict::Distribution demand = {{0, 5}};
+  cond_.Close(0);
+  const RoundData round = featurizer.PrepareRound(demand, cond_);
+  ASSERT_EQ(round.candidates.size(), 1u);
+  EXPECT_EQ(round.candidates[0], 0);
+}
+
+}  // namespace
+}  // namespace mobirescue::dispatch

@@ -1,0 +1,132 @@
+#include "analysis/dataset_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+
+namespace mobirescue::analysis {
+namespace {
+
+/// Section III reproduction sanity: the dataset-measurement pipeline must
+/// recover the paper's qualitative observations from the synthetic trace.
+class AnalysisTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::WorldConfig config;
+    config.city.grid_width = 14;
+    config.city.grid_height = 14;
+    config.city.num_hospitals = 6;
+    config.trace.population.num_people = 700;
+    world_ = new core::World(core::BuildWorld(config));
+    analysis_ = new DatasetAnalysis(*world_->city, *world_->eval.field,
+                                    *world_->eval.flood, world_->eval.spec,
+                                    world_->eval.trace);
+  }
+  static void TearDownTestSuite() {
+    delete analysis_;
+    delete world_;
+  }
+
+  static core::World* world_;
+  static DatasetAnalysis* analysis_;
+};
+
+core::World* AnalysisTest::world_ = nullptr;
+DatasetAnalysis* AnalysisTest::analysis_ = nullptr;
+
+TEST_F(AnalysisTest, CleaningKeepsMostRecords) {
+  const auto& stats = analysis_->cleaning_stats();
+  EXPECT_GT(stats.kept, stats.input * 9 / 10);
+}
+
+TEST_F(AnalysisTest, RegionFactorsCoverSevenRegions) {
+  const auto factors = analysis_->RegionFactors();
+  ASSERT_EQ(factors.size(), static_cast<std::size_t>(roadnet::kNumRegions));
+  for (const RegionFactorSummary& s : factors) {
+    EXPECT_GT(s.precipitation_mm, 0.0);
+    EXPECT_GT(s.wind_mph, 0.0);
+    EXPECT_GT(s.altitude_m, 100.0);
+  }
+}
+
+TEST_F(AnalysisTest, TableOneSignsMatchPaper) {
+  // Paper Table I: flow rate correlates negatively with precipitation and
+  // wind, positively with altitude.
+  const CorrelationTable table = analysis_->FactorFlowCorrelation();
+  EXPECT_LT(table.precipitation, -0.3);
+  EXPECT_LT(table.wind, 0.0);
+  EXPECT_GT(table.altitude, 0.3);
+}
+
+TEST_F(AnalysisTest, FlowDropsDuringDisaster) {
+  // Paper Fig. 5: during-disaster flow far below before-disaster flow.
+  const auto& spec = world_->eval.spec;
+  const int storm_day = util::DayIndex(spec.storm.storm_peak_s);
+  double before = 0.0, during = 0.0;
+  for (roadnet::RegionId r = 1; r <= roadnet::kNumRegions; ++r) {
+    before += analysis_->RegionDayAverage(r, spec.before_day);
+    during += analysis_->RegionDayAverage(r, storm_day);
+  }
+  EXPECT_LT(during, 0.5 * before);
+}
+
+TEST_F(AnalysisTest, FlowPartiallyRecoversAfter) {
+  const auto& spec = world_->eval.spec;
+  const int storm_day = util::DayIndex(spec.storm.storm_peak_s);
+  const int after = spec.window_days - 1;  // well after recession started
+  double during = 0.0, recovered = 0.0, before = 0.0;
+  for (roadnet::RegionId r = 1; r <= roadnet::kNumRegions; ++r) {
+    during += analysis_->RegionDayAverage(r, storm_day);
+    recovered += analysis_->RegionDayAverage(r, after);
+    before += analysis_->RegionDayAverage(r, spec.before_day);
+  }
+  EXPECT_GT(recovered, during);
+  EXPECT_LT(recovered, before);
+}
+
+TEST_F(AnalysisTest, HospitalDeliveriesJumpWithTheStorm) {
+  // Paper Fig. 6: a steep jump at the start of hurricane impact.
+  const auto per_day = analysis_->DeliveriesPerDay(/*flood_only=*/true);
+  const auto& spec = world_->eval.spec;
+  const int storm_day = util::DayIndex(spec.storm.storm_begin_s);
+  int before = 0, during = 0;
+  for (int d = 0; d < storm_day; ++d) before += per_day[d];
+  for (int d = storm_day; d < spec.window_days; ++d) during += per_day[d];
+  EXPECT_GT(during, 5 * std::max(1, before));
+}
+
+TEST_F(AnalysisTest, DetectorFindsMostGroundTruthRescues) {
+  // The Section III-B2 labelling pipeline should recover a large share of
+  // the generator's delivered rescues.
+  int delivered_truth = 0;
+  for (const mobility::RescueEvent& ev : world_->eval.trace.rescues) {
+    if (ev.delivered) ++delivered_truth;
+  }
+  const auto flood_rescues = mobility::HospitalDeliveryDetector::
+      FloodRescuesOnly(analysis_->deliveries());
+  EXPECT_GT(static_cast<int>(flood_rescues.size()), delivered_truth / 2);
+}
+
+TEST_F(AnalysisTest, RescuesConcentrateInFloodedRegions) {
+  // Paper Fig. 4: the rescue distribution is not uniform over regions.
+  const auto per_region = analysis_->RescuesPerRegion();
+  int total = 0, max_region = 0;
+  for (roadnet::RegionId r = 1; r <= roadnet::kNumRegions; ++r) {
+    total += per_region[r];
+    max_region = std::max(max_region, per_region[r]);
+  }
+  ASSERT_GT(total, 0);
+  // The hottest region holds well above the uniform share (1/7).
+  EXPECT_GT(max_region, total / 5);
+}
+
+TEST_F(AnalysisTest, FlowDifferenceSamplesPerSegment) {
+  const auto& spec = world_->eval.spec;
+  const auto samples =
+      analysis_->FlowDifferenceSamples(spec.before_day, spec.after_day);
+  EXPECT_EQ(samples.size(), world_->city->network.num_segments());
+  for (double s : samples) EXPECT_GE(s, 0.0);
+}
+
+}  // namespace
+}  // namespace mobirescue::analysis

@@ -1,0 +1,104 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobirescue::core {
+namespace {
+
+/// Full Section IV/V pipeline on a scaled-down world: train the SVM, train
+/// the DQN, evaluate all three methods. One shared setup — this is the most
+/// expensive suite in the repository.
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorldConfig config;
+    config.city.grid_width = 12;
+    config.city.grid_height = 12;
+    config.city.num_hospitals = 5;
+    config.trace.population.num_people = 400;
+    world_ = new World(BuildWorld(config));
+    svm_ = TrainSvmPredictor(*world_).release();
+    ts_ = BuildTimeSeriesPredictor(*world_).release();
+    TrainingConfig training;
+    training.episodes = 6;
+    training.sim.num_teams = 20;
+    agent_ = TrainAgent(*world_, *svm_, training);
+  }
+  static void TearDownTestSuite() {
+    delete ts_;
+    delete svm_;
+    delete world_;
+  }
+
+  static EvaluationOutcome Run(Method method) {
+    sim::SimConfig sim_config;
+    sim_config.num_teams = 20;
+    return RunMethod(*world_, method, svm_, ts_, agent_, sim_config);
+  }
+
+  static World* world_;
+  static predict::SvmRequestPredictor* svm_;
+  static predict::TimeSeriesPredictor* ts_;
+  static std::shared_ptr<rl::DqnAgent> agent_;
+};
+
+World* PipelineTest::world_ = nullptr;
+predict::SvmRequestPredictor* PipelineTest::svm_ = nullptr;
+predict::TimeSeriesPredictor* PipelineTest::ts_ = nullptr;
+std::shared_ptr<rl::DqnAgent> PipelineTest::agent_ = nullptr;
+
+TEST_F(PipelineTest, SvmLearnsTheFloodSignal) {
+  EXPECT_GT(svm_->validation().Accuracy(), 0.75);
+}
+
+TEST_F(PipelineTest, AgentTrainedAndBufferFilled) {
+  ASSERT_NE(agent_, nullptr);
+  EXPECT_GT(agent_->buffer().size(), 100u);
+  EXPECT_GT(agent_->train_steps(), 100u);
+}
+
+TEST_F(PipelineTest, MobiRescueServesMeaningfully) {
+  const EvaluationOutcome outcome = Run(Method::kMobiRescue);
+  EXPECT_GT(outcome.total_requests, 0);
+  // At least half the day's requests must be served end-to-end.
+  EXPECT_GT(outcome.metrics.total_served(), outcome.total_requests / 2);
+  // Low dispatch latency: decisions are sub-second (paper: < 0.5 s).
+  EXPECT_GT(outcome.metrics.total_timely(), 0);
+}
+
+TEST_F(PipelineTest, AllMethodsRunToCompletion) {
+  for (Method method : {Method::kRescue, Method::kSchedule,
+                        Method::kGreedyNearest, Method::kRandom}) {
+    const EvaluationOutcome outcome = Run(method);
+    EXPECT_GE(outcome.metrics.total_served(), 0) << MethodName(method);
+    EXPECT_EQ(outcome.name, MethodName(method));
+  }
+}
+
+TEST_F(PipelineTest, MobiRescueBeatsRandomDispatch) {
+  const EvaluationOutcome mr = Run(Method::kMobiRescue);
+  const EvaluationOutcome random = Run(Method::kRandom);
+  EXPECT_GT(mr.metrics.total_served(), random.metrics.total_served());
+}
+
+TEST_F(PipelineTest, DeterministicEvaluation) {
+  const EvaluationOutcome a = Run(Method::kSchedule);
+  const EvaluationOutcome b = Run(Method::kSchedule);
+  EXPECT_EQ(a.metrics.total_served(), b.metrics.total_served());
+  EXPECT_EQ(a.metrics.total_timely(), b.metrics.total_timely());
+}
+
+TEST_F(PipelineTest, RunMethodValidatesInputs) {
+  sim::SimConfig sim_config;
+  sim_config.num_teams = 5;
+  EXPECT_THROW(
+      RunMethod(*world_, Method::kMobiRescue, nullptr, ts_, nullptr,
+                sim_config),
+      std::invalid_argument);
+  EXPECT_THROW(
+      RunMethod(*world_, Method::kRescue, svm_, nullptr, agent_, sim_config),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mobirescue::core

@@ -1,0 +1,62 @@
+#include "core/world.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobirescue::core {
+namespace {
+
+class WorldTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new World(BuildWorld(WorldConfig::Small()));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static World* world_;
+};
+
+World* WorldTest::world_ = nullptr;
+
+TEST_F(WorldTest, CityBuilt) {
+  EXPECT_GT(world_->city->network.num_landmarks(), 50u);
+  EXPECT_FALSE(world_->city->hospitals.empty());
+  EXPECT_NE(world_->city->depot, roadnet::kInvalidLandmark);
+}
+
+TEST_F(WorldTest, BothScenariosHaveTraces) {
+  EXPECT_FALSE(world_->train.trace.records.empty());
+  EXPECT_FALSE(world_->eval.trace.records.empty());
+  EXPECT_FALSE(world_->train.trace.rescues.empty());
+  EXPECT_FALSE(world_->eval.trace.rescues.empty());
+}
+
+TEST_F(WorldTest, ScenariosDifferByStorm) {
+  // Different seed salts produce different traces even for similar storms.
+  EXPECT_NE(world_->train.trace.records.size(),
+            world_->eval.trace.records.size());
+}
+
+TEST_F(WorldTest, EvalDayIsTheBusiestDay) {
+  std::vector<int> per_day(world_->eval.spec.window_days, 0);
+  for (const mobility::RescueEvent& ev : world_->eval.trace.rescues) {
+    const int d = util::DayIndex(ev.request_time);
+    if (d >= 0 && d < world_->eval.spec.window_days) ++per_day[d];
+  }
+  const int chosen = world_->eval.spec.eval_day;
+  for (int d = 1; d < world_->eval.spec.window_days; ++d) {
+    EXPECT_LE(per_day[d], per_day[chosen]) << "day " << d;
+  }
+}
+
+TEST_F(WorldTest, FloodModelsBound) {
+  // The flood objects are wired to their own scenario's weather field.
+  const auto& spec = world_->eval.spec;
+  const util::GeoPoint se = world_->city->box.At(0.9, 0.1);
+  EXPECT_GE(world_->eval.flood->DepthAt(se, spec.storm.storm_end_s), 0.0);
+  EXPECT_DOUBLE_EQ(world_->eval.flood->DepthAt(se, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace mobirescue::core

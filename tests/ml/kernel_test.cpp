@@ -1,0 +1,69 @@
+#include "ml/svm/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <vector>
+
+namespace mobirescue::ml {
+namespace {
+
+TEST(KernelTest, LinearIsDotProduct) {
+  KernelConfig config{KernelType::kLinear};
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(EvalKernel(config, x, y), 4.0 - 10.0 + 18.0);
+}
+
+TEST(KernelTest, RbfIsOneAtIdentity) {
+  KernelConfig config{KernelType::kRbf, 0.7};
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(EvalKernel(config, x, x), 1.0);
+}
+
+TEST(KernelTest, RbfDecaysWithDistance) {
+  KernelConfig config{KernelType::kRbf, 0.5};
+  const std::vector<double> x = {0.0, 0.0};
+  const std::vector<double> near = {0.1, 0.0};
+  const std::vector<double> far = {3.0, 0.0};
+  EXPECT_GT(EvalKernel(config, x, near), EvalKernel(config, x, far));
+  EXPECT_NEAR(EvalKernel(config, x, far), std::exp(-0.5 * 9.0), 1e-12);
+}
+
+TEST(KernelTest, PolynomialMatchesFormula) {
+  KernelConfig config;
+  config.type = KernelType::kPolynomial;
+  config.degree = 2;
+  config.coef0 = 1.0;
+  const std::vector<double> x = {1.0, 1.0};
+  const std::vector<double> y = {2.0, 3.0};
+  EXPECT_DOUBLE_EQ(EvalKernel(config, x, y), 36.0);  // (5 + 1)^2
+}
+
+TEST(KernelTest, SymmetricInArguments) {
+  for (KernelType type :
+       {KernelType::kLinear, KernelType::kRbf, KernelType::kPolynomial}) {
+    KernelConfig config;
+    config.type = type;
+    const std::vector<double> x = {0.3, -1.2, 2.0};
+    const std::vector<double> y = {1.1, 0.4, -0.7};
+    EXPECT_DOUBLE_EQ(EvalKernel(config, x, y), EvalKernel(config, y, x));
+  }
+}
+
+TEST(KernelTest, DimensionMismatchThrows) {
+  KernelConfig config;
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.0};
+  EXPECT_THROW(EvalKernel(config, x, y), std::invalid_argument);
+}
+
+TEST(KernelTest, Names) {
+  EXPECT_EQ(KernelName(KernelType::kLinear), "linear");
+  EXPECT_EQ(KernelName(KernelType::kRbf), "rbf");
+  EXPECT_EQ(KernelName(KernelType::kPolynomial), "poly");
+}
+
+}  // namespace
+}  // namespace mobirescue::ml

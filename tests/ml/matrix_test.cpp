@@ -1,0 +1,82 @@
+#include "ml/nn/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobirescue::ml {
+namespace {
+
+Matrix Make(std::size_t r, std::size_t c, std::initializer_list<double> vals) {
+  Matrix m(r, c);
+  auto it = vals.begin();
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = *it++;
+  }
+  return m;
+}
+
+TEST(MatrixTest, MatMulKnownResult) {
+  const Matrix a = Make(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b = Make(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = a.MatMul(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(MatrixTest, MatMulShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a.MatMul(b), std::invalid_argument);
+}
+
+TEST(MatrixTest, TransposedMatMulEqualsExplicitTranspose) {
+  const Matrix a = Make(3, 2, {1, 2, 3, 4, 5, 6});  // a^T is 2x3
+  const Matrix b = Make(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = a.TransposedMatMul(b);  // (2x3)*(3x2) -> 2x2
+  EXPECT_DOUBLE_EQ(c(0, 0), 1 * 7 + 3 * 9 + 5 * 11);
+  EXPECT_DOUBLE_EQ(c(1, 1), 2 * 8 + 4 * 10 + 6 * 12);
+}
+
+TEST(MatrixTest, MatMulTransposedEqualsExplicitTranspose) {
+  const Matrix a = Make(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b = Make(2, 3, {7, 8, 9, 10, 11, 12});  // b^T is 3x2
+  const Matrix c = a.MatMulTransposed(b);  // (2x3)*(3x2) -> 2x2
+  EXPECT_DOUBLE_EQ(c(0, 0), 1 * 7 + 2 * 8 + 3 * 9);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4 * 7 + 5 * 8 + 6 * 9);
+}
+
+TEST(MatrixTest, AddRowVectorBroadcasts) {
+  Matrix m = Make(2, 2, {1, 2, 3, 4});
+  const Matrix row = Make(1, 2, {10, 20});
+  m.AddRowVector(row);
+  EXPECT_DOUBLE_EQ(m(0, 0), 11);
+  EXPECT_DOUBLE_EQ(m(1, 1), 24);
+  EXPECT_THROW(m.AddRowVector(Make(1, 3, {1, 2, 3})), std::invalid_argument);
+}
+
+TEST(MatrixTest, HadamardAndColSum) {
+  const Matrix a = Make(2, 2, {1, 2, 3, 4});
+  const Matrix b = Make(2, 2, {5, 6, 7, 8});
+  const Matrix h = a.Hadamard(b);
+  EXPECT_DOUBLE_EQ(h(0, 0), 5);
+  EXPECT_DOUBLE_EQ(h(1, 1), 32);
+  const Matrix s = a.ColSum();
+  ASSERT_EQ(s.rows(), 1u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 4);
+  EXPECT_DOUBLE_EQ(s(0, 1), 6);
+}
+
+TEST(MatrixTest, ApplyAndMap) {
+  Matrix m = Make(1, 3, {-1, 0, 2});
+  const Matrix relu = m.Map([](double x) { return x > 0 ? x : 0.0; });
+  EXPECT_DOUBLE_EQ(relu(0, 0), 0);
+  EXPECT_DOUBLE_EQ(relu(0, 2), 2);
+  m.Apply([](double x) { return x * 10; });
+  EXPECT_DOUBLE_EQ(m(0, 0), -10);
+}
+
+}  // namespace
+}  // namespace mobirescue::ml

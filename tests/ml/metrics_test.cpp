@@ -1,0 +1,47 @@
+#include "ml/svm/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobirescue::ml {
+namespace {
+
+TEST(MetricsTest, CountsCellsCorrectly) {
+  ConfusionMatrix cm;
+  cm.Add(true, true);    // TP
+  cm.Add(true, true);    // TP
+  cm.Add(false, true);   // FP
+  cm.Add(false, false);  // TN
+  cm.Add(true, false);   // FN
+  EXPECT_EQ(cm.tp, 2u);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.tn, 1u);
+  EXPECT_EQ(cm.fn, 1u);
+  EXPECT_EQ(cm.total(), 5u);
+}
+
+TEST(MetricsTest, PaperFormulas) {
+  ConfusionMatrix cm;
+  cm.tp = 40;
+  cm.tn = 30;
+  cm.fp = 20;
+  cm.fn = 10;
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.70);
+  EXPECT_NEAR(cm.Precision(), 40.0 / 60.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cm.Recall(), 0.80);
+  const double p = cm.Precision(), r = cm.Recall();
+  EXPECT_NEAR(cm.F1(), 2 * p * r / (p + r), 1e-12);
+}
+
+TEST(MetricsTest, EmptyAndDegenerateAreZeroNotNan) {
+  ConfusionMatrix cm;
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.F1(), 0.0);
+  cm.tn = 5;  // no positives anywhere
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(), 0.0);
+}
+
+}  // namespace
+}  // namespace mobirescue::ml

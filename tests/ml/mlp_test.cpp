@@ -1,0 +1,168 @@
+#include "ml/nn/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mobirescue::ml {
+namespace {
+
+MlpConfig SmallNet() {
+  MlpConfig config;
+  config.input_dim = 2;
+  config.hidden = {16, 16};
+  config.output_dim = 1;
+  config.learning_rate = 5e-3;
+  config.loss = LossKind::kMse;
+  return config;
+}
+
+TEST(MlpTest, OutputShapeAndDeterminism) {
+  Mlp a(SmallNet()), b(SmallNet());
+  const std::vector<double> x = {0.3, -0.7};
+  EXPECT_EQ(a.Predict(x).size(), 1u);
+  EXPECT_DOUBLE_EQ(a.Predict(x)[0], b.Predict(x)[0]);
+}
+
+TEST(MlpTest, LearnsLinearFunction) {
+  Mlp net(SmallNet());
+  util::Rng rng(3);
+  // y = 2 x0 - x1 + 0.5
+  for (int step = 0; step < 3000; ++step) {
+    Matrix batch(16, 2), target(16, 1);
+    for (int i = 0; i < 16; ++i) {
+      const double x0 = rng.Uniform(-1, 1), x1 = rng.Uniform(-1, 1);
+      batch(i, 0) = x0;
+      batch(i, 1) = x1;
+      target(i, 0) = 2 * x0 - x1 + 0.5;
+    }
+    net.Forward(batch);
+    net.Backward(target);
+  }
+  double max_err = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const double x0 = rng.Uniform(-1, 1), x1 = rng.Uniform(-1, 1);
+    const double y = net.Predict(std::vector<double>{x0, x1})[0];
+    max_err = std::max(max_err, std::abs(y - (2 * x0 - x1 + 0.5)));
+  }
+  EXPECT_LT(max_err, 0.15);
+}
+
+TEST(MlpTest, LearnsNonlinearFunction) {
+  MlpConfig config = SmallNet();
+  config.hidden = {32, 32};
+  Mlp net(config);
+  util::Rng rng(4);
+  // y = x0 * x1 (requires the hidden layers).
+  for (int step = 0; step < 6000; ++step) {
+    Matrix batch(16, 2), target(16, 1);
+    for (int i = 0; i < 16; ++i) {
+      const double x0 = rng.Uniform(-1, 1), x1 = rng.Uniform(-1, 1);
+      batch(i, 0) = x0;
+      batch(i, 1) = x1;
+      target(i, 0) = x0 * x1;
+    }
+    net.Forward(batch);
+    net.Backward(target);
+  }
+  double sq_err = 0.0;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    const double x0 = rng.Uniform(-1, 1), x1 = rng.Uniform(-1, 1);
+    const double y = net.Predict(std::vector<double>{x0, x1})[0];
+    sq_err += (y - x0 * x1) * (y - x0 * x1);
+  }
+  EXPECT_LT(sq_err / n, 0.02);
+}
+
+TEST(MlpTest, LossDecreasesOnFixedBatch) {
+  Mlp net(SmallNet());
+  Matrix batch(4, 2), target(4, 1);
+  batch(0, 0) = 0;  batch(0, 1) = 0;  target(0, 0) = 1;
+  batch(1, 0) = 1;  batch(1, 1) = 0;  target(1, 0) = -1;
+  batch(2, 0) = 0;  batch(2, 1) = 1;  target(2, 0) = 2;
+  batch(3, 0) = 1;  batch(3, 1) = 1;  target(3, 0) = 0;
+  net.Forward(batch);
+  const double first = net.Backward(target);
+  double last = first;
+  for (int i = 0; i < 200; ++i) {
+    net.Forward(batch);
+    last = net.Backward(target);
+  }
+  EXPECT_LT(last, first * 0.1);
+}
+
+TEST(MlpTest, MaskRestrictsLoss) {
+  Mlp net([] {
+    MlpConfig c;
+    c.input_dim = 1;
+    c.hidden = {8};
+    c.output_dim = 2;
+    return c;
+  }());
+  Matrix batch(1, 1);
+  batch(0, 0) = 1.0;
+  Matrix target(1, 2);
+  target(0, 0) = 100.0;   // masked out: must not affect training
+  target(0, 1) = 0.5;
+  Matrix mask(1, 2);
+  mask(0, 0) = 0.0;
+  mask(0, 1) = 1.0;
+  for (int i = 0; i < 500; ++i) {
+    net.Forward(batch);
+    net.Backward(target, &mask);
+  }
+  const auto out = net.Predict(std::vector<double>{1.0});
+  EXPECT_NEAR(out[1], 0.5, 0.05);
+  EXPECT_LT(std::abs(out[0]), 50.0);  // never dragged toward 100
+}
+
+TEST(MlpTest, CopyAndSoftUpdate) {
+  Mlp a(SmallNet()), b([] {
+    MlpConfig c = SmallNet();
+    c.seed = 999;
+    return c;
+  }());
+  const std::vector<double> x = {0.5, 0.5};
+  EXPECT_NE(a.Predict(x)[0], b.Predict(x)[0]);
+  b.CopyWeightsFrom(a);
+  EXPECT_DOUBLE_EQ(a.Predict(x)[0], b.Predict(x)[0]);
+
+  Mlp c([] {
+    MlpConfig cc = SmallNet();
+    cc.seed = 777;
+    return cc;
+  }());
+  const double before = c.Predict(x)[0];
+  c.SoftUpdateFrom(a, 1.0);  // tau=1 -> exact copy
+  EXPECT_DOUBLE_EQ(c.Predict(x)[0], a.Predict(x)[0]);
+  EXPECT_NE(c.Predict(x)[0], before);
+}
+
+TEST(MlpTest, SaveLoadRoundTrip) {
+  Mlp a(SmallNet());
+  const auto weights = a.SaveWeights();
+  EXPECT_EQ(weights.size(), a.num_parameters());
+  Mlp b([] {
+    MlpConfig c = SmallNet();
+    c.seed = 4242;
+    return c;
+  }());
+  b.LoadWeights(weights);
+  const std::vector<double> x = {-0.2, 0.9};
+  EXPECT_DOUBLE_EQ(a.Predict(x)[0], b.Predict(x)[0]);
+  EXPECT_THROW(b.LoadWeights(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(MlpTest, RejectsBadShapes) {
+  Mlp net(SmallNet());
+  EXPECT_THROW(net.Predict(std::vector<double>{1.0}), std::invalid_argument);
+  Matrix bad(1, 3);
+  EXPECT_THROW(net.Forward(bad), std::invalid_argument);
+  MlpConfig zero;
+  zero.input_dim = 0;
+  EXPECT_THROW(Mlp{zero}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mobirescue::ml

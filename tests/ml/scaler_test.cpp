@@ -1,0 +1,61 @@
+#include "ml/svm/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace mobirescue::ml {
+namespace {
+
+TEST(ScalerTest, TransformsToZeroMeanUnitVariance) {
+  FeatureScaler scaler;
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({static_cast<double>(i), 100.0 + 3.0 * i});
+  }
+  scaler.Fit(rows);
+  const auto scaled = scaler.TransformAll(rows);
+
+  std::vector<double> col0, col1;
+  for (const auto& r : scaled) {
+    col0.push_back(r[0]);
+    col1.push_back(r[1]);
+  }
+  EXPECT_NEAR(util::Mean(col0), 0.0, 1e-10);
+  EXPECT_NEAR(util::StdDev(col0), 1.0, 1e-10);
+  EXPECT_NEAR(util::Mean(col1), 0.0, 1e-10);
+  EXPECT_NEAR(util::StdDev(col1), 1.0, 1e-10);
+}
+
+TEST(ScalerTest, ConstantFeaturePassesThroughCentred) {
+  FeatureScaler scaler;
+  std::vector<std::vector<double>> rows = {{5.0, 1.0}, {5.0, 2.0}, {5.0, 3.0}};
+  scaler.Fit(rows);
+  for (const auto& r : scaler.TransformAll(rows)) {
+    EXPECT_DOUBLE_EQ(r[0], 0.0);
+  }
+}
+
+TEST(ScalerTest, RejectsBadInput) {
+  FeatureScaler scaler;
+  EXPECT_THROW(scaler.Fit({}), std::invalid_argument);
+  std::vector<std::vector<double>> ragged = {{1.0, 2.0}, {1.0}};
+  EXPECT_THROW(scaler.Fit(ragged), std::invalid_argument);
+  std::vector<std::vector<double>> rows = {{1.0, 2.0}, {3.0, 4.0}};
+  scaler.Fit(rows);
+  EXPECT_THROW(scaler.Transform(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(ScalerTest, FittedFlagAndAccessors) {
+  FeatureScaler scaler;
+  EXPECT_FALSE(scaler.fitted());
+  std::vector<std::vector<double>> rows = {{1.0}, {3.0}};
+  scaler.Fit(rows);
+  EXPECT_TRUE(scaler.fitted());
+  EXPECT_DOUBLE_EQ(scaler.mean()[0], 2.0);
+  EXPECT_DOUBLE_EQ(scaler.stddev()[0], 1.0);
+}
+
+}  // namespace
+}  // namespace mobirescue::ml

@@ -1,0 +1,73 @@
+#include "mobility/data_cleaner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobirescue::mobility {
+namespace {
+
+GpsRecord Rec(PersonId person, double t, double lat, double lon) {
+  GpsRecord r;
+  r.person = person;
+  r.t = t;
+  r.pos = {lat, lon};
+  return r;
+}
+
+CleaningConfig Config() {
+  CleaningConfig config;
+  config.box = util::kCharlotteCropBox;
+  return config;
+}
+
+TEST(DataCleanerTest, DropsOutOfBox) {
+  GpsTrace trace = {Rec(0, 0, 35.7, -78.9), Rec(0, 100, 10.0, 10.0)};
+  CleaningStats stats;
+  const GpsTrace out = CleanTrace(trace, Config(), &stats);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(stats.out_of_box, 1u);
+  EXPECT_EQ(stats.kept, 1u);
+  EXPECT_EQ(stats.input, 2u);
+}
+
+TEST(DataCleanerTest, DropsDuplicates) {
+  GpsTrace trace = {Rec(0, 0, 35.7, -78.9), Rec(0, 0.5, 35.7, -78.9),
+                    Rec(0, 100, 35.7, -78.9)};
+  CleaningStats stats;
+  const GpsTrace out = CleanTrace(trace, Config(), &stats);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(stats.duplicates, 1u);
+}
+
+TEST(DataCleanerTest, DropsTeleports) {
+  // 0.1 degrees (~11 km) in 10 seconds = 1100 m/s: a GPS glitch.
+  GpsTrace trace = {Rec(0, 0, 35.70, -78.9), Rec(0, 10, 35.80, -78.9),
+                    Rec(0, 20, 35.70, -78.9)};
+  CleaningStats stats;
+  const GpsTrace out = CleanTrace(trace, Config(), &stats);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(stats.teleports, 1u);
+}
+
+TEST(DataCleanerTest, PersonBoundaryResetsChecks) {
+  // Same position/time "jump" across different people must not be flagged.
+  GpsTrace trace = {Rec(0, 100, 35.70, -78.9), Rec(1, 100.2, 35.79, -78.7)};
+  CleaningStats stats;
+  const GpsTrace out = CleanTrace(trace, Config(), &stats);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(stats.duplicates, 0u);
+  EXPECT_EQ(stats.teleports, 0u);
+}
+
+TEST(DataCleanerTest, EmptyInput) {
+  CleaningStats stats;
+  EXPECT_TRUE(CleanTrace({}, Config(), &stats).empty());
+  EXPECT_EQ(stats.input, 0u);
+}
+
+TEST(DataCleanerTest, NullStatsAccepted) {
+  GpsTrace trace = {Rec(0, 0, 35.7, -78.9)};
+  EXPECT_EQ(CleanTrace(trace, Config(), nullptr).size(), 1u);
+}
+
+}  // namespace
+}  // namespace mobirescue::mobility

@@ -1,0 +1,87 @@
+#include "mobility/flow_rate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "roadnet/city_builder.hpp"
+
+namespace mobirescue::mobility {
+namespace {
+
+class FlowRateTest : public ::testing::Test {
+ protected:
+  FlowRateTest() {
+    roadnet::CityConfig config;
+    config.grid_width = 6;
+    config.grid_height = 6;
+    city_ = roadnet::BuildCity(config);
+  }
+
+  MatchedRecord Moving(PersonId p, double t, roadnet::SegmentId seg) {
+    return {p, t, seg, 10.0, {}};
+  }
+  MatchedRecord Still(PersonId p, double t, roadnet::SegmentId seg) {
+    return {p, t, seg, 0.0, {}};
+  }
+
+  roadnet::City city_;
+};
+
+TEST_F(FlowRateTest, CountsOneVehiclePerPersonPerHour) {
+  FlowRateAnalyzer analyzer(city_.network, 48);
+  // Person 0 pings three times on segment 3 within hour 2: one vehicle.
+  analyzer.Ingest({Moving(0, 7200, 3), Moving(0, 7500, 3), Moving(0, 7900, 3)});
+  EXPECT_DOUBLE_EQ(analyzer.SegmentFlow(3, 2), 1.0);
+  EXPECT_DOUBLE_EQ(analyzer.SegmentFlow(3, 1), 0.0);
+}
+
+TEST_F(FlowRateTest, DistinctPeopleAccumulate) {
+  FlowRateAnalyzer analyzer(city_.network, 48);
+  analyzer.Ingest({Moving(0, 7200, 3), Moving(1, 7300, 3), Moving(2, 7400, 3)});
+  EXPECT_DOUBLE_EQ(analyzer.SegmentFlow(3, 2), 3.0);
+}
+
+TEST_F(FlowRateTest, StationaryRecordsIgnored) {
+  FlowRateAnalyzer analyzer(city_.network, 48);
+  analyzer.Ingest({Still(0, 7200, 3), Still(1, 7300, 3)});
+  EXPECT_DOUBLE_EQ(analyzer.SegmentFlow(3, 2), 0.0);
+}
+
+TEST_F(FlowRateTest, RegionFlowAveragesOverSegments) {
+  FlowRateAnalyzer analyzer(city_.network, 24);
+  const auto region_segs = city_.network.SegmentsInRegion(1);
+  ASSERT_GE(region_segs.size(), 2u);
+  // One vehicle on exactly one segment of region 1 during hour 0.
+  analyzer.Ingest({Moving(0, 100, region_segs[0])});
+  const double expected = 1.0 / static_cast<double>(region_segs.size());
+  EXPECT_NEAR(analyzer.RegionFlow(1, 0), expected, 1e-12);
+}
+
+TEST_F(FlowRateTest, DayProfileHas24Entries) {
+  FlowRateAnalyzer analyzer(city_.network, 72);
+  const auto profile = analyzer.RegionDayProfile(1, 2);
+  EXPECT_EQ(profile.size(), 24u);
+}
+
+TEST_F(FlowRateTest, SegmentDailyFlowDifference) {
+  FlowRateAnalyzer analyzer(city_.network, 48);
+  // Segment 0: 2 vehicles/hour on day 0 hour 0, none on day 1.
+  analyzer.Ingest({Moving(0, 100, 0), Moving(1, 200, 0)});
+  const auto diffs = analyzer.SegmentDailyFlowDifference(0, 1);
+  ASSERT_EQ(diffs.size(), city_.network.num_segments());
+  EXPECT_NEAR(diffs[0], 2.0 / 24.0, 1e-12);
+  EXPECT_DOUBLE_EQ(diffs[1], 0.0);
+}
+
+TEST_F(FlowRateTest, OutOfRangeHourSafe) {
+  FlowRateAnalyzer analyzer(city_.network, 24);
+  analyzer.Ingest({Moving(0, 100 * 3600.0, 0)});  // beyond window: ignored
+  EXPECT_DOUBLE_EQ(analyzer.SegmentFlow(0, 23), 0.0);
+  EXPECT_DOUBLE_EQ(analyzer.SegmentFlow(0, -1), 0.0);
+}
+
+TEST_F(FlowRateTest, RejectsBadWindow) {
+  EXPECT_THROW(FlowRateAnalyzer(city_.network, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mobirescue::mobility

@@ -1,0 +1,116 @@
+#include "mobility/hospital_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "weather/scenario.hpp"
+
+namespace mobirescue::mobility {
+namespace {
+
+class HospitalDetectorTest : public ::testing::Test {
+ protected:
+  HospitalDetectorTest()
+      : spec_(weather::FlorenceScenario()) {
+    roadnet::CityConfig config;
+    config.grid_width = 8;
+    config.grid_height = 8;
+    config.num_hospitals = 3;
+    city_ = roadnet::BuildCity(config);
+    field_ = std::make_unique<weather::WeatherField>(city_.box, spec_.storm);
+    flood_ = std::make_unique<weather::FloodModel>(*field_, city_.terrain);
+    detector_ = std::make_unique<HospitalDeliveryDetector>(city_, *flood_);
+  }
+
+  util::GeoPoint HospitalPos(int i) const {
+    return city_.network.landmark(city_.hospitals[i]).pos;
+  }
+
+  /// Finds a position that is in a flood zone at the storm end.
+  util::GeoPoint FloodedPos() const {
+    for (double x = 0.95; x > 0.0; x -= 0.05) {
+      for (double y = 0.05; y < 1.0; y += 0.05) {
+        const util::GeoPoint p = city_.box.At(x, y);
+        if (flood_->InFloodZone(p, spec_.storm.storm_end_s)) return p;
+      }
+    }
+    ADD_FAILURE() << "no flooded position found";
+    return city_.box.Center();
+  }
+
+  GpsTrace StayAt(PersonId person, const util::GeoPoint& pos, double from,
+                  double to, double step = 1200.0) {
+    GpsTrace out;
+    for (double t = from; t < to; t += step) {
+      out.push_back({person, t, pos, 0.0, 0.0});
+    }
+    return out;
+  }
+
+  weather::ScenarioSpec spec_;
+  roadnet::City city_;
+  std::unique_ptr<weather::WeatherField> field_;
+  std::unique_ptr<weather::FloodModel> flood_;
+  std::unique_ptr<HospitalDeliveryDetector> detector_;
+};
+
+TEST_F(HospitalDetectorTest, DetectsLongStayAtHospital) {
+  const double t0 = spec_.storm.storm_end_s;
+  GpsTrace trace = StayAt(0, HospitalPos(0), t0, t0 + 4 * 3600.0);
+  const auto deliveries = detector_->Detect(trace);
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].person, 0);
+  EXPECT_EQ(deliveries[0].hospital, city_.hospitals[0]);
+  EXPECT_FALSE(deliveries[0].flood_rescue);  // no previous position known
+}
+
+TEST_F(HospitalDetectorTest, ShortVisitIgnored) {
+  const double t0 = spec_.storm.storm_end_s;
+  // 90 minutes < the paper's 2-hour threshold.
+  GpsTrace trace = StayAt(0, HospitalPos(0), t0, t0 + 1.5 * 3600.0);
+  EXPECT_TRUE(detector_->Detect(trace).empty());
+}
+
+TEST_F(HospitalDetectorTest, FloodRescueBackCheck) {
+  const util::GeoPoint flooded = FloodedPos();
+  const double t0 = spec_.storm.storm_end_s - 3600.0;
+  GpsTrace trace;
+  // Person pings at a flooded position, then appears at a hospital for 5 h.
+  trace.push_back({0, t0, flooded, 0.0, 0.0});
+  const GpsTrace stay =
+      StayAt(0, HospitalPos(0), t0 + 1800.0, t0 + 1800.0 + 5 * 3600.0);
+  trace.insert(trace.end(), stay.begin(), stay.end());
+  const auto deliveries = detector_->Detect(trace);
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_TRUE(deliveries[0].flood_rescue);
+  EXPECT_EQ(deliveries[0].previous_pos, flooded);
+  EXPECT_EQ(HospitalDeliveryDetector::FloodRescuesOnly(deliveries).size(), 1u);
+}
+
+TEST_F(HospitalDetectorTest, DryPreviousPositionIsNotFloodRescue) {
+  // Previous position before the storm: dry everywhere.
+  GpsTrace trace;
+  trace.push_back({0, 1000.0, city_.box.At(0.1, 0.9), 0.0, 0.0});
+  const GpsTrace stay = StayAt(0, HospitalPos(1), 2000.0, 2000.0 + 4 * 3600.0);
+  trace.insert(trace.end(), stay.begin(), stay.end());
+  const auto deliveries = detector_->Detect(trace);
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_FALSE(deliveries[0].flood_rescue);
+  EXPECT_TRUE(HospitalDeliveryDetector::FloodRescuesOnly(deliveries).empty());
+}
+
+TEST_F(HospitalDetectorTest, MultiplePeopleSeparated) {
+  const double t0 = spec_.storm.storm_end_s;
+  GpsTrace trace = StayAt(0, HospitalPos(0), t0, t0 + 3 * 3600.0);
+  const GpsTrace second = StayAt(1, HospitalPos(1), t0, t0 + 3 * 3600.0);
+  trace.insert(trace.end(), second.begin(), second.end());
+  const auto deliveries = detector_->Detect(trace);
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_NE(deliveries[0].person, deliveries[1].person);
+}
+
+TEST_F(HospitalDetectorTest, EmptyTrace) {
+  EXPECT_TRUE(detector_->Detect({}).empty());
+}
+
+}  // namespace
+}  // namespace mobirescue::mobility

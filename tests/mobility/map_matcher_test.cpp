@@ -1,0 +1,87 @@
+#include "mobility/map_matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "roadnet/city_builder.hpp"
+
+namespace mobirescue::mobility {
+namespace {
+
+class MapMatcherTest : public ::testing::Test {
+ protected:
+  MapMatcherTest() {
+    roadnet::CityConfig config;
+    config.grid_width = 8;
+    config.grid_height = 8;
+    city_ = roadnet::BuildCity(config);
+    index_ = std::make_unique<roadnet::SpatialIndex>(city_.network, city_.box);
+    matcher_ = std::make_unique<MapMatcher>(city_.network, *index_);
+  }
+
+  roadnet::City city_;
+  std::unique_ptr<roadnet::SpatialIndex> index_;
+  std::unique_ptr<MapMatcher> matcher_;
+};
+
+TEST_F(MapMatcherTest, MatchesOnSegmentPointsToThatSegment) {
+  const roadnet::RoadSegment& seg = city_.network.segment(0);
+  const util::GeoPoint mid = city_.network.SegmentMidpoint(seg.id);
+  GpsTrace trace = {{0, 100.0, mid, 0.0, 5.0}};
+  const auto matched = matcher_->MatchTrace(trace);
+  ASSERT_EQ(matched.size(), 1u);
+  // Either the segment itself or its two-way twin (identical geometry).
+  const roadnet::RoadSegment& got = city_.network.segment(matched[0].segment);
+  const bool same_geometry =
+      (got.from == seg.from && got.to == seg.to) ||
+      (got.from == seg.to && got.to == seg.from);
+  EXPECT_TRUE(same_geometry);
+  EXPECT_EQ(matched[0].person, 0);
+  EXPECT_DOUBLE_EQ(matched[0].t, 100.0);
+}
+
+TEST_F(MapMatcherTest, DropsRecordsFarFromRoads) {
+  MatchConfig config;
+  config.max_match_distance_m = 50.0;
+  MapMatcher strict(city_.network, *index_, config);
+  // A point outside the box entirely.
+  GpsTrace trace = {{0, 0.0, {30.0, -70.0}, 0.0, 0.0}};
+  EXPECT_TRUE(strict.MatchTrace(trace).empty());
+}
+
+TEST_F(MapMatcherTest, TrajectoriesGroupByPerson) {
+  const util::GeoPoint a = city_.network.landmark(0).pos;
+  const util::GeoPoint b = city_.network.landmark(10).pos;
+  GpsTrace trace = {
+      {0, 0.0, a, 0.0, 5.0},  {0, 60.0, b, 0.0, 5.0},
+      {1, 10.0, b, 0.0, 5.0}, {1, 70.0, a, 0.0, 5.0},
+  };
+  const auto matched = matcher_->MatchTrace(trace);
+  const auto trajectories = matcher_->BuildTrajectories(matched);
+  ASSERT_EQ(trajectories.size(), 2u);
+  EXPECT_EQ(trajectories[0].person, 0);
+  EXPECT_EQ(trajectories[1].person, 1);
+  for (const Trajectory& t : trajectories) {
+    EXPECT_EQ(t.times.size(), t.landmarks.size());
+    EXPECT_FALSE(t.landmarks.empty());
+  }
+}
+
+TEST_F(MapMatcherTest, ConsecutiveStationaryPingsCollapse) {
+  const util::GeoPoint a = city_.network.landmark(5).pos;
+  GpsTrace trace;
+  for (int i = 0; i < 10; ++i) {
+    trace.push_back({0, i * 100.0, a, 0.0, 0.0});
+  }
+  const auto matched = matcher_->MatchTrace(trace);
+  const auto trajectories = matcher_->BuildTrajectories(matched);
+  ASSERT_EQ(trajectories.size(), 1u);
+  EXPECT_EQ(trajectories[0].landmarks.size(), 1u);
+}
+
+TEST_F(MapMatcherTest, EmptyInput) {
+  EXPECT_TRUE(matcher_->MatchTrace({}).empty());
+  EXPECT_TRUE(matcher_->BuildTrajectories({}).empty());
+}
+
+}  // namespace
+}  // namespace mobirescue::mobility

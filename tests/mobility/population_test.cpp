@@ -1,0 +1,82 @@
+#include "mobility/population.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobirescue::mobility {
+namespace {
+
+roadnet::City TestCity() {
+  roadnet::CityConfig config;
+  config.grid_width = 10;
+  config.grid_height = 10;
+  return roadnet::BuildCity(config);
+}
+
+TEST(PopulationTest, BuildsRequestedCount) {
+  const roadnet::City city = TestCity();
+  PopulationConfig config;
+  config.num_people = 500;
+  const auto people = BuildPopulation(city, config);
+  EXPECT_EQ(people.size(), 500u);
+}
+
+TEST(PopulationTest, IdsSequentialAnchorsValid) {
+  const roadnet::City city = TestCity();
+  PopulationConfig config;
+  config.num_people = 200;
+  const auto people = BuildPopulation(city, config);
+  for (std::size_t i = 0; i < people.size(); ++i) {
+    EXPECT_EQ(people[i].id, static_cast<PersonId>(i));
+    EXPECT_GE(people[i].home, 0);
+    EXPECT_LT(static_cast<std::size_t>(people[i].home),
+              city.network.num_landmarks());
+    EXPECT_NE(people[i].home, people[i].work);
+    EXPECT_EQ(people[i].home_region,
+              city.network.landmark(people[i].home).region);
+    EXPECT_GE(people[i].trip_rate, 0.5);
+  }
+}
+
+TEST(PopulationTest, DowntownWeightSkewsHomes) {
+  const roadnet::City city = TestCity();
+  // Count downtown landmarks fraction as the null model.
+  std::size_t downtown_lms = 0;
+  for (const roadnet::Landmark& lm : city.network.landmarks()) {
+    if (lm.region == roadnet::kDowntownRegion) ++downtown_lms;
+  }
+  const double base_frac =
+      static_cast<double>(downtown_lms) / city.network.num_landmarks();
+
+  PopulationConfig config;
+  config.num_people = 4000;
+  config.downtown_weight = 4.0;
+  const auto people = BuildPopulation(city, config);
+  std::size_t downtown_homes = 0;
+  for (const Person& p : people) {
+    if (p.home_region == roadnet::kDowntownRegion) ++downtown_homes;
+  }
+  const double home_frac = static_cast<double>(downtown_homes) / people.size();
+  EXPECT_GT(home_frac, base_frac * 1.5);
+}
+
+TEST(PopulationTest, DeterministicBySeed) {
+  const roadnet::City city = TestCity();
+  PopulationConfig config;
+  config.num_people = 100;
+  const auto a = BuildPopulation(city, config);
+  const auto b = BuildPopulation(city, config);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].home, b[i].home);
+    EXPECT_EQ(a[i].work, b[i].work);
+  }
+}
+
+TEST(PopulationTest, RejectsNonPositiveCount) {
+  const roadnet::City city = TestCity();
+  PopulationConfig config;
+  config.num_people = 0;
+  EXPECT_THROW(BuildPopulation(city, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mobirescue::mobility

@@ -1,0 +1,79 @@
+#include "mobility/position_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/sim_time.hpp"
+
+namespace mobirescue::mobility {
+namespace {
+
+const util::GeoPoint kHome{35.70, -78.90};
+const util::GeoPoint kWork{35.75, -78.80};
+
+/// Three days of a clean home/work routine for one person.
+GpsTrace Routine(PersonId person) {
+  GpsTrace out;
+  for (int day = 0; day < 3; ++day) {
+    for (int h = 0; h < 24; ++h) {
+      GpsRecord r;
+      r.person = person;
+      r.t = day * util::kSecondsPerDay + h * util::kSecondsPerHour + 120.0;
+      r.pos = (h >= 9 && h < 17) ? kWork : kHome;
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+TEST(PositionEstimatorTest, LearnsHomeAndWorkAnchors) {
+  PositionEstimator estimator(Routine(0));
+  const MobilityProfile* prof = estimator.Profile(0);
+  ASSERT_NE(prof, nullptr);
+  EXPECT_LT(util::ApproxDistanceMeters(prof->home, kHome), 50.0);
+  EXPECT_LT(util::ApproxDistanceMeters(prof->work, kWork), 50.0);
+}
+
+TEST(PositionEstimatorTest, EstimatesByHourOfDay) {
+  PositionEstimator estimator(Routine(0));
+  const auto at_night = estimator.Estimate(0, 2);
+  const auto at_noon = estimator.Estimate(0, 12);
+  ASSERT_TRUE(at_night.has_value());
+  ASSERT_TRUE(at_noon.has_value());
+  EXPECT_LT(util::ApproxDistanceMeters(*at_night, kHome), 50.0);
+  EXPECT_LT(util::ApproxDistanceMeters(*at_noon, kWork), 50.0);
+}
+
+TEST(PositionEstimatorTest, UnknownPersonIsNullopt) {
+  PositionEstimator estimator(Routine(0));
+  EXPECT_FALSE(estimator.Estimate(42, 12).has_value());
+}
+
+TEST(PositionEstimatorTest, AugmentFillsMissingPeople) {
+  GpsTrace history = Routine(0);
+  const GpsTrace second = Routine(1);
+  history.insert(history.end(), second.begin(), second.end());
+  PositionEstimator estimator(history);
+
+  // Real-time snapshot only sees person 0.
+  std::vector<GpsRecord> snapshot;
+  GpsRecord seen;
+  seen.person = 0;
+  seen.pos = kHome;
+  snapshot.push_back(seen);
+
+  const std::size_t added = estimator.AugmentSnapshot(
+      &snapshot, {0, 1, 99}, 12.0 * util::kSecondsPerHour);
+  EXPECT_EQ(added, 1u);  // person 1 estimated; 99 unknown; 0 already there
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[1].person, 1);
+  EXPECT_LT(util::ApproxDistanceMeters(snapshot[1].pos, kWork), 50.0);
+}
+
+TEST(PositionEstimatorTest, EmptyHistory) {
+  PositionEstimator estimator({});
+  EXPECT_EQ(estimator.num_profiles(), 0u);
+  EXPECT_FALSE(estimator.Estimate(0, 0).has_value());
+}
+
+}  // namespace
+}  // namespace mobirescue::mobility

@@ -1,0 +1,170 @@
+#include "mobility/trace_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "weather/scenario.hpp"
+
+namespace mobirescue::mobility {
+namespace {
+
+/// Shared fixture: small city, short scenario, modest population. Trace
+/// generation is the most expensive setup in the suite, so it is built
+/// once.
+class TraceGeneratorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    roadnet::CityConfig city_config;
+    city_config.grid_width = 10;
+    city_config.grid_height = 10;
+    city_ = new roadnet::City(roadnet::BuildCity(city_config));
+    spec_ = new weather::ScenarioSpec(weather::FlorenceScenario());
+    field_ = new weather::WeatherField(city_->box, spec_->storm);
+    flood_ = new weather::FloodModel(*field_, city_->terrain);
+    TraceConfig config;
+    config.population.num_people = 150;
+    TraceGenerator generator(*city_, *field_, *flood_, *spec_, config);
+    trace_ = new TraceResult(generator.Generate());
+  }
+
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete flood_;
+    delete field_;
+    delete spec_;
+    delete city_;
+    trace_ = nullptr;
+  }
+
+  static roadnet::City* city_;
+  static weather::ScenarioSpec* spec_;
+  static weather::WeatherField* field_;
+  static weather::FloodModel* flood_;
+  static TraceResult* trace_;
+};
+
+roadnet::City* TraceGeneratorTest::city_ = nullptr;
+weather::ScenarioSpec* TraceGeneratorTest::spec_ = nullptr;
+weather::WeatherField* TraceGeneratorTest::field_ = nullptr;
+weather::FloodModel* TraceGeneratorTest::flood_ = nullptr;
+TraceResult* TraceGeneratorTest::trace_ = nullptr;
+
+TEST_F(TraceGeneratorTest, ProducesRecordsForMostPeople) {
+  std::set<PersonId> people;
+  for (const GpsRecord& r : trace_->records) people.insert(r.person);
+  EXPECT_GE(people.size(), 140u);
+  EXPECT_GT(trace_->records.size(), 10000u);
+}
+
+TEST_F(TraceGeneratorTest, RecordsSortedByPersonThenTime) {
+  for (std::size_t i = 1; i < trace_->records.size(); ++i) {
+    const GpsRecord& a = trace_->records[i - 1];
+    const GpsRecord& b = trace_->records[i];
+    ASSERT_TRUE(a.person < b.person ||
+                (a.person == b.person && a.t <= b.t));
+  }
+}
+
+TEST_F(TraceGeneratorTest, TimestampsInsideWindow) {
+  const double window = spec_->window_days * util::kSecondsPerDay;
+  for (const GpsRecord& r : trace_->records) {
+    ASSERT_GE(r.t, 0.0);
+    ASSERT_LT(r.t, window + util::kSecondsPerDay);
+  }
+}
+
+TEST_F(TraceGeneratorTest, RescuesAppearDuringOrAfterStorm) {
+  ASSERT_FALSE(trace_->rescues.empty());
+  for (const RescueEvent& ev : trace_->rescues) {
+    EXPECT_GE(ev.request_time, spec_->storm.storm_begin_s);
+    EXPECT_NE(ev.request_segment, roadnet::kInvalidSegment);
+    EXPECT_GE(ev.region, 1);
+    EXPECT_LE(ev.region, roadnet::kNumRegions);
+  }
+}
+
+TEST_F(TraceGeneratorTest, RescuesSortedByRequestTime) {
+  for (std::size_t i = 1; i < trace_->rescues.size(); ++i) {
+    EXPECT_LE(trace_->rescues[i - 1].request_time,
+              trace_->rescues[i].request_time);
+  }
+}
+
+TEST_F(TraceGeneratorTest, RescuePositionsAreFlooded) {
+  // A trapped person must have been in meaningfully deep water, below the
+  // pre-evacuation cutoff.
+  TraceConfig defaults;
+  for (const RescueEvent& ev : trace_->rescues) {
+    const double depth = flood_->DepthAt(ev.request_pos, ev.request_time);
+    EXPECT_GE(depth, 0.8 * defaults.trap_depth_m);
+    EXPECT_LT(depth, 1.5 * defaults.evacuated_depth_m);
+  }
+}
+
+TEST_F(TraceGeneratorTest, DeliveredRescuesReferenceHospitals) {
+  int delivered = 0;
+  for (const RescueEvent& ev : trace_->rescues) {
+    if (!ev.delivered) continue;
+    ++delivered;
+    EXPECT_GT(ev.delivery_time, ev.request_time);
+    EXPECT_NE(std::find(city_->hospitals.begin(), city_->hospitals.end(),
+                        ev.hospital),
+              city_->hospitals.end());
+  }
+  // Most trapped people are delivered in the historical trace (default 85%).
+  EXPECT_GT(delivered, static_cast<int>(trace_->rescues.size() / 2));
+}
+
+TEST_F(TraceGeneratorTest, AtMostOneRequestPerPersonPerDay) {
+  std::set<std::pair<PersonId, int>> seen;
+  for (const RescueEvent& ev : trace_->rescues) {
+    const auto key =
+        std::make_pair(ev.person, util::DayIndex(ev.request_time));
+    EXPECT_TRUE(seen.insert(key).second)
+        << "person " << ev.person << " trapped twice on day " << key.second;
+  }
+}
+
+TEST_F(TraceGeneratorTest, MovementCollapsesDuringStorm) {
+  // Count moving records (speed > 2 m/s) per day: the storm days must show
+  // far less driving than the pre-disaster days (paper Fig. 5).
+  std::vector<int> moving(spec_->window_days, 0);
+  for (const GpsRecord& r : trace_->records) {
+    if (r.speed_mps > 2.0) {
+      const int day = util::DayIndex(r.t);
+      if (day < spec_->window_days) ++moving[day];
+    }
+  }
+  const double before = (moving[0] + moving[1] + moving[2]) / 3.0;
+  const int storm_peak_day = util::DayIndex(spec_->storm.storm_peak_s);
+  EXPECT_LT(moving[storm_peak_day], before * 0.5);
+}
+
+TEST_F(TraceGeneratorTest, SeverityZeroBeforeStorm) {
+  TraceConfig config;
+  config.population.num_people = 5;
+  TraceGenerator generator(*city_, *field_, *flood_, *spec_, config);
+  EXPECT_LT(generator.SeverityAt(city_->box.Center(), 0.0), 0.05);
+  EXPECT_GT(generator.SeverityAt(city_->box.At(0.9, 0.1),
+                                 spec_->storm.storm_peak_s),
+            0.3);
+}
+
+TEST_F(TraceGeneratorTest, DeterministicForSameConfig) {
+  TraceConfig config;
+  config.population.num_people = 30;
+  TraceGenerator g1(*city_, *field_, *flood_, *spec_, config);
+  TraceGenerator g2(*city_, *field_, *flood_, *spec_, config);
+  const TraceResult a = g1.Generate();
+  const TraceResult b = g2.Generate();
+  ASSERT_EQ(a.records.size(), b.records.size());
+  ASSERT_EQ(a.rescues.size(), b.rescues.size());
+  for (std::size_t i = 0; i < a.records.size(); i += 97) {
+    EXPECT_EQ(a.records[i].t, b.records[i].t);
+    EXPECT_EQ(a.records[i].pos, b.records[i].pos);
+  }
+}
+
+}  // namespace
+}  // namespace mobirescue::mobility

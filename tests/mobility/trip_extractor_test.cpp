@@ -1,0 +1,95 @@
+#include "mobility/trip_extractor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/sim_time.hpp"
+
+namespace mobirescue::mobility {
+namespace {
+
+const util::GeoPoint kA{35.70, -78.90};
+const util::GeoPoint kB{35.75, -78.80};  // ~11 km away
+
+GpsRecord Rec(PersonId p, double t, util::GeoPoint pos) {
+  GpsRecord r;
+  r.person = p;
+  r.t = t;
+  r.pos = pos;
+  return r;
+}
+
+/// Stay at A for an hour, move, stay at B for an hour.
+GpsTrace OneTrip(PersonId p, double start = 0.0) {
+  GpsTrace out;
+  for (int i = 0; i < 6; ++i) out.push_back(Rec(p, start + i * 600.0, kA));
+  // Move fixes (fast, no stay).
+  out.push_back(Rec(p, start + 3800.0, util::Lerp(kA, kB, 0.5)));
+  for (int i = 0; i < 6; ++i) {
+    out.push_back(Rec(p, start + 4000.0 + i * 600.0, kB));
+  }
+  return out;
+}
+
+TEST(TripExtractorTest, DetectsSimpleTrip) {
+  const auto result = ExtractTrips(OneTrip(0));
+  ASSERT_EQ(result.stays.size(), 2u);
+  ASSERT_EQ(result.trips.size(), 1u);
+  const Trip& trip = result.trips[0];
+  EXPECT_EQ(trip.person, 0);
+  EXPECT_LT(util::ApproxDistanceMeters(trip.origin, kA), 300.0);
+  EXPECT_LT(util::ApproxDistanceMeters(trip.destination, kB), 300.0);
+  EXPECT_GT(trip.DurationS(), 0.0);
+  EXPECT_GT(trip.StraightLineM(), 5000.0);
+}
+
+TEST(TripExtractorTest, ShortJitterIsNotATrip) {
+  GpsTrace trace;
+  // Two "stays" 100 m apart: below min_trip_m.
+  const util::GeoPoint near{kA.lat + 0.0009, kA.lon};
+  for (int i = 0; i < 6; ++i) trace.push_back(Rec(0, i * 600.0, kA));
+  for (int i = 0; i < 6; ++i) {
+    trace.push_back(Rec(0, 7200.0 + i * 600.0, near));
+  }
+  const auto result = ExtractTrips(trace);
+  EXPECT_TRUE(result.trips.empty());
+}
+
+TEST(TripExtractorTest, BriefPauseDoesNotSplitTrip) {
+  TripExtractorConfig config;
+  config.min_stay_s = 1800.0;
+  GpsTrace trace = OneTrip(0);
+  // Insert a 5-minute pause mid-route: too short to be a stay.
+  trace.push_back(Rec(0, 3850.0, util::Lerp(kA, kB, 0.55)));
+  std::sort(trace.begin(), trace.end(),
+            [](const GpsRecord& a, const GpsRecord& b) { return a.t < b.t; });
+  const auto result = ExtractTrips(trace, config);
+  EXPECT_EQ(result.trips.size(), 1u);
+}
+
+TEST(TripExtractorTest, MultiplePeopleIndependent) {
+  GpsTrace trace = OneTrip(0);
+  const GpsTrace second = OneTrip(1, 1000.0);
+  trace.insert(trace.end(), second.begin(), second.end());
+  const auto result = ExtractTrips(trace);
+  ASSERT_EQ(result.trips.size(), 2u);
+  EXPECT_EQ(result.trips[0].person, 0);
+  EXPECT_EQ(result.trips[1].person, 1);
+}
+
+TEST(TripExtractorTest, TripsPerDayBuckets) {
+  std::vector<Trip> trips(3);
+  trips[0].depart = 0.5 * util::kSecondsPerDay;
+  trips[1].depart = 1.2 * util::kSecondsPerDay;
+  trips[2].depart = 1.8 * util::kSecondsPerDay;
+  const auto per_day = TripsPerDay(trips, 3);
+  EXPECT_EQ(per_day, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(TripExtractorTest, EmptyTrace) {
+  const auto result = ExtractTrips({});
+  EXPECT_TRUE(result.trips.empty());
+  EXPECT_TRUE(result.stays.empty());
+}
+
+}  // namespace
+}  // namespace mobirescue::mobility

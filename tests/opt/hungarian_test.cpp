@@ -1,0 +1,131 @@
+#include "opt/hungarian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mobirescue::opt {
+namespace {
+
+AssignmentProblem Make(std::size_t rows, std::size_t cols,
+                       std::initializer_list<double> costs) {
+  AssignmentProblem p;
+  p.rows = rows;
+  p.cols = cols;
+  p.cost.assign(costs);
+  return p;
+}
+
+TEST(HungarianTest, SolvesKnown3x3) {
+  // Classic example: optimal assignment cost 5 (1+2+2... verify below).
+  const AssignmentProblem p = Make(3, 3,
+                                   {4, 1, 3,
+                                    2, 0, 5,
+                                    3, 2, 2});
+  const AssignmentResult r = SolveAssignment(p);
+  EXPECT_DOUBLE_EQ(r.total_cost, 5.0);  // (0,1)+(1,0)+(2,2) = 1+2+2
+  EXPECT_EQ(r.row_to_col[0], 1);
+  EXPECT_EQ(r.row_to_col[1], 0);
+  EXPECT_EQ(r.row_to_col[2], 2);
+}
+
+TEST(HungarianTest, AssignmentIsPermutation) {
+  util::Rng rng(8);
+  AssignmentProblem p;
+  p.rows = p.cols = 12;
+  p.cost.resize(144);
+  for (double& c : p.cost) c = rng.Uniform(0, 100);
+  const AssignmentResult r = SolveAssignment(p);
+  std::vector<char> used(12, 0);
+  for (int col : r.row_to_col) {
+    ASSERT_GE(col, 0);
+    ASSERT_LT(col, 12);
+    EXPECT_FALSE(used[col]);
+    used[col] = 1;
+  }
+}
+
+TEST(HungarianTest, BeatsOrEqualsGreedyOnRandomInstances) {
+  util::Rng rng(9);
+  for (int trial = 0; trial < 25; ++trial) {
+    AssignmentProblem p;
+    p.rows = p.cols = 8;
+    p.cost.resize(64);
+    for (double& c : p.cost) c = rng.Uniform(0, 10);
+    const double exact = SolveAssignment(p).total_cost;
+    const double greedy = SolveAssignmentGreedy(p).total_cost;
+    EXPECT_LE(exact, greedy + 1e-9);
+  }
+}
+
+TEST(HungarianTest, BruteForceAgreementSmall) {
+  util::Rng rng(10);
+  for (int trial = 0; trial < 20; ++trial) {
+    AssignmentProblem p;
+    p.rows = p.cols = 5;
+    p.cost.resize(25);
+    for (double& c : p.cost) c = rng.Uniform(0, 10);
+    // Brute force over all 120 permutations.
+    std::vector<int> perm = {0, 1, 2, 3, 4};
+    double best = 1e18;
+    do {
+      double cost = 0;
+      for (int i = 0; i < 5; ++i) cost += p.at(i, perm[i]);
+      best = std::min(best, cost);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_NEAR(SolveAssignment(p).total_cost, best, 1e-9);
+  }
+}
+
+TEST(HungarianTest, RectangularMoreColsLeavesColumnsUnused) {
+  const AssignmentProblem p = Make(2, 3,
+                                   {5, 1, 9,
+                                    5, 9, 1});
+  const AssignmentResult r = SolveAssignment(p);
+  EXPECT_DOUBLE_EQ(r.total_cost, 2.0);
+  EXPECT_EQ(r.row_to_col[0], 1);
+  EXPECT_EQ(r.row_to_col[1], 2);
+}
+
+TEST(HungarianTest, RectangularMoreRowsLeavesRowsUnassigned) {
+  const AssignmentProblem p = Make(3, 1, {3, 1, 2});
+  const AssignmentResult r = SolveAssignment(p);
+  EXPECT_DOUBLE_EQ(r.total_cost, 1.0);
+  int assigned = 0;
+  for (int c : r.row_to_col) assigned += (c >= 0);
+  EXPECT_EQ(assigned, 1);
+  EXPECT_EQ(r.row_to_col[1], 0);
+}
+
+TEST(HungarianTest, ForbiddenCostMeansUnassigned) {
+  const AssignmentProblem p = Make(2, 2,
+                                   {1.0, kForbiddenCost,
+                                    kForbiddenCost, kForbiddenCost});
+  const AssignmentResult r = SolveAssignment(p);
+  EXPECT_EQ(r.row_to_col[0], 0);
+  EXPECT_EQ(r.row_to_col[1], -1);
+  EXPECT_DOUBLE_EQ(r.total_cost, 1.0);
+}
+
+TEST(HungarianTest, RejectsNonFiniteCosts) {
+  AssignmentProblem p = Make(1, 1, {1.0});
+  p.cost[0] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(SolveAssignment(p), std::invalid_argument);
+}
+
+TEST(HungarianTest, SizeMismatchThrows) {
+  AssignmentProblem p;
+  p.rows = 2;
+  p.cols = 2;
+  p.cost = {1.0};
+  EXPECT_THROW(SolveAssignment(p), std::invalid_argument);
+}
+
+TEST(HungarianTest, EmptyProblem) {
+  const AssignmentResult r = SolveAssignment(AssignmentProblem{});
+  EXPECT_TRUE(r.row_to_col.empty());
+  EXPECT_DOUBLE_EQ(r.total_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace mobirescue::opt

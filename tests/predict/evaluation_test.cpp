@@ -1,0 +1,73 @@
+#include "predict/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "roadnet/city_builder.hpp"
+
+namespace mobirescue::predict {
+namespace {
+
+mobility::RescueEvent Event(int day, int hour, roadnet::SegmentId seg) {
+  mobility::RescueEvent ev;
+  ev.request_time = day * util::kSecondsPerDay + hour * util::kSecondsPerHour +
+                    60.0;
+  ev.request_segment = seg;
+  return ev;
+}
+
+class EvaluationTest : public ::testing::Test {
+ protected:
+  EvaluationTest() {
+    roadnet::CityConfig config;
+    config.grid_width = 6;
+    config.grid_height = 6;
+    city_ = roadnet::BuildCity(config);
+  }
+  roadnet::City city_;
+};
+
+TEST_F(EvaluationTest, PerfectPredictorScoresOne) {
+  std::vector<mobility::RescueEvent> events = {Event(4, 9, 0), Event(4, 15, 1)};
+  const auto scores = EvaluateSegmentPredictions(
+      city_.network, events, 4, [&](roadnet::SegmentId seg, int hour) {
+        return (seg == 0 && hour == 9) || (seg == 1 && hour == 15);
+      });
+  ASSERT_EQ(scores.accuracies.size(), 2u);
+  for (double a : scores.accuracies) EXPECT_DOUBLE_EQ(a, 1.0);
+  for (double p : scores.precisions) EXPECT_DOUBLE_EQ(p, 1.0);
+  EXPECT_EQ(scores.overall.fn, 0u);
+  EXPECT_EQ(scores.overall.fp, 0u);
+}
+
+TEST_F(EvaluationTest, AlwaysNoPredictorGetsAccuracyFromTN) {
+  std::vector<mobility::RescueEvent> events = {Event(4, 9, 0)};
+  const auto scores = EvaluateSegmentPredictions(
+      city_.network, events, 4,
+      [](roadnet::SegmentId, int) { return false; });
+  // Only segment 0 has activity; its accuracy is 23/24 (one missed hour).
+  ASSERT_EQ(scores.accuracies.size(), 1u);
+  EXPECT_NEAR(scores.accuracies[0], 23.0 / 24.0, 1e-12);
+  // No predicted positives anywhere: no precision entries.
+  EXPECT_TRUE(scores.precisions.empty());
+}
+
+TEST_F(EvaluationTest, FalsePositivesLowerPrecision) {
+  std::vector<mobility::RescueEvent> events = {Event(4, 9, 0)};
+  const auto scores = EvaluateSegmentPredictions(
+      city_.network, events, 4, [](roadnet::SegmentId seg, int hour) {
+        return seg == 0 && (hour == 9 || hour == 10);  // one TP, one FP
+      });
+  ASSERT_EQ(scores.precisions.size(), 1u);
+  EXPECT_DOUBLE_EQ(scores.precisions[0], 0.5);
+}
+
+TEST_F(EvaluationTest, OtherDaysIgnored) {
+  std::vector<mobility::RescueEvent> events = {Event(3, 9, 0)};
+  const auto scores = EvaluateSegmentPredictions(
+      city_.network, events, 4,
+      [](roadnet::SegmentId, int) { return false; });
+  EXPECT_TRUE(scores.accuracies.empty());  // no activity on eval day
+}
+
+}  // namespace
+}  // namespace mobirescue::predict

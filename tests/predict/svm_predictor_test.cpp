@@ -1,0 +1,89 @@
+#include "predict/svm_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/world.hpp"
+
+namespace mobirescue::predict {
+namespace {
+
+/// One shared small world: building it (trace generation) is the expensive
+/// part, so do it once for the whole suite.
+class SvmPredictorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::WorldConfig config;
+    config.city.grid_width = 12;
+    config.city.grid_height = 12;
+    config.city.num_hospitals = 5;
+    config.trace.population.num_people = 400;
+    world_ = new core::World(core::BuildWorld(config));
+    predictor_ = core::TrainSvmPredictor(*world_).release();
+  }
+  static void TearDownTestSuite() {
+    delete predictor_;
+    delete world_;
+  }
+
+  static core::World* world_;
+  static SvmRequestPredictor* predictor_;
+};
+
+core::World* SvmPredictorTest::world_ = nullptr;
+SvmRequestPredictor* SvmPredictorTest::predictor_ = nullptr;
+
+TEST_F(SvmPredictorTest, HeldOutAccuracyIsHigh) {
+  // Flooding labels are strongly determined by (P, W, A); the SVM should
+  // comfortably beat coin flipping on the 20% hold-out.
+  EXPECT_GT(predictor_->validation().Accuracy(), 0.8);
+  EXPECT_GT(predictor_->validation().Precision(), 0.7);
+  EXPECT_GT(predictor_->training_rows(), 100u);
+}
+
+TEST_F(SvmPredictorTest, FloodedPositionPredictedPositive) {
+  // At the eval storm's end, the wet low-lying south-east screams "rescue".
+  // (Pre-storm inputs are out of the training distribution — the system
+  // only ever queries the SVM during an active disaster.)
+  const auto& spec = world_->eval.spec;
+  const util::GeoPoint wet = world_->city->box.At(0.85, 0.15);
+  EXPECT_TRUE(predictor_->PredictPerson(wet, spec.storm.storm_end_s));
+}
+
+TEST_F(SvmPredictorTest, HighGroundPredictedNegativeEvenInStorm) {
+  const auto& spec = world_->eval.spec;
+  const util::GeoPoint high = world_->city->box.At(0.05, 0.95);
+  EXPECT_FALSE(predictor_->PredictPerson(high, spec.storm.storm_peak_s));
+}
+
+TEST_F(SvmPredictorTest, DistributionCountsPeopleOnSegments) {
+  const auto& spec = world_->eval.spec;
+  // Synthetic snapshot: 5 people at a flooded spot, 3 on high ground.
+  std::vector<mobility::GpsRecord> snapshot;
+  const util::GeoPoint wet = world_->city->box.At(0.85, 0.15);
+  const util::GeoPoint dry = world_->city->box.At(0.05, 0.95);
+  for (int i = 0; i < 5; ++i) {
+    snapshot.push_back({i, 0.0, wet, 0.0, 0.0});
+  }
+  for (int i = 5; i < 8; ++i) {
+    snapshot.push_back({i, 0.0, dry, 0.0, 0.0});
+  }
+  const Distribution dist = predictor_->PredictDistribution(
+      snapshot, 0.0, spec.storm.storm_end_s, *world_->index);
+  int total = 0;
+  for (const auto& [seg, count] : dist) total += count;
+  EXPECT_EQ(total, 5);  // only the flooded five
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_EQ(dist.begin()->second, 5);
+}
+
+TEST_F(SvmPredictorTest, EmptySnapshotEmptyDistribution) {
+  EXPECT_TRUE(predictor_
+                  ->PredictDistribution({}, 0.0,
+                                        world_->eval.spec.storm.storm_end_s,
+                                        *world_->index)
+                  .empty());
+}
+
+}  // namespace
+}  // namespace mobirescue::predict

@@ -1,0 +1,71 @@
+#include "predict/time_series_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobirescue::predict {
+namespace {
+
+mobility::RescueEvent Event(double day, double hour, roadnet::SegmentId seg) {
+  mobility::RescueEvent ev;
+  ev.request_time = day * util::kSecondsPerDay + hour * util::kSecondsPerHour;
+  ev.request_segment = seg;
+  return ev;
+}
+
+TEST(TimeSeriesTest, AveragesSameHourOverDays) {
+  // Segment 5 sees 2 requests at hour 9 on each of days 3 and 4.
+  std::vector<mobility::RescueEvent> history = {
+      Event(3, 9.1, 5), Event(3, 9.5, 5), Event(4, 9.2, 5), Event(4, 9.8, 5)};
+  TimeSeriesConfig config;
+  config.decay = 1.0;  // uniform weights for easy arithmetic
+  config.history_days = 5;
+  TimeSeriesPredictor predictor(history, /*eval_day=*/5, config);
+  // Weighted average over days 0..4 with uniform weights: only days 3,4 had
+  // demand (2 each); days 0-2 contribute zeros.
+  EXPECT_NEAR(predictor.PredictSegmentHour(5, 9), 4.0 / 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(predictor.PredictSegmentHour(5, 10), 0.0);
+}
+
+TEST(TimeSeriesTest, RecencyWeighting) {
+  // Day 4 (recent) has demand, day 0 (old) has demand; with decay < 1 the
+  // recent day dominates the weighted average.
+  std::vector<mobility::RescueEvent> history_recent = {Event(4, 12.0, 1)};
+  std::vector<mobility::RescueEvent> history_old = {Event(0, 12.0, 1)};
+  TimeSeriesConfig config;
+  config.decay = 0.5;
+  config.history_days = 5;
+  TimeSeriesPredictor recent(history_recent, 5, config);
+  TimeSeriesPredictor old(history_old, 5, config);
+  EXPECT_GT(recent.PredictSegmentHour(1, 12), old.PredictSegmentHour(1, 12));
+}
+
+TEST(TimeSeriesTest, IgnoresEvalDayAndLater) {
+  std::vector<mobility::RescueEvent> history = {Event(5, 9.0, 3),
+                                                Event(6, 9.0, 3)};
+  TimeSeriesPredictor predictor(history, /*eval_day=*/5, {});
+  EXPECT_DOUBLE_EQ(predictor.PredictSegmentHour(3, 9), 0.0);
+}
+
+TEST(TimeSeriesTest, PredictHourThreshold) {
+  std::vector<mobility::RescueEvent> history = {Event(4, 7.0, 1),
+                                                Event(4, 7.0, 1),
+                                                Event(4, 7.0, 2)};
+  TimeSeriesConfig config;
+  config.decay = 1.0;
+  config.history_days = 1;
+  TimeSeriesPredictor predictor(history, 5, config);
+  const auto hot = predictor.PredictHour(7, 1.5);
+  EXPECT_EQ(hot.size(), 1u);
+  EXPECT_TRUE(hot.count(1));
+  const auto all = predictor.PredictHour(7, 0.5);
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST(TimeSeriesTest, UnknownSegmentIsZero) {
+  TimeSeriesPredictor predictor({}, 5, {});
+  EXPECT_DOUBLE_EQ(predictor.PredictSegmentHour(42, 10), 0.0);
+  EXPECT_TRUE(predictor.PredictHour(10).empty());
+}
+
+}  // namespace
+}  // namespace mobirescue::predict

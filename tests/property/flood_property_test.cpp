@@ -1,0 +1,95 @@
+// Property tests: monotonicity and consistency of the weather/flood
+// substrate, parameterized over randomized probe positions.
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "weather/flood_model.hpp"
+#include "weather/scenario.hpp"
+
+namespace mobirescue::weather {
+namespace {
+
+class FloodPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  FloodPropertyTest()
+      : spec_(FlorenceScenario()),
+        field_(util::kCharlotteCropBox, spec_.storm),
+        terrain_(util::kCharlotteCropBox),
+        flood_(field_, terrain_),
+        rng_(GetParam()) {}
+
+  util::GeoPoint RandomPoint() {
+    return util::kCharlotteCropBox.At(rng_.Uniform(0.02, 0.98),
+                                      rng_.Uniform(0.02, 0.98));
+  }
+
+  ScenarioSpec spec_;
+  WeatherField field_;
+  roadnet::TerrainModel terrain_;
+  FloodModel flood_;
+  util::Rng rng_;
+};
+
+TEST_P(FloodPropertyTest, AccumulationIsMonotoneInTime) {
+  const util::GeoPoint p = RandomPoint();
+  double prev = -1.0;
+  for (double t = 0.0; t <= 9 * util::kSecondsPerDay; t += 10800.0) {
+    const double acc = field_.AccumulatedPrecipitation(p, t);
+    ASSERT_GE(acc, prev - 1e-9);
+    prev = acc;
+  }
+}
+
+TEST_P(FloodPropertyTest, DepthRisesThroughStormFallsAfter) {
+  const util::GeoPoint p = RandomPoint();
+  const double mid = flood_.DepthAt(p, spec_.storm.storm_peak_s);
+  const double end = flood_.DepthAt(p, spec_.storm.storm_end_s);
+  const double later =
+      flood_.DepthAt(p, spec_.storm.storm_end_s + 4 * util::kSecondsPerDay);
+  ASSERT_GE(end, mid - 1e-9);   // still accumulating until the storm ends
+  ASSERT_LE(later, end + 1e-9); // recession afterwards
+}
+
+TEST_P(FloodPropertyTest, DepthAntitoneInAltitude) {
+  // Among random same-rain points, deeper water only on lower ground:
+  // construct two probes at the same (x) longitude band so the rain factor
+  // is similar, then compare depth ordering against altitude ordering with
+  // tolerance for the spatial rain gradient.
+  const double x = rng_.Uniform(0.1, 0.9);
+  const util::GeoPoint a = util::kCharlotteCropBox.At(x, rng_.Uniform(0.05, 0.45));
+  const util::GeoPoint b = util::kCharlotteCropBox.At(x, rng_.Uniform(0.55, 0.95));
+  const double t = spec_.storm.storm_end_s;
+  const double alt_a = terrain_.AltitudeAt(a), alt_b = terrain_.AltitudeAt(b);
+  const double depth_a = flood_.DepthAt(a, t), depth_b = flood_.DepthAt(b, t);
+  // Strong claim only when the altitude gap is decisive.
+  if (alt_a + 40.0 < alt_b) {
+    EXPECT_GE(depth_a, depth_b * 0.5);
+  } else if (alt_b + 40.0 < alt_a) {
+    EXPECT_GE(depth_b, depth_a * 0.5);
+  }
+}
+
+TEST_P(FloodPropertyTest, ZonePredicateConsistentWithDepth) {
+  for (int i = 0; i < 20; ++i) {
+    const util::GeoPoint p = RandomPoint();
+    const double t = rng_.Uniform(0.0, 9 * util::kSecondsPerDay);
+    ASSERT_EQ(flood_.InFloodZone(p, t),
+              flood_.DepthAt(p, t) >= flood_.config().zone_depth_m);
+  }
+}
+
+TEST_P(FloodPropertyTest, WindAndRainNonNegativeEverywhere) {
+  for (int i = 0; i < 20; ++i) {
+    const util::GeoPoint p = RandomPoint();
+    const double t = rng_.Uniform(0.0, 9 * util::kSecondsPerDay);
+    ASSERT_GE(field_.PrecipitationAt(p, t), 0.0);
+    ASSERT_GE(field_.WindAt(p, t), 0.0);
+    ASSERT_GE(field_.AccumulatedPrecipitation(p, t), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FloodPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace mobirescue::weather

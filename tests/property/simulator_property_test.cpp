@@ -1,0 +1,163 @@
+// Property tests: rescue-simulator invariants under randomized request
+// streams and a randomized dispatcher, parameterized over seeds.
+#include <gtest/gtest.h>
+
+#include "dispatch/simple_dispatchers.hpp"
+#include "sim/simulator.hpp"
+#include "weather/scenario.hpp"
+
+namespace mobirescue::sim {
+namespace {
+
+struct PropertyWorld {
+  roadnet::City city;
+  std::unique_ptr<weather::WeatherField> field;
+  std::unique_ptr<weather::FloodModel> flood;
+};
+
+PropertyWorld& SharedWorld() {
+  static PropertyWorld world = [] {
+    PropertyWorld w;
+    roadnet::CityConfig config;
+    config.grid_width = 10;
+    config.grid_height = 10;
+    config.num_hospitals = 4;
+    w.city = roadnet::BuildCity(config);
+    // A storm overlapping the simulated day, so conditions change mid-run.
+    weather::ScenarioSpec spec = weather::FlorenceScenario();
+    spec.storm.storm_begin_s = 0.2 * util::kSecondsPerDay;
+    spec.storm.storm_peak_s = 0.5 * util::kSecondsPerDay;
+    spec.storm.storm_end_s = 1.2 * util::kSecondsPerDay;
+    w.field = std::make_unique<weather::WeatherField>(w.city.box, spec.storm);
+    w.flood = std::make_unique<weather::FloodModel>(*w.field, w.city.terrain);
+    return w;
+  }();
+  return world;
+}
+
+std::vector<Request> RandomRequests(const roadnet::City& city,
+                                    std::uint64_t seed, int count) {
+  util::Rng rng(seed);
+  std::vector<Request> out;
+  for (int i = 0; i < count; ++i) {
+    Request r;
+    r.id = i;
+    r.appear_time = rng.Uniform(0.0, 20.0 * 3600.0);
+    r.segment =
+        static_cast<roadnet::SegmentId>(rng.Index(city.network.num_segments()));
+    r.pos = city.network.SegmentMidpoint(r.segment);
+    r.region = city.network.segment(r.segment).region;
+    out.push_back(r);
+  }
+  return out;
+}
+
+class SimulatorPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SimulatorPropertyTest, InvariantsHoldUnderRandomDispatch) {
+  PropertyWorld& w = SharedWorld();
+  SimConfig config;
+  config.num_teams = 8;
+  config.horizon_s = util::kSecondsPerDay;
+  config.seed = GetParam();
+  auto requests = RandomRequests(w.city, GetParam() * 31 + 7, 40);
+
+  RescueSimulator sim(w.city, *w.flood, requests, 0.0, config);
+  dispatch::RandomDispatcher dispatcher(w.city, GetParam());
+  const MetricsCollector metrics = sim.Run(dispatcher);
+
+  // 1. Each request's lifecycle timestamps are ordered, and every served
+  //    request names a real team.
+  int on_board = 0, delivered = 0, pending = 0, future = 0;
+  for (const Request& r : sim.requests()) {
+    switch (r.status) {
+      case RequestStatus::kFuture:
+        ++future;
+        break;
+      case RequestStatus::kPending:
+        ++pending;
+        EXPECT_LT(r.appear_time, config.horizon_s);
+        break;
+      case RequestStatus::kOnBoard:
+        ++on_board;
+        break;
+      case RequestStatus::kDelivered:
+        ++delivered;
+        EXPECT_GE(r.delivery_time, r.pickup_time);
+        break;
+    }
+    if (r.status == RequestStatus::kOnBoard ||
+        r.status == RequestStatus::kDelivered) {
+      EXPECT_GE(r.pickup_time, r.appear_time - 1e-9);
+      EXPECT_GE(r.served_by_team, 0);
+      EXPECT_LT(r.served_by_team, config.num_teams);
+      EXPECT_GE(r.driving_delay_s, 0.0);
+    }
+  }
+  EXPECT_EQ(future, 0);  // every request appeared within the horizon
+
+  // 2. Metrics agree with request states.
+  EXPECT_EQ(metrics.total_served(), on_board + delivered);
+  EXPECT_EQ(metrics.total_delivered(), delivered);
+  EXPECT_LE(metrics.total_timely(), metrics.total_served());
+
+  // 3. Teams never exceed capacity, and every onboard id is a real onboard
+  //    request owned by exactly one team.
+  std::vector<int> owner(requests.size(), -1);
+  int onboard_total = 0;
+  for (const Team& team : sim.teams()) {
+    EXPECT_LE(static_cast<int>(team.onboard.size()), team.capacity);
+    for (int rid : team.onboard) {
+      ASSERT_GE(rid, 0);
+      ASSERT_LT(static_cast<std::size_t>(rid), requests.size());
+      EXPECT_EQ(owner[rid], -1) << "request carried by two teams";
+      owner[rid] = team.id;
+      EXPECT_EQ(sim.requests()[rid].status, RequestStatus::kOnBoard);
+      EXPECT_EQ(sim.requests()[rid].served_by_team, team.id);
+      ++onboard_total;
+    }
+  }
+  EXPECT_EQ(onboard_total, on_board);
+
+  // 4. Per-team served counts in metrics match the teams' own counters.
+  const auto per_team = metrics.ServedPerTeam(config.num_teams);
+  for (const Team& team : sim.teams()) {
+    EXPECT_EQ(per_team[team.id], team.served_total);
+  }
+}
+
+TEST_P(SimulatorPropertyTest, GreedyNearestServesAtLeastAsManyAsNoop) {
+  PropertyWorld& w = SharedWorld();
+  SimConfig config;
+  config.num_teams = 8;
+  config.horizon_s = util::kSecondsPerDay;
+  config.seed = GetParam();
+  auto requests = RandomRequests(w.city, GetParam() * 13 + 3, 30);
+
+  RescueSimulator greedy_sim(w.city, *w.flood, requests, 0.0, config);
+  dispatch::GreedyNearestDispatcher greedy(w.city);
+  const int greedy_served = greedy_sim.Run(greedy).total_served();
+
+  // A dispatcher that never assigns anything: only co-located instant
+  // pickups can happen.
+  class Noop : public Dispatcher {
+   public:
+    std::string name() const override { return "noop"; }
+    DispatchDecision Decide(const DispatchContext& context) override {
+      DispatchDecision d;
+      d.actions.resize(context.teams.size());
+      return d;
+    }
+  } noop;
+  RescueSimulator noop_sim(w.city, *w.flood, requests, 0.0, config);
+  const int noop_served = noop_sim.Run(noop).total_served();
+
+  EXPECT_GE(greedy_served, noop_served);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace mobirescue::sim

@@ -1,0 +1,146 @@
+#include "rl/dqn_agent.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobirescue::rl {
+namespace {
+
+DqnConfig SmallConfig() {
+  DqnConfig config;
+  config.feature_dim = 3;
+  config.hidden = {16};
+  config.batch_size = 16;
+  config.buffer_capacity = 1000;
+  config.epsilon_decay_steps = 100;
+  config.learning_rate = 5e-3;
+  return config;
+}
+
+TEST(DqnAgentTest, EpsilonAnneals) {
+  DqnAgent agent(SmallConfig());
+  EXPECT_NEAR(agent.CurrentEpsilon(), agent.config().epsilon_start, 1e-9);
+  std::vector<std::vector<double>> candidates = {{0, 0, 0}, {1, 1, 1}};
+  for (int i = 0; i < 200; ++i) agent.SelectAction(candidates, true);
+  EXPECT_NEAR(agent.CurrentEpsilon(), agent.config().epsilon_end, 1e-9);
+}
+
+TEST(DqnAgentTest, GreedySelectionIsArgmaxQ) {
+  DqnAgent agent(SmallConfig());
+  std::vector<std::vector<double>> candidates = {
+      {0.1, 0.2, 0.3}, {0.9, -0.5, 0.4}, {-1.0, 1.0, 0.0}};
+  const std::size_t chosen = agent.SelectAction(candidates, false);
+  double best = -1e300;
+  std::size_t expect = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double q = agent.QValue(candidates[i]);
+    if (q > best) {
+      best = q;
+      expect = i;
+    }
+  }
+  EXPECT_EQ(chosen, expect);
+}
+
+TEST(DqnAgentTest, EmptyCandidatesThrow) {
+  DqnAgent agent(SmallConfig());
+  EXPECT_THROW(agent.SelectAction({}, false), std::invalid_argument);
+}
+
+TEST(DqnAgentTest, TrainStepNoopUntilBufferFilled) {
+  DqnAgent agent(SmallConfig());
+  EXPECT_DOUBLE_EQ(agent.TrainStep(), 0.0);
+  EXPECT_EQ(agent.train_steps(), 0u);
+}
+
+TEST(DqnAgentTest, LearnsBanditRewards) {
+  // Contextual bandit: terminal transitions, feature x -> reward 2x.
+  // After training, Q must rank a high-feature action above a low one.
+  DqnConfig config = SmallConfig();
+  config.gamma = 0.0;
+  DqnAgent agent(config);
+  util::Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.Uniform(-1, 1);
+    Transition t;
+    t.features = {x, 0.0, 1.0};
+    t.reward = 2.0 * x;
+    t.terminal = true;
+    agent.Push(std::move(t));
+  }
+  for (int i = 0; i < 800; ++i) agent.TrainStep();
+  EXPECT_GT(agent.QValue(std::vector<double>{0.9, 0.0, 1.0}),
+            agent.QValue(std::vector<double>{-0.9, 0.0, 1.0}));
+  EXPECT_NEAR(agent.QValue(std::vector<double>{0.5, 0.0, 1.0}), 1.0, 0.35);
+}
+
+TEST(DqnAgentTest, BootstrapUsesDiscountedNextValue) {
+  // One-step chain: s0 (reward 0) -> s1 with known terminal reward 1.
+  // With gamma=0.5, Q(s0) should approach ~0.5 * Q(s1) ~ 0.5.
+  DqnConfig config = SmallConfig();
+  config.gamma = 0.5;
+  config.target_sync_every = 25;
+  DqnAgent agent(config);
+  for (int i = 0; i < 200; ++i) {
+    Transition terminal;
+    terminal.features = {1.0, 0.0, 0.0};
+    terminal.reward = 1.0;
+    terminal.terminal = true;
+    agent.Push(std::move(terminal));
+
+    Transition chain;
+    chain.features = {0.0, 1.0, 0.0};
+    chain.reward = 0.0;
+    chain.next_candidates = {{1.0, 0.0, 0.0}};
+    chain.duration_rounds = 1;
+    agent.Push(std::move(chain));
+  }
+  for (int i = 0; i < 1500; ++i) agent.TrainStep();
+  EXPECT_NEAR(agent.QValue(std::vector<double>{1.0, 0.0, 0.0}), 1.0, 0.3);
+  EXPECT_NEAR(agent.QValue(std::vector<double>{0.0, 1.0, 0.0}), 0.5, 0.3);
+}
+
+TEST(DqnAgentTest, DurationDiscountsMore) {
+  // Same chain but the macro action lasts 4 rounds: gamma^4 = 0.0625.
+  DqnConfig config = SmallConfig();
+  config.gamma = 0.5;
+  config.target_sync_every = 25;
+  DqnAgent agent(config);
+  for (int i = 0; i < 200; ++i) {
+    Transition terminal;
+    terminal.features = {1.0, 0.0, 0.0};
+    terminal.reward = 1.0;
+    terminal.terminal = true;
+    agent.Push(std::move(terminal));
+
+    Transition slow;
+    slow.features = {0.0, 0.0, 1.0};
+    slow.reward = 0.0;
+    slow.next_candidates = {{1.0, 0.0, 0.0}};
+    slow.duration_rounds = 4;
+    agent.Push(std::move(slow));
+  }
+  for (int i = 0; i < 1500; ++i) agent.TrainStep();
+  EXPECT_LT(agent.QValue(std::vector<double>{0.0, 0.0, 1.0}), 0.35);
+}
+
+TEST(DqnAgentTest, SaveLoadWeightsRoundTrip) {
+  DqnAgent a(SmallConfig());
+  DqnConfig other = SmallConfig();
+  other.seed = 99;
+  DqnAgent b(other);
+  const std::vector<double> x = {0.2, -0.4, 0.6};
+  EXPECT_NE(a.QValue(x), b.QValue(x));
+  b.LoadWeights(a.SaveWeights());
+  EXPECT_DOUBLE_EQ(a.QValue(x), b.QValue(x));
+}
+
+TEST(DqnAgentTest, ExploreNowAdvancesDecisions) {
+  DqnAgent agent(SmallConfig());
+  const std::size_t before = agent.decisions_made();
+  agent.ExploreNow();
+  EXPECT_EQ(agent.decisions_made(), before + 1);
+  EXPECT_LT(agent.RandomAction(5), 5u);
+}
+
+}  // namespace
+}  // namespace mobirescue::rl

@@ -1,0 +1,77 @@
+#include "rl/replay_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobirescue::rl {
+namespace {
+
+Transition Make(double reward) {
+  Transition t;
+  t.features = {reward};
+  t.reward = reward;
+  return t;
+}
+
+TEST(ReplayBufferTest, GrowsUntilCapacity) {
+  ReplayBuffer buffer(3);
+  EXPECT_TRUE(buffer.empty());
+  buffer.Push(Make(1));
+  buffer.Push(Make(2));
+  EXPECT_EQ(buffer.size(), 2u);
+  buffer.Push(Make(3));
+  buffer.Push(Make(4));  // overwrites the oldest
+  EXPECT_EQ(buffer.size(), 3u);
+}
+
+TEST(ReplayBufferTest, RingOverwritesOldestFirst) {
+  ReplayBuffer buffer(2);
+  buffer.Push(Make(1));
+  buffer.Push(Make(2));
+  buffer.Push(Make(3));  // should replace reward=1
+  util::Rng rng(1);
+  bool saw1 = false, saw3 = false;
+  for (const Transition* t : buffer.Sample(200, rng)) {
+    saw1 = saw1 || t->reward == 1.0;
+    saw3 = saw3 || t->reward == 3.0;
+  }
+  EXPECT_FALSE(saw1);
+  EXPECT_TRUE(saw3);
+}
+
+TEST(ReplayBufferTest, SampleFromEmptyIsEmpty) {
+  ReplayBuffer buffer(4);
+  util::Rng rng(2);
+  EXPECT_TRUE(buffer.Sample(10, rng).empty());
+}
+
+TEST(ReplayBufferTest, SampleSizeAndMembership) {
+  ReplayBuffer buffer(10);
+  for (int i = 0; i < 5; ++i) buffer.Push(Make(i));
+  util::Rng rng(3);
+  const auto sample = buffer.Sample(32, rng);
+  EXPECT_EQ(sample.size(), 32u);
+  for (const Transition* t : sample) {
+    EXPECT_GE(t->reward, 0.0);
+    EXPECT_LT(t->reward, 5.0);
+  }
+}
+
+TEST(ReplayBufferTest, StoresFullTransitionPayload) {
+  ReplayBuffer buffer(2);
+  Transition t;
+  t.features = {1, 2, 3};
+  t.reward = -0.5;
+  t.next_candidates = {{4, 5, 6}, {7, 8, 9}};
+  t.terminal = true;
+  t.duration_rounds = 7;
+  buffer.Push(t);
+  util::Rng rng(4);
+  const Transition* got = buffer.Sample(1, rng)[0];
+  EXPECT_EQ(got->features, (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(got->next_candidates.size(), 2u);
+  EXPECT_TRUE(got->terminal);
+  EXPECT_EQ(got->duration_rounds, 7);
+}
+
+}  // namespace
+}  // namespace mobirescue::rl

@@ -1,0 +1,132 @@
+#include "roadnet/city_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "roadnet/router.hpp"
+
+namespace mobirescue::roadnet {
+namespace {
+
+CityConfig SmallConfig() {
+  CityConfig config;
+  config.grid_width = 10;
+  config.grid_height = 10;
+  config.num_hospitals = 5;
+  return config;
+}
+
+TEST(RegionMapTest, DowntownIsRegion3) {
+  RegionMap map(util::kCharlotteCropBox);
+  EXPECT_EQ(map.RegionOf(util::kCharlotteCropBox.Center()), kDowntownRegion);
+}
+
+TEST(RegionMapTest, CoversAllSevenRegions) {
+  RegionMap map(util::kCharlotteCropBox);
+  std::set<RegionId> seen;
+  for (double x = 0.05; x < 1.0; x += 0.05) {
+    for (double y = 0.05; y < 1.0; y += 0.05) {
+      const RegionId r = map.RegionOf(util::kCharlotteCropBox.At(x, y));
+      EXPECT_GE(r, 1);
+      EXPECT_LE(r, kNumRegions);
+      seen.insert(r);
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kNumRegions));
+}
+
+TEST(RegionMapTest, CentroidLandsInOwnRegion) {
+  RegionMap map(util::kCharlotteCropBox);
+  for (RegionId r = 1; r <= kNumRegions; ++r) {
+    EXPECT_EQ(map.RegionOf(map.RegionCentroid(r)), r) << "region " << r;
+  }
+  EXPECT_THROW(map.RegionCentroid(99), std::invalid_argument);
+}
+
+TEST(TerrainModelTest, NorthWestHigherThanSouthEast) {
+  TerrainModel terrain(util::kCharlotteCropBox);
+  const double nw = terrain.AltitudeAt(util::kCharlotteCropBox.At(0.1, 0.9));
+  const double se = terrain.AltitudeAt(util::kCharlotteCropBox.At(0.9, 0.1));
+  EXPECT_GT(nw, se);
+}
+
+TEST(TerrainModelTest, AltitudesInPlausibleRange) {
+  TerrainModel terrain(util::kCharlotteCropBox);
+  for (double x = 0.0; x <= 1.0; x += 0.1) {
+    for (double y = 0.0; y <= 1.0; y += 0.1) {
+      const double a = terrain.AltitudeAt(util::kCharlotteCropBox.At(x, y));
+      EXPECT_GT(a, 100.0);
+      EXPECT_LT(a, 350.0);
+    }
+  }
+}
+
+TEST(CityBuilderTest, DeterministicForSeed) {
+  const City a = BuildCity(SmallConfig());
+  const City b = BuildCity(SmallConfig());
+  ASSERT_EQ(a.network.num_landmarks(), b.network.num_landmarks());
+  ASSERT_EQ(a.network.num_segments(), b.network.num_segments());
+  for (std::size_t i = 0; i < a.network.num_landmarks(); ++i) {
+    EXPECT_EQ(a.network.landmark(static_cast<LandmarkId>(i)).pos,
+              b.network.landmark(static_cast<LandmarkId>(i)).pos);
+  }
+  EXPECT_EQ(a.hospitals, b.hospitals);
+  EXPECT_EQ(a.depot, b.depot);
+}
+
+TEST(CityBuilderTest, SizesMatchGrid) {
+  const City city = BuildCity(SmallConfig());
+  EXPECT_EQ(city.network.num_landmarks(), 100u);
+  // Grid edges, mostly two-way: comfortably more segments than landmarks.
+  EXPECT_GT(city.network.num_segments(), 250u);
+  EXPECT_EQ(city.hospitals.size(), 5u);
+}
+
+TEST(CityBuilderTest, LandmarksInsideBox) {
+  const City city = BuildCity(SmallConfig());
+  for (const Landmark& lm : city.network.landmarks()) {
+    EXPECT_TRUE(city.box.Contains(lm.pos));
+    EXPECT_GE(lm.region, 1);
+    EXPECT_LE(lm.region, kNumRegions);
+  }
+}
+
+TEST(CityBuilderTest, MostLandmarksMutuallyReachable) {
+  const City city = BuildCity(SmallConfig());
+  Router router(city.network);
+  NetworkCondition cond(city.network.num_segments());
+  const ShortestPathTree tree = router.Tree(city.depot, cond);
+  std::size_t reachable = 0;
+  for (const Landmark& lm : city.network.landmarks()) {
+    if (tree.Reachable(lm.id)) ++reachable;
+  }
+  // The grid core is connected; a tiny number of jitter-isolated corners is
+  // tolerated.
+  EXPECT_GE(reachable, city.network.num_landmarks() * 95 / 100);
+}
+
+TEST(CityBuilderTest, HospitalsAreDistinctValidLandmarks) {
+  const City city = BuildCity(SmallConfig());
+  std::set<LandmarkId> unique(city.hospitals.begin(), city.hospitals.end());
+  EXPECT_EQ(unique.size(), city.hospitals.size());
+  for (LandmarkId h : city.hospitals) {
+    EXPECT_GE(h, 0);
+    EXPECT_LT(static_cast<std::size_t>(h), city.network.num_landmarks());
+  }
+}
+
+TEST(CityBuilderTest, DepotOnHighGround) {
+  const City city = BuildCity(SmallConfig());
+  // The staging depot must sit well above the basin floor.
+  EXPECT_GT(city.network.landmark(city.depot).altitude_m, 200.0);
+}
+
+TEST(CityBuilderTest, RejectsTinyGrid) {
+  CityConfig config;
+  config.grid_width = 1;
+  EXPECT_THROW(BuildCity(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mobirescue::roadnet

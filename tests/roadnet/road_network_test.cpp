@@ -1,0 +1,139 @@
+#include "roadnet/road_network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobirescue::roadnet {
+namespace {
+
+RoadNetwork MakeTriangle() {
+  RoadNetwork net;
+  const LandmarkId a = net.AddLandmark({35.70, -79.00}, 200.0, 1);
+  const LandmarkId b = net.AddLandmark({35.70, -78.95}, 210.0, 1);
+  const LandmarkId c = net.AddLandmark({35.74, -78.975}, 220.0, 2);
+  net.AddTwoWaySegment(a, b, 15.0);
+  net.AddTwoWaySegment(b, c, 15.0);
+  net.AddTwoWaySegment(c, a, 15.0);
+  return net;
+}
+
+TEST(RoadNetworkTest, AddLandmarkAssignsSequentialIds) {
+  RoadNetwork net;
+  EXPECT_EQ(net.AddLandmark({35.7, -79.0}, 100.0, 1), 0);
+  EXPECT_EQ(net.AddLandmark({35.8, -79.0}, 100.0, 2), 1);
+  EXPECT_EQ(net.num_landmarks(), 2u);
+  EXPECT_EQ(net.landmark(1).region, 2);
+}
+
+TEST(RoadNetworkTest, SegmentLengthDefaultsToGreatCircle) {
+  RoadNetwork net;
+  const LandmarkId a = net.AddLandmark({35.70, -79.00}, 0, 1);
+  const LandmarkId b = net.AddLandmark({35.70, -78.95}, 0, 1);
+  const SegmentId s = net.AddSegment(a, b, 10.0);
+  EXPECT_NEAR(net.segment(s).length_m,
+              util::HaversineMeters(net.landmark(a).pos, net.landmark(b).pos),
+              1e-6);
+}
+
+TEST(RoadNetworkTest, ExplicitLengthRespected) {
+  RoadNetwork net;
+  const LandmarkId a = net.AddLandmark({35.70, -79.00}, 0, 1);
+  const LandmarkId b = net.AddLandmark({35.70, -78.95}, 0, 1);
+  const SegmentId s = net.AddSegment(a, b, 10.0, 1234.0);
+  EXPECT_DOUBLE_EQ(net.segment(s).length_m, 1234.0);
+  EXPECT_NEAR(net.segment(s).FreeFlowTravelTime(), 123.4, 1e-9);
+}
+
+TEST(RoadNetworkTest, RejectsInvalidSegments) {
+  RoadNetwork net;
+  const LandmarkId a = net.AddLandmark({35.7, -79.0}, 0, 1);
+  EXPECT_THROW(net.AddSegment(a, a, 10.0), std::invalid_argument);
+  EXPECT_THROW(net.AddSegment(a, 99, 10.0), std::out_of_range);
+  const LandmarkId b = net.AddLandmark({35.8, -79.0}, 0, 1);
+  EXPECT_THROW(net.AddSegment(a, b, 0.0), std::invalid_argument);
+}
+
+TEST(RoadNetworkTest, AdjacencyListsTrackDirections) {
+  RoadNetwork net = MakeTriangle();
+  // Two-way triangle: every landmark has 2 out and 2 in segments.
+  for (LandmarkId id = 0; id < 3; ++id) {
+    EXPECT_EQ(net.OutSegments(id).size(), 2u);
+    EXPECT_EQ(net.InSegments(id).size(), 2u);
+  }
+  for (const RoadSegment& seg : net.segments()) {
+    bool found = false;
+    for (SegmentId sid : net.OutSegments(seg.from)) {
+      if (sid == seg.id) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(RoadNetworkTest, SegmentRegionFollowsOrigin) {
+  RoadNetwork net = MakeTriangle();
+  for (const RoadSegment& seg : net.segments()) {
+    EXPECT_EQ(seg.region, net.landmark(seg.from).region);
+  }
+}
+
+TEST(RoadNetworkTest, SegmentMidpointAndAltitude) {
+  RoadNetwork net = MakeTriangle();
+  const RoadSegment& seg = net.segment(0);
+  const util::GeoPoint mid = net.SegmentMidpoint(seg.id);
+  EXPECT_NEAR(mid.lat,
+              (net.landmark(seg.from).pos.lat + net.landmark(seg.to).pos.lat) / 2,
+              1e-12);
+  EXPECT_NEAR(net.SegmentAltitude(seg.id),
+              (net.landmark(seg.from).altitude_m +
+               net.landmark(seg.to).altitude_m) / 2,
+              1e-12);
+}
+
+TEST(RoadNetworkTest, NearestLandmark) {
+  RoadNetwork net = MakeTriangle();
+  EXPECT_EQ(net.NearestLandmark({35.701, -79.001}), 0);
+  EXPECT_EQ(net.NearestLandmark({35.74, -78.974}), 2);
+}
+
+TEST(RoadNetworkTest, SegmentsInRegion) {
+  RoadNetwork net = MakeTriangle();
+  const auto region1 = net.SegmentsInRegion(1);
+  const auto region2 = net.SegmentsInRegion(2);
+  EXPECT_EQ(region1.size() + region2.size(), net.num_segments());
+  EXPECT_TRUE(net.SegmentsInRegion(5).empty());
+}
+
+TEST(NetworkConditionTest, DefaultsOpenFullSpeed) {
+  NetworkCondition cond(4);
+  EXPECT_EQ(cond.NumOpen(), 4u);
+  EXPECT_DOUBLE_EQ(cond.SpeedFactor(2), 1.0);
+}
+
+TEST(NetworkConditionTest, CloseAndReopen) {
+  NetworkCondition cond(4);
+  cond.Close(1);
+  EXPECT_FALSE(cond.IsOpen(1));
+  EXPECT_EQ(cond.NumOpen(), 3u);
+  cond.Open(1);
+  EXPECT_TRUE(cond.IsOpen(1));
+}
+
+TEST(NetworkConditionTest, TravelTimeReflectsCondition) {
+  RoadNetwork net = MakeTriangle();
+  NetworkCondition cond(net.num_segments());
+  const RoadSegment& seg = net.segment(0);
+  const double free = cond.TravelTime(seg);
+  EXPECT_NEAR(free, seg.length_m / seg.speed_limit_mps, 1e-9);
+  cond.SetSpeedFactor(0, 0.5);
+  EXPECT_NEAR(cond.TravelTime(seg), 2.0 * free, 1e-9);
+  cond.Close(0);
+  EXPECT_TRUE(std::isinf(cond.TravelTime(seg)));
+}
+
+TEST(NetworkConditionTest, RejectsBadSpeedFactor) {
+  NetworkCondition cond(2);
+  EXPECT_THROW(cond.SetSpeedFactor(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(cond.SetSpeedFactor(0, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mobirescue::roadnet

@@ -1,0 +1,96 @@
+#include "roadnet/spatial_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "roadnet/city_builder.hpp"
+#include "util/rng.hpp"
+
+namespace mobirescue::roadnet {
+namespace {
+
+class SpatialIndexTest : public ::testing::Test {
+ protected:
+  SpatialIndexTest() {
+    CityConfig config;
+    config.grid_width = 8;
+    config.grid_height = 8;
+    config.num_hospitals = 3;
+    city_ = BuildCity(config);
+    index_ = std::make_unique<SpatialIndex>(city_.network, city_.box, 16);
+  }
+
+  /// Reference brute-force nearest segment.
+  SegmentId BruteNearest(const util::GeoPoint& p) const {
+    SegmentId best = kInvalidSegment;
+    double best_d = 1e18;
+    for (const RoadSegment& seg : city_.network.segments()) {
+      const double d = util::PointToSegmentMeters(
+          p, city_.network.landmark(seg.from).pos,
+          city_.network.landmark(seg.to).pos);
+      if (d < best_d) {
+        best_d = d;
+        best = seg.id;
+      }
+    }
+    return best;
+  }
+
+  double DistTo(SegmentId seg, const util::GeoPoint& p) const {
+    return util::PointToSegmentMeters(p, city_.network.landmark(city_.network.segment(seg).from).pos,
+                                      city_.network.landmark(city_.network.segment(seg).to).pos);
+  }
+
+  City city_;
+  std::unique_ptr<SpatialIndex> index_;
+};
+
+TEST_F(SpatialIndexTest, MatchesBruteForceDistances) {
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const util::GeoPoint p =
+        city_.box.At(rng.Uniform(0.02, 0.98), rng.Uniform(0.02, 0.98));
+    const SegmentId fast = index_->NearestSegment(p);
+    const SegmentId brute = BruteNearest(p);
+    ASSERT_NE(fast, kInvalidSegment);
+    // Ties between parallel two-way twins are fine; distances must match.
+    EXPECT_NEAR(DistTo(fast, p), DistTo(brute, p), 1.0)
+        << "point " << p.lat << "," << p.lon;
+  }
+}
+
+TEST_F(SpatialIndexTest, MaxRadiusFiltersFarPoints) {
+  // A point at a box corner, radius too small to reach any segment.
+  const util::GeoPoint corner = city_.box.At(0.0, 0.0);
+  const SegmentId any = index_->NearestSegment(corner);
+  ASSERT_NE(any, kInvalidSegment);
+  const double d = DistTo(any, corner);
+  if (d > 10.0) {
+    EXPECT_EQ(index_->NearestSegment(corner, d / 2.0), kInvalidSegment);
+  }
+  EXPECT_NE(index_->NearestSegment(corner, d * 2.0 + 10.0), kInvalidSegment);
+}
+
+TEST_F(SpatialIndexTest, SegmentsNearReturnsNeighbourhood) {
+  const util::GeoPoint center = city_.box.Center();
+  const auto near = index_->SegmentsNear(center, 3000.0);
+  EXPECT_FALSE(near.empty());
+  for (SegmentId sid : near) {
+    const util::GeoPoint mid = city_.network.SegmentMidpoint(sid);
+    EXPECT_LE(util::ApproxDistanceMeters(center, mid), 3000.0 + 1.0);
+  }
+}
+
+TEST_F(SpatialIndexTest, EmptyNetwork) {
+  RoadNetwork empty;
+  SpatialIndex index(empty, city_.box, 4);
+  EXPECT_EQ(index.NearestSegment(city_.box.Center()), kInvalidSegment);
+  EXPECT_TRUE(index.SegmentsNear(city_.box.Center(), 1000.0).empty());
+}
+
+TEST_F(SpatialIndexTest, RejectsBadCellCount) {
+  EXPECT_THROW(SpatialIndex(city_.network, city_.box, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mobirescue::roadnet

@@ -1,0 +1,71 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobirescue::sim {
+namespace {
+
+TEST(MetricsTest, PickupBucketsByHour) {
+  MetricsCollector m(24);
+  m.RecordPickup(0.5 * 3600.0, 120.0, 300.0, true, 0);
+  m.RecordPickup(0.6 * 3600.0, 240.0, 2000.0, false, 1);
+  m.RecordPickup(5.5 * 3600.0, 60.0, 100.0, true, 0);
+
+  EXPECT_EQ(m.served_per_hour()[0], 2);
+  EXPECT_EQ(m.timely_served_per_hour()[0], 1);
+  EXPECT_EQ(m.served_per_hour()[5], 1);
+  EXPECT_EQ(m.total_served(), 3);
+  EXPECT_EQ(m.total_timely(), 2);
+}
+
+TEST(MetricsTest, AvgDelayPerHour) {
+  MetricsCollector m(24);
+  m.RecordPickup(3600.0 * 2 + 10, 100.0, 0.0, true, 0);
+  m.RecordPickup(3600.0 * 2 + 20, 300.0, 0.0, true, 1);
+  const auto avg = m.AvgDelayPerHour();
+  EXPECT_DOUBLE_EQ(avg[2], 200.0);
+  EXPECT_DOUBLE_EQ(avg[3], 0.0);
+}
+
+TEST(MetricsTest, ServingTeamsAveragesWithinHour) {
+  MetricsCollector m(24);
+  m.RecordServingTeams(100.0, 10);
+  m.RecordServingTeams(200.0, 20);
+  const auto serving = m.ServingTeamsPerHour();
+  EXPECT_DOUBLE_EQ(serving[0], 15.0);
+}
+
+TEST(MetricsTest, ServedPerTeam) {
+  MetricsCollector m(24);
+  m.RecordPickup(10, 0, 0, true, 2);
+  m.RecordPickup(20, 0, 0, true, 2);
+  m.RecordPickup(30, 0, 0, true, 0);
+  const auto per_team = m.ServedPerTeam(4);
+  EXPECT_EQ(per_team[0], 1);
+  EXPECT_EQ(per_team[1], 0);
+  EXPECT_EQ(per_team[2], 2);
+}
+
+TEST(MetricsTest, DeliveriesCounted) {
+  MetricsCollector m(24);
+  m.RecordDelivery(100.0);
+  m.RecordDelivery(200.0);
+  EXPECT_EQ(m.total_delivered(), 2);
+}
+
+TEST(MetricsTest, SamplesAccumulate) {
+  MetricsCollector m(24);
+  m.RecordPickup(10, 111.0, 222.0, false, 0);
+  ASSERT_EQ(m.delay_samples().size(), 1u);
+  EXPECT_DOUBLE_EQ(m.delay_samples()[0], 111.0);
+  EXPECT_DOUBLE_EQ(m.timeliness_samples()[0], 222.0);
+}
+
+TEST(MetricsTest, OutOfRangeHourClamped) {
+  MetricsCollector m(24);
+  m.RecordPickup(30 * 3600.0, 1.0, 1.0, true, 0);  // hour 30 -> clamp to 23
+  EXPECT_EQ(m.served_per_hour()[23], 1);
+}
+
+}  // namespace
+}  // namespace mobirescue::sim

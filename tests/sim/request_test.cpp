@@ -1,0 +1,59 @@
+#include "sim/request.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobirescue::sim {
+namespace {
+
+mobility::RescueEvent Event(mobility::PersonId person, double t,
+                            roadnet::SegmentId seg) {
+  mobility::RescueEvent ev;
+  ev.person = person;
+  ev.request_time = t;
+  ev.request_segment = seg;
+  ev.region = 3;
+  return ev;
+}
+
+TEST(RequestTest, SelectsOnlyTheGivenDay) {
+  std::vector<mobility::RescueEvent> events = {
+      Event(0, 0.5 * util::kSecondsPerDay, 1),
+      Event(1, 1.3 * util::kSecondsPerDay, 2),
+      Event(2, 1.9 * util::kSecondsPerDay, 3),
+      Event(3, 2.1 * util::kSecondsPerDay, 4),
+  };
+  const auto requests = RequestsFromEvents(events, 1);
+  ASSERT_EQ(requests.size(), 2u);
+  EXPECT_EQ(requests[0].person, 1);
+  EXPECT_EQ(requests[1].person, 2);
+}
+
+TEST(RequestTest, RetimesToDayStart) {
+  std::vector<mobility::RescueEvent> events = {
+      Event(0, 1.25 * util::kSecondsPerDay, 7)};
+  const auto requests = RequestsFromEvents(events, 1);
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_NEAR(requests[0].appear_time, 0.25 * util::kSecondsPerDay, 1e-9);
+  EXPECT_EQ(requests[0].segment, 7);
+  EXPECT_EQ(requests[0].region, 3);
+  EXPECT_EQ(requests[0].status, RequestStatus::kFuture);
+}
+
+TEST(RequestTest, SequentialIds) {
+  std::vector<mobility::RescueEvent> events = {
+      Event(5, 1.1 * util::kSecondsPerDay, 1),
+      Event(6, 1.2 * util::kSecondsPerDay, 2),
+  };
+  const auto requests = RequestsFromEvents(events, 1);
+  EXPECT_EQ(requests[0].id, 0);
+  EXPECT_EQ(requests[1].id, 1);
+}
+
+TEST(RequestTest, SkipsUnmatchedSegments) {
+  std::vector<mobility::RescueEvent> events = {
+      Event(0, 1.5 * util::kSecondsPerDay, roadnet::kInvalidSegment)};
+  EXPECT_TRUE(RequestsFromEvents(events, 1).empty());
+}
+
+}  // namespace
+}  // namespace mobirescue::sim

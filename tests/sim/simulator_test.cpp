@@ -1,0 +1,228 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "weather/scenario.hpp"
+
+namespace mobirescue::sim {
+namespace {
+
+/// A dispatcher scripted from outside: returns pre-programmed actions.
+class ScriptedDispatcher : public Dispatcher {
+ public:
+  std::string name() const override { return "scripted"; }
+  DispatchDecision Decide(const DispatchContext& context) override {
+    ++rounds;
+    last_pending = context.pending.size();
+    DispatchDecision d;
+    d.compute_latency_s = latency_s;
+    d.actions.resize(context.teams.size());
+    if (!script.empty()) {
+      for (std::size_t k = 0; k < d.actions.size() && k < script.size(); ++k) {
+        d.actions[k] = script[k];
+      }
+      if (!repeat) script.clear();
+    }
+    return d;
+  }
+
+  std::vector<TeamAction> script;
+  bool repeat = false;
+  double latency_s = 0.0;
+  int rounds = 0;
+  std::size_t last_pending = 0;
+};
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  SimulatorTest() : spec_(weather::TestScenario()) {
+    roadnet::CityConfig config;
+    config.grid_width = 8;
+    config.grid_height = 8;
+    config.num_hospitals = 3;
+    city_ = roadnet::BuildCity(config);
+    // A storm far in the future: the network stays fully open.
+    spec_.storm.storm_begin_s = 50 * util::kSecondsPerDay;
+    spec_.storm.storm_peak_s = 51 * util::kSecondsPerDay;
+    spec_.storm.storm_end_s = 52 * util::kSecondsPerDay;
+    field_ = std::make_unique<weather::WeatherField>(city_.box, spec_.storm);
+    flood_ = std::make_unique<weather::FloodModel>(*field_, city_.terrain);
+  }
+
+  Request MakeRequest(int id, double t, roadnet::SegmentId seg) {
+    Request r;
+    r.id = id;
+    r.appear_time = t;
+    r.segment = seg;
+    r.pos = city_.network.SegmentMidpoint(seg);
+    r.region = city_.network.segment(seg).region;
+    return r;
+  }
+
+  SimConfig FastConfig(int teams = 2) {
+    SimConfig config;
+    config.num_teams = teams;
+    config.horizon_s = 6 * 3600.0;
+    config.dispatch_period_s = 300.0;
+    return config;
+  }
+
+  /// A segment whose entry landmark differs from every hospital.
+  roadnet::SegmentId NonHospitalSegment() const {
+    for (const roadnet::RoadSegment& seg : city_.network.segments()) {
+      bool touches_hospital = false;
+      for (roadnet::LandmarkId h : city_.hospitals) {
+        if (seg.from == h || seg.to == h) touches_hospital = true;
+      }
+      if (!touches_hospital) return seg.id;
+    }
+    return 0;
+  }
+
+  weather::ScenarioSpec spec_;
+  roadnet::City city_;
+  std::unique_ptr<weather::WeatherField> field_;
+  std::unique_ptr<weather::FloodModel> flood_;
+};
+
+TEST_F(SimulatorTest, TeamsStartAtHospitals) {
+  RescueSimulator sim(city_, *flood_, {}, 0.0, FastConfig(10));
+  for (const Team& team : sim.teams()) {
+    EXPECT_NE(std::find(city_.hospitals.begin(), city_.hospitals.end(),
+                        team.at),
+              city_.hospitals.end());
+    EXPECT_EQ(team.mode, TeamMode::kIdle);
+    EXPECT_EQ(team.capacity, FastConfig().team_capacity);
+  }
+}
+
+TEST_F(SimulatorTest, ScriptedGotoServesRequest) {
+  const roadnet::SegmentId seg = NonHospitalSegment();
+  std::vector<Request> requests = {MakeRequest(0, 60.0, seg)};
+  RescueSimulator sim(city_, *flood_, requests, 0.0, FastConfig(1));
+
+  ScriptedDispatcher dispatcher;
+  dispatcher.script = {{ActionKind::kGoto, seg}};
+  dispatcher.repeat = true;
+  const MetricsCollector metrics = sim.Run(dispatcher);
+
+  EXPECT_EQ(metrics.total_served(), 1);
+  EXPECT_EQ(metrics.total_delivered(), 1);
+  const Request& served = sim.requests()[0];
+  EXPECT_EQ(served.status, RequestStatus::kDelivered);
+  EXPECT_GT(served.pickup_time, served.appear_time - 1e-9);
+  EXPECT_GT(served.delivery_time, served.pickup_time);
+  EXPECT_EQ(served.served_by_team, 0);
+}
+
+TEST_F(SimulatorTest, KeepDispatcherServesNothingRemote) {
+  const roadnet::SegmentId seg = NonHospitalSegment();
+  std::vector<Request> requests = {MakeRequest(0, 60.0, seg)};
+  RescueSimulator sim(city_, *flood_, requests, 0.0, FastConfig(1));
+  ScriptedDispatcher dispatcher;  // all kKeep forever
+  const MetricsCollector metrics = sim.Run(dispatcher);
+  EXPECT_EQ(metrics.total_served(), 0);
+  EXPECT_EQ(sim.requests()[0].status, RequestStatus::kPending);
+}
+
+TEST_F(SimulatorTest, DispatchLatencyDelaysService) {
+  const roadnet::SegmentId seg = NonHospitalSegment();
+
+  auto run_with_latency = [&](double latency) {
+    std::vector<Request> requests = {MakeRequest(0, 60.0, seg)};
+    RescueSimulator sim(city_, *flood_, requests, 0.0, FastConfig(1));
+    ScriptedDispatcher dispatcher;
+    dispatcher.script = {{ActionKind::kGoto, seg}};
+    dispatcher.repeat = true;
+    dispatcher.latency_s = latency;
+    sim.Run(dispatcher);
+    return sim.requests()[0].pickup_time;
+  };
+
+  const double fast = run_with_latency(0.5);
+  const double slow = run_with_latency(900.0);
+  EXPECT_GT(slow, fast + 400.0);
+}
+
+TEST_F(SimulatorTest, InstantPickupWhenTeamAlreadyThere) {
+  // Request at a landmark where an idle team is parked: picked up the
+  // moment it appears (the paper's zero-timeliness case).
+  roadnet::SegmentId seg = roadnet::kInvalidSegment;
+  roadnet::LandmarkId where = roadnet::kInvalidLandmark;
+  SimConfig config = FastConfig(8);  // enough teams to cover hospitals
+  RescueSimulator probe(city_, *flood_, {}, 0.0, config);
+  for (const roadnet::RoadSegment& s : city_.network.segments()) {
+    for (const Team& team : probe.teams()) {
+      if (s.from == team.at) {
+        seg = s.id;
+        where = team.at;
+      }
+    }
+    if (seg != roadnet::kInvalidSegment) break;
+  }
+  ASSERT_NE(seg, roadnet::kInvalidSegment);
+
+  std::vector<Request> requests = {MakeRequest(0, 1000.0, seg)};
+  // Person stands exactly at the team's landmark.
+  requests[0].pos = city_.network.landmark(where).pos;
+  RescueSimulator sim(city_, *flood_, requests, 0.0, config);
+  ScriptedDispatcher dispatcher;
+  sim.Run(dispatcher);
+  const Request& r = sim.requests()[0];
+  EXPECT_EQ(r.status, RequestStatus::kDelivered);
+  EXPECT_NEAR(r.pickup_time, r.appear_time, 1e-6);
+  EXPECT_DOUBLE_EQ(r.driving_delay_s, 0.0);
+}
+
+TEST_F(SimulatorTest, CapacityBoundsOnboard) {
+  // 7 requests on one segment, capacity 5: first trip takes at most 5.
+  const roadnet::SegmentId seg = NonHospitalSegment();
+  std::vector<Request> requests;
+  for (int i = 0; i < 7; ++i) requests.push_back(MakeRequest(i, 60.0, seg));
+  SimConfig config = FastConfig(1);
+  RescueSimulator sim(city_, *flood_, requests, 0.0, config);
+  ScriptedDispatcher dispatcher;
+  dispatcher.script = {{ActionKind::kGoto, seg}};
+  dispatcher.repeat = true;
+  const MetricsCollector metrics = sim.Run(dispatcher);
+  // The single team shuttles: all 7 eventually served over 6 hours.
+  EXPECT_EQ(metrics.total_served(), 7);
+  EXPECT_EQ(metrics.total_delivered(), 7);
+}
+
+TEST_F(SimulatorTest, DepotActionPutsTeamAtDepot) {
+  RescueSimulator sim(city_, *flood_, {}, 0.0, FastConfig(1));
+  ScriptedDispatcher dispatcher;
+  dispatcher.script = {{ActionKind::kDepot, roadnet::kInvalidSegment}};
+  dispatcher.repeat = true;
+  sim.Run(dispatcher);
+  EXPECT_EQ(sim.teams()[0].at, city_.depot);
+  EXPECT_EQ(sim.teams()[0].mode, TeamMode::kIdle);
+}
+
+TEST_F(SimulatorTest, PendingListedInContext) {
+  const roadnet::SegmentId seg = NonHospitalSegment();
+  std::vector<Request> requests = {MakeRequest(0, 60.0, seg),
+                                   MakeRequest(1, 90.0, seg)};
+  RescueSimulator sim(city_, *flood_, requests, 0.0, FastConfig(1));
+  ScriptedDispatcher dispatcher;  // never serves
+  sim.Run(dispatcher);
+  EXPECT_EQ(dispatcher.last_pending, 2u);
+  EXPECT_GT(dispatcher.rounds, 10);
+}
+
+TEST_F(SimulatorTest, ServedRequestsAreTimelyWithinThreshold) {
+  const roadnet::SegmentId seg = NonHospitalSegment();
+  std::vector<Request> requests = {MakeRequest(0, 60.0, seg)};
+  RescueSimulator sim(city_, *flood_, requests, 0.0, FastConfig(2));
+  ScriptedDispatcher dispatcher;
+  dispatcher.script = {{ActionKind::kGoto, seg}, {ActionKind::kKeep}};
+  dispatcher.repeat = true;
+  const MetricsCollector metrics = sim.Run(dispatcher);
+  ASSERT_EQ(metrics.total_served(), 1);
+  const double timeliness = sim.requests()[0].pickup_time - 60.0;
+  EXPECT_EQ(metrics.total_timely(), timeliness <= 1800.0 ? 1 : 0);
+}
+
+}  // namespace
+}  // namespace mobirescue::sim

@@ -1,0 +1,99 @@
+#include "util/geo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobirescue::util {
+namespace {
+
+TEST(GeoTest, HaversineZeroForSamePoint) {
+  const GeoPoint p{35.7, -78.9};
+  EXPECT_DOUBLE_EQ(HaversineMeters(p, p), 0.0);
+}
+
+TEST(GeoTest, HaversineKnownDistance) {
+  // One degree of latitude is ~111.2 km.
+  const GeoPoint a{35.0, -78.0};
+  const GeoPoint b{36.0, -78.0};
+  EXPECT_NEAR(HaversineMeters(a, b), 111195.0, 200.0);
+}
+
+TEST(GeoTest, HaversineSymmetric) {
+  const GeoPoint a{35.61, -79.0};
+  const GeoPoint b{35.9, -78.4};
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+}
+
+TEST(GeoTest, ApproxDistanceMatchesHaversineAtCityScale) {
+  const GeoPoint a{35.65, -79.05};
+  const GeoPoint b{35.78, -78.70};
+  const double h = HaversineMeters(a, b);
+  const double e = ApproxDistanceMeters(a, b);
+  EXPECT_NEAR(e / h, 1.0, 1e-3);
+}
+
+TEST(GeoTest, LerpEndpointsAndMidpoint) {
+  const GeoPoint a{35.0, -79.0};
+  const GeoPoint b{36.0, -78.0};
+  EXPECT_EQ(Lerp(a, b, 0.0), a);
+  EXPECT_EQ(Lerp(a, b, 1.0), b);
+  const GeoPoint mid = Lerp(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(mid.lat, 35.5);
+  EXPECT_DOUBLE_EQ(mid.lon, -78.5);
+}
+
+TEST(GeoTest, BoundingBoxContains) {
+  EXPECT_TRUE(kCharlotteBox.Contains({35.8, -78.6}));
+  EXPECT_FALSE(kCharlotteBox.Contains({34.0, -78.6}));
+  EXPECT_FALSE(kCharlotteBox.Contains({35.8, -80.0}));
+  // Corners are inclusive.
+  EXPECT_TRUE(kCharlotteBox.Contains(kCharlotteBox.south_west));
+  EXPECT_TRUE(kCharlotteBox.Contains(kCharlotteBox.north_east));
+}
+
+TEST(GeoTest, BoundingBoxAtMapsUnitSquare) {
+  const GeoPoint sw = kCharlotteCropBox.At(0.0, 0.0);
+  const GeoPoint ne = kCharlotteCropBox.At(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(sw.lat, kCharlotteCropBox.south_west.lat);
+  EXPECT_DOUBLE_EQ(sw.lon, kCharlotteCropBox.south_west.lon);
+  EXPECT_DOUBLE_EQ(ne.lat, kCharlotteCropBox.north_east.lat);
+  EXPECT_DOUBLE_EQ(ne.lon, kCharlotteCropBox.north_east.lon);
+}
+
+TEST(GeoTest, BoundingBoxDimensionsPositive) {
+  EXPECT_GT(kCharlotteCropBox.WidthMeters(), 10000.0);
+  EXPECT_GT(kCharlotteCropBox.HeightMeters(), 10000.0);
+  EXPECT_LT(kCharlotteCropBox.WidthMeters(), kCharlotteBox.WidthMeters());
+}
+
+TEST(GeoTest, PointToSegmentProjectionInterior) {
+  // Horizontal segment; point above its middle.
+  const GeoPoint a{35.70, -79.00};
+  const GeoPoint b{35.70, -78.90};
+  const GeoPoint p{35.72, -78.95};
+  double t = -1.0;
+  const double d = PointToSegmentMeters(p, a, b, &t);
+  EXPECT_NEAR(t, 0.5, 0.02);
+  EXPECT_NEAR(d, ApproxDistanceMeters({35.70, -78.95}, p), 30.0);
+}
+
+TEST(GeoTest, PointToSegmentClampsToEndpoints) {
+  const GeoPoint a{35.70, -79.00};
+  const GeoPoint b{35.70, -78.90};
+  const GeoPoint beyond{35.70, -78.80};
+  double t = -1.0;
+  const double d = PointToSegmentMeters(beyond, a, b, &t);
+  EXPECT_DOUBLE_EQ(t, 1.0);
+  EXPECT_NEAR(d, ApproxDistanceMeters(b, beyond), 30.0);
+}
+
+TEST(GeoTest, PointToSegmentDegenerateSegment) {
+  const GeoPoint a{35.70, -79.00};
+  const GeoPoint p{35.71, -79.00};
+  double t = -1.0;
+  const double d = PointToSegmentMeters(p, a, a, &t);
+  EXPECT_DOUBLE_EQ(t, 0.0);
+  EXPECT_NEAR(d, ApproxDistanceMeters(a, p), 5.0);
+}
+
+}  // namespace
+}  // namespace mobirescue::util

@@ -1,0 +1,34 @@
+#include "util/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobirescue::util {
+namespace {
+
+TEST(SimTimeTest, DayIndex) {
+  EXPECT_EQ(DayIndex(0.0), 0);
+  EXPECT_EQ(DayIndex(kSecondsPerDay - 1), 0);
+  EXPECT_EQ(DayIndex(kSecondsPerDay), 1);
+  EXPECT_EQ(DayIndex(9.5 * kSecondsPerDay), 9);
+}
+
+TEST(SimTimeTest, HourOfDay) {
+  EXPECT_EQ(HourOfDay(0.0), 0);
+  EXPECT_EQ(HourOfDay(3600.0 * 13 + 100), 13);
+  EXPECT_EQ(HourOfDay(kSecondsPerDay + 3600.0 * 5), 5);
+  EXPECT_EQ(HourOfDay(kSecondsPerDay - 1.0), 23);
+}
+
+TEST(SimTimeTest, HourIndexIsAbsolute) {
+  EXPECT_EQ(HourIndex(0.0), 0);
+  EXPECT_EQ(HourIndex(kSecondsPerDay + 3600.0 * 5), 29);
+}
+
+TEST(SimTimeTest, FormatSimTime) {
+  EXPECT_EQ(FormatSimTime(0.0), "d0 00:00:00");
+  EXPECT_EQ(FormatSimTime(kSecondsPerDay + 3661.0), "d1 01:01:01");
+  EXPECT_EQ(FormatSimTime(-5.0), "d0 00:00:00");  // clamped
+}
+
+}  // namespace
+}  // namespace mobirescue::util

@@ -1,0 +1,125 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mobirescue::util {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+}
+
+TEST(StatsTest, StdDevBasics) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(StdDev(xs), 2.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(StdDev(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(StatsTest, PearsonPerfectPositive) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonPerfectNegative) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantSeriesIsZero) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(StatsTest, PearsonLengthMismatchThrows) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {1, 2};
+  EXPECT_THROW(PearsonCorrelation(x, y), std::invalid_argument);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(CdfTest, AtAndQuantile) {
+  EmpiricalCdf cdf({4.0, 1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(cdf.At(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.At(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.At(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.At(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 4.0);
+}
+
+TEST(CdfTest, IncrementalAdd) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  cdf.Add(3.0);
+  cdf.Add(1.0);
+  EXPECT_DOUBLE_EQ(cdf.At(2.0), 0.5);
+  cdf.Add(2.0);
+  EXPECT_NEAR(cdf.At(2.0), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 3.0);
+}
+
+TEST(CdfTest, CurveIsMonotone) {
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 200; ++i) cdf.Add((i * 37) % 100);
+  const auto curve = cdf.Curve(20);
+  ASSERT_EQ(curve.size(), 20u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+    EXPECT_LT(curve[i - 1].first, curve[i].first);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);   // bin 0
+  h.Add(9.5);   // bin 4
+  h.Add(-3.0);  // clamped to bin 0
+  h.Add(42.0);  // clamped to bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.Fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 1.0);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(RunningStatsTest, MatchesBatchStats) {
+  RunningStats rs;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) rs.Add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_DOUBLE_EQ(rs.mean(), Mean(xs));
+  EXPECT_NEAR(rs.stddev(), StdDev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+  EXPECT_EQ(rs.count(), 0u);
+}
+
+}  // namespace
+}  // namespace mobirescue::util

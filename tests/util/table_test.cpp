@@ -1,0 +1,45 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mobirescue::util {
+namespace {
+
+TEST(TableTest, RendersHeadersAndRows) {
+  TextTable t({"name", "value"});
+  t.Row().Cell("alpha").Cell(1.5, 1);
+  t.Row().Cell("beta").Cell(std::size_t{42});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, TooManyCellsThrows) {
+  TextTable t({"only"});
+  t.Row().Cell("x");
+  EXPECT_THROW(t.Cell("overflow"), std::logic_error);
+}
+
+TEST(TableTest, EmptyHeadersThrow) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TableTest, FormatDoublePrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-1.0, 0), "-1");
+}
+
+TEST(TableTest, FigureBanner) {
+  std::ostringstream oss;
+  PrintFigureBanner(oss, "Figure 9", "served requests");
+  EXPECT_NE(oss.str().find("=== Figure 9: served requests ==="),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mobirescue::util

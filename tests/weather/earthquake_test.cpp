@@ -1,0 +1,105 @@
+#include "weather/earthquake.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobirescue::weather {
+namespace {
+
+class EarthquakeTest : public ::testing::Test {
+ protected:
+  EarthquakeTest()
+      : box_(util::kCharlotteCropBox), field_(box_), density_(box_) {}
+
+  util::BoundingBox box_;
+  EarthquakeField field_;
+  BuildingDensityModel density_;
+};
+
+TEST_F(EarthquakeTest, QuietBeforeShock) {
+  const util::GeoPoint p = box_.Center();
+  EXPECT_DOUBLE_EQ(field_.LocalMagnitudeAt(p, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(field_.IntensityAt(p, 0.0, density_), 0.0);
+}
+
+TEST_F(EarthquakeTest, MagnitudeAttenuatesWithDistance) {
+  const EarthquakeConfig& config = field_.config();
+  const util::GeoPoint epicentre =
+      box_.At(config.epicentre_x, config.epicentre_y);
+  const util::GeoPoint far = box_.At(0.05, 0.95);
+  const double t = config.shock_time_s + 60.0;
+  EXPECT_NEAR(field_.LocalMagnitudeAt(epicentre, t), config.magnitude, 0.1);
+  EXPECT_LT(field_.LocalMagnitudeAt(far, t),
+            field_.LocalMagnitudeAt(epicentre, t) / 2.0);
+}
+
+TEST_F(EarthquakeTest, AftershockIntensityDecays) {
+  const EarthquakeConfig& config = field_.config();
+  const util::GeoPoint p = box_.At(config.epicentre_x, config.epicentre_y);
+  const double early =
+      field_.IntensityAt(p, config.shock_time_s + 600.0, density_);
+  const double later = field_.IntensityAt(
+      p, config.shock_time_s + 3 * util::kSecondsPerDay, density_);
+  EXPECT_GT(early, later);
+  EXPECT_GT(later, 0.0);  // floor term: damage does not vanish entirely
+}
+
+TEST_F(EarthquakeTest, BuildingDensityPeaksDowntown) {
+  EXPECT_GT(density_.DensityAt(box_.Center()),
+            density_.DensityAt(box_.At(0.02, 0.02)));
+  for (double x = 0.0; x <= 1.0; x += 0.25) {
+    for (double y = 0.0; y <= 1.0; y += 0.25) {
+      const double d = density_.DensityAt(box_.At(x, y));
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, 1.0);
+    }
+  }
+}
+
+TEST_F(EarthquakeTest, RoadDamageConcentratesNearEpicentre) {
+  roadnet::CityConfig config;
+  config.grid_width = 12;
+  config.grid_height = 12;
+  const roadnet::City city = roadnet::BuildCity(config);
+  EarthquakeField field(city.box);
+  BuildingDensityModel density(city.box);
+
+  const auto before =
+      EarthquakeNetworkCondition(city.network, field, density, 0.0);
+  EXPECT_EQ(before.NumOpen(), city.network.num_segments());
+
+  const auto after = EarthquakeNetworkCondition(
+      city.network, field, density, field.config().shock_time_s + 60.0);
+  EXPECT_LT(after.NumOpen(), city.network.num_segments());
+  // Damaged roads are closer to the epicentre on average than intact ones.
+  const util::GeoPoint epi = city.box.At(field.config().epicentre_x,
+                                         field.config().epicentre_y);
+  double closed_d = 0.0, open_d = 0.0;
+  int closed_n = 0, open_n = 0;
+  for (const auto& seg : city.network.segments()) {
+    const double d =
+        util::ApproxDistanceMeters(city.network.SegmentMidpoint(seg.id), epi);
+    if (after.IsOpen(seg.id)) {
+      open_d += d;
+      ++open_n;
+    } else {
+      closed_d += d;
+      ++closed_n;
+    }
+  }
+  ASSERT_GT(closed_n, 0);
+  ASSERT_GT(open_n, 0);
+  EXPECT_LT(closed_d / closed_n, open_d / open_n);
+}
+
+TEST_F(EarthquakeTest, FactorSamplerReturnsAllThreeFactors) {
+  roadnet::TerrainModel terrain(box_);
+  EarthquakeFactorSampler sampler(field_, terrain, density_);
+  const auto f =
+      sampler.At(box_.Center(), field_.config().shock_time_s + 60.0);
+  EXPECT_GT(f.local_magnitude, 0.0);
+  EXPECT_GT(f.altitude_m, 100.0);
+  EXPECT_GT(f.building_density, 0.0);
+}
+
+}  // namespace
+}  // namespace mobirescue::weather

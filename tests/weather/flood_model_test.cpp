@@ -1,0 +1,112 @@
+#include "weather/flood_model.hpp"
+
+#include "weather/disaster_factors.hpp"
+
+#include <gtest/gtest.h>
+
+#include "roadnet/city_builder.hpp"
+#include "weather/scenario.hpp"
+
+namespace mobirescue::weather {
+namespace {
+
+class FloodModelTest : public ::testing::Test {
+ protected:
+  FloodModelTest()
+      : spec_(FlorenceScenario()),
+        field_(util::kCharlotteCropBox, spec_.storm),
+        terrain_(util::kCharlotteCropBox),
+        flood_(field_, terrain_) {}
+
+  ScenarioSpec spec_;
+  WeatherField field_;
+  roadnet::TerrainModel terrain_;
+  FloodModel flood_;
+};
+
+TEST_F(FloodModelTest, DryBeforeStorm) {
+  for (double x = 0.1; x < 1.0; x += 0.2) {
+    for (double y = 0.1; y < 1.0; y += 0.2) {
+      EXPECT_DOUBLE_EQ(
+          flood_.DepthAt(util::kCharlotteCropBox.At(x, y), 0.0), 0.0);
+    }
+  }
+}
+
+TEST_F(FloodModelTest, LowGroundFloodsAtPeak) {
+  // South-east corner: low altitude, heavy rain.
+  const util::GeoPoint se = util::kCharlotteCropBox.At(0.9, 0.1);
+  const double depth = flood_.DepthAt(se, spec_.storm.storm_end_s);
+  EXPECT_GT(depth, flood_.config().zone_depth_m);
+}
+
+TEST_F(FloodModelTest, HighGroundStaysDrier) {
+  const util::GeoPoint nw = util::kCharlotteCropBox.At(0.1, 0.9);
+  const util::GeoPoint se = util::kCharlotteCropBox.At(0.9, 0.1);
+  const double t = spec_.storm.storm_end_s;
+  EXPECT_LT(flood_.DepthAt(nw, t), flood_.DepthAt(se, t));
+}
+
+TEST_F(FloodModelTest, WaterRecedesAfterStorm) {
+  const util::GeoPoint se = util::kCharlotteCropBox.At(0.9, 0.1);
+  const double at_end = flood_.DepthAt(se, spec_.storm.storm_end_s);
+  const double later =
+      flood_.DepthAt(se, spec_.storm.storm_end_s + 2 * util::kSecondsPerDay);
+  const double much_later =
+      flood_.DepthAt(se, spec_.storm.storm_end_s + 6 * util::kSecondsPerDay);
+  EXPECT_LT(later, at_end);
+  EXPECT_LT(much_later, later);
+}
+
+TEST_F(FloodModelTest, FloodZonePredicateMatchesDepth) {
+  const util::GeoPoint se = util::kCharlotteCropBox.At(0.9, 0.1);
+  const double t = spec_.storm.storm_end_s;
+  EXPECT_EQ(flood_.InFloodZone(se, t),
+            flood_.DepthAt(se, t) >= flood_.config().zone_depth_m);
+  EXPECT_FALSE(flood_.InFloodZone(se, 0.0));
+}
+
+TEST_F(FloodModelTest, NetworkConditionDamagesLowSegmentsOnly) {
+  roadnet::CityConfig config;
+  config.grid_width = 12;
+  config.grid_height = 12;
+  const roadnet::City city = roadnet::BuildCity(config);
+  FloodModel flood(field_, city.terrain);
+
+  const auto before = flood.NetworkConditionAt(city.network, 0.0);
+  EXPECT_EQ(before.NumOpen(), city.network.num_segments());
+
+  const auto peak =
+      flood.NetworkConditionAt(city.network, spec_.storm.storm_end_s);
+  EXPECT_LT(peak.NumOpen(), city.network.num_segments());
+  EXPECT_GT(peak.NumOpen(), city.network.num_segments() / 3);
+
+  // A closed segment is either deep water or a debris closure inside the
+  // flood zone; open-but-slowed segments are in the zone; dry segments run
+  // at full speed.
+  for (const roadnet::RoadSegment& seg : city.network.segments()) {
+    const double depth = flood.DepthAt(city.network.SegmentMidpoint(seg.id),
+                                       spec_.storm.storm_end_s);
+    if (!peak.IsOpen(seg.id)) {
+      EXPECT_GE(depth, flood.config().zone_depth_m);
+    } else if (depth >= flood.config().zone_depth_m) {
+      EXPECT_LT(peak.SpeedFactor(seg.id), 1.0);
+    } else {
+      EXPECT_DOUBLE_EQ(peak.SpeedFactor(seg.id), 1.0);
+    }
+  }
+}
+
+TEST_F(FloodModelTest, FactorSamplerComposesFields) {
+  FactorSampler sampler(field_, terrain_);
+  const util::GeoPoint p = util::kCharlotteCropBox.Center();
+  const FactorVector h = sampler.At(p, spec_.storm.storm_peak_s);
+  EXPECT_NEAR(h.precipitation_mm,
+              field_.AccumulatedPrecipitation(p, spec_.storm.storm_peak_s),
+              1e-12);
+  EXPECT_NEAR(h.wind_mph, field_.WindAt(p, spec_.storm.storm_peak_s), 1e-12);
+  EXPECT_NEAR(h.altitude_m, terrain_.AltitudeAt(p), 1e-12);
+}
+
+}  // namespace
+}  // namespace mobirescue::weather

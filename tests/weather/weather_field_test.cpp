@@ -1,0 +1,109 @@
+#include "weather/weather_field.hpp"
+
+#include <gtest/gtest.h>
+
+#include "weather/scenario.hpp"
+
+namespace mobirescue::weather {
+namespace {
+
+class WeatherFieldTest : public ::testing::Test {
+ protected:
+  WeatherFieldTest()
+      : spec_(FlorenceScenario()), field_(util::kCharlotteCropBox, spec_.storm) {}
+
+  ScenarioSpec spec_;
+  WeatherField field_;
+};
+
+TEST_F(WeatherFieldTest, QuietBeforeAndAfterStorm) {
+  const util::GeoPoint p = util::kCharlotteCropBox.Center();
+  const double before = field_.PrecipitationAt(p, 0.0);
+  const double after =
+      field_.PrecipitationAt(p, spec_.storm.storm_end_s + 3600.0);
+  EXPECT_NEAR(before, spec_.storm.base_precip_mm_per_h, 1e-9);
+  EXPECT_NEAR(after, spec_.storm.base_precip_mm_per_h, 1e-9);
+}
+
+TEST_F(WeatherFieldTest, PeaksAtStormPeak) {
+  const util::GeoPoint p = util::kCharlotteCropBox.Center();
+  const double ramp_up =
+      field_.PrecipitationAt(p, 0.5 * (spec_.storm.storm_begin_s +
+                                       spec_.storm.storm_peak_s));
+  const double peak = field_.PrecipitationAt(p, spec_.storm.storm_peak_s);
+  const double decay =
+      field_.PrecipitationAt(p, 0.5 * (spec_.storm.storm_peak_s +
+                                       spec_.storm.storm_end_s));
+  EXPECT_GT(peak, ramp_up);
+  EXPECT_GT(peak, decay);
+  EXPECT_GT(peak, 5.0);
+}
+
+TEST_F(WeatherFieldTest, WindTracksSameEnvelope) {
+  const util::GeoPoint p = util::kCharlotteCropBox.Center();
+  EXPECT_NEAR(field_.WindAt(p, 0.0), spec_.storm.base_wind_mph, 1e-9);
+  EXPECT_GT(field_.WindAt(p, spec_.storm.storm_peak_s),
+            spec_.storm.base_wind_mph + 10.0);
+}
+
+TEST_F(WeatherFieldTest, AccumulationMonotoneNonDecreasing) {
+  const util::GeoPoint p = util::kCharlotteCropBox.Center();
+  double prev = -1.0;
+  for (double t = 0.0; t < 9 * util::kSecondsPerDay; t += 7200.0) {
+    const double acc = field_.AccumulatedPrecipitation(p, t);
+    EXPECT_GE(acc, prev);
+    prev = acc;
+  }
+}
+
+TEST_F(WeatherFieldTest, AccumulationSaturatesAfterStorm) {
+  const util::GeoPoint p = util::kCharlotteCropBox.Center();
+  const double at_end = field_.AccumulatedPrecipitation(p, spec_.storm.storm_end_s);
+  const double later =
+      field_.AccumulatedPrecipitation(p, spec_.storm.storm_end_s + util::kSecondsPerDay);
+  EXPECT_NEAR(at_end, later, 1e-9);
+  EXPECT_GT(at_end, 50.0);  // a hurricane drops a lot of rain
+}
+
+TEST_F(WeatherFieldTest, SouthEastBiasMakesSEWetter) {
+  // Averaging over the storm, the south-east corner accumulates more rain
+  // than the north-west corner (the Fig. 1 R1-vs-R2 contrast).
+  const util::GeoPoint nw = util::kCharlotteCropBox.At(0.1, 0.9);
+  const util::GeoPoint se = util::kCharlotteCropBox.At(0.9, 0.1);
+  const double t = spec_.storm.storm_end_s;
+  EXPECT_GT(field_.AccumulatedPrecipitation(se, t),
+            field_.AccumulatedPrecipitation(nw, t));
+}
+
+TEST_F(WeatherFieldTest, StormActiveWindow) {
+  EXPECT_FALSE(field_.StormActive(0.0));
+  EXPECT_TRUE(field_.StormActive(spec_.storm.storm_peak_s));
+  EXPECT_FALSE(field_.StormActive(spec_.storm.storm_end_s + 1.0));
+}
+
+TEST(WeatherFieldValidationTest, RejectsBadTimeline) {
+  StormConfig bad;
+  bad.storm_begin_s = 10.0;
+  bad.storm_peak_s = 5.0;
+  bad.storm_end_s = 20.0;
+  EXPECT_THROW(WeatherField(util::kCharlotteCropBox, bad),
+               std::invalid_argument);
+}
+
+TEST(ScenarioTest, PresetsAreOrdered) {
+  for (const ScenarioSpec& spec :
+       {FlorenceScenario(), MichaelScenario(), TestScenario()}) {
+    EXPECT_LT(spec.storm.storm_begin_s, spec.storm.storm_peak_s);
+    EXPECT_LT(spec.storm.storm_peak_s, spec.storm.storm_end_s);
+    EXPECT_GT(spec.window_days, 0);
+    EXPECT_LT(spec.eval_day, spec.window_days);
+  }
+}
+
+TEST(ScenarioTest, FlorenceHeavierThanMichael) {
+  EXPECT_GT(FlorenceScenario().storm.peak_precip_mm_per_h,
+            MichaelScenario().storm.peak_precip_mm_per_h);
+}
+
+}  // namespace
+}  // namespace mobirescue::weather
