@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dispatch_latency.dir/bench_dispatch_latency.cpp.o"
+  "CMakeFiles/bench_dispatch_latency.dir/bench_dispatch_latency.cpp.o.d"
+  "bench_dispatch_latency"
+  "bench_dispatch_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dispatch_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_serving_teams.dir/bench_fig14_serving_teams.cpp.o"
+  "CMakeFiles/bench_fig14_serving_teams.dir/bench_fig14_serving_teams.cpp.o.d"
+  "bench_fig14_serving_teams"
+  "bench_fig14_serving_teams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_serving_teams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

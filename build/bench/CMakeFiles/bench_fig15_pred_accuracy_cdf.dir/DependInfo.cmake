@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig15_pred_accuracy_cdf.cpp" "bench/CMakeFiles/bench_fig15_pred_accuracy_cdf.dir/bench_fig15_pred_accuracy_cdf.cpp.o" "gcc" "bench/CMakeFiles/bench_fig15_pred_accuracy_cdf.dir/bench_fig15_pred_accuracy_cdf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mr_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dispatch/CMakeFiles/mr_dispatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/mr_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/mr_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/mr_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/mr_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/mr_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mr_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_flowrate_regions.dir/bench_fig2_flowrate_regions.cpp.o"
+  "CMakeFiles/bench_fig2_flowrate_regions.dir/bench_fig2_flowrate_regions.cpp.o.d"
+  "bench_fig2_flowrate_regions"
+  "bench_fig2_flowrate_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_flowrate_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

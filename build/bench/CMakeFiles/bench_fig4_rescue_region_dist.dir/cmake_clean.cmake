@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_rescue_region_dist.dir/bench_fig4_rescue_region_dist.cpp.o"
+  "CMakeFiles/bench_fig4_rescue_region_dist.dir/bench_fig4_rescue_region_dist.cpp.o.d"
+  "bench_fig4_rescue_region_dist"
+  "bench_fig4_rescue_region_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_rescue_region_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_rescue_region_dist.
+# This may be replaced when dependencies are built.

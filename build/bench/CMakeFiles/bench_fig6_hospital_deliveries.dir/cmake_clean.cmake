@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_hospital_deliveries.dir/bench_fig6_hospital_deliveries.cpp.o"
+  "CMakeFiles/bench_fig6_hospital_deliveries.dir/bench_fig6_hospital_deliveries.cpp.o.d"
+  "bench_fig6_hospital_deliveries"
+  "bench_fig6_hospital_deliveries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_hospital_deliveries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

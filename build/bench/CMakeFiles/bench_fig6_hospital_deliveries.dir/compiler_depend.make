@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig6_hospital_deliveries.
+# This may be replaced when dependencies are built.

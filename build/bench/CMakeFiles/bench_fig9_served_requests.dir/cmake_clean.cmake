@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_served_requests.dir/bench_fig9_served_requests.cpp.o"
+  "CMakeFiles/bench_fig9_served_requests.dir/bench_fig9_served_requests.cpp.o.d"
+  "bench_fig9_served_requests"
+  "bench_fig9_served_requests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_served_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_correlation.dir/bench_table1_correlation.cpp.o"
+  "CMakeFiles/bench_table1_correlation.dir/bench_table1_correlation.cpp.o.d"
+  "bench_table1_correlation"
+  "bench_table1_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/mr_bench_common.dir/bench_common.cpp.o.d"
+  "libmr_bench_common.a"
+  "libmr_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dispatcher_faceoff.dir/dispatcher_faceoff.cpp.o"
+  "CMakeFiles/dispatcher_faceoff.dir/dispatcher_faceoff.cpp.o.d"
+  "dispatcher_faceoff"
+  "dispatcher_faceoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispatcher_faceoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

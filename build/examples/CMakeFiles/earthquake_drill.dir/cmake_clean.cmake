@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthquake_drill.dir/earthquake_drill.cpp.o"
+  "CMakeFiles/earthquake_drill.dir/earthquake_drill.cpp.o.d"
+  "earthquake_drill"
+  "earthquake_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthquake_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/florence_day.dir/florence_day.cpp.o"
+  "CMakeFiles/florence_day.dir/florence_day.cpp.o.d"
+  "florence_day"
+  "florence_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/florence_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_explorer.dir/storm_explorer.cpp.o"
+  "CMakeFiles/storm_explorer.dir/storm_explorer.cpp.o.d"
+  "storm_explorer"
+  "storm_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("roadnet")
+subdirs("weather")
+subdirs("mobility")
+subdirs("ml")
+subdirs("opt")
+subdirs("sim")
+subdirs("predict")
+subdirs("rl")
+subdirs("dispatch")
+subdirs("analysis")
+subdirs("core")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dataset_analysis.cpp" "src/analysis/CMakeFiles/mr_analysis.dir/dataset_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/mr_analysis.dir/dataset_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mobility/CMakeFiles/mr_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/mr_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/mr_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

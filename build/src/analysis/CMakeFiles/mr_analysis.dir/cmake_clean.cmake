@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_analysis.dir/dataset_analysis.cpp.o"
+  "CMakeFiles/mr_analysis.dir/dataset_analysis.cpp.o.d"
+  "libmr_analysis.a"
+  "libmr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_core.dir/pipeline.cpp.o"
+  "CMakeFiles/mr_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/mr_core.dir/world.cpp.o"
+  "CMakeFiles/mr_core.dir/world.cpp.o.d"
+  "libmr_core.a"
+  "libmr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

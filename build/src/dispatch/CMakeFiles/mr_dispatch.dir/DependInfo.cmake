@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dispatch/featurizer.cpp" "src/dispatch/CMakeFiles/mr_dispatch.dir/featurizer.cpp.o" "gcc" "src/dispatch/CMakeFiles/mr_dispatch.dir/featurizer.cpp.o.d"
+  "/root/repo/src/dispatch/mobirescue_dispatcher.cpp" "src/dispatch/CMakeFiles/mr_dispatch.dir/mobirescue_dispatcher.cpp.o" "gcc" "src/dispatch/CMakeFiles/mr_dispatch.dir/mobirescue_dispatcher.cpp.o.d"
+  "/root/repo/src/dispatch/rescue_dispatcher.cpp" "src/dispatch/CMakeFiles/mr_dispatch.dir/rescue_dispatcher.cpp.o" "gcc" "src/dispatch/CMakeFiles/mr_dispatch.dir/rescue_dispatcher.cpp.o.d"
+  "/root/repo/src/dispatch/schedule_dispatcher.cpp" "src/dispatch/CMakeFiles/mr_dispatch.dir/schedule_dispatcher.cpp.o" "gcc" "src/dispatch/CMakeFiles/mr_dispatch.dir/schedule_dispatcher.cpp.o.d"
+  "/root/repo/src/dispatch/simple_dispatchers.cpp" "src/dispatch/CMakeFiles/mr_dispatch.dir/simple_dispatchers.cpp.o" "gcc" "src/dispatch/CMakeFiles/mr_dispatch.dir/simple_dispatchers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/mr_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/mr_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/mr_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/mr_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/mr_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mr_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

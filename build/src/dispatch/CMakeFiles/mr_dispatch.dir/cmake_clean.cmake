@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_dispatch.dir/featurizer.cpp.o"
+  "CMakeFiles/mr_dispatch.dir/featurizer.cpp.o.d"
+  "CMakeFiles/mr_dispatch.dir/mobirescue_dispatcher.cpp.o"
+  "CMakeFiles/mr_dispatch.dir/mobirescue_dispatcher.cpp.o.d"
+  "CMakeFiles/mr_dispatch.dir/rescue_dispatcher.cpp.o"
+  "CMakeFiles/mr_dispatch.dir/rescue_dispatcher.cpp.o.d"
+  "CMakeFiles/mr_dispatch.dir/schedule_dispatcher.cpp.o"
+  "CMakeFiles/mr_dispatch.dir/schedule_dispatcher.cpp.o.d"
+  "CMakeFiles/mr_dispatch.dir/simple_dispatchers.cpp.o"
+  "CMakeFiles/mr_dispatch.dir/simple_dispatchers.cpp.o.d"
+  "libmr_dispatch.a"
+  "libmr_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

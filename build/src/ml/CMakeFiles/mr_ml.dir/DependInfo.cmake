@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/nn/matrix.cpp" "src/ml/CMakeFiles/mr_ml.dir/nn/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/mr_ml.dir/nn/matrix.cpp.o.d"
+  "/root/repo/src/ml/nn/mlp.cpp" "src/ml/CMakeFiles/mr_ml.dir/nn/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/mr_ml.dir/nn/mlp.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/mr_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/mr_ml.dir/serialize.cpp.o.d"
+  "/root/repo/src/ml/svm/kernel.cpp" "src/ml/CMakeFiles/mr_ml.dir/svm/kernel.cpp.o" "gcc" "src/ml/CMakeFiles/mr_ml.dir/svm/kernel.cpp.o.d"
+  "/root/repo/src/ml/svm/metrics.cpp" "src/ml/CMakeFiles/mr_ml.dir/svm/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/mr_ml.dir/svm/metrics.cpp.o.d"
+  "/root/repo/src/ml/svm/scaler.cpp" "src/ml/CMakeFiles/mr_ml.dir/svm/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/mr_ml.dir/svm/scaler.cpp.o.d"
+  "/root/repo/src/ml/svm/svm.cpp" "src/ml/CMakeFiles/mr_ml.dir/svm/svm.cpp.o" "gcc" "src/ml/CMakeFiles/mr_ml.dir/svm/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

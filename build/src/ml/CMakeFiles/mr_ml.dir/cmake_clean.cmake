@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_ml.dir/nn/matrix.cpp.o"
+  "CMakeFiles/mr_ml.dir/nn/matrix.cpp.o.d"
+  "CMakeFiles/mr_ml.dir/nn/mlp.cpp.o"
+  "CMakeFiles/mr_ml.dir/nn/mlp.cpp.o.d"
+  "CMakeFiles/mr_ml.dir/serialize.cpp.o"
+  "CMakeFiles/mr_ml.dir/serialize.cpp.o.d"
+  "CMakeFiles/mr_ml.dir/svm/kernel.cpp.o"
+  "CMakeFiles/mr_ml.dir/svm/kernel.cpp.o.d"
+  "CMakeFiles/mr_ml.dir/svm/metrics.cpp.o"
+  "CMakeFiles/mr_ml.dir/svm/metrics.cpp.o.d"
+  "CMakeFiles/mr_ml.dir/svm/scaler.cpp.o"
+  "CMakeFiles/mr_ml.dir/svm/scaler.cpp.o.d"
+  "CMakeFiles/mr_ml.dir/svm/svm.cpp.o"
+  "CMakeFiles/mr_ml.dir/svm/svm.cpp.o.d"
+  "libmr_ml.a"
+  "libmr_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/data_cleaner.cpp" "src/mobility/CMakeFiles/mr_mobility.dir/data_cleaner.cpp.o" "gcc" "src/mobility/CMakeFiles/mr_mobility.dir/data_cleaner.cpp.o.d"
+  "/root/repo/src/mobility/flow_rate.cpp" "src/mobility/CMakeFiles/mr_mobility.dir/flow_rate.cpp.o" "gcc" "src/mobility/CMakeFiles/mr_mobility.dir/flow_rate.cpp.o.d"
+  "/root/repo/src/mobility/hospital_detector.cpp" "src/mobility/CMakeFiles/mr_mobility.dir/hospital_detector.cpp.o" "gcc" "src/mobility/CMakeFiles/mr_mobility.dir/hospital_detector.cpp.o.d"
+  "/root/repo/src/mobility/map_matcher.cpp" "src/mobility/CMakeFiles/mr_mobility.dir/map_matcher.cpp.o" "gcc" "src/mobility/CMakeFiles/mr_mobility.dir/map_matcher.cpp.o.d"
+  "/root/repo/src/mobility/population.cpp" "src/mobility/CMakeFiles/mr_mobility.dir/population.cpp.o" "gcc" "src/mobility/CMakeFiles/mr_mobility.dir/population.cpp.o.d"
+  "/root/repo/src/mobility/position_estimator.cpp" "src/mobility/CMakeFiles/mr_mobility.dir/position_estimator.cpp.o" "gcc" "src/mobility/CMakeFiles/mr_mobility.dir/position_estimator.cpp.o.d"
+  "/root/repo/src/mobility/trace_generator.cpp" "src/mobility/CMakeFiles/mr_mobility.dir/trace_generator.cpp.o" "gcc" "src/mobility/CMakeFiles/mr_mobility.dir/trace_generator.cpp.o.d"
+  "/root/repo/src/mobility/trip_extractor.cpp" "src/mobility/CMakeFiles/mr_mobility.dir/trip_extractor.cpp.o" "gcc" "src/mobility/CMakeFiles/mr_mobility.dir/trip_extractor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roadnet/CMakeFiles/mr_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/mr_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

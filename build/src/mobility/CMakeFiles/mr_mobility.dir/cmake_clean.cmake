@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_mobility.dir/data_cleaner.cpp.o"
+  "CMakeFiles/mr_mobility.dir/data_cleaner.cpp.o.d"
+  "CMakeFiles/mr_mobility.dir/flow_rate.cpp.o"
+  "CMakeFiles/mr_mobility.dir/flow_rate.cpp.o.d"
+  "CMakeFiles/mr_mobility.dir/hospital_detector.cpp.o"
+  "CMakeFiles/mr_mobility.dir/hospital_detector.cpp.o.d"
+  "CMakeFiles/mr_mobility.dir/map_matcher.cpp.o"
+  "CMakeFiles/mr_mobility.dir/map_matcher.cpp.o.d"
+  "CMakeFiles/mr_mobility.dir/population.cpp.o"
+  "CMakeFiles/mr_mobility.dir/population.cpp.o.d"
+  "CMakeFiles/mr_mobility.dir/position_estimator.cpp.o"
+  "CMakeFiles/mr_mobility.dir/position_estimator.cpp.o.d"
+  "CMakeFiles/mr_mobility.dir/trace_generator.cpp.o"
+  "CMakeFiles/mr_mobility.dir/trace_generator.cpp.o.d"
+  "CMakeFiles/mr_mobility.dir/trip_extractor.cpp.o"
+  "CMakeFiles/mr_mobility.dir/trip_extractor.cpp.o.d"
+  "libmr_mobility.a"
+  "libmr_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

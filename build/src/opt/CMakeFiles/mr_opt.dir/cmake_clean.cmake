@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_opt.dir/hungarian.cpp.o"
+  "CMakeFiles/mr_opt.dir/hungarian.cpp.o.d"
+  "libmr_opt.a"
+  "libmr_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

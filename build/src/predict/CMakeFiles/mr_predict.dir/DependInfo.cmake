@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/evaluation.cpp" "src/predict/CMakeFiles/mr_predict.dir/evaluation.cpp.o" "gcc" "src/predict/CMakeFiles/mr_predict.dir/evaluation.cpp.o.d"
+  "/root/repo/src/predict/svm_predictor.cpp" "src/predict/CMakeFiles/mr_predict.dir/svm_predictor.cpp.o" "gcc" "src/predict/CMakeFiles/mr_predict.dir/svm_predictor.cpp.o.d"
+  "/root/repo/src/predict/time_series_predictor.cpp" "src/predict/CMakeFiles/mr_predict.dir/time_series_predictor.cpp.o" "gcc" "src/predict/CMakeFiles/mr_predict.dir/time_series_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/mr_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/mr_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/mr_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/mr_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_predict.dir/evaluation.cpp.o"
+  "CMakeFiles/mr_predict.dir/evaluation.cpp.o.d"
+  "CMakeFiles/mr_predict.dir/svm_predictor.cpp.o"
+  "CMakeFiles/mr_predict.dir/svm_predictor.cpp.o.d"
+  "CMakeFiles/mr_predict.dir/time_series_predictor.cpp.o"
+  "CMakeFiles/mr_predict.dir/time_series_predictor.cpp.o.d"
+  "libmr_predict.a"
+  "libmr_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

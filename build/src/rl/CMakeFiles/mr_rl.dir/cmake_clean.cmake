@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_rl.dir/dqn_agent.cpp.o"
+  "CMakeFiles/mr_rl.dir/dqn_agent.cpp.o.d"
+  "CMakeFiles/mr_rl.dir/replay_buffer.cpp.o"
+  "CMakeFiles/mr_rl.dir/replay_buffer.cpp.o.d"
+  "libmr_rl.a"
+  "libmr_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roadnet/city_builder.cpp" "src/roadnet/CMakeFiles/mr_roadnet.dir/city_builder.cpp.o" "gcc" "src/roadnet/CMakeFiles/mr_roadnet.dir/city_builder.cpp.o.d"
+  "/root/repo/src/roadnet/road_network.cpp" "src/roadnet/CMakeFiles/mr_roadnet.dir/road_network.cpp.o" "gcc" "src/roadnet/CMakeFiles/mr_roadnet.dir/road_network.cpp.o.d"
+  "/root/repo/src/roadnet/router.cpp" "src/roadnet/CMakeFiles/mr_roadnet.dir/router.cpp.o" "gcc" "src/roadnet/CMakeFiles/mr_roadnet.dir/router.cpp.o.d"
+  "/root/repo/src/roadnet/spatial_index.cpp" "src/roadnet/CMakeFiles/mr_roadnet.dir/spatial_index.cpp.o" "gcc" "src/roadnet/CMakeFiles/mr_roadnet.dir/spatial_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

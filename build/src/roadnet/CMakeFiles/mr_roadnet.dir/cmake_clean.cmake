@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_roadnet.dir/city_builder.cpp.o"
+  "CMakeFiles/mr_roadnet.dir/city_builder.cpp.o.d"
+  "CMakeFiles/mr_roadnet.dir/road_network.cpp.o"
+  "CMakeFiles/mr_roadnet.dir/road_network.cpp.o.d"
+  "CMakeFiles/mr_roadnet.dir/router.cpp.o"
+  "CMakeFiles/mr_roadnet.dir/router.cpp.o.d"
+  "CMakeFiles/mr_roadnet.dir/spatial_index.cpp.o"
+  "CMakeFiles/mr_roadnet.dir/spatial_index.cpp.o.d"
+  "libmr_roadnet.a"
+  "libmr_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

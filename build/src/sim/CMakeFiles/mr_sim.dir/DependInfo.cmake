@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/mr_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/mr_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/population_tracker.cpp" "src/sim/CMakeFiles/mr_sim.dir/population_tracker.cpp.o" "gcc" "src/sim/CMakeFiles/mr_sim.dir/population_tracker.cpp.o.d"
+  "/root/repo/src/sim/request.cpp" "src/sim/CMakeFiles/mr_sim.dir/request.cpp.o" "gcc" "src/sim/CMakeFiles/mr_sim.dir/request.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/mr_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/mr_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roadnet/CMakeFiles/mr_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/mr_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/mr_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_util.dir/geo.cpp.o"
+  "CMakeFiles/mr_util.dir/geo.cpp.o.d"
+  "CMakeFiles/mr_util.dir/rng.cpp.o"
+  "CMakeFiles/mr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mr_util.dir/sim_time.cpp.o"
+  "CMakeFiles/mr_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/mr_util.dir/stats.cpp.o"
+  "CMakeFiles/mr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mr_util.dir/table.cpp.o"
+  "CMakeFiles/mr_util.dir/table.cpp.o.d"
+  "libmr_util.a"
+  "libmr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

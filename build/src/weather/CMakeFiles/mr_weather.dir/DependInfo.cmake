@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/weather/earthquake.cpp" "src/weather/CMakeFiles/mr_weather.dir/earthquake.cpp.o" "gcc" "src/weather/CMakeFiles/mr_weather.dir/earthquake.cpp.o.d"
+  "/root/repo/src/weather/flood_model.cpp" "src/weather/CMakeFiles/mr_weather.dir/flood_model.cpp.o" "gcc" "src/weather/CMakeFiles/mr_weather.dir/flood_model.cpp.o.d"
+  "/root/repo/src/weather/scenario.cpp" "src/weather/CMakeFiles/mr_weather.dir/scenario.cpp.o" "gcc" "src/weather/CMakeFiles/mr_weather.dir/scenario.cpp.o.d"
+  "/root/repo/src/weather/weather_field.cpp" "src/weather/CMakeFiles/mr_weather.dir/weather_field.cpp.o" "gcc" "src/weather/CMakeFiles/mr_weather.dir/weather_field.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roadnet/CMakeFiles/mr_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_weather.dir/earthquake.cpp.o"
+  "CMakeFiles/mr_weather.dir/earthquake.cpp.o.d"
+  "CMakeFiles/mr_weather.dir/flood_model.cpp.o"
+  "CMakeFiles/mr_weather.dir/flood_model.cpp.o.d"
+  "CMakeFiles/mr_weather.dir/scenario.cpp.o"
+  "CMakeFiles/mr_weather.dir/scenario.cpp.o.d"
+  "CMakeFiles/mr_weather.dir/weather_field.cpp.o"
+  "CMakeFiles/mr_weather.dir/weather_field.cpp.o.d"
+  "libmr_weather.a"
+  "libmr_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

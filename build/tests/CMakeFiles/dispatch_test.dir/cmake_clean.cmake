@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dispatch_test.dir/dispatch/dispatchers_test.cpp.o"
+  "CMakeFiles/dispatch_test.dir/dispatch/dispatchers_test.cpp.o.d"
+  "CMakeFiles/dispatch_test.dir/dispatch/featurizer_test.cpp.o"
+  "CMakeFiles/dispatch_test.dir/dispatch/featurizer_test.cpp.o.d"
+  "CMakeFiles/dispatch_test.dir/dispatch/mobirescue_dispatcher_test.cpp.o"
+  "CMakeFiles/dispatch_test.dir/dispatch/mobirescue_dispatcher_test.cpp.o.d"
+  "dispatch_test"
+  "dispatch_test.pdb"
+  "dispatch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_test.dir/ml/kernel_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/kernel_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/matrix_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/matrix_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/metrics_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/metrics_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/mlp_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/mlp_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/scaler_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/scaler_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/serialize_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/serialize_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/svm_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/svm_test.cpp.o.d"
+  "ml_test"
+  "ml_test.pdb"
+  "ml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mobility/data_cleaner_test.cpp" "tests/CMakeFiles/mobility_test.dir/mobility/data_cleaner_test.cpp.o" "gcc" "tests/CMakeFiles/mobility_test.dir/mobility/data_cleaner_test.cpp.o.d"
+  "/root/repo/tests/mobility/flow_rate_test.cpp" "tests/CMakeFiles/mobility_test.dir/mobility/flow_rate_test.cpp.o" "gcc" "tests/CMakeFiles/mobility_test.dir/mobility/flow_rate_test.cpp.o.d"
+  "/root/repo/tests/mobility/hospital_detector_test.cpp" "tests/CMakeFiles/mobility_test.dir/mobility/hospital_detector_test.cpp.o" "gcc" "tests/CMakeFiles/mobility_test.dir/mobility/hospital_detector_test.cpp.o.d"
+  "/root/repo/tests/mobility/map_matcher_test.cpp" "tests/CMakeFiles/mobility_test.dir/mobility/map_matcher_test.cpp.o" "gcc" "tests/CMakeFiles/mobility_test.dir/mobility/map_matcher_test.cpp.o.d"
+  "/root/repo/tests/mobility/population_test.cpp" "tests/CMakeFiles/mobility_test.dir/mobility/population_test.cpp.o" "gcc" "tests/CMakeFiles/mobility_test.dir/mobility/population_test.cpp.o.d"
+  "/root/repo/tests/mobility/position_estimator_test.cpp" "tests/CMakeFiles/mobility_test.dir/mobility/position_estimator_test.cpp.o" "gcc" "tests/CMakeFiles/mobility_test.dir/mobility/position_estimator_test.cpp.o.d"
+  "/root/repo/tests/mobility/trace_generator_test.cpp" "tests/CMakeFiles/mobility_test.dir/mobility/trace_generator_test.cpp.o" "gcc" "tests/CMakeFiles/mobility_test.dir/mobility/trace_generator_test.cpp.o.d"
+  "/root/repo/tests/mobility/trip_extractor_test.cpp" "tests/CMakeFiles/mobility_test.dir/mobility/trip_extractor_test.cpp.o" "gcc" "tests/CMakeFiles/mobility_test.dir/mobility/trip_extractor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dispatch/CMakeFiles/mr_dispatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/mr_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/mr_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/mr_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/mr_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/mr_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mr_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

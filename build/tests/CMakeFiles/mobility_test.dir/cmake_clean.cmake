@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_test.dir/mobility/data_cleaner_test.cpp.o"
+  "CMakeFiles/mobility_test.dir/mobility/data_cleaner_test.cpp.o.d"
+  "CMakeFiles/mobility_test.dir/mobility/flow_rate_test.cpp.o"
+  "CMakeFiles/mobility_test.dir/mobility/flow_rate_test.cpp.o.d"
+  "CMakeFiles/mobility_test.dir/mobility/hospital_detector_test.cpp.o"
+  "CMakeFiles/mobility_test.dir/mobility/hospital_detector_test.cpp.o.d"
+  "CMakeFiles/mobility_test.dir/mobility/map_matcher_test.cpp.o"
+  "CMakeFiles/mobility_test.dir/mobility/map_matcher_test.cpp.o.d"
+  "CMakeFiles/mobility_test.dir/mobility/population_test.cpp.o"
+  "CMakeFiles/mobility_test.dir/mobility/population_test.cpp.o.d"
+  "CMakeFiles/mobility_test.dir/mobility/position_estimator_test.cpp.o"
+  "CMakeFiles/mobility_test.dir/mobility/position_estimator_test.cpp.o.d"
+  "CMakeFiles/mobility_test.dir/mobility/trace_generator_test.cpp.o"
+  "CMakeFiles/mobility_test.dir/mobility/trace_generator_test.cpp.o.d"
+  "CMakeFiles/mobility_test.dir/mobility/trip_extractor_test.cpp.o"
+  "CMakeFiles/mobility_test.dir/mobility/trip_extractor_test.cpp.o.d"
+  "mobility_test"
+  "mobility_test.pdb"
+  "mobility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_test.dir/rl/dqn_agent_test.cpp.o"
+  "CMakeFiles/rl_test.dir/rl/dqn_agent_test.cpp.o.d"
+  "CMakeFiles/rl_test.dir/rl/replay_buffer_test.cpp.o"
+  "CMakeFiles/rl_test.dir/rl/replay_buffer_test.cpp.o.d"
+  "rl_test"
+  "rl_test.pdb"
+  "rl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_test.dir/roadnet/city_builder_test.cpp.o"
+  "CMakeFiles/roadnet_test.dir/roadnet/city_builder_test.cpp.o.d"
+  "CMakeFiles/roadnet_test.dir/roadnet/road_network_test.cpp.o"
+  "CMakeFiles/roadnet_test.dir/roadnet/road_network_test.cpp.o.d"
+  "CMakeFiles/roadnet_test.dir/roadnet/router_test.cpp.o"
+  "CMakeFiles/roadnet_test.dir/roadnet/router_test.cpp.o.d"
+  "CMakeFiles/roadnet_test.dir/roadnet/spatial_index_test.cpp.o"
+  "CMakeFiles/roadnet_test.dir/roadnet/spatial_index_test.cpp.o.d"
+  "roadnet_test"
+  "roadnet_test.pdb"
+  "roadnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_test.dir/weather/earthquake_test.cpp.o"
+  "CMakeFiles/weather_test.dir/weather/earthquake_test.cpp.o.d"
+  "CMakeFiles/weather_test.dir/weather/flood_model_test.cpp.o"
+  "CMakeFiles/weather_test.dir/weather/flood_model_test.cpp.o.d"
+  "CMakeFiles/weather_test.dir/weather/weather_field_test.cpp.o"
+  "CMakeFiles/weather_test.dir/weather/weather_field_test.cpp.o.d"
+  "weather_test"
+  "weather_test.pdb"
+  "weather_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
