@@ -1,8 +1,11 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+
+#include "core/episode_runner.hpp"
 
 namespace mobirescue::bench {
 
@@ -23,10 +26,20 @@ core::WorldConfig ParseWorldConfig(int argc, char** argv, bool* quick) {
   return config;
 }
 
+int ParseJobs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      return std::atoi(argv[i + 1]);
+    }
+  }
+  return 0;
+}
+
 std::unique_ptr<BenchSetup> BuildWorldOnly(int argc, char** argv) {
   auto setup = std::make_unique<BenchSetup>();
   const core::WorldConfig config =
       ParseWorldConfig(argc, argv, &setup->quick);
+  setup->jobs = ParseJobs(argc, argv);
   std::cerr << "[bench] building world ("
             << config.trace.population.num_people << " people, "
             << config.city.grid_width << "x" << config.city.grid_height
@@ -59,16 +72,16 @@ std::unique_ptr<BenchSetup> BuildFull(int argc, char** argv) {
 }
 
 std::vector<core::EvaluationOutcome> RunComparison(BenchSetup& setup) {
-  std::vector<core::EvaluationOutcome> outcomes;
-  for (core::Method method : {core::Method::kMobiRescue,
-                              core::Method::kRescue,
-                              core::Method::kSchedule}) {
-    std::cerr << "[bench] evaluating " << core::MethodName(method) << "...\n";
-    outcomes.push_back(core::RunMethod(setup.world, method, setup.svm.get(),
-                                       setup.ts.get(), setup.agent,
-                                       setup.sim_config));
-  }
-  return outcomes;
+  const std::vector<core::Method> methods = {core::Method::kMobiRescue,
+                                             core::Method::kRescue,
+                                             core::Method::kSchedule};
+  std::cerr << "[bench] evaluating MobiRescue/Rescue/Schedule ("
+            << (setup.jobs <= 0 ? core::EpisodeRunner::HardwareJobs()
+                                : setup.jobs)
+            << " jobs)...\n";
+  return core::RunMethods(setup.world, methods, setup.svm.get(),
+                          setup.ts.get(), setup.agent, setup.sim_config, {},
+                          setup.jobs);
 }
 
 void PrintCdfTable(std::ostream& os, const std::string& value_label,
@@ -122,24 +135,6 @@ PredictionComparison ComparePredictors(BenchSetup& setup) {
     if (seg != roadnet::kInvalidSegment) ++people_at[landmark_of(seg)];
   }
 
-  // SVM: the dispatcher's own noon distribution ñ_e, re-keyed by landmark.
-  std::unordered_map<roadnet::SegmentId, double> svm_counts;
-  for (const auto& [seg, count] : setup.svm->PredictDistribution(
-           noon_snapshot, 12.0 * 3600.0, day * util::kSecondsPerDay,
-           *setup.world.index)) {
-    svm_counts[landmark_of(seg)] += count;
-  }
-
-  // Time series: expected requests over the day, re-keyed by landmark.
-  std::unordered_map<roadnet::SegmentId, double> ts_counts;
-  for (const roadnet::RoadSegment& seg : net.segments()) {
-    double expected = 0.0;
-    for (int h = 0; h < 24; ++h) {
-      expected += setup.ts->PredictSegmentHour(seg.id, h);
-    }
-    if (expected > 0.0) ts_counts[landmark_of(seg.id)] += expected;
-  }
-
   // Ground truth: requests from the evaluation day onward (the predicted
   // distribution is of *potential* requests), re-keyed by landmark.
   std::vector<mobility::RescueEvent> rekeyed;
@@ -150,11 +145,35 @@ PredictionComparison ComparePredictors(BenchSetup& setup) {
     rekeyed.push_back(copy);
   }
 
+  // The two predictor halves only read shared state (predictors, network,
+  // snapshot), so they fan out over the episode runner.
   PredictionComparison cmp;
-  cmp.svm = predict::EvaluateSegmentCountPredictions(rekeyed, day, svm_counts,
-                                                     people_at);
-  cmp.ts = predict::EvaluateSegmentCountPredictions(rekeyed, day, ts_counts,
+  core::EpisodeRunner runner(std::min(setup.jobs <= 0 ? 2 : setup.jobs, 2));
+  const auto scores = runner.Map(2, [&](std::size_t half) {
+    std::unordered_map<roadnet::SegmentId, double> counts;
+    if (half == 0) {
+      // SVM: the dispatcher's own noon distribution ñ_e, re-keyed by
+      // landmark.
+      for (const auto& [seg, count] : setup.svm->PredictDistribution(
+               noon_snapshot, 12.0 * 3600.0, day * util::kSecondsPerDay,
+               *setup.world.index)) {
+        counts[landmark_of(seg)] += count;
+      }
+    } else {
+      // Time series: expected requests over the day, re-keyed by landmark.
+      for (const roadnet::RoadSegment& seg : net.segments()) {
+        double expected = 0.0;
+        for (int h = 0; h < 24; ++h) {
+          expected += setup.ts->PredictSegmentHour(seg.id, h);
+        }
+        if (expected > 0.0) counts[landmark_of(seg.id)] += expected;
+      }
+    }
+    return predict::EvaluateSegmentCountPredictions(rekeyed, day, counts,
                                                     people_at);
+  });
+  cmp.svm = scores[0];
+  cmp.ts = scores[1];
   return cmp;
 }
 

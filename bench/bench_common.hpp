@@ -6,7 +6,9 @@
 // Florence-like evaluation storm, 100 rescue teams of capacity 5, 5-minute
 // dispatch periods and a 30-minute timeliness bound (Section V-B).
 //
-// Benches accept `--quick` to run on a scaled-down world (useful in CI).
+// Benches accept `--quick` to run on a scaled-down world (useful in CI) and
+// `--jobs N` to bound the episode-level parallelism (default: hardware
+// concurrency). Results are independent of the job count.
 #pragma once
 
 #include <memory>
@@ -29,10 +31,14 @@ struct BenchSetup {
   std::shared_ptr<rl::DqnAgent> agent;
   sim::SimConfig sim_config;
   bool quick = false;
+  int jobs = 0;  // <= 0: hardware concurrency (core::EpisodeRunner)
 };
 
 /// Parses --quick. Returns the paper-scale or scaled-down world config.
 core::WorldConfig ParseWorldConfig(int argc, char** argv, bool* quick);
+
+/// Parses `--jobs N`. Returns 0 (hardware concurrency) when absent.
+int ParseJobs(int argc, char** argv);
 
 /// Builds the world only (Section III benches need no training).
 std::unique_ptr<BenchSetup> BuildWorldOnly(int argc, char** argv);
@@ -43,7 +49,9 @@ std::unique_ptr<BenchSetup> BuildWithSvm(int argc, char** argv);
 /// Builds the world and trains everything (Section V dispatch benches).
 std::unique_ptr<BenchSetup> BuildFull(int argc, char** argv);
 
-/// Runs the three compared methods and returns {MR, Rescue, Schedule}.
+/// Runs the three compared methods (in parallel across `setup.jobs`
+/// workers; metrics identical to the serial run) and returns
+/// {MR, Rescue, Schedule}.
 std::vector<core::EvaluationOutcome> RunComparison(BenchSetup& setup);
 
 /// Prints a (value, CDF) table for up to three labelled sample sets side by

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/episode_runner.hpp"
 #include "dispatch/featurizer.hpp"
 #include "dispatch/rescue_dispatcher.hpp"
 #include "dispatch/schedule_dispatcher.hpp"
@@ -154,21 +155,74 @@ EvaluationOutcome RunMethod(const World& world, Method method,
   return outcome;
 }
 
+namespace {
+
+/// A weight-identical copy of the agent for concurrent greedy scoring: the
+/// DQN forward pass caches per-layer activations, so one agent instance
+/// must not be scored from two threads.
+std::shared_ptr<rl::DqnAgent> CloneAgentForEval(
+    const std::shared_ptr<rl::DqnAgent>& agent) {
+  if (agent == nullptr) return nullptr;
+  auto clone = std::make_shared<rl::DqnAgent>(agent->config());
+  clone->LoadWeights(agent->SaveWeights());
+  return clone;
+}
+
+}  // namespace
+
+std::vector<EvaluationOutcome> RunMethods(
+    const World& world, const std::vector<Method>& methods,
+    const predict::SvmRequestPredictor* svm,
+    const predict::TimeSeriesPredictor* ts,
+    std::shared_ptr<rl::DqnAgent> agent, sim::SimConfig sim_config,
+    dispatch::MobiRescueConfig mr_config, int jobs) {
+  std::vector<std::shared_ptr<rl::DqnAgent>> episode_agents(methods.size(),
+                                                            agent);
+  if (!mr_config.training) {
+    for (std::size_t i = 0; i < methods.size(); ++i) {
+      if (methods[i] == Method::kMobiRescue) {
+        episode_agents[i] = CloneAgentForEval(agent);
+      }
+    }
+  }
+  EpisodeRunner runner(jobs);
+  return runner.Map(methods.size(), [&](std::size_t i) {
+    return RunMethod(world, methods[i], svm, ts, episode_agents[i],
+                     sim_config, mr_config);
+  });
+}
+
+std::vector<EvaluationOutcome> RunMethodSeeds(
+    const World& world, Method method,
+    const predict::SvmRequestPredictor* svm,
+    const predict::TimeSeriesPredictor* ts,
+    std::shared_ptr<rl::DqnAgent> agent, sim::SimConfig sim_config,
+    int num_seeds, int jobs, dispatch::MobiRescueConfig mr_config) {
+  const std::size_t n = static_cast<std::size_t>(std::max(0, num_seeds));
+  std::vector<std::shared_ptr<rl::DqnAgent>> episode_agents(n, agent);
+  if (method == Method::kMobiRescue) {
+    for (std::size_t i = 0; i < n; ++i) {
+      episode_agents[i] = CloneAgentForEval(agent);
+    }
+  }
+  EpisodeRunner runner(jobs);
+  return runner.Map(n, [&](std::size_t i) {
+    sim::SimConfig episode_config = sim_config;
+    episode_config.seed = EpisodeRunner::DeriveSeed(sim_config.seed, i);
+    return RunMethod(world, method, svm, ts, episode_agents[i],
+                     episode_config, mr_config);
+  });
+}
+
 std::vector<EvaluationOutcome> RunPaperEvaluation(
     const World& world, const TrainingConfig& training,
-    sim::SimConfig sim_config) {
+    sim::SimConfig sim_config, int jobs) {
   auto svm = TrainSvmPredictor(world);
   auto ts = BuildTimeSeriesPredictor(world);
   auto agent = TrainAgent(world, *svm, training);
-
-  std::vector<EvaluationOutcome> outcomes;
-  outcomes.push_back(RunMethod(world, Method::kMobiRescue, svm.get(), ts.get(),
-                               agent, sim_config));
-  outcomes.push_back(
-      RunMethod(world, Method::kRescue, svm.get(), ts.get(), agent, sim_config));
-  outcomes.push_back(RunMethod(world, Method::kSchedule, svm.get(), ts.get(),
-                               agent, sim_config));
-  return outcomes;
+  return RunMethods(world,
+                    {Method::kMobiRescue, Method::kRescue, Method::kSchedule},
+                    svm.get(), ts.get(), agent, sim_config, {}, jobs);
 }
 
 }  // namespace mobirescue::core

@@ -77,11 +77,41 @@ EvaluationOutcome RunMethod(const World& world, Method method,
                             sim::SimConfig sim_config = {},
                             dispatch::MobiRescueConfig mr_config = {});
 
+/// Evaluates several methods on the evaluation day in parallel (one episode
+/// per method) over a core::EpisodeRunner with `jobs` workers (<= 0:
+/// hardware concurrency). Episodes share only read-only state — the World,
+/// the predictors — and each builds its own simulator and dispatcher, so
+/// results are identical to calling RunMethod serially, in `methods` order.
+/// kMobiRescue episodes score a weight-identical clone of `agent` when
+/// `mr_config.training` is false (the DQN forward pass is not thread-safe);
+/// with training on, the caller's agent is used directly so online updates
+/// propagate — in that case kMobiRescue must appear at most once.
+std::vector<EvaluationOutcome> RunMethods(
+    const World& world, const std::vector<Method>& methods,
+    const predict::SvmRequestPredictor* svm,
+    const predict::TimeSeriesPredictor* ts,
+    std::shared_ptr<rl::DqnAgent> agent, sim::SimConfig sim_config = {},
+    dispatch::MobiRescueConfig mr_config = {}, int jobs = 0);
+
+/// Evaluates one method over `num_seeds` independent episodes in parallel.
+/// Episode i runs with sim seed EpisodeRunner::DeriveSeed(sim_config.seed,
+/// i) — the seed stream depends only on the episode index, so output is
+/// bit-identical for any `jobs`, including 1 (serial). Each kMobiRescue
+/// episode gets its own weight-identical agent clone; online-learning
+/// updates do not propagate back.
+std::vector<EvaluationOutcome> RunMethodSeeds(
+    const World& world, Method method,
+    const predict::SvmRequestPredictor* svm,
+    const predict::TimeSeriesPredictor* ts,
+    std::shared_ptr<rl::DqnAgent> agent, sim::SimConfig sim_config,
+    int num_seeds, int jobs = 0,
+    dispatch::MobiRescueConfig mr_config = {});
+
 /// Convenience: full paper evaluation — trains everything, runs the three
-/// compared methods and returns their outcomes in order {MR, Rescue,
-/// Schedule}.
+/// compared methods (in parallel across `jobs` workers) and returns their
+/// outcomes in order {MR, Rescue, Schedule}.
 std::vector<EvaluationOutcome> RunPaperEvaluation(
     const World& world, const TrainingConfig& training,
-    sim::SimConfig sim_config = {});
+    sim::SimConfig sim_config = {}, int jobs = 0);
 
 }  // namespace mobirescue::core

@@ -43,9 +43,9 @@ RoundData DispatchFeaturizer::PrepareRound(
   round.trees.reserve(round.candidates.size() + 1);
   for (roadnet::SegmentId seg : round.candidates) {
     round.trees.push_back(
-        router_.ReverseTree(city_.network.segment(seg).from, condition));
+        router_.CachedReverseTree(city_.network.segment(seg).from, condition));
   }
-  round.trees.push_back(router_.ReverseTree(city_.depot, condition));
+  round.trees.push_back(router_.CachedReverseTree(city_.depot, condition));
   return round;
 }
 
@@ -54,7 +54,7 @@ std::vector<double> DispatchFeaturizer::Features(
     const std::vector<sim::TeamView>* all_teams) const {
   std::vector<double> f(kFeatureDim, 0.0);
   const bool depot = round.IsDepotAction(idx);
-  const roadnet::ShortestPathTree& tree = round.trees.at(idx);
+  const roadnet::ShortestPathTree& tree = *round.trees.at(idx);
 
   double time_to = config_.time_norm_s * 3.0;  // unreachable sentinel
   if (tree.Reachable(team.at)) time_to = tree.time_s[team.at];
@@ -117,7 +117,7 @@ std::vector<std::size_t> DispatchFeaturizer::TeamActionSet(
     const RoundData& round, const sim::TeamView& team) const {
   std::vector<std::pair<double, std::size_t>> by_time;
   for (std::size_t idx = 0; idx < round.candidates.size(); ++idx) {
-    const roadnet::ShortestPathTree& tree = round.trees[idx];
+    const roadnet::ShortestPathTree& tree = *round.trees[idx];
     if (!tree.Reachable(team.at)) continue;
     by_time.emplace_back(tree.time_s[team.at], idx);
   }

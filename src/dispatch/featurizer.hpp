@@ -3,6 +3,7 @@
 // action interface while keeping the action space tractable.
 #pragma once
 
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
@@ -33,8 +34,10 @@ struct RoundData {
   /// Segments with at least one appeared (pending) request this round.
   std::unordered_set<roadnet::SegmentId> pending;
   /// trees[i] = reverse tree to candidates[i]'s entry landmark;
-  /// trees[candidates.size()] = reverse tree to the depot.
-  std::vector<roadnet::ShortestPathTree> trees;
+  /// trees[candidates.size()] = reverse tree to the depot. Shared immutable
+  /// trees out of the router's cache: candidates recur round after round
+  /// within one flood-condition epoch, so most rounds are all cache hits.
+  std::vector<std::shared_ptr<const roadnet::ShortestPathTree>> trees;
   predict::Distribution demand;
   double total_demand = 0.0;
 

@@ -50,7 +50,7 @@ void MobiRescueDispatcher::DecideByAssignment(
     for (std::size_t i = 0; i < round.candidates.size(); ++i) {
       const roadnet::SegmentId seg = round.candidates[i];
       if (seg == team.target_segment || pending_now.count(seg) == 0) continue;
-      const auto& tree = round.trees[i];
+      const auto& tree = *round.trees[i];
       if (tree.Reachable(team.at) && tree.time_s[team.at] < best_time) {
         best_time = tree.time_s[team.at];
         best_idx = i;
@@ -100,7 +100,7 @@ void MobiRescueDispatcher::DecideByAssignment(
     std::vector<double> by_candidate(round.candidates.size(),
                                      -std::numeric_limits<double>::infinity());
     for (std::size_t i = 0; i < round.candidates.size(); ++i) {
-      if (!round.trees[i].Reachable(team.at)) continue;
+      if (!round.trees[i]->Reachable(team.at)) continue;
       const auto f = featurizer_.Features(round, team, i, &context.teams);
       by_candidate[i] = config_.prior_weight * HeuristicPrior(f) +
                         agent_->QValue(f) - depot_score;
@@ -191,7 +191,7 @@ sim::DispatchDecision MobiRescueDispatcher::Decide(
   decision.actions.resize(context.teams.size());
 
   if (!config_.training) {
-    // Joint-action argmax: the Q-network (plus prior) scores每 (team,
+    // Joint-action argmax: the Q-network (plus prior) scores each (team,
     // candidate) pair; the best joint action under "one team per candidate
     // instance" is a maximum-score bipartite assignment. Teams whose best
     // use is standing down go to the depot. Serving/delivering teams keep
@@ -220,7 +220,7 @@ sim::DispatchDecision MobiRescueDispatcher::Decide(
           const roadnet::SegmentId seg = round.candidates[i];
           if (seg == team.target_segment) continue;
           if (!pending_now.count(seg)) continue;
-          const auto& tree = round.trees[i];
+          const auto& tree = *round.trees[i];
           if (!tree.Reachable(team.at)) continue;
           if (tree.time_s[team.at] < best_time) {
             best_time = tree.time_s[team.at];
@@ -325,7 +325,7 @@ sim::DispatchDecision MobiRescueDispatcher::Decide(
     std::unordered_map<roadnet::SegmentId, const roadnet::ShortestPathTree*>
         tree_of;
     for (std::size_t i = 0; i < round.candidates.size(); ++i) {
-      tree_of[round.candidates[i]] = &round.trees[i];
+      tree_of[round.candidates[i]] = round.trees[i].get();
     }
     opt::AssignmentProblem problem;
     problem.rows = goers.size();

@@ -68,12 +68,16 @@ sim::DispatchDecision RescueDispatcher::Decide(
       if (round_robin >= free_teams.size() * 2) break;
     }
 
-    // One reverse tree per distinct target.
-    std::unordered_map<roadnet::SegmentId, roadnet::ShortestPathTree> trees;
+    // One reverse tree per distinct target (hot targets recur across
+    // rounds, so these are mostly router-cache hits within a flood epoch).
+    std::unordered_map<roadnet::SegmentId,
+                       std::shared_ptr<const roadnet::ShortestPathTree>>
+        trees;
     for (roadnet::SegmentId seg : columns) {
       if (trees.count(seg) == 0) {
-        trees.emplace(seg, router_.ReverseTree(city_.network.segment(seg).from,
-                                               *context.condition));
+        trees.emplace(seg,
+                      router_.CachedReverseTree(
+                          city_.network.segment(seg).from, *context.condition));
       }
     }
 
@@ -82,7 +86,7 @@ sim::DispatchDecision RescueDispatcher::Decide(
     problem.cols = columns.size();
     problem.cost.assign(problem.rows * problem.cols, opt::kForbiddenCost);
     for (std::size_t c = 0; c < columns.size(); ++c) {
-      const auto& tree = trees.at(columns[c]);
+      const auto& tree = *trees.at(columns[c]);
       for (std::size_t r = 0; r < free_teams.size(); ++r) {
         const roadnet::LandmarkId at = context.teams[free_teams[r]].at;
         if (tree.Reachable(at)) problem.at(r, c) = tree.time_s[at];

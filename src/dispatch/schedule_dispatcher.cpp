@@ -57,8 +57,11 @@ sim::DispatchDecision ScheduleDispatcher::Decide(
   for (std::size_t c = 0; c < pending.size(); ++c) {
     const roadnet::RoadSegment& seg =
         city_.network.segment(pending[c].segment);
-    const roadnet::ShortestPathTree tree =
-        router_.ReverseTree(seg.from, *context.free_condition);
+    // Planned on the static free-flow network: its version stamp never
+    // changes, so every repeat target is a router-cache hit.
+    const auto tree_ptr =
+        router_.CachedReverseTree(seg.from, *context.free_condition);
+    const roadnet::ShortestPathTree& tree = *tree_ptr;
     int best = -1;
     double best_t = 0.0;
     for (std::size_t r = 0; r < free_teams.size(); ++r) {

@@ -53,8 +53,9 @@ sim::DispatchDecision GreedyNearestDispatcher::Decide(
 
   for (const sim::RequestView& request : pending) {
     const roadnet::RoadSegment& seg = city_.network.segment(request.segment);
-    const roadnet::ShortestPathTree tree =
-        router_.ReverseTree(seg.from, *context.condition);
+    const auto tree_ptr =
+        router_.CachedReverseTree(seg.from, *context.condition);
+    const roadnet::ShortestPathTree& tree = *tree_ptr;
     int best = -1;
     double best_t = 0.0;
     for (std::size_t k = 0; k < context.teams.size(); ++k) {

@@ -1,5 +1,7 @@
 #include "rl/replay_buffer.hpp"
 
+#include <numeric>
+
 namespace mobirescue::rl {
 
 void ReplayBuffer::Push(Transition t) {
@@ -16,8 +18,20 @@ std::vector<const Transition*> ReplayBuffer::Sample(std::size_t n,
   std::vector<const Transition*> out;
   if (data_.empty()) return out;
   out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    out.push_back(&data_[rng.Index(data_.size())]);
+  if (n <= data_.size()) {
+    // Without replacement (partial Fisher-Yates): a minibatch never
+    // contains the same transition twice, which matters early in training
+    // when the buffer is barely larger than the batch.
+    std::vector<std::size_t> idx(data_.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::swap(idx[i], idx[i + rng.Index(idx.size() - i)]);
+      out.push_back(&data_[idx[i]]);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(&data_[rng.Index(data_.size())]);
+    }
   }
   return out;
 }

@@ -34,7 +34,8 @@ class ReplayBuffer {
   std::size_t capacity() const { return capacity_; }
   bool empty() const { return data_.empty(); }
 
-  /// Uniform random sample with replacement.
+  /// Uniform random sample: without replacement when n <= size() (no
+  /// transition appears twice in a minibatch), with replacement otherwise.
   std::vector<const Transition*> Sample(std::size_t n, util::Rng& rng) const;
 
  private:

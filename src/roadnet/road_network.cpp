@@ -1,6 +1,7 @@
 #include "roadnet/road_network.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
 namespace mobirescue::roadnet {
@@ -87,6 +88,12 @@ void NetworkCondition::SetSpeedFactor(SegmentId id, double f) {
     throw std::invalid_argument("SetSpeedFactor: factor must be in (0, 1]");
   }
   speed_factor_.at(id) = f;
+  Touch();
+}
+
+std::uint64_t NetworkCondition::NextVersion() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 double NetworkCondition::TravelTime(const RoadSegment& seg) const {

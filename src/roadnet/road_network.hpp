@@ -95,6 +95,13 @@ class RoadNetwork {
 /// be closed outright by flooding, or have its effective speed reduced.
 /// Kept separate from RoadNetwork so the same static graph can carry many
 /// time-varying conditions.
+///
+/// Each condition carries a process-wide monotonic version stamp: two
+/// conditions with the same stamp are guaranteed identical (a stamp is only
+/// ever shared through copying, and any mutation re-stamps). Router's
+/// shortest-path-tree cache keys on (stamp, landmark), so identical
+/// condition epochs share cached trees and a mutated condition can never
+/// alias a stale one.
 class NetworkCondition {
  public:
   NetworkCondition() = default;
@@ -104,8 +111,8 @@ class NetworkCondition {
   bool IsOpen(SegmentId id) const { return open_.at(id); }
   double SpeedFactor(SegmentId id) const { return speed_factor_.at(id); }
 
-  void Close(SegmentId id) { open_.at(id) = false; }
-  void Open(SegmentId id) { open_.at(id) = true; }
+  void Close(SegmentId id) { open_.at(id) = false; Touch(); }
+  void Open(SegmentId id) { open_.at(id) = true; Touch(); }
   void SetSpeedFactor(SegmentId id, double f);
 
   /// Effective traversal time of a segment under this condition;
@@ -115,9 +122,16 @@ class NetworkCondition {
   std::size_t NumOpen() const;
   std::size_t size() const { return open_.size(); }
 
+  /// Monotonic content stamp; equal stamps imply equal content.
+  std::uint64_t version() const { return version_; }
+
  private:
+  void Touch() { version_ = NextVersion(); }
+  static std::uint64_t NextVersion();
+
   std::vector<bool> open_;
   std::vector<double> speed_factor_;
+  std::uint64_t version_ = NextVersion();
 };
 
 }  // namespace mobirescue::roadnet

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
 #include <queue>
 #include <stdexcept>
 
@@ -109,6 +110,55 @@ ShortestPathTree Router::ReverseTree(LandmarkId target,
     }
   }
   return tree;
+}
+
+std::shared_ptr<const ShortestPathTree> Router::CachedImpl(
+    LandmarkId landmark, const NetworkCondition& cond, bool reverse) const {
+  const CacheKey key{cond.version(), landmark, reverse};
+  {
+    std::shared_lock lock(cache_mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  // Compute outside the lock; a concurrent miss on the same key computes an
+  // identical tree and the first insert wins.
+  auto tree = std::make_shared<const ShortestPathTree>(
+      reverse ? ReverseTree(landmark, cond) : Tree(landmark, cond));
+  std::unique_lock lock(cache_mutex_);
+  if (cache_.size() >= kMaxCacheEntries) cache_.clear();
+  const auto [it, inserted] = cache_.emplace(key, std::move(tree));
+  return it->second;
+}
+
+std::shared_ptr<const ShortestPathTree> Router::CachedTree(
+    LandmarkId source, const NetworkCondition& cond) const {
+  return CachedImpl(source, cond, /*reverse=*/false);
+}
+
+std::shared_ptr<const ShortestPathTree> Router::CachedReverseTree(
+    LandmarkId target, const NetworkCondition& cond) const {
+  return CachedImpl(target, cond, /*reverse=*/true);
+}
+
+RouterCacheStats Router::cache_stats() const {
+  RouterCacheStats stats;
+  stats.hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.misses = cache_misses_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::size_t Router::cache_entries() const {
+  std::shared_lock lock(cache_mutex_);
+  return cache_.size();
+}
+
+void Router::ClearCache() const {
+  std::unique_lock lock(cache_mutex_);
+  cache_.clear();
 }
 
 std::optional<Route> Router::ShortestRoute(LandmarkId from, LandmarkId to,

@@ -3,9 +3,21 @@
 // The paper uses Dijkstra (Section IV-C3) to compute each rescue team's
 // driving route Φ_kj from its current position to its destination segment,
 // and the driving delay t_kj = Σ l_e / v_e along that route.
+//
+// Because the dispatch loop asks for the same trees over and over — every
+// team standing at the same hospital, every candidate segment re-scored
+// each round, the whole fleet re-planned inside one hourly flood epoch —
+// the router also keeps a thread-safe cache of full one-to-all trees keyed
+// by (condition version stamp, landmark, direction). Cached trees are
+// immutable and shared; concurrent readers take a shared lock.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "roadnet/road_network.hpp"
@@ -32,12 +44,30 @@ struct ShortestPathTree {
   std::optional<Route> RouteTo(const RoadNetwork& net, LandmarkId to) const;
 };
 
+/// Hit/miss counters of the router's tree cache (cumulative).
+struct RouterCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  double HitRate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
 /// Dijkstra router. Weights are travel times under a NetworkCondition
-/// (closed segments are impassable). Stateless apart from the bound graph;
-/// safe to share across dispatchers.
+/// (closed segments are impassable). The uncached entry points are stateless
+/// apart from the bound graph; the Cached* entry points share immutable
+/// trees behind a shared_mutex and are safe to call concurrently from any
+/// number of threads.
 class Router {
  public:
   explicit Router(const RoadNetwork& net) : net_(net) {}
+
+  // The cache members make Router non-copyable; bind a fresh Router to the
+  // same network instead (caches are per-instance).
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
 
   /// Full one-to-all Dijkstra from `source` under `cond`.
   ShortestPathTree Tree(LandmarkId source, const NetworkCondition& cond) const;
@@ -48,6 +78,15 @@ class Router {
   /// candidate destination in a single pass.
   ShortestPathTree ReverseTree(LandmarkId target,
                                const NetworkCondition& cond) const;
+
+  /// Cached variant of Tree(): returns a shared immutable tree, computing
+  /// and inserting it on first use for this (cond.version(), source).
+  std::shared_ptr<const ShortestPathTree> CachedTree(
+      LandmarkId source, const NetworkCondition& cond) const;
+
+  /// Cached variant of ReverseTree().
+  std::shared_ptr<const ShortestPathTree> CachedReverseTree(
+      LandmarkId target, const NetworkCondition& cond) const;
 
   /// Point-to-point route; nullopt when unreachable. Early-exits once the
   /// target is settled.
@@ -66,11 +105,51 @@ class Router {
 
   const RoadNetwork& network() const { return net_; }
 
+  RouterCacheStats cache_stats() const;
+  std::size_t cache_entries() const;
+  void ClearCache() const;
+
  private:
+  struct CacheKey {
+    std::uint64_t version = 0;
+    LandmarkId landmark = kInvalidLandmark;
+    bool reverse = false;
+
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      // splitmix64-style scramble of the packed key.
+      std::uint64_t x = k.version * 0x9E3779B97F4A7C15ULL;
+      x ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.landmark))
+            << 1) |
+           (k.reverse ? 1u : 0u);
+      x ^= x >> 30;
+      x *= 0xBF58476D1CE4E5B9ULL;
+      x ^= x >> 27;
+      return static_cast<std::size_t>(x);
+    }
+  };
+
+  std::shared_ptr<const ShortestPathTree> CachedImpl(
+      LandmarkId landmark, const NetworkCondition& cond, bool reverse) const;
+
   ShortestPathTree RunDijkstra(LandmarkId source, const NetworkCondition& cond,
                                LandmarkId stop_at) const;
 
   const RoadNetwork& net_;
+
+  /// Safety valve: a full cache wipe once this many distinct trees pile up
+  /// (a day-long run across 24 hourly epochs stays far below it).
+  static constexpr std::size_t kMaxCacheEntries = 16384;
+
+  mutable std::shared_mutex cache_mutex_;
+  mutable std::unordered_map<CacheKey,
+                             std::shared_ptr<const ShortestPathTree>,
+                             CacheKeyHash>
+      cache_;
+  mutable std::atomic<std::uint64_t> cache_hits_{0};
+  mutable std::atomic<std::uint64_t> cache_misses_{0};
 };
 
 }  // namespace mobirescue::roadnet

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace mobirescue::sim {
 
@@ -48,6 +49,12 @@ void RescueSimulator::PlaceTeamsAtHospitals() {
     team.capacity = config_.team_capacity;
     team.at = city_.hospitals[rng_.Index(city_.hospitals.size())];
   }
+}
+
+void RescueSimulator::BlockTeam(int team_id, SimTime until) {
+  team_blocked_until_.at(static_cast<std::size_t>(team_id)) =
+      std::max(team_blocked_until_.at(static_cast<std::size_t>(team_id)),
+               until);
 }
 
 const roadnet::NetworkCondition& RescueSimulator::ConditionAt(SimTime t) {
@@ -120,7 +127,10 @@ void RescueSimulator::StartRouteToSegment(
       entry = seg.to;
     }
   }
-  auto route = router_.ShortestRoute(team.at, entry, plan_cond);
+  // Teams cluster at hospitals and candidate segments, so the forward tree
+  // from team.at is usually already cached for this condition epoch.
+  const auto tree = router_.CachedTree(team.at, plan_cond);
+  auto route = tree->RouteTo(city_.network, entry);
   if (!route.has_value()) {
     // Unreachable under the planner's view: the team stays put.
     team.mode = TeamMode::kIdle;
@@ -143,7 +153,8 @@ void RescueSimulator::StartRouteToSegment(
 void RescueSimulator::StartRouteToLandmark(Team& team,
                                            roadnet::LandmarkId target,
                                            SimTime now, TeamMode mode) {
-  auto route = router_.ShortestRoute(team.at, target, ConditionAt(now));
+  const auto tree = router_.CachedTree(team.at, ConditionAt(now));
+  auto route = tree->RouteTo(city_.network, target);
   team.mode = mode;
   team.leg_start_time = now;
   team.seg_elapsed_s = 0.0;
@@ -164,8 +175,17 @@ void RescueSimulator::StartRouteToLandmark(Team& team,
 }
 
 void RescueSimulator::HeadToHospital(Team& team, SimTime now) {
-  const roadnet::LandmarkId h =
-      router_.NearestTarget(team.at, city_.hospitals, ConditionAt(now));
+  // One cached tree answers both "which hospital is nearest" here and the
+  // route extraction in StartRouteToLandmark below.
+  const auto tree = router_.CachedTree(team.at, ConditionAt(now));
+  roadnet::LandmarkId h = roadnet::kInvalidLandmark;
+  double best_t = std::numeric_limits<double>::infinity();
+  for (roadnet::LandmarkId hospital : city_.hospitals) {
+    if (tree->Reachable(hospital) && tree->time_s[hospital] < best_t) {
+      best_t = tree->time_s[hospital];
+      h = hospital;
+    }
+  }
   if (h == roadnet::kInvalidLandmark) {
     // Cut off by flooding: wait; a later condition may reopen a path.
     team.mode = TeamMode::kIdle;
@@ -284,7 +304,7 @@ void RescueSimulator::StepTeams(SimTime now) {
         // Flooded segment discovered en route: block, then replan to the
         // current objective on the true network.
         ++blockage_events_;
-        team_blocked_until_[team.id] = now + config_.blockage_penalty_s;
+        BlockTeam(team.id, now + config_.blockage_penalty_s);
         const TeamMode mode = team.mode;
         const roadnet::SegmentId target = team.target_segment;
         if (mode == TeamMode::kToTarget &&
@@ -324,9 +344,12 @@ void RescueSimulator::StepTeams(SimTime now) {
 void RescueSimulator::OnRequestAppear(Request& request, SimTime now) {
   request.status = RequestStatus::kPending;
   // The paper's zero-timeliness case: a team already positioned at the
-  // request's pickup landmark takes the person immediately.
+  // request's pickup landmark takes the person immediately. A team still
+  // inside its blockage-penalty window is stopped and turning around — it
+  // cannot serve anyone until the penalty elapses.
   for (Team& team : teams_) {
     if (team.mode != TeamMode::kIdle || team.Full()) continue;
+    if (team_blocked_until_[team.id] > now) continue;
     if (team.at == request.pickup_landmark) {
       request.pickup_time = now;
       request.status = RequestStatus::kOnBoard;

@@ -12,6 +12,12 @@
 // true flooded network — a team reaching a closed segment is blocked for a
 // discovery penalty and then reroutes, which is exactly why the paper's
 // `Schedule` baseline wastes driving time.
+//
+// Concurrency contract: one RescueSimulator instance belongs to one episode
+// (one thread). Everything it takes by reference — City, FloodModel — is
+// only ever read, so any number of episode simulators may share them
+// (core::EpisodeRunner relies on this). All mutable state (teams, requests,
+// condition cache, RNG, router tree cache) is per-instance.
 #pragma once
 
 #include <cstdint>
@@ -67,6 +73,15 @@ class RescueSimulator {
   int blockage_events() const { return blockage_events_; }
   /// Free-flow (no-disaster) condition.
   const roadnet::NetworkCondition& FreeCondition() const { return free_cond_; }
+
+  /// Injects an exogenous blockage on a team: it cannot move or make
+  /// zero-delay pickups until `until` (the later of `until` and any block
+  /// already in force). Blockage discovery uses this internally; scenario
+  /// scripts and tests can impose incident reports from outside.
+  void BlockTeam(int team_id, util::SimTime until);
+
+  /// The simulator's router (exposes the shortest-path-tree cache stats).
+  const roadnet::Router& router() const { return router_; }
 
  private:
   struct PendingDecision {

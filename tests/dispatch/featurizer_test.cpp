@@ -121,8 +121,8 @@ TEST_F(FeaturizerTest, TeamActionSetNearestPlusDepot) {
   ASSERT_EQ(set.size(), 3u);  // 2 nearest + depot
   EXPECT_TRUE(round.IsDepotAction(set.back()));
   // The two non-depot entries must be sorted by travel time.
-  const double t0 = round.trees[set[0]].time_s[team.at];
-  const double t1 = round.trees[set[1]].time_s[team.at];
+  const double t0 = round.trees[set[0]]->time_s[team.at];
+  const double t1 = round.trees[set[1]]->time_s[team.at];
   EXPECT_LE(t0, t1);
 }
 

@@ -88,6 +88,47 @@ TEST_F(PipelineTest, DeterministicEvaluation) {
   EXPECT_EQ(a.metrics.total_timely(), b.metrics.total_timely());
 }
 
+TEST_F(PipelineTest, ParallelRunMethodsMatchesSerial) {
+  // The tentpole guarantee: fanning methods out over the episode runner
+  // changes wall-clock only — every metric equals the serial RunMethod run.
+  sim::SimConfig sim_config;
+  sim_config.num_teams = 20;
+  const std::vector<Method> methods = {Method::kMobiRescue, Method::kRescue,
+                                       Method::kSchedule};
+  const auto parallel =
+      RunMethods(*world_, methods, svm_, ts_, agent_, sim_config, {}, 4);
+  ASSERT_EQ(parallel.size(), methods.size());
+  for (std::size_t i = 0; i < methods.size(); ++i) {
+    const EvaluationOutcome serial =
+        RunMethod(*world_, methods[i], svm_, ts_, agent_, sim_config);
+    EXPECT_EQ(parallel[i].method, methods[i]);
+    EXPECT_EQ(parallel[i].name, serial.name);
+    EXPECT_EQ(parallel[i].total_requests, serial.total_requests);
+    EXPECT_EQ(parallel[i].metrics.total_served(), serial.metrics.total_served())
+        << MethodName(methods[i]);
+    EXPECT_EQ(parallel[i].metrics.total_timely(), serial.metrics.total_timely())
+        << MethodName(methods[i]);
+  }
+}
+
+TEST_F(PipelineTest, RunMethodSeedsIsSchedulingIndependent) {
+  sim::SimConfig sim_config;
+  sim_config.num_teams = 20;
+  sim_config.seed = 99;
+  const auto serial = RunMethodSeeds(*world_, Method::kSchedule, svm_, ts_,
+                                     agent_, sim_config, 4, /*jobs=*/1);
+  const auto parallel = RunMethodSeeds(*world_, Method::kSchedule, svm_, ts_,
+                                       agent_, sim_config, 4, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), 4u);
+  ASSERT_EQ(parallel.size(), 4u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].metrics.total_served(),
+              parallel[i].metrics.total_served());
+    EXPECT_EQ(serial[i].metrics.total_timely(),
+              parallel[i].metrics.total_timely());
+  }
+}
+
 TEST_F(PipelineTest, RunMethodValidatesInputs) {
   sim::SimConfig sim_config;
   sim_config.num_teams = 5;

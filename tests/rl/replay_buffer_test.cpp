@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 namespace mobirescue::rl {
 namespace {
 
@@ -54,6 +56,34 @@ TEST(ReplayBufferTest, SampleSizeAndMembership) {
     EXPECT_GE(t->reward, 0.0);
     EXPECT_LT(t->reward, 5.0);
   }
+}
+
+TEST(ReplayBufferTest, SampleWithoutReplacementWhenBufferSuffices) {
+  // Regression: sampling used to draw with replacement even when the batch
+  // fit inside the buffer, so a small early-training buffer could fill a
+  // minibatch with many copies of one transition.
+  ReplayBuffer buffer(16);
+  for (int i = 0; i < 10; ++i) buffer.Push(Make(i));
+  util::Rng rng(7);
+  const auto sample = buffer.Sample(10, rng);
+  ASSERT_EQ(sample.size(), 10u);
+  std::set<const Transition*> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 10u);  // every stored transition exactly once
+
+  util::Rng rng2(8);
+  const auto partial = buffer.Sample(6, rng2);
+  ASSERT_EQ(partial.size(), 6u);
+  std::set<const Transition*> partial_distinct(partial.begin(), partial.end());
+  EXPECT_EQ(partial_distinct.size(), 6u);
+}
+
+TEST(ReplayBufferTest, OversizedSampleStillFallsBackToReplacement) {
+  ReplayBuffer buffer(4);
+  buffer.Push(Make(1));
+  buffer.Push(Make(2));
+  util::Rng rng(9);
+  const auto sample = buffer.Sample(7, rng);
+  EXPECT_EQ(sample.size(), 7u);  // n > size(): duplicates are unavoidable
 }
 
 TEST(ReplayBufferTest, StoresFullTransitionPayload) {

@@ -1,0 +1,188 @@
+// The router's shortest-path-tree cache: version-stamp keying, hit/miss
+// accounting, and invalidation when the network condition changes (the
+// hour-to-hour flood epochs of the simulator).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "roadnet/router.hpp"
+
+namespace mobirescue::roadnet {
+namespace {
+
+/// Same 1x3 line as router_test: 0 -- 1 -- 2 plus a slow direct shortcut.
+class RouterCacheTest : public ::testing::Test {
+ protected:
+  RouterCacheTest() {
+    a_ = net_.AddLandmark({35.70, -79.00}, 200, 1);
+    b_ = net_.AddLandmark({35.70, -78.95}, 200, 1);
+    c_ = net_.AddLandmark({35.70, -78.90}, 200, 1);
+    ab_ = net_.AddSegment(a_, b_, 10.0, 1000.0);
+    ba_ = net_.AddSegment(b_, a_, 10.0, 1000.0);
+    bc_ = net_.AddSegment(b_, c_, 10.0, 1000.0);
+    cb_ = net_.AddSegment(c_, b_, 10.0, 1000.0);
+    ac_ = net_.AddSegment(a_, c_, 10.0, 9000.0);
+  }
+
+  RoadNetwork net_;
+  LandmarkId a_, b_, c_;
+  SegmentId ab_, ba_, bc_, cb_, ac_;
+};
+
+TEST_F(RouterCacheTest, SecondFetchHitsAndSharesTheTree) {
+  Router router(net_);
+  NetworkCondition cond(net_.num_segments());
+  const auto first = router.CachedTree(a_, cond);
+  EXPECT_EQ(router.cache_stats().hits, 0u);
+  EXPECT_EQ(router.cache_stats().misses, 1u);
+  const auto second = router.CachedTree(a_, cond);
+  EXPECT_EQ(router.cache_stats().hits, 1u);
+  EXPECT_EQ(router.cache_stats().misses, 1u);
+  EXPECT_EQ(first.get(), second.get());  // same immutable tree, shared
+  EXPECT_EQ(router.cache_entries(), 1u);
+  EXPECT_DOUBLE_EQ(router.cache_stats().HitRate(), 0.5);
+}
+
+TEST_F(RouterCacheTest, CachedTreeMatchesUncached) {
+  Router router(net_);
+  NetworkCondition cond(net_.num_segments());
+  cond.Close(ab_);
+  const ShortestPathTree plain = router.Tree(a_, cond);
+  const auto cached = router.CachedTree(a_, cond);
+  EXPECT_EQ(cached->source, plain.source);
+  EXPECT_EQ(cached->time_s, plain.time_s);
+  EXPECT_EQ(cached->parent_seg, plain.parent_seg);
+
+  const ShortestPathTree rplain = router.ReverseTree(c_, cond);
+  const auto rcached = router.CachedReverseTree(c_, cond);
+  EXPECT_EQ(rcached->time_s, rplain.time_s);
+}
+
+TEST_F(RouterCacheTest, ForwardAndReverseAreDistinctEntries) {
+  Router router(net_);
+  NetworkCondition cond(net_.num_segments());
+  const auto fwd = router.CachedTree(b_, cond);
+  const auto rev = router.CachedReverseTree(b_, cond);
+  EXPECT_NE(fwd.get(), rev.get());
+  EXPECT_EQ(router.cache_entries(), 2u);
+  EXPECT_EQ(router.cache_stats().misses, 2u);
+}
+
+TEST_F(RouterCacheTest, MutationInvalidatesTheStamp) {
+  Router router(net_);
+  NetworkCondition cond(net_.num_segments());
+  const auto before = router.CachedTree(a_, cond);
+  EXPECT_NEAR(before->time_s[c_], 200.0, 1e-9);
+
+  cond.Close(ab_);  // new version stamp: the cached tree must not be reused
+  const auto after = router.CachedTree(a_, cond);
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_NEAR(after->time_s[c_], 900.0, 1e-9);  // detour via the shortcut
+  EXPECT_EQ(router.cache_stats().misses, 2u);
+
+  cond.Open(ab_);  // reopening re-stamps again — no stale closed-tree reuse
+  const auto reopened = router.CachedTree(a_, cond);
+  EXPECT_NE(after.get(), reopened.get());
+  EXPECT_NEAR(reopened->time_s[c_], 200.0, 1e-9);
+}
+
+TEST_F(RouterCacheTest, SpeedFactorAlsoInvalidates) {
+  Router router(net_);
+  NetworkCondition cond(net_.num_segments());
+  const auto before = router.CachedTree(a_, cond);
+  cond.SetSpeedFactor(ab_, 0.1);
+  cond.SetSpeedFactor(bc_, 0.1);
+  const auto after = router.CachedTree(a_, cond);
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_NEAR(after->time_s[c_], 900.0, 1e-9);  // slow path loses now
+}
+
+TEST_F(RouterCacheTest, CopySharesTheStampUntilMutated) {
+  Router router(net_);
+  NetworkCondition cond(net_.num_segments());
+  cond.Close(ac_);
+  const auto original = router.CachedTree(a_, cond);
+
+  NetworkCondition copy = cond;  // identical content, identical stamp
+  EXPECT_EQ(copy.version(), cond.version());
+  const auto from_copy = router.CachedTree(a_, copy);
+  EXPECT_EQ(original.get(), from_copy.get());
+  EXPECT_EQ(router.cache_stats().hits, 1u);
+
+  copy.Open(ac_);  // the copy diverges: fresh stamp, fresh tree
+  EXPECT_NE(copy.version(), cond.version());
+  const auto diverged = router.CachedTree(a_, copy);
+  EXPECT_NE(original.get(), diverged.get());
+}
+
+TEST_F(RouterCacheTest, HourToHourEpochsGetTheirOwnEntries) {
+  // The simulator materialises one NetworkCondition per flood hour and asks
+  // for the same trees many times within that hour. Emulate three hourly
+  // epochs with worsening flooding: within an epoch everything after the
+  // first query hits; across epochs nothing is wrongly reused.
+  Router router(net_);
+  double prev_time_to_c = -1.0;
+  for (int hour = 0; hour < 3; ++hour) {
+    NetworkCondition cond(net_.num_segments());  // fresh epoch, fresh stamp
+    if (hour >= 1) cond.SetSpeedFactor(ab_, 0.5);
+    if (hour >= 2) cond.Close(ab_);
+
+    const auto stats_before = router.cache_stats();
+    const auto first = router.CachedTree(a_, cond);
+    EXPECT_EQ(router.cache_stats().misses, stats_before.misses + 1);
+    for (int repeat = 0; repeat < 5; ++repeat) {
+      EXPECT_EQ(router.CachedTree(a_, cond).get(), first.get());
+    }
+    EXPECT_EQ(router.cache_stats().hits, stats_before.hits + 5);
+
+    EXPECT_NE(first->time_s[c_], prev_time_to_c);  // epochs really differ
+    prev_time_to_c = first->time_s[c_];
+  }
+  EXPECT_EQ(router.cache_entries(), 3u);
+}
+
+TEST_F(RouterCacheTest, ConcurrentReadersAgreeAndAccountEveryQuery) {
+  // Many threads hammering the same two keys: all of them must see correct
+  // trees, every query must be counted, and first-insert-wins keeps the
+  // entry count at two. Run under the tsan preset to check for races.
+  Router router(net_);
+  NetworkCondition cond(net_.num_segments());
+  constexpr int kThreads = 4;
+  constexpr int kIters = 200;
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        if (std::abs(router.CachedTree(a_, cond)->time_s[c_] - 200.0) > 1e-9 ||
+            std::abs(router.CachedReverseTree(c_, cond)->time_s[a_] - 200.0) >
+                1e-9) {
+          ok = false;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_TRUE(ok.load());
+  const RouterCacheStats stats = router.cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses, 2u * kThreads * kIters);
+  EXPECT_EQ(router.cache_entries(), 2u);
+}
+
+TEST_F(RouterCacheTest, ClearCacheDropsEntriesKeepsCounters) {
+  Router router(net_);
+  NetworkCondition cond(net_.num_segments());
+  router.CachedTree(a_, cond);
+  router.CachedTree(a_, cond);
+  router.ClearCache();
+  EXPECT_EQ(router.cache_entries(), 0u);
+  EXPECT_EQ(router.cache_stats().hits, 1u);  // cumulative
+  router.CachedTree(a_, cond);  // recomputed after the wipe
+  EXPECT_EQ(router.cache_stats().misses, 2u);
+}
+
+}  // namespace
+}  // namespace mobirescue::roadnet

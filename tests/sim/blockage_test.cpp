@@ -34,6 +34,14 @@ class FixedTargetDispatcher : public Dispatcher {
   bool sent_ = false;
 };
 
+/// Never dispatches anyone: only the simulator's own zero-delay pickup path
+/// can serve a request.
+class NoOpDispatcher : public Dispatcher {
+ public:
+  std::string name() const override { return "noop"; }
+  DispatchDecision Decide(const DispatchContext&) override { return {}; }
+};
+
 TEST(BlockageTest, MidLegFloodingTriggersBlockAndReplan) {
   roadnet::CityConfig city_config;
   city_config.grid_width = 10;
@@ -108,6 +116,65 @@ TEST(BlockageTest, BlockedTeamEventuallyIdlesOrArrives) {
       EXPECT_TRUE(team.route.empty());
     }
     EXPECT_LE(static_cast<int>(team.onboard.size()), team.capacity);
+  }
+}
+
+TEST(BlockageTest, BlockedTeamCannotMakeZeroDelayPickups) {
+  // Regression: a team co-located with a newly appearing request used to
+  // pick it up instantly even while inside its blockage-penalty window.
+  roadnet::CityConfig city_config;
+  city_config.grid_width = 8;
+  city_config.grid_height = 8;
+  const roadnet::City city = roadnet::BuildCity(city_config);
+
+  // Bone-dry weather: no flooding interferes with the mechanics under test.
+  weather::ScenarioSpec spec = weather::FlorenceScenario();
+  spec.storm.peak_precip_mm_per_h = 0.0;
+  weather::WeatherField field(city.box, spec.storm);
+  weather::FloodModel flood(field, city.terrain);
+
+  SimConfig config;
+  config.num_teams = 1;
+  config.horizon_s = 2.0 * 3600.0;
+
+  // Team placement is seeded: a requestless probe run reveals where team 0
+  // starts, so the request can be planted exactly there.
+  roadnet::LandmarkId start;
+  {
+    std::vector<Request> none;
+    RescueSimulator probe(city, flood, none, 0.0, config);
+    start = probe.teams()[0].at;
+  }
+  const auto out = city.network.OutSegments(start);
+  ASSERT_FALSE(out.empty());
+
+  Request request;
+  request.id = 0;
+  request.appear_time = 600.0;
+  request.segment = out[0];
+  request.pos = city.network.landmark(start).pos;  // pickup_landmark = start
+
+  {
+    // Control: an unblocked co-located team serves the request the instant
+    // it appears.
+    RescueSimulator sim(city, flood, {request}, 0.0, config);
+    NoOpDispatcher noop;
+    sim.Run(noop);
+    const Request& served = sim.requests()[0];
+    EXPECT_NE(served.status, RequestStatus::kPending);
+    EXPECT_DOUBLE_EQ(served.pickup_time, 600.0);
+    EXPECT_DOUBLE_EQ(served.driving_delay_s, 0.0);
+  }
+  {
+    // Blocked through the appearance time: the instant pickup must not
+    // happen (and with no dispatcher, nothing else ever serves it).
+    RescueSimulator sim(city, flood, {request}, 0.0, config);
+    sim.BlockTeam(0, 1200.0);
+    NoOpDispatcher noop;
+    sim.Run(noop);
+    const Request& unserved = sim.requests()[0];
+    EXPECT_EQ(unserved.status, RequestStatus::kPending);
+    EXPECT_DOUBLE_EQ(unserved.pickup_time, -1.0);
   }
 }
 
