@@ -5,9 +5,20 @@
 // decision function on the same dispatch context (the baselines' modelled
 // 300 s is a separate, charged latency — what this bench shows is that the
 // RL inference is comfortably sub-second even on one core).
+//
+// `--json PATH [--smoke]` switches to the machine-readable end-to-end mode:
+// one full dispatch round per method plus the SVM distribution pass, timed
+// by bench_json's calibrating timer and written as mobirescue-bench-v1
+// JSON (BENCH_e2e.json). --smoke shrinks the world for CI.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "dispatch/mobirescue_dispatcher.hpp"
 #include "dispatch/rescue_dispatcher.hpp"
 #include "dispatch/schedule_dispatcher.hpp"
@@ -19,18 +30,20 @@ using namespace mobirescue;
 namespace {
 
 struct LatencyFixture {
-  LatencyFixture() {
+  explicit LatencyFixture(bool smoke_mode = false) {
+    smoke = smoke_mode;
+    num_teams = smoke ? 20 : 100;
     core::WorldConfig config;
-    config.city.grid_width = 14;
-    config.city.grid_height = 14;
-    config.city.num_hospitals = 6;
-    config.trace.population.num_people = 700;
+    config.city.grid_width = smoke ? 8 : 14;
+    config.city.grid_height = smoke ? 8 : 14;
+    config.city.num_hospitals = smoke ? 3 : 6;
+    config.trace.population.num_people = smoke ? 250 : 700;
     world = std::make_unique<core::World>(core::BuildWorld(config));
     svm = core::TrainSvmPredictor(*world);
     ts = core::BuildTimeSeriesPredictor(*world);
     core::TrainingConfig training;
-    training.episodes = 4;
-    training.sim.num_teams = 100;
+    training.episodes = smoke ? 1 : 4;
+    training.sim.num_teams = num_teams;
     agent = core::TrainAgent(*world, *svm, training);
 
     const int day = world->eval.spec.eval_day;
@@ -43,7 +56,7 @@ struct LatencyFixture {
     ctx.now = 12 * 3600.0;
     ctx.condition = &cond;
     ctx.free_condition = &free_cond;
-    for (int k = 0; k < 100; ++k) {
+    for (int k = 0; k < num_teams; ++k) {
       sim::TeamView v;
       v.id = k;
       v.at = world->city->hospitals[static_cast<std::size_t>(k) %
@@ -54,11 +67,13 @@ struct LatencyFixture {
     const auto requests = sim::RequestsFromEvents(world->eval.trace.rescues, day);
     int id = 0;
     for (const auto& r : requests) {
-      if (id >= 40) break;
+      if (id >= (smoke ? 10 : 40)) break;
       ctx.pending.push_back({id++, r.segment, 0.0});
     }
   }
 
+  bool smoke = false;
+  int num_teams = 100;
   std::unique_ptr<core::World> world;
   std::unique_ptr<predict::SvmRequestPredictor> svm;
   std::unique_ptr<predict::TimeSeriesPredictor> ts;
@@ -114,6 +129,77 @@ void BM_SvmPredictDistribution(benchmark::State& state) {
 }
 BENCHMARK(BM_SvmPredictDistribution)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// --json mode: end-to-end dispatch-round timings as mobirescue-bench-v1.
+
+int RunJsonMode(const std::string& path, bool smoke) {
+  const double min_time_s = smoke ? 0.05 : 0.5;
+  LatencyFixture f(smoke);
+  const int day = f.world->eval.spec.eval_day;
+  const std::string size = "teams=" + std::to_string(f.ctx.teams.size()) +
+                           ",pending=" + std::to_string(f.ctx.pending.size());
+  std::vector<bench::BenchRecord> records;
+  auto time_op = [&](const std::string& op, const std::function<void()>& fn) {
+    const bench::BenchTiming t = bench::MeasureNsPerOp(fn, min_time_s);
+    records.push_back({op, size, t.ns_per_op, t.iterations, 0.0});
+    std::printf("%-28s %12.1f us/op\n", op.c_str(), t.ns_per_op / 1e3);
+  };
+
+  {
+    dispatch::MobiRescueDispatcher dispatcher(
+        *f.world->city, *f.svm, *f.tracker, *f.world->index, f.agent,
+        day * util::kSecondsPerDay);
+    time_op("dispatch_round_mobirescue",
+            [&] { benchmark::DoNotOptimize(dispatcher.Decide(f.ctx)); });
+  }
+  {
+    dispatch::ScheduleDispatcher dispatcher(*f.world->city, f.num_teams);
+    time_op("dispatch_round_schedule",
+            [&] { benchmark::DoNotOptimize(dispatcher.Decide(f.ctx)); });
+  }
+  {
+    dispatch::RescueDispatcher dispatcher(*f.world->city, *f.ts);
+    time_op("dispatch_round_rescue",
+            [&] { benchmark::DoNotOptimize(dispatcher.Decide(f.ctx)); });
+  }
+  {
+    const auto& snapshot = f.tracker->Snapshot(12 * 3600.0);
+    time_op("svm_predict_distribution", [&] {
+      benchmark::DoNotOptimize(f.svm->PredictDistribution(
+          snapshot, 12 * 3600.0, day * util::kSecondsPerDay,
+          *f.world->index));
+    });
+  }
+
+  bench::WriteBenchJsonFile(path, smoke ? "e2e-smoke" : "e2e", records);
+  std::string error;
+  if (!bench::ValidateBenchJsonFile(path, &error)) {
+    std::fprintf(stderr, "%s failed validation: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu records, schema valid)\n", path.c_str(),
+              records.size());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  if (!json_path.empty()) return RunJsonMode(json_path, smoke);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -157,10 +157,13 @@ EvaluationOutcome RunMethod(const World& world, Method method,
 
 namespace {
 
-/// A weight-identical copy of the agent for concurrent greedy scoring: the
-/// DQN forward pass caches per-layer activations, so one agent instance
-/// must not be scored from two threads.
-std::shared_ptr<rl::DqnAgent> CloneAgentForEval(
+/// A weight-identical copy of the agent for episodes that learn online:
+/// TrainStep mutates the network, so concurrent training episodes each need
+/// their own instance (and their updates intentionally do not propagate
+/// back). Greedy evaluation needs no copy — Q scoring goes through the
+/// const, cache-free batched forward pass, which any number of episode
+/// threads may share.
+std::shared_ptr<rl::DqnAgent> CloneAgentForTraining(
     const std::shared_ptr<rl::DqnAgent>& agent) {
   if (agent == nullptr) return nullptr;
   auto clone = std::make_shared<rl::DqnAgent>(agent->config());
@@ -176,19 +179,10 @@ std::vector<EvaluationOutcome> RunMethods(
     const predict::TimeSeriesPredictor* ts,
     std::shared_ptr<rl::DqnAgent> agent, sim::SimConfig sim_config,
     dispatch::MobiRescueConfig mr_config, int jobs) {
-  std::vector<std::shared_ptr<rl::DqnAgent>> episode_agents(methods.size(),
-                                                            agent);
-  if (!mr_config.training) {
-    for (std::size_t i = 0; i < methods.size(); ++i) {
-      if (methods[i] == Method::kMobiRescue) {
-        episode_agents[i] = CloneAgentForEval(agent);
-      }
-    }
-  }
   EpisodeRunner runner(jobs);
   return runner.Map(methods.size(), [&](std::size_t i) {
-    return RunMethod(world, methods[i], svm, ts, episode_agents[i],
-                     sim_config, mr_config);
+    return RunMethod(world, methods[i], svm, ts, agent, sim_config,
+                     mr_config);
   });
 }
 
@@ -200,9 +194,9 @@ std::vector<EvaluationOutcome> RunMethodSeeds(
     int num_seeds, int jobs, dispatch::MobiRescueConfig mr_config) {
   const std::size_t n = static_cast<std::size_t>(std::max(0, num_seeds));
   std::vector<std::shared_ptr<rl::DqnAgent>> episode_agents(n, agent);
-  if (method == Method::kMobiRescue) {
+  if (method == Method::kMobiRescue && mr_config.training) {
     for (std::size_t i = 0; i < n; ++i) {
-      episode_agents[i] = CloneAgentForEval(agent);
+      episode_agents[i] = CloneAgentForTraining(agent);
     }
   }
   EpisodeRunner runner(jobs);

@@ -80,12 +80,12 @@ EvaluationOutcome RunMethod(const World& world, Method method,
 /// Evaluates several methods on the evaluation day in parallel (one episode
 /// per method) over a core::EpisodeRunner with `jobs` workers (<= 0:
 /// hardware concurrency). Episodes share only read-only state — the World,
-/// the predictors — and each builds its own simulator and dispatcher, so
-/// results are identical to calling RunMethod serially, in `methods` order.
-/// kMobiRescue episodes score a weight-identical clone of `agent` when
-/// `mr_config.training` is false (the DQN forward pass is not thread-safe);
-/// with training on, the caller's agent is used directly so online updates
-/// propagate — in that case kMobiRescue must appear at most once.
+/// the predictors, and (greedy scoring being a const, cache-free batched
+/// forward pass) the DQN agent itself — and each builds its own simulator
+/// and dispatcher, so results are identical to calling RunMethod serially,
+/// in `methods` order. With `mr_config.training` on, the caller's agent is
+/// used directly so online updates propagate — in that case kMobiRescue
+/// must appear at most once (TrainStep mutates the network).
 std::vector<EvaluationOutcome> RunMethods(
     const World& world, const std::vector<Method>& methods,
     const predict::SvmRequestPredictor* svm,
@@ -96,9 +96,10 @@ std::vector<EvaluationOutcome> RunMethods(
 /// Evaluates one method over `num_seeds` independent episodes in parallel.
 /// Episode i runs with sim seed EpisodeRunner::DeriveSeed(sim_config.seed,
 /// i) — the seed stream depends only on the episode index, so output is
-/// bit-identical for any `jobs`, including 1 (serial). Each kMobiRescue
-/// episode gets its own weight-identical agent clone; online-learning
-/// updates do not propagate back.
+/// bit-identical for any `jobs`, including 1 (serial). Greedy kMobiRescue
+/// episodes share the caller's agent (batched Q scoring is const and
+/// thread-safe); with `mr_config.training` on, each episode trains its own
+/// weight-identical clone and online updates do not propagate back.
 std::vector<EvaluationOutcome> RunMethodSeeds(
     const World& world, Method method,
     const predict::SvmRequestPredictor* svm,

@@ -1,6 +1,7 @@
 #include "dispatch/mobirescue_dispatcher.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <unordered_set>
 
@@ -81,7 +82,29 @@ void MobiRescueDispatcher::DecideByAssignment(
   }
 
   // Scores: prior + Q per (team, candidate); margin over the team's depot
-  // value. Positive margin means the pair is worth serving.
+  // value. Positive margin means the pair is worth serving. All (team,
+  // action) feature rows of the round — each team's depot row plus its
+  // reachable candidates — go through ONE batched Q-network pass; entry
+  // order makes every row's Q bit-identical to a per-row evaluation.
+  std::vector<std::vector<double>> feature_rows;
+  std::vector<std::size_t> team_begin(rows.size());   // depot row per team
+  std::vector<std::vector<std::size_t>> cand_row(
+      rows.size(),
+      std::vector<std::size_t>(round.candidates.size(), SIZE_MAX));
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const sim::TeamView& team = context.teams[rows[r]];
+    team_begin[r] = feature_rows.size();
+    feature_rows.push_back(featurizer_.Features(
+        round, team, round.candidates.size(), &context.teams));
+    for (std::size_t i = 0; i < round.candidates.size(); ++i) {
+      if (!round.trees[i]->Reachable(team.at)) continue;
+      cand_row[r][i] = feature_rows.size();
+      feature_rows.push_back(
+          featurizer_.Features(round, team, i, &context.teams));
+    }
+  }
+  const std::vector<double> qs = agent_->QValues(feature_rows);
+
   opt::AssignmentProblem problem;
   problem.rows = rows.size();
   problem.cols = columns.size();
@@ -89,21 +112,18 @@ void MobiRescueDispatcher::DecideByAssignment(
   std::vector<std::vector<double>> margin(rows.size(),
                                           std::vector<double>(columns.size()));
   for (std::size_t r = 0; r < rows.size(); ++r) {
-    const sim::TeamView& team = context.teams[rows[r]];
-    const auto depot_f =
-        featurizer_.Features(round, team, round.candidates.size(),
-                             &context.teams);
     const double depot_score =
-        config_.prior_weight * HeuristicPrior(depot_f) +
-        agent_->QValue(depot_f);
+        config_.prior_weight * HeuristicPrior(feature_rows[team_begin[r]]) +
+        qs[team_begin[r]];
     // Score each distinct candidate once, then spread to its columns.
     std::vector<double> by_candidate(round.candidates.size(),
                                      -std::numeric_limits<double>::infinity());
     for (std::size_t i = 0; i < round.candidates.size(); ++i) {
-      if (!round.trees[i]->Reachable(team.at)) continue;
-      const auto f = featurizer_.Features(round, team, i, &context.teams);
-      by_candidate[i] = config_.prior_weight * HeuristicPrior(f) +
-                        agent_->QValue(f) - depot_score;
+      const std::size_t row = cand_row[r][i];
+      if (row == SIZE_MAX) continue;
+      by_candidate[i] =
+          config_.prior_weight * HeuristicPrior(feature_rows[row]) +
+          qs[row] - depot_score;
     }
     for (std::size_t c = 0; c < columns.size(); ++c) {
       const double m = by_candidate[columns[c]];
@@ -263,11 +283,12 @@ sim::DispatchDecision MobiRescueDispatcher::Decide(
     if (config_.training && agent_->ExploreNow()) {
       local_idx = agent_->RandomAction(features.size());
     } else {
+      // One batched Q pass over the team's whole action set.
+      const std::vector<double> qs = agent_->QValues(features);
       double best = -1e300;
       for (std::size_t i = 0; i < features.size(); ++i) {
         const double score =
-            config_.prior_weight * HeuristicPrior(features[i]) +
-            agent_->QValue(features[i]);
+            config_.prior_weight * HeuristicPrior(features[i]) + qs[i];
         if (score > best) {
           best = score;
           local_idx = i;

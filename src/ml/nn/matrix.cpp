@@ -1,6 +1,99 @@
 #include "ml/nn/matrix.hpp"
 
+#include <algorithm>
+
 namespace mobirescue::ml {
+
+namespace {
+
+// Block sizes for the cache-blocked kernels: a kBlockK x kBlockJ tile of B
+// (64 * 256 doubles = 128 KiB upper bound, typically far less) stays hot
+// while rows of A stream through it. k advances in ascending order within
+// and across blocks, so blocking never reorders any element's accumulation.
+constexpr std::size_t kBlockK = 64;
+constexpr std::size_t kBlockJ = 256;
+
+/// One tile of c += a * b covering rows [0, m), k range [k0, k1) and
+/// column range [j0, j1). Rows are register-blocked four at a time: each
+/// loaded brow vector feeds four output rows, quartering the B-tile
+/// traffic. Every c element still accumulates its k terms in ascending
+/// order, so the register blocking is bit-exact against the plain loop.
+void GemmTile(const double* __restrict a, const double* __restrict b,
+              double* __restrict c, std::size_t m, std::size_t k,
+              std::size_t n, std::size_t k0, std::size_t k1, std::size_t j0,
+              std::size_t j1) {
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const double* __restrict a0 = a + i * k;
+    const double* __restrict a1 = a0 + k;
+    const double* __restrict a2 = a1 + k;
+    const double* __restrict a3 = a2 + k;
+    double* __restrict c0 = c + i * n;
+    double* __restrict c1 = c0 + n;
+    double* __restrict c2 = c1 + n;
+    double* __restrict c3 = c2 + n;
+    for (std::size_t kk = k0; kk < k1; ++kk) {
+      const double v0 = a0[kk], v1 = a1[kk], v2 = a2[kk], v3 = a3[kk];
+      const double* __restrict brow = b + kk * n;
+      for (std::size_t j = j0; j < j1; ++j) {
+        const double bj = brow[j];
+        c0[j] += v0 * bj;
+        c1[j] += v1 * bj;
+        c2[j] += v2 * bj;
+        c3[j] += v3 * bj;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    const double* __restrict arow = a + i * k;
+    double* __restrict crow = c + i * n;
+    for (std::size_t kk = k0; kk < k1; ++kk) {
+      const double av = arow[kk];
+      const double* __restrict brow = b + kk * n;
+      for (std::size_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// c (m x n) += a (m x k) * b (k x n), all row-major contiguous.
+void GemmAccumulate(const double* __restrict a, const double* __restrict b,
+                    double* __restrict c, std::size_t m, std::size_t k,
+                    std::size_t n) {
+  if (k <= kBlockK && n <= kBlockJ) {
+    // Small-matrix fast path: a single tile; skip the blocking loops.
+    GemmTile(a, b, c, m, k, n, 0, k, 0, n);
+    return;
+  }
+  for (std::size_t j0 = 0; j0 < n; j0 += kBlockJ) {
+    const std::size_t j1 = std::min(n, j0 + kBlockJ);
+    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::size_t k1 = std::min(k, k0 + kBlockK);
+      GemmTile(a, b, c, m, k, n, k0, k1, j0, j1);
+    }
+  }
+}
+
+/// c (ca x n) += a^T * b where a is (r x ca) and b is (r x n), row-major.
+/// The transposed operand is walked row by row (contiguous) and scattered
+/// into c with a contiguous j inner loop — no strided column reads.
+void GemmTransAAccumulate(const double* __restrict a,
+                          const double* __restrict b, double* __restrict c,
+                          std::size_t r, std::size_t ca, std::size_t n) {
+  for (std::size_t j0 = 0; j0 < n; j0 += kBlockJ) {
+    const std::size_t j1 = std::min(n, j0 + kBlockJ);
+    for (std::size_t t = 0; t < r; ++t) {
+      const double* __restrict arow = a + t * ca;
+      const double* __restrict brow = b + t * n;
+      for (std::size_t i = 0; i < ca; ++i) {
+        const double av = arow[i];
+        double* __restrict crow = c + i * n;
+        for (std::size_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
 
 void Matrix::CheckShape(std::size_t rows, std::size_t cols) const {
   if (rows_ != rows || cols_ != cols) {
@@ -11,15 +104,8 @@ void Matrix::CheckShape(std::size_t rows, std::size_t cols) const {
 Matrix Matrix::MatMul(const Matrix& other) const {
   if (cols_ != other.rows_) throw std::invalid_argument("MatMul: shapes");
   Matrix out(rows_, other.cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = (*this)(i, k);
-      if (a == 0.0) continue;
-      for (std::size_t j = 0; j < other.cols_; ++j) {
-        out(i, j) += a * other(k, j);
-      }
-    }
-  }
+  GemmAccumulate(data_.data(), other.data_.data(), out.data_.data(), rows_,
+                 cols_, other.cols_);
   return out;
 }
 
@@ -28,15 +114,8 @@ Matrix Matrix::TransposedMatMul(const Matrix& other) const {
     throw std::invalid_argument("TransposedMatMul: shapes");
   }
   Matrix out(cols_, other.cols_);
-  for (std::size_t k = 0; k < rows_; ++k) {
-    for (std::size_t i = 0; i < cols_; ++i) {
-      const double a = (*this)(k, i);
-      if (a == 0.0) continue;
-      for (std::size_t j = 0; j < other.cols_; ++j) {
-        out(i, j) += a * other(k, j);
-      }
-    }
-  }
+  GemmTransAAccumulate(data_.data(), other.data_.data(), out.data_.data(),
+                       rows_, cols_, other.cols_);
   return out;
 }
 
@@ -45,13 +124,17 @@ Matrix Matrix::MatMulTransposed(const Matrix& other) const {
     throw std::invalid_argument("MatMulTransposed: shapes");
   }
   Matrix out(rows_, other.rows_);
+  const double* __restrict a = data_.data();
+  const double* __restrict b = other.data_.data();
+  double* __restrict c = out.data_.data();
+  const std::size_t k = cols_, n = other.rows_;
   for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t j = 0; j < other.rows_; ++j) {
+    const double* __restrict arow = a + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* __restrict brow = b + j * k;
       double acc = 0.0;
-      for (std::size_t k = 0; k < cols_; ++k) {
-        acc += (*this)(i, k) * other(j, k);
-      }
-      out(i, j) = acc;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      c[i * n + j] = acc;
     }
   }
   return out;
@@ -61,21 +144,11 @@ void Matrix::AddRowVector(const Matrix& row) {
   if (row.rows_ != 1 || row.cols_ != cols_) {
     throw std::invalid_argument("AddRowVector: shapes");
   }
+  const double* __restrict r = row.data_.data();
   for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t j = 0; j < cols_; ++j) {
-      (*this)(i, j) += row(0, j);
-    }
+    double* __restrict out = data_.data() + i * cols_;
+    for (std::size_t j = 0; j < cols_; ++j) out[j] += r[j];
   }
-}
-
-void Matrix::Apply(const std::function<double(double)>& f) {
-  for (double& v : data_) v = f(v);
-}
-
-Matrix Matrix::Map(const std::function<double(double)>& f) const {
-  Matrix out = *this;
-  out.Apply(f);
-  return out;
 }
 
 Matrix Matrix::Hadamard(const Matrix& other) const {

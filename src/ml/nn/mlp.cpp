@@ -72,13 +72,38 @@ Matrix Mlp::Forward(const Matrix& batch) {
   return act;
 }
 
-std::vector<double> Mlp::Predict(std::span<const double> input) {
+Matrix Mlp::PredictBatch(const Matrix& batch) const {
+  if (batch.cols() != config_.input_dim) {
+    throw std::invalid_argument("Mlp::PredictBatch: input dim mismatch");
+  }
+  Matrix act = batch;
+  for (const DenseLayer& layer : layers_) {
+    Matrix pre = act.MatMul(layer.w);
+    // Fused bias + activation: one pass over the batch instead of the
+    // training path's two (which must store the post-bias pre-activation
+    // for Backward). Per element this computes Act(gemm + b) in the same
+    // order as AddRowVector-then-Apply, so the fusion is bit-exact.
+    const Activation a = layer.act;
+    const std::size_t out_dim = pre.cols();
+    const double* __restrict bias = layer.b.data().data();
+    for (std::size_t r = 0; r < pre.rows(); ++r) {
+      double* __restrict row = pre.data().data() + r * out_dim;
+      for (std::size_t j = 0; j < out_dim; ++j) {
+        row[j] = Act(row[j] + bias[j], a);
+      }
+    }
+    act = std::move(pre);
+  }
+  return act;
+}
+
+std::vector<double> Mlp::Predict(std::span<const double> input) const {
   Matrix batch(1, config_.input_dim);
   if (input.size() != config_.input_dim) {
     throw std::invalid_argument("Mlp::Predict: input dim mismatch");
   }
   for (std::size_t j = 0; j < input.size(); ++j) batch(0, j) = input[j];
-  const Matrix out = Forward(batch);
+  const Matrix out = PredictBatch(batch);
   return out.data();
 }
 

@@ -48,12 +48,19 @@ class Mlp {
   explicit Mlp(const MlpConfig& config);
 
   /// Forward pass for a batch (rows = samples). Caches activations for a
-  /// following Backward call.
+  /// following Backward call. Training path only — inference goes through
+  /// PredictBatch.
   Matrix Forward(const Matrix& batch);
 
-  /// Convenience single-sample forward (no training cache semantics needed
-  /// by callers; still overwrites the cache).
-  std::vector<double> Predict(std::span<const double> input);
+  /// Inference-only forward pass for a batch (rows = samples). Const: the
+  /// training activation cache is untouched, so evaluation never perturbs
+  /// an in-flight Forward/Backward pair, and any number of threads may call
+  /// it concurrently on the same network. Row i of the result is
+  /// bit-identical to Forward of row i alone.
+  Matrix PredictBatch(const Matrix& batch) const;
+
+  /// Convenience single-sample inference (PredictBatch on one row).
+  std::vector<double> Predict(std::span<const double> input) const;
 
   /// One gradient step toward `targets` (same shape as last Forward output).
   /// `mask`, when non-null, zeroes the loss on unmasked outputs — DQN

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ml/nn/matrix.hpp"
 #include "util/rng.hpp"
 
 namespace mobirescue::ml {
@@ -26,14 +27,51 @@ SvmModel::SvmModel(KernelConfig kernel,
   if (support_x_.size() != coeff_.size()) {
     throw std::invalid_argument("SvmModel: sv/coeff size mismatch");
   }
+  dim_ = support_x_.empty() ? 0 : support_x_.front().size();
+  sv_flat_.reserve(support_x_.size() * dim_);
+  for (const std::vector<double>& sv : support_x_) {
+    if (sv.size() != dim_) {
+      throw std::invalid_argument("SvmModel: ragged support vectors");
+    }
+    sv_flat_.insert(sv_flat_.end(), sv.begin(), sv.end());
+  }
 }
 
 double SvmModel::DecisionValue(std::span<const double> features) const {
   double v = bias_;
-  for (std::size_t i = 0; i < support_x_.size(); ++i) {
-    v += coeff_[i] * EvalKernel(kernel_, support_x_[i], features);
+  for (std::size_t i = 0; i < coeff_.size(); ++i) {
+    const std::span<const double> sv(sv_flat_.data() + i * dim_, dim_);
+    v += coeff_[i] * EvalKernel(kernel_, sv, features);
   }
   return v;
+}
+
+std::vector<double> SvmModel::DecisionValues(
+    const std::vector<std::vector<double>>& rows) const {
+  // Flatten the query rows once, then stream both operands contiguously.
+  // Per-row accumulation over support vectors runs in the same ascending
+  // order as DecisionValue, so results match it bit for bit.
+  const std::size_t d =
+      rows.empty() ? dim_ : rows.front().size();
+  std::vector<double> q_flat;
+  q_flat.reserve(rows.size() * d);
+  for (const std::vector<double>& row : rows) {
+    if (row.size() != d) {
+      throw std::invalid_argument("DecisionValues: ragged rows");
+    }
+    q_flat.insert(q_flat.end(), row.begin(), row.end());
+  }
+  std::vector<double> out(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const std::span<const double> x(q_flat.data() + r * d, d);
+    double v = bias_;
+    for (std::size_t i = 0; i < coeff_.size(); ++i) {
+      const std::span<const double> sv(sv_flat_.data() + i * dim_, dim_);
+      v += coeff_[i] * EvalKernel(kernel_, sv, x);
+    }
+    out[r] = v;
+  }
+  return out;
 }
 
 int SvmModel::Predict(std::span<const double> features) const {
@@ -47,12 +85,36 @@ SvmModel TrainSvm(const SvmDataset& data, const SvmConfig& config) {
 
   // Precompute the Gram matrix; the training sets here (a few thousand
   // rows) keep this comfortably in memory and dominate runtime otherwise.
+  // Dot-product kernels (linear, polynomial) build it as one X * X^T GEMM
+  // through the blocked Matrix kernels; RBF needs per-pair evaluation.
+  const std::size_t dim = data.x.front().size();
+  for (const std::vector<double>& row : data.x) {
+    if (row.size() != dim) {
+      throw std::invalid_argument("TrainSvm: ragged feature rows");
+    }
+  }
   std::vector<double> gram(n * n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i; j < n; ++j) {
-      const double k = EvalKernel(config.kernel, data.x[i], data.x[j]);
-      gram[i * n + j] = k;
-      gram[j * n + i] = k;
+  if (config.kernel.type == KernelType::kLinear ||
+      config.kernel.type == KernelType::kPolynomial) {
+    Matrix x(n, dim);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::copy(data.x[i].begin(), data.x[i].end(),
+                x.data().begin() + i * dim);
+    }
+    Matrix g = x.MatMulTransposed(x);
+    if (config.kernel.type == KernelType::kPolynomial) {
+      const double c0 = config.kernel.coef0;
+      const int deg = config.kernel.degree;
+      g.Apply([c0, deg](double dot) { return std::pow(dot + c0, deg); });
+    }
+    gram = std::move(g.data());
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        const double k = EvalKernel(config.kernel, data.x[i], data.x[j]);
+        gram[i * n + j] = k;
+        gram[j * n + i] = k;
+      }
     }
   }
   auto K = [&](std::size_t i, std::size_t j) { return gram[i * n + j]; };
@@ -61,64 +123,126 @@ SvmModel TrainSvm(const SvmDataset& data, const SvmConfig& config) {
   double b = 0.0;
   util::Rng rng(config.seed);
 
-  auto decision = [&](std::size_t i) {
+  // Scalar reference: f(x_q) recomputed from the live alphas, O(n_sv) per
+  // candidate. This is the use_error_cache=false path the microbenches
+  // compare the cache against.
+  auto decision = [&](std::size_t q) {
     double v = b;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (alpha[j] != 0.0) v += alpha[j] * data.y[j] * K(j, i);
+    for (std::size_t t = 0; t < n; ++t) {
+      if (alpha[t] != 0.0) v += alpha[t] * data.y[t] * K(t, q);
     }
     return v;
   };
 
+  // SMO error cache (Platt): err[i] tracks f(x_i) - y_i incrementally.
+  // A successful pair update changes f by rank-2 kernel rows plus the bias
+  // shift, so refreshing every cached error is O(n) — against the O(n *
+  // n_sv) full decision recomputation the cache replaces for EVERY
+  // candidate pair, including the ones that end up skipped.
+  // With all alphas 0 and b = 0, f(x_i) = 0.
+  std::vector<double> err;
+  if (config.use_error_cache) {
+    err.resize(n);
+    for (std::size_t i = 0; i < n; ++i) err[i] = -data.y[i];
+  }
+
+  // Attempts the (i, j) pair update. Returns false if any SMO guard
+  // rejects the pair or the step is numerically negligible.
+  auto take_step = [&](std::size_t i, double ei, std::size_t j,
+                       double ej) -> bool {
+    const double ai_old = alpha[i], aj_old = alpha[j];
+    double lo, hi;
+    if (data.y[i] != data.y[j]) {
+      lo = std::max(0.0, aj_old - ai_old);
+      hi = std::min(config.c, config.c + aj_old - ai_old);
+    } else {
+      lo = std::max(0.0, ai_old + aj_old - config.c);
+      hi = std::min(config.c, ai_old + aj_old);
+    }
+    if (lo >= hi) return false;
+
+    const double eta = 2.0 * K(i, j) - K(i, i) - K(j, j);
+    if (eta >= 0.0) return false;
+
+    double aj = aj_old - data.y[j] * (ei - ej) / eta;
+    aj = std::clamp(aj, lo, hi);
+    if (std::abs(aj - aj_old) < 1e-6) return false;
+
+    const double ai = ai_old + data.y[i] * data.y[j] * (aj_old - aj);
+    alpha[i] = ai;
+    alpha[j] = aj;
+
+    const double b1 = b - ei - data.y[i] * (ai - ai_old) * K(i, i) -
+                      data.y[j] * (aj - aj_old) * K(i, j);
+    const double b2 = b - ej - data.y[i] * (ai - ai_old) * K(i, j) -
+                      data.y[j] * (aj - aj_old) * K(j, j);
+    const double b_old = b;
+    if (ai > 0.0 && ai < config.c) {
+      b = b1;
+    } else if (aj > 0.0 && aj < config.c) {
+      b = b2;
+    } else {
+      b = (b1 + b2) / 2.0;
+    }
+
+    if (config.use_error_cache) {
+      // Rank-2 error-cache refresh along the two touched Gram rows.
+      const double di = (ai - ai_old) * data.y[i];
+      const double dj = (aj - aj_old) * data.y[j];
+      const double db = b - b_old;
+      const double* __restrict ki = gram.data() + i * n;
+      const double* __restrict kj = gram.data() + j * n;
+      double* __restrict e = err.data();
+      for (std::size_t t = 0; t < n; ++t) {
+        e[t] += di * ki[t] + dj * kj[t] + db;
+      }
+    }
+    return true;
+  };
+
   int passes = 0;
   int iter = 0;
-  while (passes < config.max_passes && iter < config.max_iterations) {
+  // n == 1 has no working pair; alpha stays 0 and the model is bias-only.
+  while (n >= 2 && passes < config.max_passes && iter < config.max_iterations) {
     ++iter;
     int changed = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      const double ei = decision(i) - data.y[i];
+      const double ei =
+          config.use_error_cache ? err[i] : decision(i) - data.y[i];
       const bool violates =
           (data.y[i] * ei < -config.tolerance && alpha[i] < config.c) ||
           (data.y[i] * ei > config.tolerance && alpha[i] > 0.0);
       if (!violates) continue;
 
-      std::size_t j = rng.Index(n - 1);
-      if (j >= i) ++j;  // j != i, uniform over the rest
-      const double ej = decision(j) - data.y[j];
-
-      const double ai_old = alpha[i], aj_old = alpha[j];
-      double lo, hi;
-      if (data.y[i] != data.y[j]) {
-        lo = std::max(0.0, aj_old - ai_old);
-        hi = std::min(config.c, config.c + aj_old - ai_old);
+      if (config.use_error_cache) {
+        // Platt's second-choice heuristic: the cache makes the argmax
+        // |E_i - E_j| scan a cheap streaming pass over err, so take the
+        // partner promising the largest step. If the SMO guards reject
+        // that pair, fall back to one random partner so a degenerate
+        // argmax choice cannot stall the sweep.
+        std::size_t j = (i == 0) ? 1 : 0;
+        double best_gap = -1.0;
+        for (std::size_t t = 0; t < n; ++t) {
+          if (t == i) continue;
+          const double gap = std::abs(ei - err[t]);
+          if (gap > best_gap) {
+            best_gap = gap;
+            j = t;
+          }
+        }
+        if (take_step(i, ei, j, err[j])) {
+          ++changed;
+          continue;
+        }
+        std::size_t r = rng.Index(n - 1);
+        if (r >= i) ++r;  // r != i, uniform over the rest
+        if (r != j && take_step(i, ei, r, err[r])) ++changed;
       } else {
-        lo = std::max(0.0, ai_old + aj_old - config.c);
-        hi = std::min(config.c, ai_old + aj_old);
+        std::size_t j = rng.Index(n - 1);
+        if (j >= i) ++j;  // j != i, uniform over the rest
+        const double ej = decision(j) - data.y[j];
+        if (take_step(i, ei, j, ej)) ++changed;
       }
-      if (lo >= hi) continue;
-
-      const double eta = 2.0 * K(i, j) - K(i, i) - K(j, j);
-      if (eta >= 0.0) continue;
-
-      double aj = aj_old - data.y[j] * (ei - ej) / eta;
-      aj = std::clamp(aj, lo, hi);
-      if (std::abs(aj - aj_old) < 1e-6) continue;
-
-      const double ai = ai_old + data.y[i] * data.y[j] * (aj_old - aj);
-      alpha[i] = ai;
-      alpha[j] = aj;
-
-      const double b1 = b - ei - data.y[i] * (ai - ai_old) * K(i, i) -
-                        data.y[j] * (aj - aj_old) * K(i, j);
-      const double b2 = b - ej - data.y[i] * (ai - ai_old) * K(i, j) -
-                        data.y[j] * (aj - aj_old) * K(j, j);
-      if (ai > 0.0 && ai < config.c) {
-        b = b1;
-      } else if (aj > 0.0 && aj < config.c) {
-        b = b2;
-      } else {
-        b = (b1 + b2) / 2.0;
-      }
-      ++changed;
     }
     passes = (changed == 0) ? passes + 1 : 0;
   }

@@ -137,9 +137,14 @@ SvmRequestPredictor::SvmRequestPredictor(
   // tends to be recall-heavy on this data (everyone inside the storm looks
   // somewhat endangered); the F1-optimal threshold restores selectivity so
   // that ñ_e concentrates on the genuinely endangered.
+  std::vector<std::vector<double>> holdout_rows;
+  holdout_rows.reserve(holdout.size());
+  for (const auto& [row, label] : holdout) holdout_rows.push_back(row);
+  const std::vector<double> holdout_values =
+      model_.DecisionValues(holdout_rows);
   std::vector<std::pair<double, int>> scored;
-  for (const auto& [row, label] : holdout) {
-    scored.emplace_back(model_.DecisionValue(row), label);
+  for (std::size_t i = 0; i < holdout.size(); ++i) {
+    scored.emplace_back(holdout_values[i], holdout[i].second);
   }
   std::sort(scored.begin(), scored.end());
   double best_f1 = -1.0;
@@ -168,8 +173,8 @@ SvmRequestPredictor::SvmRequestPredictor(
     }
   }
 
-  for (const auto& [row, label] : holdout) {
-    validation_.Add(label == 1, model_.DecisionValue(row) >= threshold_);
+  for (std::size_t i = 0; i < holdout.size(); ++i) {
+    validation_.Add(holdout[i].second == 1, holdout_values[i] >= threshold_);
   }
 }
 
@@ -185,10 +190,20 @@ bool SvmRequestPredictor::PredictPerson(const util::GeoPoint& pos,
 Distribution SvmRequestPredictor::PredictDistribution(
     const std::vector<mobility::GpsRecord>& snapshot, util::SimTime t,
     double time_offset, const roadnet::SpatialIndex& index) const {
-  Distribution dist;
+  // Scale every snapshot row first, then classify the whole batch in one
+  // DecisionValues pass; only positives pay for the spatial-index lookup.
+  std::vector<std::vector<double>> rows;
+  rows.reserve(snapshot.size());
   for (const mobility::GpsRecord& r : snapshot) {
-    if (!PredictPerson(r.pos, t + time_offset)) continue;
-    const roadnet::SegmentId seg = index.NearestSegment(r.pos);
+    const weather::FactorVector h = factors_.At(r.pos, t + time_offset);
+    rows.push_back(scaler_.Transform(
+        std::vector<double>{h.precipitation_mm, h.wind_mph, h.altitude_m}));
+  }
+  const std::vector<double> values = model_.DecisionValues(rows);
+  Distribution dist;
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    if (values[i] < threshold_) continue;
+    const roadnet::SegmentId seg = index.NearestSegment(snapshot[i].pos);
     if (seg == roadnet::kInvalidSegment) continue;
     ++dist[seg];
   }

@@ -72,6 +72,9 @@ class SvmRequestPredictor {
   /// calibrated threshold.
   const ml::ConfusionMatrix& validation() const { return validation_; }
   const ml::SvmModel& model() const { return model_; }
+  /// The feature scaler fitted on the training rows (introspection: maps a
+  /// raw (P, W, A) factor row into the model's input space).
+  const ml::FeatureScaler& scaler() const { return scaler_; }
   std::size_t training_rows() const { return training_rows_; }
   /// F1-calibrated decision threshold (raw SVM uses 0).
   double threshold() const { return threshold_; }

@@ -19,6 +19,19 @@ ml::MlpConfig MakeNetConfig(const DqnConfig& config, std::uint64_t seed) {
   return net;
 }
 
+/// Packs candidate feature rows into one (n x dim) batch matrix.
+ml::Matrix PackRows(const std::vector<std::vector<double>>& rows,
+                    std::size_t dim) {
+  ml::Matrix batch(rows.size(), dim);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != dim) {
+      throw std::invalid_argument("DqnAgent: bad feature dim");
+    }
+    std::copy(rows[i].begin(), rows[i].end(), batch.data().begin() + i * dim);
+  }
+  return batch;
+}
+
 }  // namespace
 
 DqnAgent::DqnAgent(const DqnConfig& config)
@@ -55,55 +68,94 @@ std::size_t DqnAgent::SelectAction(
   if (explore && rng_.Bernoulli(eps)) {
     return rng_.Index(candidates.size());
   }
+  // Batched argmax: one forward pass over all candidates; strict > keeps
+  // the lowest index on ties, matching the per-row scan.
+  const std::vector<double> q = QValues(candidates);
   std::size_t best = 0;
   double best_q = -1e300;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const double q = QValue(candidates[i]);
-    if (q > best_q) {
-      best_q = q;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (q[i] > best_q) {
+      best_q = q[i];
       best = i;
     }
   }
   return best;
 }
 
-double DqnAgent::QValue(std::span<const double> features) {
+double DqnAgent::QValue(std::span<const double> features) const {
   return online_.Predict(features)[0];
 }
 
+std::vector<double> DqnAgent::QValues(
+    const std::vector<std::vector<double>>& candidates) const {
+  // The Q-head is 1-dimensional, so the (n x 1) output matrix's storage is
+  // exactly the per-candidate Q vector.
+  return online_.PredictBatch(PackRows(candidates, config_.feature_dim))
+      .data();
+}
+
 double DqnAgent::MaxTargetQ(
-    const std::vector<std::vector<double>>& candidates) {
-  double best = 0.0;
-  bool first = true;
-  for (const auto& c : candidates) {
-    const double q = target_.Predict(c)[0];
-    if (first || q > best) {
-      best = q;
-      first = false;
-    }
+    const std::vector<std::vector<double>>& candidates) const {
+  if (candidates.empty()) {
+    throw std::invalid_argument("MaxTargetQ: no candidates");
   }
-  return first ? 0.0 : best;
+  const ml::Matrix q =
+      target_.PredictBatch(PackRows(candidates, config_.feature_dim));
+  double best = q(0, 0);
+  for (std::size_t i = 1; i < q.rows(); ++i) {
+    if (q(i, 0) > best) best = q(i, 0);
+  }
+  return best;
 }
 
 double DqnAgent::TrainStep() {
   if (buffer_.size() < config_.batch_size) return 0.0;
   const auto batch = buffer_.Sample(config_.batch_size, rng_);
 
+  // Pack all candidates of all transitions into one matrix and run a single
+  // target-network pass; per-transition maxima come from the row spans.
   ml::Matrix inputs(batch.size(), config_.feature_dim);
-  ml::Matrix targets(batch.size(), 1);
+  std::vector<std::pair<std::size_t, std::size_t>> spans(batch.size());
+  std::size_t total_rows = 0;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Transition& t = *batch[i];
     if (t.features.size() != config_.feature_dim) {
       throw std::invalid_argument("TrainStep: bad feature dim in buffer");
     }
-    for (std::size_t j = 0; j < config_.feature_dim; ++j) {
-      inputs(i, j) = t.features[j];
+    std::copy(t.features.begin(), t.features.end(),
+              inputs.data().begin() + i * config_.feature_dim);
+    spans[i].first = total_rows;
+    if (!t.terminal) total_rows += t.next_candidates.size();
+    spans[i].second = total_rows;
+  }
+  ml::Matrix next_features(total_rows, config_.feature_dim);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Transition& t = *batch[i];
+    if (t.terminal) continue;
+    std::size_t row = spans[i].first;
+    for (const std::vector<double>& c : t.next_candidates) {
+      if (c.size() != config_.feature_dim) {
+        throw std::invalid_argument("TrainStep: bad feature dim in buffer");
+      }
+      std::copy(c.begin(), c.end(),
+                next_features.data().begin() + row * config_.feature_dim);
+      ++row;
     }
+  }
+  const ml::Matrix next_q = target_.PredictBatch(next_features);
+
+  ml::Matrix targets(batch.size(), 1);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Transition& t = *batch[i];
     double y = t.reward;
-    if (!t.terminal && !t.next_candidates.empty()) {
+    if (spans[i].second > spans[i].first) {
+      double best = next_q(spans[i].first, 0);
+      for (std::size_t r = spans[i].first + 1; r < spans[i].second; ++r) {
+        if (next_q(r, 0) > best) best = next_q(r, 0);
+      }
       const double discount =
           std::pow(config_.gamma, std::max(1, t.duration_rounds));
-      y += discount * MaxTargetQ(t.next_candidates);
+      y += discount * best;
     }
     targets(i, 0) = y;
   }

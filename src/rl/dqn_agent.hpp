@@ -40,12 +40,19 @@ class DqnAgent {
 
   /// Epsilon-greedy candidate selection (training mode) or pure greedy
   /// (when `explore` is false). `candidates` must be non-empty rows of
-  /// feature_dim.
+  /// feature_dim. The greedy branch scores every candidate in one batched
+  /// network pass; ties keep the lowest index, exactly as the per-row scan.
   std::size_t SelectAction(
       const std::vector<std::vector<double>>& candidates, bool explore);
 
-  /// Q-value of a single action.
-  double QValue(std::span<const double> features);
+  /// Q-value of a single action. Const and thread-safe against other
+  /// readers (no training cache is touched).
+  double QValue(std::span<const double> features) const;
+
+  /// Q-values of all candidate actions in one batched forward pass; entry i
+  /// is bit-identical to QValue(candidates[i]).
+  std::vector<double> QValues(
+      const std::vector<std::vector<double>>& candidates) const;
 
   /// Draws the exploration coin at the current epsilon and advances the
   /// decision counter (for callers that mix Q with an external prior).
@@ -54,8 +61,10 @@ class DqnAgent {
   /// Uniform random action index in [0, n).
   std::size_t RandomAction(std::size_t n) { return rng_.Index(n); }
 
-  /// max_a Q_target(s, a) over the candidate set; 0 for empty.
-  double MaxTargetQ(const std::vector<std::vector<double>>& candidates);
+  /// max_a Q_target(s, a) over the candidate set, from one batched forward
+  /// pass. Throws on an empty candidate set — a silent 0.0 floor would
+  /// corrupt targets for all-negative-Q candidate sets.
+  double MaxTargetQ(const std::vector<std::vector<double>>& candidates) const;
 
   void Push(Transition t) { buffer_.Push(std::move(t)); }
 

@@ -1,0 +1,238 @@
+// Parity tests for the batch-first ML compute layer: PredictBatch must be
+// bit-identical to the per-row training Forward, must never touch the
+// training activation cache, and must be safe for concurrent readers. The
+// blocked GEMM kernels are checked bit-for-bit against naive triple-loop
+// references across shapes, including degenerate 1x1 and non-square ones.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "ml/nn/matrix.hpp"
+#include "ml/nn/mlp.hpp"
+#include "util/rng.hpp"
+
+namespace mobirescue::ml {
+namespace {
+
+Matrix RandomMatrix(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.Uniform(-2.0, 2.0);
+  return m;
+}
+
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        out(i, j) += a(i, k) * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix NaiveTransposedMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      for (std::size_t k = 0; k < a.rows(); ++k) {
+        out(i, j) += a(k, i) * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix NaiveMatMulTransposed(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        acc += a(i, k) * b(j, k);
+      }
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+// Shapes stress the kernels' edges: 1x1, single row/column, non-square,
+// and sizes crossing the blocking thresholds (kBlockK = 64, kBlockJ = 256).
+struct Shape {
+  std::size_t m, k, n;
+};
+const Shape kShapes[] = {{1, 1, 1},   {1, 7, 3},    {5, 1, 9},
+                         {3, 9, 1},   {4, 8, 16},   {7, 13, 5},
+                         {32, 32, 32}, {6, 65, 10},  {3, 130, 300},
+                         {70, 70, 70}};
+
+TEST(MatrixKernelParityTest, MatMulMatchesNaiveBitwise) {
+  util::Rng rng(11);
+  for (const Shape& s : kShapes) {
+    const Matrix a = RandomMatrix(s.m, s.k, rng);
+    const Matrix b = RandomMatrix(s.k, s.n, rng);
+    const Matrix fast = a.MatMul(b);
+    const Matrix ref = NaiveMatMul(a, b);
+    ASSERT_EQ(fast.rows(), ref.rows());
+    ASSERT_EQ(fast.cols(), ref.cols());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      ASSERT_EQ(fast.data()[i], ref.data()[i])
+          << "m=" << s.m << " k=" << s.k << " n=" << s.n << " at " << i;
+    }
+  }
+}
+
+TEST(MatrixKernelParityTest, TransposedMatMulMatchesNaiveBitwise) {
+  util::Rng rng(12);
+  for (const Shape& s : kShapes) {
+    const Matrix a = RandomMatrix(s.k, s.m, rng);  // a^T is (m x k)
+    const Matrix b = RandomMatrix(s.k, s.n, rng);
+    const Matrix fast = a.TransposedMatMul(b);
+    const Matrix ref = NaiveTransposedMatMul(a, b);
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      ASSERT_EQ(fast.data()[i], ref.data()[i])
+          << "m=" << s.m << " k=" << s.k << " n=" << s.n << " at " << i;
+    }
+  }
+}
+
+TEST(MatrixKernelParityTest, MatMulTransposedMatchesNaiveBitwise) {
+  util::Rng rng(13);
+  for (const Shape& s : kShapes) {
+    const Matrix a = RandomMatrix(s.m, s.k, rng);
+    const Matrix b = RandomMatrix(s.n, s.k, rng);  // b^T is (k x n)
+    const Matrix fast = a.MatMulTransposed(b);
+    const Matrix ref = NaiveMatMulTransposed(a, b);
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      ASSERT_EQ(fast.data()[i], ref.data()[i])
+          << "m=" << s.m << " k=" << s.k << " n=" << s.n << " at " << i;
+    }
+  }
+}
+
+TEST(MatrixKernelParityTest, SingleRowProductMatchesBatchRowBitwise) {
+  // The invariant the batched inference paths rely on: row r of an N-row
+  // product is bit-identical to multiplying row r alone.
+  util::Rng rng(14);
+  const Matrix a = RandomMatrix(33, 65, rng);
+  const Matrix b = RandomMatrix(65, 48, rng);
+  const Matrix full = a.MatMul(b);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    Matrix row(1, a.cols());
+    for (std::size_t j = 0; j < a.cols(); ++j) row(0, j) = a(r, j);
+    const Matrix single = row.MatMul(b);
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      ASSERT_EQ(single(0, j), full(r, j)) << "row " << r << " col " << j;
+    }
+  }
+}
+
+MlpConfig SmallNetConfig(std::uint64_t seed) {
+  MlpConfig config;
+  config.input_dim = 11;
+  config.hidden = {32, 16};
+  config.output_dim = 3;
+  config.seed = seed;
+  return config;
+}
+
+TEST(BatchForwardTest, PredictBatchMatchesForwardBitwise) {
+  for (const std::uint64_t seed : {1u, 7u, 21u}) {
+    Mlp net(SmallNetConfig(seed));
+    util::Rng rng(seed + 100);
+    for (const std::size_t batch : {1ul, 2ul, 5ul, 33ul}) {
+      Matrix x(batch, 11);
+      for (double& v : x.data()) v = rng.Uniform(-3.0, 3.0);
+      const Matrix trained = net.Forward(x);
+      const Matrix inferred = net.PredictBatch(x);
+      ASSERT_EQ(trained.rows(), inferred.rows());
+      for (std::size_t i = 0; i < trained.size(); ++i) {
+        ASSERT_EQ(trained.data()[i], inferred.data()[i])
+            << "seed " << seed << " batch " << batch << " at " << i;
+      }
+    }
+  }
+}
+
+TEST(BatchForwardTest, PredictMatchesBatchRowBitwise) {
+  Mlp net(SmallNetConfig(5));
+  util::Rng rng(55);
+  Matrix x(17, 11);
+  for (double& v : x.data()) v = rng.Uniform(-3.0, 3.0);
+  const Matrix batched = net.PredictBatch(x);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const std::vector<double> row(x.data().begin() + r * 11,
+                                  x.data().begin() + (r + 1) * 11);
+    const std::vector<double> single = net.Predict(row);
+    ASSERT_EQ(single.size(), batched.cols());
+    for (std::size_t j = 0; j < single.size(); ++j) {
+      ASSERT_EQ(single[j], batched(r, j)) << "row " << r << " out " << j;
+    }
+  }
+}
+
+TEST(BatchForwardTest, PredictBatchDoesNotPerturbTrainingCache) {
+  // Evaluation between Forward and Backward must not corrupt the gradient
+  // step: run the identical Forward/Backward sequence on two weight-equal
+  // networks, interleave heavy PredictBatch traffic into one, and require
+  // bitwise-equal weights afterwards.
+  Mlp clean(SmallNetConfig(9));
+  Mlp noisy(SmallNetConfig(9));
+  util::Rng rng(99);
+  Matrix x(8, 11), targets(8, 3), probe(64, 11);
+  for (double& v : x.data()) v = rng.Uniform(-1.0, 1.0);
+  for (double& v : targets.data()) v = rng.Uniform(-1.0, 1.0);
+  for (double& v : probe.data()) v = rng.Uniform(-5.0, 5.0);
+
+  for (int step = 0; step < 5; ++step) {
+    clean.Forward(x);
+    noisy.Forward(x);
+    noisy.PredictBatch(probe);  // inference between Forward and Backward
+    const double loss_clean = clean.Backward(targets);
+    const double loss_noisy = noisy.Backward(targets);
+    ASSERT_EQ(loss_clean, loss_noisy) << "step " << step;
+  }
+  const std::vector<double> w_clean = clean.SaveWeights();
+  const std::vector<double> w_noisy = noisy.SaveWeights();
+  ASSERT_EQ(w_clean.size(), w_noisy.size());
+  for (std::size_t i = 0; i < w_clean.size(); ++i) {
+    ASSERT_EQ(w_clean[i], w_noisy[i]) << "weight " << i;
+  }
+}
+
+TEST(BatchForwardTest, ConcurrentPredictBatchReadersAgree) {
+  // PredictBatch is const and cache-free, so any number of threads may
+  // score batches on one shared network. Run under the tsan preset via the
+  // suite's `concurrency` label.
+  const Mlp net(SmallNetConfig(3));
+  util::Rng rng(31);
+  Matrix x(16, 11);
+  for (double& v : x.data()) v = rng.Uniform(-2.0, 2.0);
+  const Matrix expected = net.PredictBatch(x);
+
+  constexpr int kThreads = 4;
+  std::vector<Matrix> results(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int rep = 0; rep < 50; ++rep) results[t] = net.PredictBatch(x);
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(results[t].size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(results[t].data()[i], expected.data()[i])
+          << "thread " << t << " at " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mobirescue::ml
