@@ -89,6 +89,10 @@ class DispatchFeaturizer {
 
   const FeaturizerConfig& config() const { return config_; }
 
+  /// The featurizer's router (exposes the shortest-path-tree cache stats
+  /// for the serve layer's metrics).
+  const roadnet::Router& router() const { return router_; }
+
  private:
   const roadnet::City& city_;
   roadnet::Router router_;

@@ -11,7 +11,7 @@ namespace mobirescue::dispatch {
 
 MobiRescueDispatcher::MobiRescueDispatcher(
     const roadnet::City& city, const predict::SvmRequestPredictor& predictor,
-    sim::PopulationTracker& tracker, const roadnet::SpatialIndex& index,
+    sim::PopulationSource& tracker, const roadnet::SpatialIndex& index,
     std::shared_ptr<rl::DqnAgent> agent, double day_offset_s,
     MobiRescueConfig config)
     : city_(city),

@@ -50,9 +50,13 @@ struct MobiRescueConfig {
 
 class MobiRescueDispatcher : public sim::Dispatcher {
  public:
+  /// `tracker` is any population snapshot source: the batch pipeline hands
+  /// in a PopulationTracker replaying a recorded day; the online service
+  /// hands in its streamed serve::StreamState. Decisions depend only on
+  /// snapshot content, so equal-content sources give identical decisions.
   MobiRescueDispatcher(const roadnet::City& city,
                        const predict::SvmRequestPredictor& predictor,
-                       sim::PopulationTracker& tracker,
+                       sim::PopulationSource& tracker,
                        const roadnet::SpatialIndex& index,
                        std::shared_ptr<rl::DqnAgent> agent,
                        double day_offset_s, MobiRescueConfig config = {});
@@ -62,6 +66,14 @@ class MobiRescueDispatcher : public sim::Dispatcher {
 
   const rl::DqnAgent& agent() const { return *agent_; }
   double last_train_loss() const { return last_loss_; }
+
+  // Introspection for the serve layer's metrics.
+  const DispatchFeaturizer& featurizer() const { return featurizer_; }
+  /// The cached SVM prediction {ñ_e} and when it was last refreshed.
+  const predict::Distribution& predicted_distribution() const {
+    return cached_distribution_;
+  }
+  double prediction_refreshed_at() const { return cached_at_; }
 
   /// The heuristic prior over one action's features: demand-seeking,
   /// distance- and competition-averse, 0 for the depot action.
@@ -82,7 +94,7 @@ class MobiRescueDispatcher : public sim::Dispatcher {
 
   const roadnet::City& city_;
   const predict::SvmRequestPredictor& predictor_;
-  sim::PopulationTracker& tracker_;
+  sim::PopulationSource& tracker_;
   const roadnet::SpatialIndex& index_;
   std::shared_ptr<rl::DqnAgent> agent_;
   double day_offset_s_;

@@ -17,7 +17,6 @@ FlowRateAnalyzer::FlowRateAnalyzer(const roadnet::RoadNetwork& net,
   }
   const std::size_t cells = net.num_segments() * static_cast<std::size_t>(total_hours);
   counts_.assign(cells, 0);
-  last_person_.assign(cells, kInvalidPerson);
 }
 
 std::size_t FlowRateAnalyzer::CellIndex(roadnet::SegmentId seg,
@@ -25,18 +24,24 @@ std::size_t FlowRateAnalyzer::CellIndex(roadnet::SegmentId seg,
   return static_cast<std::size_t>(seg) * total_hours_ + hour;
 }
 
+void FlowRateAnalyzer::Ingest(const MatchedRecord& m) {
+  if (m.speed_mps < moving_threshold_) return;
+  const int hour = util::HourIndex(m.t);
+  if (hour < 0 || hour >= total_hours_) return;
+  const std::size_t idx = CellIndex(m.segment, hour);
+  // One count per (person, segment, hour), regardless of record order or
+  // how the trace is split across Ingest calls. person < 2^32 and
+  // cells < 2^31, so the combined key fits in 64 bits.
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.person)) *
+          counts_.size() +
+      idx;
+  if (!seen_.insert(key).second) return;
+  ++counts_[idx];
+}
+
 void FlowRateAnalyzer::Ingest(const std::vector<MatchedRecord>& matched) {
-  for (const MatchedRecord& m : matched) {
-    if (m.speed_mps < moving_threshold_) continue;
-    const int hour = util::HourIndex(m.t);
-    if (hour < 0 || hour >= total_hours_) continue;
-    const std::size_t idx = CellIndex(m.segment, hour);
-    // Records arrive sorted by person, so remembering the last counted
-    // person per cell suffices to count each vehicle once per hour.
-    if (last_person_[idx] == m.person) continue;
-    last_person_[idx] = m.person;
-    ++counts_[idx];
-  }
+  for (const MatchedRecord& m : matched) Ingest(m);
 }
 
 double FlowRateAnalyzer::SegmentFlow(roadnet::SegmentId seg, int hour) const {

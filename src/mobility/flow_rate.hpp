@@ -8,6 +8,8 @@
 // how sparse cellphone data supports flow estimation.
 #pragma once
 
+#include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "mobility/map_matcher.hpp"
@@ -21,7 +23,14 @@ class FlowRateAnalyzer {
   FlowRateAnalyzer(const roadnet::RoadNetwork& net, int total_hours,
                    double moving_speed_threshold_mps = 2.0);
 
-  /// Ingests matched records sorted by (person, time).
+  /// Ingests a single matched record. Safe to call in any order and any
+  /// interleaving: (person, segment, hour) dedup holds across all calls,
+  /// so a streamed, time-ordered feed produces the same flows as one batch
+  /// Ingest of the full trace.
+  void Ingest(const MatchedRecord& m);
+
+  /// Ingests a batch of matched records (any order; dedup holds across
+  /// repeated calls).
   void Ingest(const std::vector<MatchedRecord>& matched);
 
   /// Vehicles observed on a segment during an absolute hour.
@@ -56,8 +65,10 @@ class FlowRateAnalyzer {
   double moving_threshold_;
   /// Dense (segment x hour) vehicle counts.
   std::vector<std::uint32_t> counts_;
-  /// Dedup bookkeeping: last person counted per (segment, hour).
-  std::vector<PersonId> last_person_;
+  /// Dedup bookkeeping: (person, segment, hour) triples already counted,
+  /// keyed person * num_cells + cell so the property survives arbitrary
+  /// record order and repeated Ingest calls (streaming).
+  std::unordered_set<std::uint64_t> seen_;
 };
 
 }  // namespace mobirescue::mobility

@@ -2,14 +2,21 @@
 
 namespace mobirescue::mobility {
 
+bool MapMatcher::MatchRecord(const GpsRecord& record,
+                             MatchedRecord* out) const {
+  const roadnet::SegmentId sid =
+      index_.NearestSegment(record.pos, config_.max_match_distance_m);
+  if (sid == roadnet::kInvalidSegment) return false;
+  *out = {record.person, record.t, sid, record.speed_mps, record.pos};
+  return true;
+}
+
 std::vector<MatchedRecord> MapMatcher::MatchTrace(const GpsTrace& trace) const {
   std::vector<MatchedRecord> out;
   out.reserve(trace.size());
+  MatchedRecord m;
   for (const GpsRecord& r : trace) {
-    const roadnet::SegmentId sid =
-        index_.NearestSegment(r.pos, config_.max_match_distance_m);
-    if (sid == roadnet::kInvalidSegment) continue;
-    out.push_back({r.person, r.t, sid, r.speed_mps, r.pos});
+    if (MatchRecord(r, &m)) out.push_back(m);
   }
   return out;
 }

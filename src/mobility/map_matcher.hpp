@@ -38,6 +38,12 @@ class MapMatcher {
              MatchConfig config = {})
       : net_(net), index_(index), config_(config) {}
 
+  /// Matches one record to its nearest segment. Returns false (and leaves
+  /// `out` untouched) when no segment lies within max_match_distance_m —
+  /// the streaming-ingestion entry point (src/serve) for per-record
+  /// incremental matching.
+  bool MatchRecord(const GpsRecord& record, MatchedRecord* out) const;
+
   /// Matches every record to its nearest segment.
   std::vector<MatchedRecord> MatchTrace(const GpsTrace& trace) const;
 

@@ -5,6 +5,15 @@
 
 namespace mobirescue::predict {
 
+SvmRequestPredictor::SvmRequestPredictor(const weather::FactorSampler& factors,
+                                         ml::SvmModel model,
+                                         ml::FeatureScaler scaler,
+                                         double threshold)
+    : factors_(factors),
+      scaler_(std::move(scaler)),
+      model_(std::move(model)),
+      threshold_(threshold) {}
+
 SvmRequestPredictor::SvmRequestPredictor(
     const weather::FactorSampler& factors,
     const std::vector<mobility::HospitalDelivery>& deliveries,

@@ -57,6 +57,12 @@ class SvmRequestPredictor {
                       util::SimTime storm_mid_time,
                       SvmPredictorConfig config = {});
 
+  /// Restores an already-trained predictor from checkpointed parts
+  /// (serve::ServiceCheckpoint): no training happens; validation() is
+  /// empty and training_rows() is 0.
+  SvmRequestPredictor(const weather::FactorSampler& factors, ml::SvmModel model,
+                      ml::FeatureScaler scaler, double threshold);
+
   /// The paper's Equation (1): should this person (at pos, time t) be
   /// rescued?
   bool PredictPerson(const util::GeoPoint& pos, util::SimTime t) const;

@@ -82,6 +82,15 @@ class DqnAgent {
   std::vector<double> SaveWeights() const { return online_.SaveWeights(); }
   void LoadWeights(std::span<const double> w);
 
+  /// Target-network access: the target net lags the online net between
+  /// syncs, so resuming training after a restart needs both snapshots.
+  /// LoadWeights alone syncs target to online; call LoadTargetWeights
+  /// afterwards to restore the lagged copy exactly.
+  std::vector<double> SaveTargetWeights() const {
+    return target_.SaveWeights();
+  }
+  void LoadTargetWeights(std::span<const double> w) { target_.LoadWeights(w); }
+
  private:
   DqnConfig config_;
   ml::Mlp online_;

@@ -1,0 +1,144 @@
+#include "serve/checkpoint.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "ml/serialize.hpp"
+
+namespace mobirescue::serve {
+
+namespace {
+
+constexpr const char* kCkptMagic = "mobirescue-ckpt-v1";
+constexpr const char* kDqnMagic = "mobirescue-dqn-v1";
+
+void ExpectToken(std::istream& is, const char* token) {
+  std::string got;
+  if (!(is >> got) || got != token) {
+    throw std::runtime_error(std::string("LoadCheckpoint: expected ") + token);
+  }
+}
+
+void SaveWeightBlock(const std::vector<double>& weights, std::ostream& os) {
+  os << weights.size() << "\n";
+  for (double w : weights) os << w << " ";
+  os << "\n";
+}
+
+void LoadWeightBlock(std::vector<double>& weights, std::istream& is) {
+  std::size_t n = 0;
+  if (!(is >> n)) throw std::runtime_error("LoadCheckpoint: bad DQN size");
+  weights.resize(n);
+  for (double& w : weights) {
+    if (!(is >> w)) throw std::runtime_error("LoadCheckpoint: bad DQN weight");
+  }
+}
+
+void SaveDqn(const rl::DqnConfig& config, const std::vector<double>& weights,
+             const std::vector<double>& target_weights, std::ostream& os) {
+  os << kDqnMagic << "\n";
+  os << config.feature_dim << " " << config.hidden.size();
+  for (std::size_t h : config.hidden) os << " " << h;
+  os << "\n"
+     << std::setprecision(17) << config.gamma << " " << config.learning_rate
+     << " " << config.batch_size << " " << config.buffer_capacity << " "
+     << config.target_sync_every << " " << config.epsilon_start << " "
+     << config.epsilon_end << " " << config.epsilon_decay_steps << " "
+     << config.seed << "\n";
+  SaveWeightBlock(weights, os);
+  SaveWeightBlock(target_weights, os);
+  if (!os) throw std::runtime_error("SaveCheckpoint: DQN write failed");
+}
+
+void LoadDqn(rl::DqnConfig& config, std::vector<double>& weights,
+             std::vector<double>& target_weights, std::istream& is) {
+  ExpectToken(is, kDqnMagic);
+  std::size_t layers = 0;
+  if (!(is >> config.feature_dim >> layers)) {
+    throw std::runtime_error("LoadCheckpoint: bad DQN topology");
+  }
+  config.hidden.resize(layers);
+  for (std::size_t& h : config.hidden) {
+    if (!(is >> h)) throw std::runtime_error("LoadCheckpoint: bad DQN hidden");
+  }
+  if (!(is >> config.gamma >> config.learning_rate >> config.batch_size >>
+        config.buffer_capacity >> config.target_sync_every >>
+        config.epsilon_start >> config.epsilon_end >>
+        config.epsilon_decay_steps >> config.seed)) {
+    throw std::runtime_error("LoadCheckpoint: bad DQN hyperparameters");
+  }
+  LoadWeightBlock(weights, is);
+  LoadWeightBlock(target_weights, is);
+}
+
+}  // namespace
+
+ServiceCheckpoint MakeCheckpoint(const rl::DqnAgent& agent,
+                                 const predict::SvmRequestPredictor& svm) {
+  ServiceCheckpoint ckpt;
+  ckpt.dqn = agent.config();
+  ckpt.dqn_weights = agent.SaveWeights();
+  ckpt.dqn_target_weights = agent.SaveTargetWeights();
+  ckpt.svm = svm.model();
+  ckpt.svm_scaler = svm.scaler();
+  ckpt.svm_threshold = svm.threshold();
+  return ckpt;
+}
+
+void SaveCheckpoint(const ServiceCheckpoint& ckpt, std::ostream& os) {
+  os << kCkptMagic << "\n";
+  SaveDqn(ckpt.dqn, ckpt.dqn_weights, ckpt.dqn_target_weights, os);
+  ml::SaveSvm(ckpt.svm, os);
+  ml::SaveScaler(ckpt.svm_scaler, os);
+  os << std::setprecision(17) << ckpt.svm_threshold << "\n";
+  if (!os) throw std::runtime_error("SaveCheckpoint: write failed");
+}
+
+ServiceCheckpoint LoadCheckpoint(std::istream& is) {
+  ExpectToken(is, kCkptMagic);
+  ServiceCheckpoint ckpt;
+  LoadDqn(ckpt.dqn, ckpt.dqn_weights, ckpt.dqn_target_weights, is);
+  ckpt.svm = ml::LoadSvm(is);
+  ckpt.svm_scaler = ml::LoadScaler(is);
+  if (!(is >> ckpt.svm_threshold)) {
+    throw std::runtime_error("LoadCheckpoint: bad threshold");
+  }
+  return ckpt;
+}
+
+void SaveCheckpointToFile(const ServiceCheckpoint& ckpt,
+                          const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("SaveCheckpointToFile: cannot open " + path);
+  }
+  SaveCheckpoint(ckpt, os);
+}
+
+ServiceCheckpoint LoadCheckpointFromFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("LoadCheckpointFromFile: cannot open " + path);
+  }
+  return LoadCheckpoint(is);
+}
+
+std::shared_ptr<rl::DqnAgent> RestoreAgent(const ServiceCheckpoint& ckpt) {
+  auto agent = std::make_shared<rl::DqnAgent>(ckpt.dqn);
+  agent->LoadWeights(ckpt.dqn_weights);
+  if (!ckpt.dqn_target_weights.empty()) {
+    agent->LoadTargetWeights(ckpt.dqn_target_weights);
+  }
+  return agent;
+}
+
+std::unique_ptr<predict::SvmRequestPredictor> RestorePredictor(
+    const ServiceCheckpoint& ckpt, const weather::FactorSampler& factors) {
+  return std::make_unique<predict::SvmRequestPredictor>(
+      factors, ckpt.svm, ckpt.svm_scaler, ckpt.svm_threshold);
+}
+
+}  // namespace mobirescue::serve

@@ -1,0 +1,60 @@
+// Service checkpointing: everything a dispatch server needs to start
+// serving without retraining — the trained DQN (config + weights) and the
+// trained SVM request predictor (model + feature scaler + calibrated
+// threshold) — in one versioned plain-text artifact built on ml/serialize.
+//
+// The text format uses max-precision doubles (setprecision(17)), so a
+// save/load round trip restores bit-identical Q-values and SVM decision
+// values (checkpoint_test asserts this on probe batches).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/svm/scaler.hpp"
+#include "ml/svm/svm.hpp"
+#include "predict/svm_predictor.hpp"
+#include "rl/dqn_agent.hpp"
+#include "weather/disaster_factors.hpp"
+
+namespace mobirescue::serve {
+
+struct ServiceCheckpoint {
+  rl::DqnConfig dqn;
+  std::vector<double> dqn_weights;
+  /// The lagged target network, saved separately so bootstrap targets
+  /// continue seamlessly if training resumes after a restart. Empty means
+  /// "sync target to online on restore".
+  std::vector<double> dqn_target_weights;
+  ml::SvmModel svm;
+  ml::FeatureScaler svm_scaler;
+  double svm_threshold = 0.0;
+};
+
+/// Captures the trained models from a finished training run.
+ServiceCheckpoint MakeCheckpoint(const rl::DqnAgent& agent,
+                                 const predict::SvmRequestPredictor& svm);
+
+/// Writes / reads the checkpoint; throws std::runtime_error on I/O failure
+/// or malformed input.
+void SaveCheckpoint(const ServiceCheckpoint& ckpt, std::ostream& os);
+ServiceCheckpoint LoadCheckpoint(std::istream& is);
+
+void SaveCheckpointToFile(const ServiceCheckpoint& ckpt,
+                          const std::string& path);
+ServiceCheckpoint LoadCheckpointFromFile(const std::string& path);
+
+/// Rebuilds a ready-to-serve agent: constructed from the saved config with
+/// the saved weights loaded (online and target networks both restored to
+/// the saved snapshot).
+std::shared_ptr<rl::DqnAgent> RestoreAgent(const ServiceCheckpoint& ckpt);
+
+/// Rebuilds the request predictor over the serving scenario's factor
+/// sampler (weather is an input of the serving deployment, not part of the
+/// checkpoint).
+std::unique_ptr<predict::SvmRequestPredictor> RestorePredictor(
+    const ServiceCheckpoint& ckpt, const weather::FactorSampler& factors);
+
+}  // namespace mobirescue::serve

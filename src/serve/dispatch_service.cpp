@@ -1,0 +1,128 @@
+#include "serve/dispatch_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "serve/trace_streamer.hpp"
+
+namespace mobirescue::serve {
+
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point a,
+                 std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+DispatchService::DispatchService(const roadnet::City& city,
+                                 const roadnet::SpatialIndex& index,
+                                 const predict::SvmRequestPredictor& svm,
+                                 std::shared_ptr<rl::DqnAgent> agent,
+                                 double day_offset_s, ServiceConfig config,
+                                 dispatch::MobiRescueConfig mr_config)
+    : config_(config),
+      queue_(config.queue),
+      state_(city.network, index, config.state) {
+  auto mr = std::make_unique<dispatch::MobiRescueDispatcher>(
+      city, svm, state_, index, std::move(agent), day_offset_s, mr_config);
+  mobirescue_ = mr.get();
+  owned_dispatcher_ = std::move(mr);
+  dispatcher_ = owned_dispatcher_.get();
+}
+
+DispatchService::DispatchService(const roadnet::City& city,
+                                 const roadnet::SpatialIndex& index,
+                                 std::unique_ptr<sim::Dispatcher> dispatcher,
+                                 ServiceConfig config)
+    : config_(config),
+      queue_(config.queue),
+      state_(city.network, index, config.state),
+      owned_dispatcher_(std::move(dispatcher)) {
+  dispatcher_ = owned_dispatcher_.get();
+}
+
+bool DispatchService::Ingest(const mobility::GpsRecord& record) {
+  return queue_.Push(record);
+}
+
+void DispatchService::IngestBatch(
+    const std::vector<mobility::GpsRecord>& records) {
+  for (const mobility::GpsRecord& r : records) queue_.Push(r);
+}
+
+void DispatchService::AdvanceStateTo(util::SimTime now) {
+  // Deferred records were pushed before anything still in the queues, so
+  // they go first — per-person time order is preserved end to end.
+  incoming_.clear();
+  std::swap(incoming_, deferred_);
+  queue_.DrainInto(incoming_);
+
+  for (const mobility::GpsRecord& r : incoming_) {
+    if (r.t <= now) {
+      state_.Apply(r);
+    } else {
+      deferred_.push_back(r);
+      ++deferred_total_;
+    }
+  }
+  incoming_.clear();
+  watermark_ = std::max(watermark_, now);
+}
+
+sim::DispatchDecision DispatchService::Tick(
+    const sim::DispatchContext& context) {
+  const auto t0 = std::chrono::steady_clock::now();
+  AdvanceStateTo(context.now);
+  const auto t1 = std::chrono::steady_clock::now();
+  sim::DispatchDecision decision = dispatcher_->Decide(context);
+  const auto t2 = std::chrono::steady_clock::now();
+
+  drain_ms_.push_back(ElapsedMs(t0, t1));
+  decide_ms_.push_back(ElapsedMs(t1, t2));
+  ++ticks_;
+  return decision;
+}
+
+sim::MetricsCollector DispatchService::ServeEpisode(
+    sim::RescueSimulator& simulator, TraceStreamer* streamer) {
+  sim::DispatchContext ctx;
+  while (simulator.NextRound(*dispatcher_, &ctx)) {
+    if (streamer != nullptr) streamer->WaitDelivered(ctx.now);
+    simulator.SubmitDecision(Tick(ctx));
+  }
+  // Flush any still-queued records (e.g. end-of-day samples after the last
+  // round) so final metrics reflect the whole stream.
+  if (streamer != nullptr) streamer->WaitDelivered(simulator.now());
+  AdvanceStateTo(simulator.now());
+  return simulator.metrics();
+}
+
+ServiceMetrics DispatchService::metrics() const {
+  ServiceMetrics m;
+  m.ingest = queue_.counters();
+  m.state = state_.counters();
+  m.queue_depths = queue_.Depths();
+  m.ticks = ticks_;
+  m.deferred = deferred_total_;
+  m.people_tracked = state_.num_people_seen();
+  m.decide_ms = util::Summarize(decide_ms_);
+  m.drain_ms = util::Summarize(drain_ms_);
+  if (watermark_ > 0.0) {
+    m.ingest_rate_per_s =
+        static_cast<double>(m.ingest.accepted) / watermark_;
+  }
+  if (mobirescue_ != nullptr) {
+    m.router_cache = mobirescue_->featurizer().router().cache_stats();
+  }
+  return m;
+}
+
+const predict::Distribution* DispatchService::predicted_demand() const {
+  return mobirescue_ == nullptr ? nullptr
+                                : &mobirescue_->predicted_distribution();
+}
+
+}  // namespace mobirescue::serve

@@ -1,0 +1,141 @@
+// The online dispatch service (DESIGN.md §11): the serving-system face of
+// the MobiRescue pipeline.
+//
+//   producers ──Ingest()──▶ ShardedIngestQueue ──drain──▶ StreamState
+//                                                            │ snapshot
+//   5-min tick ──AdvanceStateTo + Decide──────────────────────┘
+//
+// Producers (cellphone uplinks; in tests/demos a TraceStreamer) call
+// Ingest() from any thread. The tick loop — driven here by the simulator's
+// incremental NextRound/SubmitDecision API, in a real deployment by a wall
+// clock — drains the queues, folds the records into the incremental state
+// (latest positions, map matching, flow counts), runs the dispatcher on
+// the snapshot, and records the decision latency the paper contrasts with
+// the ~300 s IP baselines (p50/p95/p99 via util::Summarize).
+//
+// Decisions are bit-identical to the batch core::Pipeline replay of the
+// same day (dispatch_service_test): the dispatcher only sees snapshot
+// content, and the streamed latest-position map equals the batch
+// PopulationTracker's at every tick.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dispatch/mobirescue_dispatcher.hpp"
+#include "roadnet/city_builder.hpp"
+#include "roadnet/router.hpp"
+#include "serve/ingest_queue.hpp"
+#include "serve/stream_state.hpp"
+#include "sim/dispatcher.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace mobirescue::serve {
+
+class TraceStreamer;
+
+struct ServiceConfig {
+  /// Dispatch tick cadence (informational; when driven by a simulator the
+  /// simulator's dispatch_period_s rules).
+  double tick_period_s = 300.0;
+  IngestQueueConfig queue;
+  StreamStateConfig state;
+};
+
+/// One consistent view of the service's health, for benches and /metrics.
+struct ServiceMetrics {
+  IngestCounters ingest;
+  StreamStateCounters state;
+  std::vector<std::size_t> queue_depths;
+  std::uint64_t ticks = 0;
+  /// Records drained but held back because their timestamp was ahead of
+  /// the tick watermark (applied on a later tick).
+  std::uint64_t deferred = 0;
+  std::size_t people_tracked = 0;
+  /// Per-tick dispatcher Decide() wall time (ms).
+  util::PercentileSummary decide_ms;
+  /// Per-tick drain-and-apply wall time (ms).
+  util::PercentileSummary drain_ms;
+  /// Mean ingested records per simulated second (accepted / watermark).
+  double ingest_rate_per_s = 0.0;
+  /// The dispatcher featurizer's shortest-path-tree cache (MobiRescue
+  /// dispatcher only; zeros otherwise).
+  roadnet::RouterCacheStats router_cache;
+};
+
+class DispatchService {
+ public:
+  /// MobiRescue service: builds the DQN dispatcher over the service's own
+  /// streamed state. `agent` is typically restored from a checkpoint
+  /// (serve/checkpoint.hpp) — no retraining on boot.
+  DispatchService(const roadnet::City& city,
+                  const roadnet::SpatialIndex& index,
+                  const predict::SvmRequestPredictor& svm,
+                  std::shared_ptr<rl::DqnAgent> agent, double day_offset_s,
+                  ServiceConfig config = {},
+                  dispatch::MobiRescueConfig mr_config = {});
+
+  /// Baseline service: any dispatcher; the streamed state is still
+  /// maintained (metrics, flows) but the dispatcher may ignore it.
+  DispatchService(const roadnet::City& city,
+                  const roadnet::SpatialIndex& index,
+                  std::unique_ptr<sim::Dispatcher> dispatcher,
+                  ServiceConfig config = {});
+
+  DispatchService(const DispatchService&) = delete;
+  DispatchService& operator=(const DispatchService&) = delete;
+
+  /// Thread-safe producer entry point. Returns false iff the record was
+  /// dropped (full shard under kDropNewest).
+  bool Ingest(const mobility::GpsRecord& record);
+  void IngestBatch(const std::vector<mobility::GpsRecord>& records);
+
+  /// Drains the queues and applies every record with t <= now to the
+  /// incremental state; records ahead of `now` are deferred (applied by a
+  /// later call, still in per-person order). Tick() calls this; exposed
+  /// for tests. Not thread-safe against other consumers — one tick loop.
+  void AdvanceStateTo(util::SimTime now);
+
+  /// One dispatch tick at context.now: drain + apply, then run the
+  /// dispatcher on the snapshot. Records drain and decide latency.
+  sim::DispatchDecision Tick(const sim::DispatchContext& context);
+
+  /// Drives a whole simulated day through the tick loop: for every due
+  /// dispatch round, waits for `streamer` (when given) to deliver all GPS
+  /// records up to the round's time, then ticks and submits the decision.
+  /// Equivalent to simulator.Run(dispatcher) with streaming in the loop.
+  sim::MetricsCollector ServeEpisode(sim::RescueSimulator& simulator,
+                                     TraceStreamer* streamer = nullptr);
+
+  ServiceMetrics metrics() const;
+
+  sim::Dispatcher& dispatcher() { return *dispatcher_; }
+  const StreamState& state() const { return state_; }
+  /// The MobiRescue dispatcher's cached {ñ_e} prediction; nullptr for
+  /// baseline dispatchers.
+  const predict::Distribution* predicted_demand() const;
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  ServiceConfig config_;
+  ShardedIngestQueue queue_;
+  StreamState state_;
+  std::unique_ptr<sim::Dispatcher> owned_dispatcher_;
+  sim::Dispatcher* dispatcher_ = nullptr;
+  /// Set when the dispatcher is the internally-built MobiRescue one
+  /// (introspection: router cache stats, prediction).
+  dispatch::MobiRescueDispatcher* mobirescue_ = nullptr;
+
+  // Tick-loop state (single consumer).
+  std::vector<mobility::GpsRecord> incoming_;
+  std::vector<mobility::GpsRecord> deferred_;
+  util::SimTime watermark_ = 0.0;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t deferred_total_ = 0;
+  std::vector<double> decide_ms_;
+  std::vector<double> drain_ms_;
+};
+
+}  // namespace mobirescue::serve

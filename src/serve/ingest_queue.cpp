@@ -1,0 +1,83 @@
+#include "serve/ingest_queue.hpp"
+
+#include <stdexcept>
+
+namespace mobirescue::serve {
+
+ShardedIngestQueue::ShardedIngestQueue(IngestQueueConfig config)
+    : config_(config), shards_(config.num_shards) {
+  if (config.num_shards == 0) {
+    throw std::invalid_argument("ShardedIngestQueue: num_shards == 0");
+  }
+  if (config.shard_capacity == 0) {
+    throw std::invalid_argument("ShardedIngestQueue: shard_capacity == 0");
+  }
+}
+
+std::size_t ShardedIngestQueue::ShardOf(mobility::PersonId person,
+                                        std::size_t num_shards) {
+  // splitmix64 finalizer: adjacent person ids land on unrelated shards.
+  std::uint64_t x = static_cast<std::uint64_t>(
+      static_cast<std::uint32_t>(person));
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % num_shards);
+}
+
+bool ShardedIngestQueue::Push(const mobility::GpsRecord& record) {
+  Shard& shard = shards_[ShardOf(record.person, shards_.size())];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.size() >= config_.shard_capacity) {
+    if (config_.drop_policy == DropPolicy::kDropNewest) {
+      ++shard.dropped;
+      return false;
+    }
+    // kDropOldest: evict the head to keep the freshest records.
+    ++shard.head;
+    ++shard.dropped;
+  }
+  shard.buf.push_back(record);
+  ++shard.accepted;
+  return true;
+}
+
+std::size_t ShardedIngestQueue::DrainInto(
+    std::vector<mobility::GpsRecord>& out) {
+  std::size_t n = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const std::size_t depth = shard.size();
+    out.insert(out.end(), shard.buf.begin() + static_cast<std::ptrdiff_t>(shard.head),
+               shard.buf.end());
+    shard.buf.clear();
+    shard.head = 0;
+    shard.drained += depth;
+    n += depth;
+  }
+  return n;
+}
+
+std::vector<std::size_t> ShardedIngestQueue::Depths() const {
+  std::vector<std::size_t> depths;
+  depths.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    depths.push_back(shard.size());
+  }
+  return depths;
+}
+
+IngestCounters ShardedIngestQueue::counters() const {
+  IngestCounters c;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    c.accepted += shard.accepted;
+    c.dropped += shard.dropped;
+    c.drained += shard.drained;
+  }
+  return c;
+}
+
+}  // namespace mobirescue::serve

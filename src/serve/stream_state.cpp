@@ -1,0 +1,41 @@
+#include "serve/stream_state.hpp"
+
+namespace mobirescue::serve {
+
+StreamState::StreamState(const roadnet::RoadNetwork& net,
+                         const roadnet::SpatialIndex& index,
+                         StreamStateConfig config)
+    : matcher_(net, index, config.match),
+      flows_(net, config.flow_total_hours, config.moving_speed_threshold_mps),
+      config_(config) {}
+
+void StreamState::Apply(const mobility::GpsRecord& record) {
+  ++counters_.applied;
+  latest_[record.person] = record;
+  dirty_ = true;
+
+  mobility::MatchedRecord m;
+  if (matcher_.MatchRecord(record, &m)) {
+    ++counters_.matched;
+    flows_.Ingest(m);
+  } else {
+    ++counters_.unmatched;
+  }
+}
+
+void StreamState::ApplyAll(const std::vector<mobility::GpsRecord>& records) {
+  for (const mobility::GpsRecord& r : records) Apply(r);
+}
+
+const std::vector<mobility::GpsRecord>& StreamState::Snapshot(
+    util::SimTime /*t*/) {
+  if (dirty_) {
+    snapshot_.clear();
+    snapshot_.reserve(latest_.size());
+    for (const auto& [id, rec] : latest_) snapshot_.push_back(rec);
+    dirty_ = false;
+  }
+  return snapshot_;
+}
+
+}  // namespace mobirescue::serve

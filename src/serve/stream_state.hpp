@@ -1,0 +1,84 @@
+// Incrementally maintained derived state for the online dispatch service:
+// the streamed replacement for PopulationTracker + batch map-matching +
+// batch FlowRateAnalyzer::Ingest.
+//
+// Apply() consumes one raw GPS record at a time (already drained from the
+// ingestion queues — single-threaded by the service's tick loop) and keeps
+//   - each person's latest known position (the dispatcher's population
+//     snapshot: sim::PopulationSource),
+//   - the record's map-matched segment (mobility::MapMatcher::MatchRecord),
+//   - per-(segment, hour) vehicle flow counts
+//     (mobility::FlowRateAnalyzer::Ingest single-record path, whose
+//     (person, segment, hour) dedup is order- and batching-independent).
+//
+// Bit-identity contract: dispatch decisions depend only on snapshot
+// *content* (see PopulationSource); feeding the same day of records through
+// Apply in any per-person time order yields the same latest-position map as
+// the batch PopulationTracker, hence identical decisions.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mobility/flow_rate.hpp"
+#include "mobility/gps_record.hpp"
+#include "mobility/map_matcher.hpp"
+#include "roadnet/road_network.hpp"
+#include "roadnet/spatial_index.hpp"
+#include "sim/population_tracker.hpp"
+
+namespace mobirescue::serve {
+
+struct StreamStateConfig {
+  mobility::MatchConfig match;
+  /// Flow analyzer parameters: records are in simulation day time, so 24
+  /// hourly cells cover the horizon.
+  int flow_total_hours = 24;
+  double moving_speed_threshold_mps = 2.0;
+};
+
+/// Counters over everything Apply() has seen.
+struct StreamStateCounters {
+  std::uint64_t applied = 0;    // records consumed
+  std::uint64_t matched = 0;    // snapped to a segment (fed to flows)
+  std::uint64_t unmatched = 0;  // too far from any segment
+};
+
+class StreamState : public sim::PopulationSource {
+ public:
+  StreamState(const roadnet::RoadNetwork& net,
+              const roadnet::SpatialIndex& index,
+              StreamStateConfig config = {});
+
+  /// Consumes one record: updates the person's latest position and, when
+  /// the record matches a segment, the incremental flow counts. Records of
+  /// one person must arrive in time order (the sharded queue and the
+  /// per-person streamer workers guarantee this); interleaving across
+  /// persons is free.
+  void Apply(const mobility::GpsRecord& record);
+
+  void ApplyAll(const std::vector<mobility::GpsRecord>& records);
+
+  /// Every person's latest applied position. `t` is accepted for interface
+  /// compatibility (PopulationSource); the service only snapshots after
+  /// draining all records with time <= t, so the content equals the batch
+  /// tracker's Snapshot(t).
+  const std::vector<mobility::GpsRecord>& Snapshot(util::SimTime t) override;
+
+  const mobility::FlowRateAnalyzer& flows() const { return flows_; }
+  const StreamStateCounters& counters() const { return counters_; }
+  std::size_t num_people_seen() const { return latest_.size(); }
+
+ private:
+  mobility::MapMatcher matcher_;
+  mobility::FlowRateAnalyzer flows_;
+  StreamStateConfig config_;
+  StreamStateCounters counters_;
+
+  std::unordered_map<mobility::PersonId, mobility::GpsRecord> latest_;
+  std::vector<mobility::GpsRecord> snapshot_;
+  bool dirty_ = true;
+};
+
+}  // namespace mobirescue::serve

@@ -1,0 +1,89 @@
+#include "serve/trace_streamer.hpp"
+
+#include <algorithm>
+
+#include "serve/dispatch_service.hpp"
+#include "serve/ingest_queue.hpp"
+
+namespace mobirescue::serve {
+
+TraceStreamer::TraceStreamer(mobility::GpsTrace trace,
+                             DispatchService& service,
+                             TraceStreamerConfig config)
+    : service_(service), config_(config) {
+  if (config_.num_workers == 0) config_.num_workers = 1;
+  per_worker_.resize(config_.num_workers);
+  total_records_ = trace.size();
+  for (const mobility::GpsRecord& r : trace) {
+    // Same person -> same worker: per-person time order is preserved end
+    // to end (one producer, one queue shard).
+    per_worker_[ShardedIngestQueue::ShardOf(r.person, config_.num_workers)]
+        .push_back(r);
+  }
+  for (mobility::GpsTrace& part : per_worker_) {
+    std::stable_sort(part.begin(), part.end(),
+                     [](const mobility::GpsRecord& a,
+                        const mobility::GpsRecord& b) { return a.t < b.t; });
+  }
+  delivered_to_.assign(config_.num_workers, -1.0);
+  workers_.reserve(config_.num_workers);
+  for (std::size_t w = 0; w < config_.num_workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+TraceStreamer::~TraceStreamer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void TraceStreamer::Advance(util::SimTime target) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (target <= watermark_) return;
+    watermark_ = target;
+  }
+  wake_.notify_all();
+}
+
+void TraceStreamer::WaitDelivered(util::SimTime target) {
+  Advance(target);
+  std::unique_lock<std::mutex> lock(mu_);
+  delivered_.wait(lock, [&] {
+    for (util::SimTime d : delivered_to_) {
+      if (d < target) return false;
+    }
+    return true;
+  });
+}
+
+void TraceStreamer::WorkerLoop(std::size_t worker) {
+  const mobility::GpsTrace& records = per_worker_[worker];
+  std::size_t cursor = 0;
+  util::SimTime processed = -1.0;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    wake_.wait(lock, [&] { return stop_ || watermark_ > processed; });
+    if (stop_) return;
+    const util::SimTime target = watermark_;
+    lock.unlock();
+
+    while (cursor < records.size() &&
+           records[cursor].t <= target + config_.lead_s) {
+      service_.Ingest(records[cursor]);
+      ++cursor;
+    }
+
+    lock.lock();
+    processed = target;
+    delivered_to_[worker] = std::max(delivered_to_[worker], target);
+    delivered_.notify_all();
+  }
+}
+
+}  // namespace mobirescue::serve

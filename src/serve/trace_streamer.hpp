@@ -1,0 +1,75 @@
+// Replays a recorded GPS trace into a DispatchService as a live stream:
+// N worker threads, each owning a disjoint set of people (the same
+// person-id hash the ingest queue shards by), push records whose timestamp
+// has passed the advancing simulation watermark.
+//
+// This is the test/demo producer standing in for "millions of cellphones":
+// it exercises the real multi-producer ingestion path while keeping the
+// per-person time order the stream contract requires (one person = one
+// worker = one FIFO).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mobility/gps_record.hpp"
+
+namespace mobirescue::serve {
+
+class DispatchService;
+
+struct TraceStreamerConfig {
+  std::size_t num_workers = 4;
+  /// Records up to this far *ahead* of the watermark may be delivered
+  /// early (they sit in the queue until a tick drains them). 0 keeps
+  /// delivery exactly at the watermark.
+  double lead_s = 0.0;
+};
+
+class TraceStreamer {
+ public:
+  /// Partitions `trace` across workers by person and starts them. Workers
+  /// idle until Advance() moves the watermark.
+  TraceStreamer(mobility::GpsTrace trace, DispatchService& service,
+                TraceStreamerConfig config = {});
+
+  /// Stops and joins the workers (undelivered records stay undelivered).
+  ~TraceStreamer();
+
+  TraceStreamer(const TraceStreamer&) = delete;
+  TraceStreamer& operator=(const TraceStreamer&) = delete;
+
+  /// Moves the watermark to `target` (monotonic; lower values are ignored)
+  /// and wakes the workers.
+  void Advance(util::SimTime target);
+
+  /// Blocks until every worker has pushed all records with t <= `target`.
+  /// Advances the watermark itself if needed.
+  void WaitDelivered(util::SimTime target);
+
+  std::size_t total_records() const { return total_records_; }
+
+ private:
+  void WorkerLoop(std::size_t worker);
+
+  DispatchService& service_;
+  TraceStreamerConfig config_;
+  /// Per-worker record lists, each sorted by time (per-person order is a
+  /// sub-order of that).
+  std::vector<mobility::GpsTrace> per_worker_;
+  std::size_t total_records_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable wake_;      // workers wait for watermark movement
+  std::condition_variable delivered_; // WaitDelivered waits for workers
+  util::SimTime watermark_ = -1.0;
+  std::vector<util::SimTime> delivered_to_;  // per worker
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mobirescue::serve

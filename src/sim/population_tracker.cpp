@@ -6,10 +6,12 @@ namespace mobirescue::sim {
 
 PopulationTracker::PopulationTracker(mobility::GpsTrace records)
     : records_(std::move(records)) {
-  std::sort(records_.begin(), records_.end(),
-            [](const mobility::GpsRecord& a, const mobility::GpsRecord& b) {
-              return a.t < b.t;
-            });
+  // Stable: traces can hold several records for one person at the same
+  // timestamp, and "latest position" must mean last-in-trace-order — the
+  // same winner an online consumer applying records in arrival order picks.
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const mobility::GpsRecord& a,
+                      const mobility::GpsRecord& b) { return a.t < b.t; });
 }
 
 const std::vector<mobility::GpsRecord>& PopulationTracker::Snapshot(

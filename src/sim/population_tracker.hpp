@@ -11,7 +11,23 @@
 
 namespace mobirescue::sim {
 
-class PopulationTracker {
+/// Where the dispatcher's population snapshots come from. The batch
+/// pipeline replays a recorded day through a PopulationTracker; the online
+/// service (src/serve) implements this over its streamed ingestion state.
+/// Consumers (e.g. MobiRescueDispatcher) only depend on the snapshot
+/// *content* — the latest record per person at or before t — never on the
+/// row order, so any implementation with equal content yields bit-identical
+/// dispatch decisions.
+class PopulationSource {
+ public:
+  virtual ~PopulationSource() = default;
+
+  /// Advances to time t and returns every person's latest position at or
+  /// before t. The returned reference is valid until the next call.
+  virtual const std::vector<mobility::GpsRecord>& Snapshot(util::SimTime t) = 0;
+};
+
+class PopulationTracker : public PopulationSource {
  public:
   /// `records` may be in any order; they are re-sorted by time. Timestamps
   /// must already be re-timed to simulation time (0 = day start).
@@ -19,7 +35,7 @@ class PopulationTracker {
 
   /// Advances to time t and returns every person's latest position at or
   /// before t. The returned reference is valid until the next call.
-  const std::vector<mobility::GpsRecord>& Snapshot(util::SimTime t);
+  const std::vector<mobility::GpsRecord>& Snapshot(util::SimTime t) override;
 
   std::size_t num_people_seen() const { return latest_.size(); }
 

@@ -406,45 +406,55 @@ void RescueSimulator::ApplyActions(const std::vector<TeamAction>& actions,
   metrics_.RecordServingTeams(now, serving);
 }
 
-MetricsCollector RescueSimulator::Run(Dispatcher& dispatcher) {
-  SimTime now = 0.0;
-  SimTime next_dispatch = 0.0;
-
-  while (now < config_.horizon_s) {
-    // 1. Surface newly appeared requests.
+bool RescueSimulator::NextRound(Dispatcher& dispatcher, DispatchContext* ctx) {
+  while (now_ < config_.horizon_s) {
+    // 1. Surface newly appeared requests (idempotent on re-entry after a
+    //    SubmitDecision: the cursor has already passed everything <= now_).
     while (appear_cursor_ < appear_order_.size()) {
       Request& r = requests_[appear_order_[appear_cursor_]];
-      if (r.appear_time > now) break;
-      OnRequestAppear(r, now);
+      if (r.appear_time > now_) break;
+      OnRequestAppear(r, now_);
       ++appear_cursor_;
     }
 
-    // 2. Dispatch round (decision computed now, applied after latency).
-    if (now >= next_dispatch) {
-      DispatchContext ctx = BuildContext(now);
-      DispatchDecision decision = dispatcher.Decide(ctx);
-      PendingDecision pd;
-      pd.effective_time = now + std::max(0.0, decision.compute_latency_s);
-      pd.actions = std::move(decision.actions);
-      pending_decisions_.push_back(std::move(pd));
-      for (Team& team : teams_) {
-        team.served_since_dispatch = 0;
-        team.drive_time_since_dispatch = 0.0;
-      }
-      next_dispatch = now + config_.dispatch_period_s;
+    // 2. Dispatch round due: hand the context to the caller, who computes
+    //    the decision and returns it via SubmitDecision.
+    if (now_ >= next_dispatch_) {
+      *ctx = BuildContext(now_);
+      return true;
     }
 
     // 3. Apply decisions whose latency has elapsed.
     while (!pending_decisions_.empty() &&
-           pending_decisions_.front().effective_time <= now) {
-      ApplyActions(pending_decisions_.front().actions, now);
+           pending_decisions_.front().effective_time <= now_) {
+      ApplyActions(pending_decisions_.front().actions, now_);
       pending_decisions_.pop_front();
-      dispatcher.OnRoundComplete(BuildContext(now));
+      dispatcher.OnRoundComplete(BuildContext(now_));
     }
 
     // 4. Move the fleet.
-    StepTeams(now);
-    now += config_.step_s;
+    StepTeams(now_);
+    now_ += config_.step_s;
+  }
+  return false;
+}
+
+void RescueSimulator::SubmitDecision(DispatchDecision decision) {
+  PendingDecision pd;
+  pd.effective_time = now_ + std::max(0.0, decision.compute_latency_s);
+  pd.actions = std::move(decision.actions);
+  pending_decisions_.push_back(std::move(pd));
+  for (Team& team : teams_) {
+    team.served_since_dispatch = 0;
+    team.drive_time_since_dispatch = 0.0;
+  }
+  next_dispatch_ = now_ + config_.dispatch_period_s;
+}
+
+MetricsCollector RescueSimulator::Run(Dispatcher& dispatcher) {
+  DispatchContext ctx;
+  while (NextRound(dispatcher, &ctx)) {
+    SubmitDecision(dispatcher.Decide(ctx));
   }
   return metrics_;
 }

@@ -61,6 +61,32 @@ class RescueSimulator {
   /// Runs the full day under the dispatcher and returns the metrics.
   MetricsCollector Run(Dispatcher& dispatcher);
 
+  // --- Incremental serving API ---------------------------------------
+  // The online DispatchService (src/serve) drives the simulator round by
+  // round instead of through Run(): NextRound advances the clock —
+  // surfacing newly appeared requests, applying decisions whose compute
+  // latency has elapsed (notifying `dispatcher` via OnRoundComplete) and
+  // moving the fleet — until the next dispatch round is due, filling `ctx`
+  // with that round's context; the caller computes a decision and hands it
+  // back through SubmitDecision. Run() is exactly this loop with
+  // dispatcher.Decide inline, so incremental driving is bit-identical to
+  // the batch replay. Calling NextRound again without SubmitDecision
+  // re-surfaces the same due round.
+
+  /// Advances to the next due dispatch round. Returns false once the
+  /// horizon is reached (no further rounds; `ctx` untouched).
+  bool NextRound(Dispatcher& dispatcher, DispatchContext* ctx);
+
+  /// Submits the due round's decision; it takes effect after its
+  /// compute_latency_s, exactly as in Run().
+  void SubmitDecision(DispatchDecision decision);
+
+  /// Simulation clock (seconds since day start).
+  util::SimTime now() const { return now_; }
+
+  /// Metrics accumulated so far (complete once NextRound returns false).
+  const MetricsCollector& metrics() const { return metrics_; }
+
   // Introspection (tests, examples).
   const std::vector<Team>& teams() const { return teams_; }
   const std::vector<Request>& requests() const { return requests_; }
@@ -132,6 +158,10 @@ class RescueSimulator {
 
   std::deque<PendingDecision> pending_decisions_;
   int blockage_events_ = 0;
+
+  // Incremental-serving clock (Run() drives these too).
+  util::SimTime now_ = 0.0;
+  util::SimTime next_dispatch_ = 0.0;
 };
 
 }  // namespace mobirescue::sim

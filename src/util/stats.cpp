@@ -40,15 +40,51 @@ double PearsonCorrelation(std::span<const double> xs, std::span<const double> ys
   return Covariance(xs, ys) / (sx * sy);
 }
 
-double Percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
+namespace {
+
+/// Percentile over an already-sorted sample vector.
+double SortedPercentile(const std::vector<double>& xs, double p) {
   p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(rank));
   const auto hi = static_cast<std::size_t>(std::ceil(rank));
   const double frac = rank - static_cast<double>(lo);
   return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+}  // namespace
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  return SortedPercentile(xs, p);
+}
+
+std::vector<double> Percentiles(std::vector<double> xs,
+                                std::span<const double> ps) {
+  std::vector<double> out(ps.size(), 0.0);
+  if (xs.empty()) return out;
+  std::sort(xs.begin(), xs.end());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    out[i] = SortedPercentile(xs, ps[i]);
+  }
+  return out;
+}
+
+PercentileSummary Summarize(std::span<const double> xs) {
+  PercentileSummary s;
+  if (xs.empty()) return s;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.mean = Mean(sorted);
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = SortedPercentile(sorted, 50.0);
+  s.p90 = SortedPercentile(sorted, 90.0);
+  s.p95 = SortedPercentile(sorted, 95.0);
+  s.p99 = SortedPercentile(sorted, 99.0);
+  return s;
 }
 
 EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)

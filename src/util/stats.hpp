@@ -27,6 +27,30 @@ double PearsonCorrelation(std::span<const double> xs, std::span<const double> ys
 /// Linear-interpolated percentile, p in [0, 100].
 double Percentile(std::vector<double> xs, double p);
 
+/// Several linear-interpolated percentiles of one sample set with a single
+/// sort; `ps` are in [0, 100]. Returns one value per requested percentile
+/// (all 0 for an empty sample set).
+std::vector<double> Percentiles(std::vector<double> xs,
+                                std::span<const double> ps);
+
+/// Count/mean/extremes plus the tail percentiles the serve layer and the
+/// latency benches report (p50/p90/p95/p99). All fields are 0 when no
+/// samples were given.
+struct PercentileSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Summarises a sample vector (one sort, linear-interpolated percentiles —
+/// identical values to calling Percentile per rank).
+PercentileSummary Summarize(std::span<const double> xs);
+
 /// An empirical cumulative distribution function over observed samples.
 ///
 /// Benches print these as (value, fraction <= value) series matching the

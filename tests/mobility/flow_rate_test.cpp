@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "roadnet/city_builder.hpp"
 
 namespace mobirescue::mobility {
@@ -81,6 +83,62 @@ TEST_F(FlowRateTest, OutOfRangeHourSafe) {
 
 TEST_F(FlowRateTest, RejectsBadWindow) {
   EXPECT_THROW(FlowRateAnalyzer(city_.network, 0), std::invalid_argument);
+}
+
+// Streaming regression: dedup must hold ACROSS Ingest calls. The old
+// last-person-per-cell bookkeeping double-counted a person whose records
+// for one (segment, hour) were split over two batches with another person
+// in between.
+TEST_F(FlowRateTest, SplitIngestMatchesSingleBatch) {
+  const std::vector<MatchedRecord> trace = {
+      Moving(0, 7200, 3), Moving(1, 7250, 3), Moving(0, 7300, 3),
+      Moving(2, 7400, 5), Moving(1, 7500, 3), Moving(0, 7600, 5),
+      Moving(2, 7700, 3), Moving(0, 10900, 3),
+  };
+
+  FlowRateAnalyzer whole(city_.network, 48);
+  whole.Ingest(trace);
+
+  for (std::size_t split = 0; split <= trace.size(); ++split) {
+    FlowRateAnalyzer parts(city_.network, 48);
+    parts.Ingest({trace.begin(), trace.begin() + split});
+    parts.Ingest({trace.begin() + split, trace.end()});
+    for (roadnet::SegmentId seg : {3, 5}) {
+      for (int h : {1, 2, 3}) {
+        EXPECT_DOUBLE_EQ(parts.SegmentFlow(seg, h), whole.SegmentFlow(seg, h))
+            << "split=" << split << " seg=" << seg << " hour=" << h;
+      }
+    }
+  }
+}
+
+// Streamed arrival order is by time with persons interleaved — not the
+// by-(person, time) order the batch pipeline feeds. Flows must not depend
+// on the order, nor on single-record vs batch ingestion.
+TEST_F(FlowRateTest, InterleavedTimeOrderMatchesPersonOrder) {
+  const std::vector<MatchedRecord> by_person = {
+      Moving(0, 7200, 3), Moving(0, 7400, 3), Moving(0, 7600, 5),
+      Moving(1, 7250, 3), Moving(1, 7450, 3),
+      Moving(2, 7300, 5), Moving(2, 7500, 5),
+  };
+  std::vector<MatchedRecord> by_time = by_person;
+  std::sort(by_time.begin(), by_time.end(),
+            [](const MatchedRecord& a, const MatchedRecord& b) {
+              return a.t < b.t;
+            });
+
+  FlowRateAnalyzer batch(city_.network, 48);
+  batch.Ingest(by_person);
+
+  FlowRateAnalyzer streamed(city_.network, 48);
+  for (const MatchedRecord& m : by_time) streamed.Ingest(m);
+
+  for (roadnet::SegmentId seg : {3, 5}) {
+    for (int h : {1, 2, 3}) {
+      EXPECT_DOUBLE_EQ(streamed.SegmentFlow(seg, h), batch.SegmentFlow(seg, h))
+          << "seg=" << seg << " hour=" << h;
+    }
+  }
 }
 
 }  // namespace

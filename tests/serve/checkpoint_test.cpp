@@ -1,0 +1,154 @@
+#include "serve/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mobirescue::serve {
+namespace {
+
+/// An agent whose weights have drifted from initialization: pushes random
+/// transitions and takes gradient steps.
+std::shared_ptr<rl::DqnAgent> TrainedAgent() {
+  rl::DqnConfig config;
+  config.feature_dim = 5;
+  config.hidden = {16, 8};
+  config.batch_size = 16;
+  config.seed = 77;
+  auto agent = std::make_shared<rl::DqnAgent>(config);
+
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    rl::Transition t;
+    t.features.resize(config.feature_dim);
+    for (double& f : t.features) f = rng.Uniform(-1.0, 1.0);
+    t.reward = rng.Uniform(-1.0, 1.0);
+    t.terminal = i % 5 == 0;
+    if (!t.terminal) {
+      t.next_candidates.assign(3, std::vector<double>(config.feature_dim));
+      for (auto& row : t.next_candidates) {
+        for (double& f : row) f = rng.Uniform(-1.0, 1.0);
+      }
+    }
+    agent->Push(std::move(t));
+  }
+  for (int i = 0; i < 30; ++i) agent->TrainStep();
+  return agent;
+}
+
+/// A small trained-looking SVM model + scaler, built directly.
+ServiceCheckpoint HandMadeCheckpoint() {
+  ServiceCheckpoint ckpt;
+  ckpt.dqn.feature_dim = 5;
+  ckpt.dqn.hidden = {16, 8};
+
+  ml::KernelConfig kernel;
+  kernel.type = ml::KernelType::kRbf;
+  kernel.gamma = 0.37;
+  ckpt.svm = ml::SvmModel(
+      kernel,
+      {{0.25, -1.5, 3.0}, {-0.75, 2.25, -0.125}, {1.0 / 3.0, 0.1, -2.7}},
+      {0.5, -1.25, 0.8125}, -0.3217);
+  ml::FeatureScaler scaler;
+  scaler.Restore({10.5, -2.25, 100.0 / 7.0}, {3.75, 0.5, 12.1});
+  ckpt.svm_scaler = scaler;
+  ckpt.svm_threshold = 0.1234567890123456;
+  return ckpt;
+}
+
+std::vector<std::vector<double>> ProbeBatch(std::size_t rows,
+                                            std::size_t dim,
+                                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> batch(rows, std::vector<double>(dim));
+  for (auto& row : batch) {
+    for (double& v : row) v = rng.Uniform(-2.0, 2.0);
+  }
+  return batch;
+}
+
+TEST(CheckpointTest, DqnRoundTripBitIdenticalQValues) {
+  auto agent = TrainedAgent();
+  ServiceCheckpoint ckpt = HandMadeCheckpoint();
+  ckpt.dqn = agent->config();
+  ckpt.dqn_weights = agent->SaveWeights();
+  ckpt.dqn_target_weights = agent->SaveTargetWeights();
+  // 30 train steps < target_sync_every: the target net still lags the
+  // online net, so this round trip only passes if both are checkpointed.
+  ASSERT_NE(ckpt.dqn_target_weights, ckpt.dqn_weights);
+
+  std::stringstream ss;
+  SaveCheckpoint(ckpt, ss);
+  const ServiceCheckpoint loaded = LoadCheckpoint(ss);
+  auto restored = RestoreAgent(loaded);
+
+  ASSERT_EQ(restored->config().feature_dim, agent->config().feature_dim);
+  ASSERT_EQ(restored->config().hidden, agent->config().hidden);
+
+  const auto probe = ProbeBatch(64, agent->config().feature_dim, 11);
+  const std::vector<double> want = agent->QValues(probe);
+  const std::vector<double> got = restored->QValues(probe);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    // Bit-identical: the text format stores doubles at max precision.
+    EXPECT_EQ(got[i], want[i]) << "row " << i;
+  }
+  // The target network is restored too (bootstrap targets continue
+  // seamlessly after a server restart).
+  EXPECT_EQ(restored->MaxTargetQ(probe), agent->MaxTargetQ(probe));
+}
+
+TEST(CheckpointTest, SvmRoundTripBitIdenticalDecisionValues) {
+  const ServiceCheckpoint ckpt = HandMadeCheckpoint();
+
+  std::stringstream ss;
+  SaveCheckpoint(ckpt, ss);
+  const ServiceCheckpoint loaded = LoadCheckpoint(ss);
+
+  EXPECT_EQ(loaded.svm_threshold, ckpt.svm_threshold);
+  const auto raw = ProbeBatch(32, 3, 29);
+  std::vector<std::vector<double>> scaled_want, scaled_got;
+  for (const auto& row : raw) {
+    scaled_want.push_back(ckpt.svm_scaler.Transform(row));
+    scaled_got.push_back(loaded.svm_scaler.Transform(row));
+  }
+  const std::vector<double> want = ckpt.svm.DecisionValues(scaled_want);
+  const std::vector<double> got = loaded.svm.DecisionValues(scaled_got);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << "row " << i;
+  }
+}
+
+TEST(CheckpointTest, FileRoundTrip) {
+  auto agent = TrainedAgent();
+  ServiceCheckpoint ckpt = HandMadeCheckpoint();
+  ckpt.dqn = agent->config();
+  ckpt.dqn_weights = agent->SaveWeights();
+  ckpt.dqn_target_weights = agent->SaveTargetWeights();
+
+  const std::string path =
+      ::testing::TempDir() + "/mobirescue_ckpt_test.txt";
+  SaveCheckpointToFile(ckpt, path);
+  const ServiceCheckpoint loaded = LoadCheckpointFromFile(path);
+  EXPECT_EQ(loaded.dqn_weights, ckpt.dqn_weights);
+  EXPECT_EQ(loaded.svm_threshold, ckpt.svm_threshold);
+}
+
+TEST(CheckpointTest, MalformedInputThrows) {
+  std::stringstream wrong_magic("not-a-checkpoint 1 2 3");
+  EXPECT_THROW(LoadCheckpoint(wrong_magic), std::runtime_error);
+
+  // Truncated: header only.
+  std::stringstream truncated("mobirescue-ckpt-v1\nmobirescue-dqn-v1\n5 2 16");
+  EXPECT_THROW(LoadCheckpoint(truncated), std::runtime_error);
+
+  EXPECT_THROW(LoadCheckpointFromFile("/nonexistent/path/ckpt.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mobirescue::serve

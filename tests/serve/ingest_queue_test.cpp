@@ -1,0 +1,189 @@
+#include "serve/ingest_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace mobirescue::serve {
+namespace {
+
+mobility::GpsRecord Rec(mobility::PersonId person, double t) {
+  mobility::GpsRecord r;
+  r.person = person;
+  r.t = t;
+  return r;
+}
+
+TEST(ShardedIngestQueueTest, ShardOfIsDeterministicAndInRange) {
+  for (mobility::PersonId p = 0; p < 1000; ++p) {
+    const std::size_t s = ShardedIngestQueue::ShardOf(p, 8);
+    EXPECT_LT(s, 8u);
+    EXPECT_EQ(s, ShardedIngestQueue::ShardOf(p, 8));
+  }
+}
+
+TEST(ShardedIngestQueueTest, ShardOfSpreadsConsecutiveIds) {
+  // The mix must not map a contiguous id range onto one shard.
+  std::vector<int> per_shard(8, 0);
+  for (mobility::PersonId p = 0; p < 800; ++p) {
+    ++per_shard[ShardedIngestQueue::ShardOf(p, 8)];
+  }
+  for (int n : per_shard) EXPECT_GT(n, 0);
+}
+
+TEST(ShardedIngestQueueTest, RejectsBadConfig) {
+  IngestQueueConfig no_shards;
+  no_shards.num_shards = 0;
+  EXPECT_THROW(ShardedIngestQueue{no_shards}, std::invalid_argument);
+  IngestQueueConfig no_capacity;
+  no_capacity.shard_capacity = 0;
+  EXPECT_THROW(ShardedIngestQueue{no_capacity}, std::invalid_argument);
+}
+
+TEST(ShardedIngestQueueTest, DrainPreservesPerPersonFifo) {
+  ShardedIngestQueue queue;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(queue.Push(Rec(7, 10.0 * i)));
+    EXPECT_TRUE(queue.Push(Rec(12, 10.0 * i + 1.0)));
+  }
+  std::vector<mobility::GpsRecord> out;
+  EXPECT_EQ(queue.DrainInto(out), 100u);
+
+  std::unordered_map<mobility::PersonId, double> last_t;
+  for (const mobility::GpsRecord& r : out) {
+    const auto it = last_t.find(r.person);
+    if (it != last_t.end()) EXPECT_GT(r.t, it->second);
+    last_t[r.person] = r.t;
+  }
+  EXPECT_EQ(last_t.size(), 2u);
+}
+
+TEST(ShardedIngestQueueTest, DropNewestRejectsWhenFull) {
+  IngestQueueConfig config;
+  config.num_shards = 1;
+  config.shard_capacity = 3;
+  config.drop_policy = DropPolicy::kDropNewest;
+  ShardedIngestQueue queue(config);
+
+  EXPECT_TRUE(queue.Push(Rec(1, 0.0)));
+  EXPECT_TRUE(queue.Push(Rec(1, 1.0)));
+  EXPECT_TRUE(queue.Push(Rec(1, 2.0)));
+  EXPECT_FALSE(queue.Push(Rec(1, 3.0)));  // full: newest rejected
+
+  std::vector<mobility::GpsRecord> out;
+  queue.DrainInto(out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.back().t, 2.0);
+
+  const IngestCounters c = queue.counters();
+  EXPECT_EQ(c.accepted, 3u);
+  EXPECT_EQ(c.dropped, 1u);
+  EXPECT_EQ(c.drained, 3u);
+}
+
+TEST(ShardedIngestQueueTest, DropOldestEvictsHead) {
+  IngestQueueConfig config;
+  config.num_shards = 1;
+  config.shard_capacity = 3;
+  config.drop_policy = DropPolicy::kDropOldest;
+  ShardedIngestQueue queue(config);
+
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.Push(Rec(1, i)));
+
+  std::vector<mobility::GpsRecord> out;
+  queue.DrainInto(out);
+  ASSERT_EQ(out.size(), 3u);
+  // The two oldest records (t=0, t=1) were evicted.
+  EXPECT_EQ(out[0].t, 2.0);
+  EXPECT_EQ(out[1].t, 3.0);
+  EXPECT_EQ(out[2].t, 4.0);
+
+  const IngestCounters c = queue.counters();
+  EXPECT_EQ(c.accepted, 5u);
+  EXPECT_EQ(c.dropped, 2u);
+  EXPECT_EQ(c.drained, 3u);
+}
+
+TEST(ShardedIngestQueueTest, DepthsReflectQueuedRecords) {
+  IngestQueueConfig config;
+  config.num_shards = 4;
+  ShardedIngestQueue queue(config);
+  for (int i = 0; i < 40; ++i) queue.Push(Rec(i, 0.0));
+
+  std::size_t total = 0;
+  for (std::size_t d : queue.Depths()) total += d;
+  EXPECT_EQ(total, 40u);
+
+  std::vector<mobility::GpsRecord> out;
+  queue.DrainInto(out);
+  for (std::size_t d : queue.Depths()) EXPECT_EQ(d, 0u);
+}
+
+TEST(ShardedIngestQueueTest, ConcurrentProducersLoseNothing) {
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 2000;
+  IngestQueueConfig config;
+  config.num_shards = 8;
+  config.shard_capacity = kProducers * kPerProducer;  // ample: no drops
+  ShardedIngestQueue queue(config);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        // Each producer owns person ids p, p + kProducers, ... so records
+        // of one person come from one thread, in time order.
+        queue.Push(Rec(p, 10.0 * i));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+
+  std::vector<mobility::GpsRecord> out;
+  EXPECT_EQ(queue.DrainInto(out),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+
+  // Per-person order survived the concurrent pushes.
+  std::unordered_map<mobility::PersonId, double> last_t;
+  for (const mobility::GpsRecord& r : out) {
+    const auto it = last_t.find(r.person);
+    if (it != last_t.end()) EXPECT_GT(r.t, it->second) << r.person;
+    last_t[r.person] = r.t;
+  }
+  const IngestCounters c = queue.counters();
+  EXPECT_EQ(c.accepted, static_cast<std::uint64_t>(kProducers * kPerProducer));
+  EXPECT_EQ(c.dropped, 0u);
+}
+
+TEST(ShardedIngestQueueTest, ConcurrentProducersWithDrainer) {
+  // Producers push while the consumer drains: nothing is lost, nothing is
+  // duplicated (accepted == drained after the final sweep).
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  IngestQueueConfig config;
+  config.shard_capacity = kProducers * kPerProducer;  // no drops even unpolled
+  ShardedIngestQueue queue(config);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) queue.Push(Rec(p, i));
+    });
+  }
+  std::vector<mobility::GpsRecord> out;
+  while (out.size() < static_cast<std::size_t>(kProducers * kPerProducer)) {
+    queue.DrainInto(out);
+  }
+  for (std::thread& t : producers) t.join();
+  queue.DrainInto(out);
+
+  EXPECT_EQ(out.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  const IngestCounters c = queue.counters();
+  EXPECT_EQ(c.accepted, c.drained);
+  EXPECT_EQ(c.dropped, 0u);
+}
+
+}  // namespace
+}  // namespace mobirescue::serve

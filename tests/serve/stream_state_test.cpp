@@ -1,0 +1,147 @@
+#include "serve/stream_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "roadnet/city_builder.hpp"
+#include "roadnet/spatial_index.hpp"
+
+namespace mobirescue::serve {
+namespace {
+
+class StreamStateTest : public ::testing::Test {
+ protected:
+  StreamStateTest() {
+    roadnet::CityConfig config;
+    config.grid_width = 6;
+    config.grid_height = 6;
+    city_ = roadnet::BuildCity(config);
+    index_ = std::make_unique<roadnet::SpatialIndex>(city_.network, city_.box);
+  }
+
+  /// A moving record pinned to a landmark's position (always matchable).
+  mobility::GpsRecord At(mobility::PersonId p, double t,
+                         roadnet::LandmarkId lm,
+                         double speed = 10.0) const {
+    mobility::GpsRecord r;
+    r.person = p;
+    r.t = t;
+    r.pos = city_.network.landmark(lm).pos;
+    r.speed_mps = speed;
+    return r;
+  }
+
+  /// A synthetic day: people hop between landmarks, pinging every few
+  /// minutes; per-person timestamps strictly increase.
+  mobility::GpsTrace SyntheticDay(int people = 12, int pings = 40) const {
+    mobility::GpsTrace trace;
+    const std::size_t n = city_.network.num_landmarks();
+    for (int p = 0; p < people; ++p) {
+      for (int i = 0; i < pings; ++i) {
+        const auto lm = static_cast<roadnet::LandmarkId>(
+            (static_cast<std::size_t>(p) * 31 + static_cast<std::size_t>(i) * 7) % n);
+        trace.push_back(At(p, 120.0 * i + p, lm, i % 3 == 0 ? 0.0 : 9.0));
+      }
+    }
+    std::sort(trace.begin(), trace.end(),
+              [](const mobility::GpsRecord& a, const mobility::GpsRecord& b) {
+                return a.t < b.t;
+              });
+    return trace;
+  }
+
+  roadnet::City city_;
+  std::unique_ptr<roadnet::SpatialIndex> index_;
+};
+
+TEST_F(StreamStateTest, TracksLatestPositionPerPerson) {
+  StreamState state(city_.network, *index_);
+  state.Apply(At(1, 0.0, 0));
+  state.Apply(At(1, 60.0, 3));
+  state.Apply(At(2, 30.0, 5));
+
+  const auto& snap = state.Snapshot(60.0);
+  ASSERT_EQ(snap.size(), 2u);
+  std::unordered_map<mobility::PersonId, mobility::GpsRecord> by_person;
+  for (const auto& r : snap) by_person[r.person] = r;
+  EXPECT_DOUBLE_EQ(by_person.at(1).t, 60.0);
+  EXPECT_DOUBLE_EQ(by_person.at(2).t, 30.0);
+  EXPECT_EQ(state.num_people_seen(), 2u);
+}
+
+TEST_F(StreamStateTest, SnapshotContentMatchesBatchTracker) {
+  const mobility::GpsTrace trace = SyntheticDay();
+  sim::PopulationTracker batch(trace);
+
+  StreamState streamed(city_.network, *index_);
+  std::size_t cursor = 0;
+  for (double t : {600.0, 1800.0, 3600.0, 5400.0}) {
+    while (cursor < trace.size() && trace[cursor].t <= t) {
+      streamed.Apply(trace[cursor]);
+      ++cursor;
+    }
+    const auto& a = batch.Snapshot(t);
+    const auto& b = streamed.Snapshot(t);
+    ASSERT_EQ(a.size(), b.size()) << "t=" << t;
+
+    // Same content keyed by person (row order is implementation detail).
+    std::unordered_map<mobility::PersonId, mobility::GpsRecord> want;
+    for (const auto& r : a) want[r.person] = r;
+    for (const auto& r : b) {
+      const auto it = want.find(r.person);
+      ASSERT_NE(it, want.end()) << "person " << r.person;
+      EXPECT_DOUBLE_EQ(r.t, it->second.t);
+      EXPECT_DOUBLE_EQ(r.pos.lat, it->second.pos.lat);
+      EXPECT_DOUBLE_EQ(r.pos.lon, it->second.pos.lon);
+      EXPECT_DOUBLE_EQ(r.speed_mps, it->second.speed_mps);
+    }
+  }
+}
+
+TEST_F(StreamStateTest, IncrementalFlowsMatchBatchAnalyzer) {
+  const mobility::GpsTrace trace = SyntheticDay();
+
+  // Batch path: match the whole trace, ingest once.
+  mobility::MapMatcher matcher(city_.network, *index_);
+  mobility::FlowRateAnalyzer batch(city_.network, 24);
+  batch.Ingest(matcher.MatchTrace(trace));
+
+  // Streamed path: one record at a time, in time order.
+  StreamState streamed(city_.network, *index_);
+  streamed.ApplyAll(trace);
+
+  for (std::size_t seg = 0; seg < city_.network.num_segments(); ++seg) {
+    for (int h = 0; h < 24; ++h) {
+      ASSERT_DOUBLE_EQ(
+          streamed.flows().SegmentFlow(static_cast<roadnet::SegmentId>(seg), h),
+          batch.SegmentFlow(static_cast<roadnet::SegmentId>(seg), h))
+          << "seg=" << seg << " hour=" << h;
+    }
+  }
+}
+
+TEST_F(StreamStateTest, CountsUnmatchedRecords) {
+  mobility::MatchConfig strict;
+  strict.max_match_distance_m = 1.0;
+  StreamStateConfig config;
+  config.match = strict;
+  StreamState state(city_.network, *index_, config);
+
+  mobility::GpsRecord far = At(1, 0.0, 0);
+  far.pos.lat += 1.0;
+  far.pos.lon += 1.0;
+  state.Apply(far);
+  state.Apply(At(2, 10.0, 0));
+
+  const StreamStateCounters& c = state.counters();
+  EXPECT_EQ(c.applied, 2u);
+  EXPECT_EQ(c.matched, 1u);
+  EXPECT_EQ(c.unmatched, 1u);
+  // Unmatched records still update the person's latest position.
+  EXPECT_EQ(state.Snapshot(10.0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace mobirescue::serve

@@ -224,5 +224,77 @@ TEST_F(SimulatorTest, ServedRequestsAreTimelyWithinThreshold) {
   EXPECT_EQ(metrics.total_timely(), timeliness <= 1800.0 ? 1 : 0);
 }
 
+// The incremental serving API (NextRound/SubmitDecision) must be
+// round-for-round identical to Run() — the online DispatchService relies
+// on it (DESIGN.md §11).
+TEST_F(SimulatorTest, IncrementalDrivingMatchesRun) {
+  const roadnet::SegmentId seg = NonHospitalSegment();
+  auto make_requests = [&] {
+    return std::vector<Request>{MakeRequest(0, 60.0, seg),
+                                MakeRequest(1, 3600.0, seg),
+                                MakeRequest(2, 7500.0, seg)};
+  };
+  auto make_dispatcher = [&] {
+    ScriptedDispatcher d;
+    d.script = {{ActionKind::kGoto, seg}, {ActionKind::kKeep}};
+    d.repeat = true;
+    d.latency_s = 30.0;  // exercises the pending-decision queue
+    return d;
+  };
+
+  RescueSimulator batch(city_, *flood_, make_requests(), 0.0, FastConfig(2));
+  ScriptedDispatcher batch_dispatcher = make_dispatcher();
+  const MetricsCollector batch_metrics = batch.Run(batch_dispatcher);
+
+  RescueSimulator step(city_, *flood_, make_requests(), 0.0, FastConfig(2));
+  ScriptedDispatcher step_dispatcher = make_dispatcher();
+  DispatchContext ctx;
+  int rounds = 0;
+  while (step.NextRound(step_dispatcher, &ctx)) {
+    ++rounds;
+    step.SubmitDecision(step_dispatcher.Decide(ctx));
+  }
+
+  EXPECT_EQ(rounds, batch_dispatcher.rounds);
+  EXPECT_EQ(step.metrics().total_served(), batch_metrics.total_served());
+  EXPECT_EQ(step.metrics().total_timely(), batch_metrics.total_timely());
+  ASSERT_EQ(step.requests().size(), batch.requests().size());
+  for (std::size_t i = 0; i < step.requests().size(); ++i) {
+    EXPECT_EQ(step.requests()[i].status, batch.requests()[i].status) << i;
+    EXPECT_EQ(step.requests()[i].pickup_time, batch.requests()[i].pickup_time)
+        << i;
+    EXPECT_EQ(step.requests()[i].delivery_time,
+              batch.requests()[i].delivery_time)
+        << i;
+    EXPECT_EQ(step.requests()[i].served_by_team,
+              batch.requests()[i].served_by_team)
+        << i;
+  }
+  for (std::size_t k = 0; k < step.teams().size(); ++k) {
+    EXPECT_EQ(step.teams()[k].at, batch.teams()[k].at) << "team " << k;
+    EXPECT_EQ(step.teams()[k].mode, batch.teams()[k].mode) << "team " << k;
+  }
+}
+
+TEST_F(SimulatorTest, NextRoundIsReentrantUntilSubmit) {
+  const roadnet::SegmentId seg = NonHospitalSegment();
+  std::vector<Request> requests = {MakeRequest(0, 60.0, seg)};
+  RescueSimulator sim(city_, *flood_, requests, 0.0, FastConfig(1));
+  ScriptedDispatcher dispatcher;
+
+  DispatchContext a, b;
+  ASSERT_TRUE(sim.NextRound(dispatcher, &a));
+  // Without SubmitDecision, the same due round is surfaced again at the
+  // same clock.
+  ASSERT_TRUE(sim.NextRound(dispatcher, &b));
+  EXPECT_EQ(a.now, b.now);
+  EXPECT_EQ(a.teams.size(), b.teams.size());
+  EXPECT_EQ(sim.now(), a.now);
+
+  sim.SubmitDecision(dispatcher.Decide(b));
+  ASSERT_TRUE(sim.NextRound(dispatcher, &a));
+  EXPECT_GT(a.now, b.now);  // the clock moved to the next period
+}
+
 }  // namespace
 }  // namespace mobirescue::sim

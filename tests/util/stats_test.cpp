@@ -121,5 +121,51 @@ TEST(RunningStatsTest, EmptyIsZero) {
   EXPECT_EQ(rs.count(), 0u);
 }
 
+TEST(PercentilesTest, MatchesPerCallPercentile) {
+  const std::vector<double> xs = {9.0, 1.0, 5.0, 3.0, 7.0, 2.0, 8.0};
+  const std::vector<double> ps = {0.0, 25.0, 50.0, 90.0, 99.0, 100.0};
+  const std::vector<double> got = Percentiles(xs, ps);
+  ASSERT_EQ(got.size(), ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i], Percentile(xs, ps[i])) << "p=" << ps[i];
+  }
+}
+
+TEST(PercentilesTest, EmptyGivesZeros) {
+  const std::vector<double> ps = {50.0, 99.0};
+  const std::vector<double> got = Percentiles({}, ps);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_DOUBLE_EQ(got[0], 0.0);
+  EXPECT_DOUBLE_EQ(got[1], 0.0);
+}
+
+TEST(SummarizeTest, AllFieldsAgreeWithBatchHelpers) {
+  const std::vector<double> xs = {4.0, 1.0, 9.0, 2.0, 6.0, 3.0, 8.0, 5.0,
+                                  7.0, 10.0};
+  const PercentileSummary s = Summarize(xs);
+  EXPECT_EQ(s.count, xs.size());
+  EXPECT_DOUBLE_EQ(s.mean, Mean(xs));
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.p50, Percentile(xs, 50.0));
+  EXPECT_DOUBLE_EQ(s.p90, Percentile(xs, 90.0));
+  EXPECT_DOUBLE_EQ(s.p95, Percentile(xs, 95.0));
+  EXPECT_DOUBLE_EQ(s.p99, Percentile(xs, 99.0));
+}
+
+TEST(SummarizeTest, SingleSampleAndEmpty) {
+  const std::vector<double> one = {3.5};
+  const PercentileSummary s = Summarize(one);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.p50, 3.5);
+  EXPECT_DOUBLE_EQ(s.p99, 3.5);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+
+  const PercentileSummary empty = Summarize({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+}
+
 }  // namespace
 }  // namespace mobirescue::util
