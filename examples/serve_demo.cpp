@@ -7,12 +7,19 @@
 // distribution the paper contrasts with its ~300 s IP baselines.
 //
 // `--smoke` shrinks the world and training for CI.
+// `--metrics-out FILE` writes the process-wide metrics registry as
+// Prometheus text after the served day; `--trace-out FILE` enables span
+// tracing around the serve and writes Chrome trace_event JSON (open it in
+// Perfetto / chrome://tracing).
 #include <cstdio>
 #include <iostream>
 #include <string>
 
 #include "core/pipeline.hpp"
 #include "core/world.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/dispatch_service.hpp"
 #include "serve/trace_streamer.hpp"
@@ -23,7 +30,23 @@
 using namespace mobirescue;
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  bool smoke = false;
+  std::string metrics_out;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::cerr << "usage: serve_demo [--smoke] [--metrics-out FILE] "
+                   "[--trace-out FILE]\n";
+      return 2;
+    }
+  }
 
   core::WorldConfig config;
   if (smoke) {
@@ -75,8 +98,12 @@ int main(int argc, char** argv) {
   std::cout << "Streaming " << trace.size()
             << " GPS records through the service (4 producer threads, "
             << service_config.queue.num_shards << " queue shards)...\n";
+  // Tracing covers the served day only — training/world-building spans
+  // would drown the tick phases the trace is for.
+  if (!trace_out.empty()) obs::TraceRecorder::Global().Enable();
   serve::TraceStreamer streamer(trace, service);
   const sim::MetricsCollector metrics = service.ServeEpisode(simulator, &streamer);
+  if (!trace_out.empty()) obs::TraceRecorder::Global().Disable();
 
   const serve::ServiceMetrics m = service.metrics();
   util::TextTable table({"metric", "value"});
@@ -110,6 +137,28 @@ int main(int argc, char** argv) {
       metrics.total_served() == 0) {
     std::cerr << "serve_demo: unexpected service state\n";
     return 1;
+  }
+
+  // One-line registry summary: everything the instrumented components
+  // recorded process-wide, independent of the per-service views above.
+  const obs::Registry& registry = obs::Registry::Global();
+  std::printf("observability      %zu metrics registered, %zu spans captured\n",
+              registry.Snapshot().size(),
+              obs::TraceRecorder::Global().Collect().size());
+
+  if (!metrics_out.empty()) {
+    obs::WritePrometheusTextFile(metrics_out, registry);
+    std::cout << "wrote Prometheus metrics to " << metrics_out << "\n";
+  }
+  if (!trace_out.empty()) {
+    obs::WriteChromeTraceFile(trace_out, obs::TraceRecorder::Global());
+    std::string error;
+    if (!obs::ValidateChromeTraceFile(trace_out, &error)) {
+      std::cerr << "serve_demo: invalid trace written: " << error << "\n";
+      return 1;
+    }
+    std::cout << "wrote Chrome trace to " << trace_out
+              << " (open in Perfetto or chrome://tracing)\n";
   }
   std::cout << "\nOK: served " << metrics.total_served() << "/"
             << simulator.requests().size()

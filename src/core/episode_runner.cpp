@@ -1,6 +1,9 @@
 #include "core/episode_runner.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/trace.hpp"
 
 namespace mobirescue::core {
 
@@ -72,7 +75,13 @@ void EpisodeRunner::RunBatch(std::size_t n,
   std::mutex error_mutex;
   auto guarded = [&](std::size_t i) {
     try {
+      OBS_SPAN("core.episode");
+      const auto t0 = std::chrono::steady_clock::now();
       body(i);
+      episodes_counter_.Increment();
+      episode_ms_.Observe(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
     } catch (...) {
       std::lock_guard lock(error_mutex);
       if (!first_error) first_error = std::current_exception();

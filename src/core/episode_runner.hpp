@@ -26,6 +26,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace mobirescue::core {
@@ -91,6 +92,14 @@ class EpisodeRunner {
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+
+  // Per-episode timing; episodes run concurrently, so the striped counter
+  // and histogram cells keep worker increments uncontended.
+  obs::Counter episodes_counter_{"core_episodes_total",
+                                 "Episode bodies completed by runners."};
+  obs::Histogram episode_ms_{"core_episode_ms",
+                             "Wall time of one episode body (ms).",
+                             obs::Histogram::LatencyBucketsMs()};
 };
 
 }  // namespace mobirescue::core

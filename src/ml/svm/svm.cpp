@@ -1,13 +1,41 @@
 #include "ml/svm/svm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
 #include "ml/nn/matrix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace mobirescue::ml {
+
+namespace {
+
+// TrainSvm is a free function and SvmModel is copied around freely, so the
+// instruments live as function-local statics instead of members (leaked
+// never — statics with process lifetime, registered once).
+obs::Counter& TrainCounter() {
+  static obs::Counter c("ml_svm_train_total", "SVM trainings completed.");
+  return c;
+}
+
+obs::Histogram& TrainHistogram() {
+  static obs::Histogram h("ml_svm_train_ms",
+                          "Wall time of one SMO training run (ms).",
+                          obs::Histogram::LatencyBucketsMs());
+  return h;
+}
+
+obs::Counter& PredictCounter() {
+  static obs::Counter c("ml_svm_predict_total",
+                        "SVM single-point predictions.");
+  return c;
+}
+
+}  // namespace
 
 void SvmDataset::Add(std::vector<double> features, int label) {
   if (label != 1 && label != -1) {
@@ -51,6 +79,7 @@ std::vector<double> SvmModel::DecisionValues(
   // Flatten the query rows once, then stream both operands contiguously.
   // Per-row accumulation over support vectors runs in the same ascending
   // order as DecisionValue, so results match it bit for bit.
+  OBS_SPAN("svm.decision_values");
   const std::size_t d =
       rows.empty() ? dim_ : rows.front().size();
   std::vector<double> q_flat;
@@ -75,6 +104,7 @@ std::vector<double> SvmModel::DecisionValues(
 }
 
 int SvmModel::Predict(std::span<const double> features) const {
+  PredictCounter().Increment();
   return DecisionValue(features) >= 0.0 ? 1 : -1;
 }
 
@@ -82,6 +112,8 @@ SvmModel TrainSvm(const SvmDataset& data, const SvmConfig& config) {
   const std::size_t n = data.size();
   if (n == 0) throw std::invalid_argument("TrainSvm: empty dataset");
   if (data.y.size() != n) throw std::invalid_argument("TrainSvm: x/y mismatch");
+  OBS_SPAN("svm.train");
+  const auto train_t0 = std::chrono::steady_clock::now();
 
   // Precompute the Gram matrix; the training sets here (a few thousand
   // rows) keep this comfortably in memory and dominate runtime otherwise.
@@ -256,6 +288,10 @@ SvmModel TrainSvm(const SvmDataset& data, const SvmConfig& config) {
       coeff.push_back(alpha[i] * data.y[i]);
     }
   }
+  TrainCounter().Increment();
+  TrainHistogram().Observe(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - train_t0)
+                               .count());
   return SvmModel(config.kernel, std::move(sv), std::move(coeff), b);
 }
 

@@ -1,8 +1,11 @@
 #include "rl/dqn_agent.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+
+#include "obs/trace.hpp"
 
 namespace mobirescue::rl {
 
@@ -63,6 +66,8 @@ std::size_t DqnAgent::SelectAction(
   if (candidates.empty()) {
     throw std::invalid_argument("SelectAction: no candidates");
   }
+  OBS_SPAN("dqn.select_action");
+  select_actions_total_.Increment();
   const double eps = CurrentEpsilon();
   ++decisions_;
   if (explore && rng_.Bernoulli(eps)) {
@@ -110,6 +115,8 @@ double DqnAgent::MaxTargetQ(
 
 double DqnAgent::TrainStep() {
   if (buffer_.size() < config_.batch_size) return 0.0;
+  OBS_SPAN("dqn.train_step");
+  const auto train_t0 = std::chrono::steady_clock::now();
   const auto batch = buffer_.Sample(config_.batch_size, rng_);
 
   // Pack all candidates of all transitions into one matrix and run a single
@@ -166,6 +173,10 @@ double DqnAgent::TrainStep() {
       train_steps_ % static_cast<std::size_t>(config_.target_sync_every) == 0) {
     target_.CopyWeightsFrom(online_);
   }
+  train_steps_total_.Increment();
+  train_step_ms_.Observe(std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - train_t0)
+                             .count());
   return loss;
 }
 

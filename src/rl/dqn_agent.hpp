@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ml/nn/mlp.hpp"
+#include "obs/metrics.hpp"
 #include "rl/replay_buffer.hpp"
 #include "util/rng.hpp"
 
@@ -99,6 +100,17 @@ class DqnAgent {
   util::Rng rng_;
   std::size_t decisions_ = 0;
   std::size_t train_steps_ = 0;
+
+  // Registry-backed instruments (obs/metrics.hpp). SelectAction pays one
+  // striped counter increment; TrainStep is ms-scale so the extra clock
+  // reads for the histogram are noise.
+  obs::Counter select_actions_total_{"rl_dqn_select_actions_total",
+                                     "DQN action selections."};
+  obs::Counter train_steps_total_{"rl_dqn_train_steps_total",
+                                  "DQN minibatch gradient steps."};
+  obs::Histogram train_step_ms_{"rl_dqn_train_step_ms",
+                                "One minibatch gradient step (ms).",
+                                obs::Histogram::LatencyBucketsMs()};
 };
 
 }  // namespace mobirescue::rl

@@ -1,10 +1,13 @@
 #include "roadnet/router.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <mutex>
 #include <queue>
 #include <stdexcept>
+
+#include "obs/trace.hpp"
 
 namespace mobirescue::roadnet {
 
@@ -119,15 +122,26 @@ std::shared_ptr<const ShortestPathTree> Router::CachedImpl(
     std::shared_lock lock(cache_mutex_);
     const auto it = cache_.find(key);
     if (it != cache_.end()) {
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_hits_.Increment();
       return it->second;
     }
   }
-  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  cache_misses_.Increment();
   // Compute outside the lock; a concurrent miss on the same key computes an
-  // identical tree and the first insert wins.
-  auto tree = std::make_shared<const ShortestPathTree>(
-      reverse ? ReverseTree(landmark, cond) : Tree(landmark, cond));
+  // identical tree and the first insert wins. Only the miss path is timed:
+  // the hit path is a ~100 ns map probe where even a clock read would be
+  // measurable overhead.
+  const auto build_t0 = std::chrono::steady_clock::now();
+  std::shared_ptr<const ShortestPathTree> tree;
+  {
+    OBS_SPAN("router.tree_build");
+    tree = std::make_shared<const ShortestPathTree>(
+        reverse ? ReverseTree(landmark, cond) : Tree(landmark, cond));
+  }
+  tree_build_ms_.Observe(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - build_t0)
+          .count());
   std::unique_lock lock(cache_mutex_);
   if (cache_.size() >= kMaxCacheEntries) cache_.clear();
   const auto [it, inserted] = cache_.emplace(key, std::move(tree));
@@ -146,8 +160,8 @@ std::shared_ptr<const ShortestPathTree> Router::CachedReverseTree(
 
 RouterCacheStats Router::cache_stats() const {
   RouterCacheStats stats;
-  stats.hits = cache_hits_.load(std::memory_order_relaxed);
-  stats.misses = cache_misses_.load(std::memory_order_relaxed);
+  stats.hits = cache_hits_.Value();
+  stats.misses = cache_misses_.Value();
   return stats;
 }
 

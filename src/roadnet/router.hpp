@@ -12,7 +12,6 @@
 // immutable and shared; concurrent readers take a shared lock.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -20,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "roadnet/road_network.hpp"
 
 namespace mobirescue::roadnet {
@@ -44,7 +44,9 @@ struct ShortestPathTree {
   std::optional<Route> RouteTo(const RoadNetwork& net, LandmarkId to) const;
 };
 
-/// Hit/miss counters of the router's tree cache (cumulative).
+/// Hit/miss counters of the router's tree cache (cumulative). A thin view
+/// over the router's registry-backed obs::Counter instruments: per-instance
+/// values here, process-wide aggregation through obs exposition.
 struct RouterCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -148,8 +150,18 @@ class Router {
                              std::shared_ptr<const ShortestPathTree>,
                              CacheKeyHash>
       cache_;
-  mutable std::atomic<std::uint64_t> cache_hits_{0};
-  mutable std::atomic<std::uint64_t> cache_misses_{0};
+  // Registry-backed instruments (obs/metrics.hpp): every Router instance
+  // registers the same names; exposition merges them, cache_stats() reads
+  // this instance's values. Increment cost matches the plain atomics these
+  // replaced (one relaxed fetch_add on a striped cell).
+  mutable obs::Counter cache_hits_{"roadnet_router_cache_hits_total",
+                                   "Shortest-path-tree cache hits."};
+  mutable obs::Counter cache_misses_{"roadnet_router_cache_misses_total",
+                                     "Shortest-path-tree cache misses."};
+  mutable obs::Histogram tree_build_ms_{
+      "roadnet_router_tree_build_ms",
+      "Wall time to Dijkstra one one-to-all tree on a cache miss (ms).",
+      obs::Histogram::LatencyBucketsMs()};
 };
 
 }  // namespace mobirescue::roadnet

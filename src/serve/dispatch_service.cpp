@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "serve/trace_streamer.hpp"
 
 namespace mobirescue::serve {
@@ -54,40 +55,56 @@ void DispatchService::IngestBatch(
 }
 
 void DispatchService::AdvanceStateTo(util::SimTime now) {
+  OBS_SPAN("serve.drain");
   // Deferred records were pushed before anything still in the queues, so
   // they go first — per-person time order is preserved end to end.
   incoming_.clear();
   std::swap(incoming_, deferred_);
-  queue_.DrainInto(incoming_);
+  depth_gauge_.Set(static_cast<double>(queue_.DrainInto(incoming_)));
 
+  std::uint64_t parked = 0;
   for (const mobility::GpsRecord& r : incoming_) {
     if (r.t <= now) {
       state_.Apply(r);
     } else {
       deferred_.push_back(r);
       ++deferred_total_;
+      ++parked;
     }
   }
+  if (parked != 0) deferred_counter_.Increment(parked);
   incoming_.clear();
   watermark_ = std::max(watermark_, now);
 }
 
 sim::DispatchDecision DispatchService::Tick(
     const sim::DispatchContext& context) {
+  OBS_SPAN("serve.tick");
   const auto t0 = std::chrono::steady_clock::now();
   AdvanceStateTo(context.now);
   const auto t1 = std::chrono::steady_clock::now();
-  sim::DispatchDecision decision = dispatcher_->Decide(context);
+  sim::DispatchDecision decision;
+  {
+    OBS_SPAN("serve.decide");
+    decision = dispatcher_->Decide(context);
+  }
   const auto t2 = std::chrono::steady_clock::now();
 
-  drain_ms_.push_back(ElapsedMs(t0, t1));
-  decide_ms_.push_back(ElapsedMs(t1, t2));
+  const double drain = ElapsedMs(t0, t1);
+  const double decide = ElapsedMs(t1, t2);
+  drain_ms_.push_back(drain);
+  decide_ms_.push_back(decide);
+  drain_hist_.Observe(drain);
+  decide_hist_.Observe(decide);
   ++ticks_;
+  ticks_total_.Increment();
+  people_gauge_.Set(static_cast<double>(state_.num_people_seen()));
   return decision;
 }
 
 sim::MetricsCollector DispatchService::ServeEpisode(
     sim::RescueSimulator& simulator, TraceStreamer* streamer) {
+  OBS_SPAN("serve.episode");
   sim::DispatchContext ctx;
   while (simulator.NextRound(*dispatcher_, &ctx)) {
     if (streamer != nullptr) streamer->WaitDelivered(ctx.now);
@@ -98,6 +115,13 @@ sim::MetricsCollector DispatchService::ServeEpisode(
   if (streamer != nullptr) streamer->WaitDelivered(simulator.now());
   AdvanceStateTo(simulator.now());
   return simulator.metrics();
+}
+
+void DispatchService::ResetMetrics() {
+  ticks_ = 0;
+  deferred_total_ = 0;
+  decide_ms_.clear();
+  drain_ms_.clear();
 }
 
 ServiceMetrics DispatchService::metrics() const {

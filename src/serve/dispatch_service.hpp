@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "dispatch/mobirescue_dispatcher.hpp"
+#include "obs/metrics.hpp"
 #include "roadnet/city_builder.hpp"
 #include "roadnet/router.hpp"
 #include "serve/ingest_queue.hpp"
@@ -45,6 +46,13 @@ struct ServiceConfig {
 };
 
 /// One consistent view of the service's health, for benches and /metrics.
+///
+/// Window semantics: the counter-like fields (ingest, router_cache) are
+/// thin views over cumulative registry-backed instruments and never reset;
+/// ticks/deferred/latency percentiles cover the current reporting window —
+/// since construction or the last ResetMetrics(). The registry instruments
+/// (serve_ticks_total, serve_tick_decide_ms, ...) stay cumulative across
+/// resets, as Prometheus requires.
 struct ServiceMetrics {
   IngestCounters ingest;
   StreamStateCounters state;
@@ -111,6 +119,14 @@ class DispatchService {
 
   ServiceMetrics metrics() const;
 
+  /// Starts a new reporting window: clears the per-tick latency samples
+  /// and the window tick/deferred counts, so a long-lived service serving
+  /// episode after episode reports per-window percentiles instead of
+  /// lifetime-mixed samples. Cumulative registry instruments (and the
+  /// ingest/router-cache views) are untouched. Call between episodes, not
+  /// concurrently with Tick().
+  void ResetMetrics();
+
   sim::Dispatcher& dispatcher() { return *dispatcher_; }
   const StreamState& state() const { return state_; }
   /// The MobiRescue dispatcher's cached {ñ_e} prediction; nullptr for
@@ -128,7 +144,9 @@ class DispatchService {
   /// (introspection: router cache stats, prediction).
   dispatch::MobiRescueDispatcher* mobirescue_ = nullptr;
 
-  // Tick-loop state (single consumer).
+  // Tick-loop state (single consumer). ticks_/deferred_total_ and the
+  // latency sample vectors are window-scoped (see ResetMetrics); the obs
+  // instruments below mirror them cumulatively for exposition.
   std::vector<mobility::GpsRecord> incoming_;
   std::vector<mobility::GpsRecord> deferred_;
   util::SimTime watermark_ = 0.0;
@@ -136,6 +154,22 @@ class DispatchService {
   std::uint64_t deferred_total_ = 0;
   std::vector<double> decide_ms_;
   std::vector<double> drain_ms_;
+
+  obs::Counter ticks_total_{"serve_ticks_total",
+                            "Dispatch ticks executed."};
+  obs::Counter deferred_counter_{
+      "serve_deferred_total",
+      "Drained records parked because they were ahead of the watermark."};
+  obs::Histogram decide_hist_{"serve_tick_decide_ms",
+                              "Per-tick dispatcher Decide() wall time (ms).",
+                              obs::Histogram::LatencyBucketsMs()};
+  obs::Histogram drain_hist_{"serve_tick_drain_ms",
+                             "Per-tick drain-and-apply wall time (ms).",
+                             obs::Histogram::LatencyBucketsMs()};
+  obs::Gauge depth_gauge_{"serve_queue_depth",
+                          "Records drained by the most recent tick."};
+  obs::Gauge people_gauge_{"serve_people_tracked",
+                           "Distinct people in the latest-position state."};
 };
 
 }  // namespace mobirescue::serve

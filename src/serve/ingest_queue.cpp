@@ -28,18 +28,20 @@ std::size_t ShardedIngestQueue::ShardOf(mobility::PersonId person,
 
 bool ShardedIngestQueue::Push(const mobility::GpsRecord& record) {
   Shard& shard = shards_[ShardOf(record.person, shards_.size())];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.size() >= config_.shard_capacity) {
-    if (config_.drop_policy == DropPolicy::kDropNewest) {
-      ++shard.dropped;
-      return false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.size() >= config_.shard_capacity) {
+      if (config_.drop_policy == DropPolicy::kDropNewest) {
+        dropped_.Increment();
+        return false;
+      }
+      // kDropOldest: evict the head to keep the freshest records.
+      ++shard.head;
+      dropped_.Increment();
     }
-    // kDropOldest: evict the head to keep the freshest records.
-    ++shard.head;
-    ++shard.dropped;
+    shard.buf.push_back(record);
   }
-  shard.buf.push_back(record);
-  ++shard.accepted;
+  accepted_.Increment();
   return true;
 }
 
@@ -53,9 +55,9 @@ std::size_t ShardedIngestQueue::DrainInto(
                shard.buf.end());
     shard.buf.clear();
     shard.head = 0;
-    shard.drained += depth;
     n += depth;
   }
+  drained_.Increment(n);
   return n;
 }
 
@@ -71,12 +73,9 @@ std::vector<std::size_t> ShardedIngestQueue::Depths() const {
 
 IngestCounters ShardedIngestQueue::counters() const {
   IngestCounters c;
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    c.accepted += shard.accepted;
-    c.dropped += shard.dropped;
-    c.drained += shard.drained;
-  }
+  c.accepted = accepted_.Value();
+  c.dropped = dropped_.Value();
+  c.drained = drained_.Value();
   return c;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "mobility/gps_record.hpp"
+#include "obs/metrics.hpp"
 
 namespace mobirescue::serve {
 
@@ -35,8 +36,10 @@ struct IngestQueueConfig {
   DropPolicy drop_policy = DropPolicy::kDropOldest;
 };
 
-/// Cumulative ingestion counters (a consistent snapshot under the shard
-/// locks).
+/// Cumulative ingestion counters. A thin view over the queue's
+/// registry-backed obs::Counter instruments: each field is individually
+/// exact (striped atomic sums), and the triple is consistent once
+/// producers are quiescent.
 struct IngestCounters {
   std::uint64_t accepted = 0;  // records enqueued
   std::uint64_t dropped = 0;   // records lost to a full shard (either policy)
@@ -80,15 +83,21 @@ class ShardedIngestQueue {
     /// erase-from-front; the buffer is compacted on drain.
     std::vector<mobility::GpsRecord> buf;
     std::size_t head = 0;
-    std::uint64_t accepted = 0;
-    std::uint64_t dropped = 0;
-    std::uint64_t drained = 0;
 
     std::size_t size() const { return buf.size() - head; }
   };
 
   IngestQueueConfig config_;
   std::vector<Shard> shards_;
+  // Queue-level registry-backed tallies (obs/metrics.hpp) replacing the
+  // old per-shard uint64 fields; increments are uncontended striped
+  // fetch_adds outside the shard locks.
+  obs::Counter accepted_{"serve_ingest_accepted_total",
+                         "GPS records enqueued by producers."};
+  obs::Counter dropped_{"serve_ingest_dropped_total",
+                        "GPS records lost to a full shard (either policy)."};
+  obs::Counter drained_{"serve_ingest_drained_total",
+                        "GPS records handed to the tick-loop consumer."};
 };
 
 }  // namespace mobirescue::serve

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.hpp"
+
 namespace mobirescue::sim {
 
 using util::SimTime;
@@ -279,6 +281,7 @@ void RescueSimulator::ArriveAtLandmark(Team& team, roadnet::LandmarkId lm,
 }
 
 void RescueSimulator::StepTeams(SimTime now) {
+  OBS_SPAN("sim.step_teams");
   const roadnet::NetworkCondition& cond = ConditionAt(now);
   for (Team& team : teams_) {
     // An idle team holding rescued people departs for the hospital after a
@@ -304,6 +307,7 @@ void RescueSimulator::StepTeams(SimTime now) {
         // Flooded segment discovered en route: block, then replan to the
         // current objective on the true network.
         ++blockage_events_;
+        blockage_counter_.Increment();
         BlockTeam(team.id, now + config_.blockage_penalty_s);
         const TeamMode mode = team.mode;
         const roadnet::SegmentId target = team.target_segment;
@@ -368,6 +372,7 @@ void RescueSimulator::OnRequestAppear(Request& request, SimTime now) {
 
 void RescueSimulator::ApplyActions(const std::vector<TeamAction>& actions,
                                    SimTime now) {
+  OBS_SPAN("sim.apply_actions");
   const roadnet::NetworkCondition& cond = ConditionAt(now);
   int serving = 0;
   for (std::size_t k = 0; k < actions.size() && k < teams_.size(); ++k) {
@@ -440,6 +445,7 @@ bool RescueSimulator::NextRound(Dispatcher& dispatcher, DispatchContext* ctx) {
 }
 
 void RescueSimulator::SubmitDecision(DispatchDecision decision) {
+  rounds_counter_.Increment();
   PendingDecision pd;
   pd.effective_time = now_ + std::max(0.0, decision.compute_latency_s);
   pd.actions = std::move(decision.actions);

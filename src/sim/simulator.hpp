@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "roadnet/city_builder.hpp"
 #include "roadnet/router.hpp"
 #include "sim/dispatcher.hpp"
@@ -158,6 +159,15 @@ class RescueSimulator {
 
   std::deque<PendingDecision> pending_decisions_;
   int blockage_events_ = 0;
+
+  // Registry-backed instruments; blockage_events_ above stays the exact
+  // per-instance count the accessor exposes, the counters aggregate across
+  // all live simulators (e.g. a parallel EpisodeRunner batch).
+  obs::Counter rounds_counter_{"sim_rounds_total",
+                               "Dispatch rounds executed by simulators."};
+  obs::Counter blockage_counter_{
+      "sim_blockage_events_total",
+      "Closed-segment discoveries that blocked a team en route."};
 
   // Incremental-serving clock (Run() drives these too).
   util::SimTime now_ = 0.0;

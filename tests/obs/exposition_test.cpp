@@ -1,0 +1,216 @@
+#include "obs/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mobirescue::obs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+void WriteText(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+}
+
+// --- Prometheus text -------------------------------------------------------
+
+TEST(PrometheusTextTest, CounterAndGaugeLines) {
+  Registry reg;
+  Counter c(reg, "expo_events_total", "Total events.");
+  Gauge g(reg, "expo_depth", "Queue depth.");
+  c.Increment(12);
+  g.Set(3.5);
+  const std::string text = PrometheusText(reg);
+  EXPECT_NE(text.find("# HELP expo_events_total Total events.\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE expo_events_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("expo_events_total 12\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE expo_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("expo_depth 3.5\n"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, HistogramBucketsAreCumulative) {
+  Registry reg;
+  Histogram h(reg, "expo_ms", "Latency.", {1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(5.0);
+  h.Observe(50.0);
+  const std::string text = PrometheusText(reg);
+  EXPECT_NE(text.find("# TYPE expo_ms histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("expo_ms_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("expo_ms_bucket{le=\"10\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("expo_ms_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("expo_ms_sum 60.5\n"), std::string::npos);
+  EXPECT_NE(text.find("expo_ms_count 4\n"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, HelpEscapesNewlineAndBackslash) {
+  Registry reg;
+  Counter c(reg, "expo_escaped_total", "line1\nline2 \\ backslash");
+  const std::string text = PrometheusText(reg);
+  EXPECT_NE(text.find("line1\\nline2 \\\\ backslash"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, FileRoundTrip) {
+  Registry reg;
+  Counter c(reg, "expo_file_total", "x");
+  c.Increment(3);
+  const std::string path = TempPath("expo_prom.txt");
+  WritePrometheusTextFile(path, reg);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("expo_file_total 3\n"), std::string::npos);
+}
+
+// --- Metrics JSON ----------------------------------------------------------
+
+TEST(MetricsJsonTest, WriterOutputValidates) {
+  Registry reg;
+  Counter c(reg, "mj_events_total", "Events.");
+  Gauge g(reg, "mj_depth", "Depth.");
+  Histogram h(reg, "mj_ms", "Latency.", {1.0, 10.0});
+  c.Increment(5);
+  g.Set(-2.5);
+  h.Observe(0.1);
+  h.Observe(99.0);
+  const std::string path = TempPath("expo_metrics.json");
+  WriteMetricsJsonFile(path, "unit-test", reg);
+  std::string error;
+  EXPECT_TRUE(ValidateMetricsJsonFile(path, &error)) << error;
+}
+
+TEST(MetricsJsonTest, EmptyRegistryStillValidates) {
+  Registry reg;
+  const std::string path = TempPath("expo_metrics_empty.json");
+  WriteMetricsJsonFile(path, "empty", reg);
+  std::string error;
+  EXPECT_TRUE(ValidateMetricsJsonFile(path, &error)) << error;
+}
+
+TEST(MetricsJsonTest, ValidatorRejectsBadDocuments) {
+  const std::string path = TempPath("expo_metrics_bad.json");
+  std::string error;
+
+  WriteText(path, "{\"label\": \"x\", \"metrics\": []}");
+  EXPECT_FALSE(ValidateMetricsJsonFile(path, &error));
+  EXPECT_NE(error.find("schema"), std::string::npos);
+
+  WriteText(path,
+            "{\"schema\": \"mobirescue-metrics-v1\", \"label\": \"x\", "
+            "\"metrics\": [{\"name\": \"a\", \"kind\": \"counter\"}]}");
+  EXPECT_FALSE(ValidateMetricsJsonFile(path, &error));
+  EXPECT_NE(error.find("value"), std::string::npos);
+
+  WriteText(path,
+            "{\"schema\": \"mobirescue-metrics-v1\", \"label\": \"x\", "
+            "\"metrics\": [{\"name\": \"a\", \"kind\": \"histogram\", "
+            "\"count\": 1, \"sum\": 2.0, \"buckets\": "
+            "[{\"le\": \"huge\", \"count\": 1}]}]}");
+  EXPECT_FALSE(ValidateMetricsJsonFile(path, &error));
+  EXPECT_NE(error.find("+Inf"), std::string::npos);
+
+  EXPECT_FALSE(ValidateMetricsJsonFile(TempPath("no_such_file.json"),
+                                       &error));
+}
+
+// --- Chrome trace ----------------------------------------------------------
+
+TEST(ChromeTraceTest, WriterOutputValidates) {
+  TraceRecorder rec;
+  rec.Enable();
+  { ScopedSpan a("phase.alpha", rec); }
+  { ScopedSpan b("phase.beta", rec); }
+  rec.Disable();
+  const std::string path = TempPath("expo_trace.json");
+  WriteChromeTraceFile(path, rec);
+  std::string error;
+  EXPECT_TRUE(ValidateChromeTraceFile(path, &error)) << error;
+
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"phase.alpha\""), std::string::npos);
+  EXPECT_NE(text.find("\"phase.beta\""), std::string::npos);
+  EXPECT_NE(text.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, MultiThreadTraceValidates) {
+  TraceRecorder rec;
+  rec.Enable();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&rec] {
+      for (int i = 0; i < 10; ++i) {
+        ScopedSpan span("mt.work", rec);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::string path = TempPath("expo_trace_mt.json");
+  WriteChromeTraceFile(path, rec);
+  std::string error;
+  EXPECT_TRUE(ValidateChromeTraceFile(path, &error)) << error;
+}
+
+TEST(ChromeTraceTest, ValidatorRejectsBadTraces) {
+  const std::string path = TempPath("expo_trace_bad.json");
+  std::string error;
+
+  WriteText(path, "{\"other\": 1}");
+  EXPECT_FALSE(ValidateChromeTraceFile(path, &error));
+  EXPECT_NE(error.find("traceEvents"), std::string::npos);
+
+  // An empty trace is a failed capture, not a valid artifact.
+  WriteText(path, "{\"traceEvents\": []}");
+  EXPECT_FALSE(ValidateChromeTraceFile(path, &error));
+  EXPECT_NE(error.find("empty"), std::string::npos);
+
+  WriteText(path,
+            "{\"traceEvents\": [{\"name\": \"a\", \"ph\": \"X\", "
+            "\"ts\": 1.0, \"dur\": 2.0}]}");
+  EXPECT_FALSE(ValidateChromeTraceFile(path, &error));
+  EXPECT_NE(error.find("pid"), std::string::npos);
+
+  WriteText(path,
+            "{\"traceEvents\": [{\"name\": \"\", \"ph\": \"X\", "
+            "\"ts\": 1.0, \"dur\": 2.0, \"pid\": 1, \"tid\": 1}]}");
+  EXPECT_FALSE(ValidateChromeTraceFile(path, &error));
+  EXPECT_NE(error.find("name"), std::string::npos);
+
+  WriteText(path,
+            "{\"traceEvents\": [{\"name\": \"a\", \"ph\": \"Q\"}]}");
+  EXPECT_FALSE(ValidateChromeTraceFile(path, &error));
+  EXPECT_NE(error.find("phase"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, ToleratesUnknownFieldsAndNesting) {
+  const std::string path = TempPath("expo_trace_extra.json");
+  WriteText(path,
+            "{\"displayTimeUnit\": \"ms\", \"traceEvents\": ["
+            "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+            "\"tid\": 1, \"args\": {\"name\": \"main\", \"nested\": "
+            "{\"deep\": [1, 2, null, true]}}},"
+            "{\"name\": \"a\", \"ph\": \"X\", \"ts\": 0.0, \"dur\": 0.0, "
+            "\"pid\": 1, \"tid\": 1, \"cat\": \"obs\"}]}");
+  std::string error;
+  EXPECT_TRUE(ValidateChromeTraceFile(path, &error)) << error;
+}
+
+}  // namespace
+}  // namespace mobirescue::obs

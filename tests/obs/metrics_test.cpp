@@ -1,0 +1,243 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mobirescue::obs {
+namespace {
+
+// Tests use their own Registry instances: production components register
+// into Registry::Global(), so asserting on global contents would couple
+// these tests to whatever else the process has constructed.
+
+TEST(CounterTest, StartsAtZeroAndIncrements) {
+  Registry reg;
+  Counter c(reg, "test_events_total", "Events.");
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  EXPECT_EQ(c.name(), "test_events_total");
+  EXPECT_EQ(c.help(), "Events.");
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Registry reg;
+  Counter c(reg, "test_concurrent_total", "Concurrent increments.");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, RejectsInvalidPrometheusNames) {
+  Registry reg;
+  EXPECT_THROW(Counter(reg, "", "x"), std::invalid_argument);
+  EXPECT_THROW(Counter(reg, "1starts_with_digit", "x"),
+               std::invalid_argument);
+  EXPECT_THROW(Counter(reg, "has-dash", "x"), std::invalid_argument);
+  EXPECT_THROW(Counter(reg, "has space", "x"), std::invalid_argument);
+  // Colons and underscores are legal Prometheus name characters.
+  Counter ok(reg, "ns:sub_system_total", "x");
+  EXPECT_EQ(reg.num_instruments(), 1u);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Registry reg;
+  Gauge g(reg, "test_depth", "Depth.");
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  g.Set(7.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 7.5);
+  g.Add(-2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 5.0);
+  g.Set(1.0);  // Set overrides, never accumulates
+  EXPECT_DOUBLE_EQ(g.Value(), 1.0);
+}
+
+TEST(HistogramTest, ObserveUsesInclusiveUpperBounds) {
+  Registry reg;
+  Histogram h(reg, "test_latency_ms", "Latency.", {1.0, 5.0, 25.0});
+  h.Observe(0.5);   // bucket 0 (le 1.0)
+  h.Observe(1.0);   // bucket 0: le is inclusive
+  h.Observe(1.001);  // bucket 1 (le 5.0)
+  h.Observe(25.0);  // bucket 2
+  h.Observe(100.0);  // +Inf bucket
+  const HistogramSnapshot s = h.Snapshot();
+  ASSERT_EQ(s.bounds.size(), 3u);
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.0 + 1.001 + 25.0 + 100.0);
+  EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(HistogramTest, RejectsBadBounds) {
+  Registry reg;
+  EXPECT_THROW(Histogram(reg, "test_h", "x", {}), std::invalid_argument);
+  EXPECT_THROW(Histogram(reg, "test_h", "x", {1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(Histogram(reg, "test_h", "x", {5.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(HistogramTest, ConcurrentObservationsAreExact) {
+  Registry reg;
+  Histogram h(reg, "test_conc_ms", "x", {10.0, 100.0});
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 30000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<double>((t + i) % 3) * 50.0);  // 0, 50, 100
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(s.counts[0] + s.counts[1] + s.counts[2], s.count);
+  // 0 and 50 never land in +Inf; 100 <= le 100 is inclusive.
+  EXPECT_EQ(s.counts[2], 0u);
+}
+
+TEST(HistogramTest, LatencyLadderIsStrictlyIncreasing) {
+  const std::vector<double> b = Histogram::LatencyBucketsMs();
+  ASSERT_GE(b.size(), 2u);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+}
+
+TEST(RegistryTest, SameNameInstrumentsMergeInSnapshot) {
+  Registry reg;
+  Counter a(reg, "merged_total", "Merged.");
+  Counter b(reg, "merged_total", "Merged.");
+  a.Increment(3);
+  b.Increment(4);
+  EXPECT_EQ(reg.num_instruments(), 2u);
+  const std::vector<MetricSnapshot> snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].name, "merged_total");
+  EXPECT_EQ(snap[0].kind, InstrumentKind::kCounter);
+  EXPECT_DOUBLE_EQ(snap[0].value, 7.0);
+  // Per-instance views stay exact.
+  EXPECT_EQ(a.Value(), 3u);
+  EXPECT_EQ(b.Value(), 4u);
+}
+
+TEST(RegistryTest, SameNameHistogramsMergeBucketwise) {
+  Registry reg;
+  Histogram a(reg, "merged_ms", "x", {1.0, 10.0});
+  Histogram b(reg, "merged_ms", "x", {1.0, 10.0});
+  a.Observe(0.5);
+  a.Observe(5.0);
+  b.Observe(5.0);
+  b.Observe(50.0);
+  const std::vector<MetricSnapshot> snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  const HistogramSnapshot& h = snap[0].histogram;
+  ASSERT_EQ(h.counts.size(), 3u);
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 2u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.sum, 60.5);
+}
+
+TEST(RegistryTest, KindConflictThrows) {
+  Registry reg;
+  Counter c(reg, "conflicted", "x");
+  EXPECT_THROW(Gauge(reg, "conflicted", "x"), std::invalid_argument);
+  EXPECT_THROW(Histogram(reg, "conflicted", "x", {1.0}),
+               std::invalid_argument);
+}
+
+TEST(RegistryTest, HistogramBoundsConflictThrows) {
+  Registry reg;
+  Histogram a(reg, "bounds_ms", "x", {1.0, 10.0});
+  EXPECT_THROW(Histogram(reg, "bounds_ms", "x", {1.0, 20.0}),
+               std::invalid_argument);
+}
+
+TEST(RegistryTest, DeregistrationRemovesInstrument) {
+  Registry reg;
+  Counter keep(reg, "kept_total", "x");
+  {
+    Counter tmp(reg, "scoped_total", "x");
+    tmp.Increment(9);
+    EXPECT_EQ(reg.num_instruments(), 2u);
+    EXPECT_EQ(reg.Snapshot().size(), 2u);
+  }
+  EXPECT_EQ(reg.num_instruments(), 1u);
+  const std::vector<MetricSnapshot> snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].name, "kept_total");
+  // The freed name is reusable, including at a different kind.
+  Gauge g(reg, "scoped_total", "x");
+  EXPECT_EQ(reg.num_instruments(), 2u);
+}
+
+TEST(RegistryTest, SnapshotIsNameSorted) {
+  Registry reg;
+  Counter z(reg, "zzz_total", "x");
+  Gauge m(reg, "mmm_level", "x");
+  Counter a(reg, "aaa_total", "x");
+  const std::vector<MetricSnapshot> snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "aaa_total");
+  EXPECT_EQ(snap[1].name, "mmm_level");
+  EXPECT_EQ(snap[2].name, "zzz_total");
+}
+
+TEST(RegistryTest, SnapshotWhileWritersRun) {
+  // Snapshots under live traffic must be tear-free and bounded by the
+  // eventual total (quiescent exactness is asserted at the end).
+  Registry reg;
+  Counter c(reg, "live_total", "x");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) c.Increment();
+    });
+  }
+  std::uint64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<MetricSnapshot> snap = reg.Snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    const auto v = static_cast<std::uint64_t>(snap[0].value);
+    EXPECT_GE(v, last);  // monotone across snapshots
+    last = v;
+  }
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+  EXPECT_GE(c.Value(), last);
+}
+
+TEST(RegistryTest, GlobalRegistryCarriesComponentInstruments) {
+  // Default-constructed instruments join the process-global registry.
+  const std::size_t before = Registry::Global().num_instruments();
+  {
+    Counter c("obs_test_global_probe_total", "Probe.");
+    EXPECT_EQ(Registry::Global().num_instruments(), before + 1);
+  }
+  EXPECT_EQ(Registry::Global().num_instruments(), before);
+}
+
+}  // namespace
+}  // namespace mobirescue::obs

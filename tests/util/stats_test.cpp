@@ -153,6 +153,71 @@ TEST(SummarizeTest, AllFieldsAgreeWithBatchHelpers) {
   EXPECT_DOUBLE_EQ(s.p99, Percentile(xs, 99.0));
 }
 
+TEST(PercentilesTest, P0AndP100AreExactBounds) {
+  const std::vector<double> xs = {42.0, -3.0, 17.0, 8.0};
+  const std::vector<double> ps = {0.0, 100.0};
+  const std::vector<double> got = Percentiles(xs, ps);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_DOUBLE_EQ(got[0], -3.0);  // p0 is the minimum, no interpolation
+  EXPECT_DOUBLE_EQ(got[1], 42.0);  // p100 is the maximum
+}
+
+TEST(PercentilesTest, SingleSampleEveryPercentile) {
+  const std::vector<double> one = {7.25};
+  const std::vector<double> ps = {0.0, 50.0, 99.9, 100.0};
+  const std::vector<double> got = Percentiles(one, ps);
+  for (double v : got) EXPECT_DOUBLE_EQ(v, 7.25);
+}
+
+TEST(PercentilesTest, DuplicatesCollapseToTheRepeatedValue) {
+  const std::vector<double> xs = {5.0, 5.0, 5.0, 5.0, 5.0};
+  const std::vector<double> ps = {0.0, 25.0, 50.0, 75.0, 100.0};
+  const std::vector<double> got = Percentiles(xs, ps);
+  for (double v : got) EXPECT_DOUBLE_EQ(v, 5.0);
+}
+
+TEST(PercentilesTest, PartialDuplicatesStayWithinDataRange) {
+  // 1 appears 3x, 9 appears 1x: every percentile must interpolate inside
+  // [1, 9] and stay monotone in p.
+  const std::vector<double> xs = {1.0, 1.0, 1.0, 9.0};
+  const std::vector<double> ps = {0.0, 30.0, 60.0, 90.0, 100.0};
+  const std::vector<double> got = Percentiles(xs, ps);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_GE(got[i], 1.0);
+    EXPECT_LE(got[i], 9.0);
+    if (i > 0) {
+      EXPECT_GE(got[i], got[i - 1]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(got.front(), 1.0);
+  EXPECT_DOUBLE_EQ(got.back(), 9.0);
+}
+
+TEST(SummarizeTest, DuplicateHeavyInput) {
+  const std::vector<double> xs = {2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0};
+  const PercentileSummary s = Summarize(xs);
+  EXPECT_EQ(s.count, xs.size());
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
+  EXPECT_DOUBLE_EQ(s.p50, 2.0);
+  EXPECT_DOUBLE_EQ(s.p90, 2.0);
+  EXPECT_DOUBLE_EQ(s.p95, 2.0);
+  EXPECT_DOUBLE_EQ(s.p99, 2.0);
+}
+
+TEST(SummarizeTest, EmptyIsAllZeros) {
+  const PercentileSummary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p90, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
 TEST(SummarizeTest, SingleSampleAndEmpty) {
   const std::vector<double> one = {3.5};
   const PercentileSummary s = Summarize(one);
