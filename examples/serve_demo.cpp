@@ -11,9 +11,20 @@
 // Prometheus text after the served day; `--trace-out FILE` enables span
 // tracing around the serve and writes Chrome trace_event JSON (open it in
 // Perfetto / chrome://tracing).
+// `--faults` runs the chaos drill instead of the clean serve: the canned
+// FaultPlan::Chaos drops/duplicates/delays/reorders/corrupts GPS records,
+// injects dispatcher and predictor failures, and kills the serving process
+// twice mid-episode (restored from periodic checkpoints). The demo then
+// self-validates that quarantine, fallback and recovery all actually fired.
+// `--ckpt-every N` sets the periodic checkpoint cadence (ticks; default 16
+// under --faults, off otherwise).
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
+#include <memory>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "core/world.hpp"
@@ -22,6 +33,7 @@
 #include "obs/trace.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/dispatch_service.hpp"
+#include "serve/fault_injector.hpp"
 #include "serve/trace_streamer.hpp"
 #include "sim/population_tracker.hpp"
 #include "sim/request.hpp"
@@ -31,22 +43,29 @@ using namespace mobirescue;
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool faults = false;
+  std::uint64_t ckpt_every = 0;
   std::string metrics_out;
   std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--faults") {
+      faults = true;
+    } else if (arg == "--ckpt-every" && i + 1 < argc) {
+      ckpt_every = std::stoull(argv[++i]);
     } else if (arg == "--metrics-out" && i + 1 < argc) {
       metrics_out = argv[++i];
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_out = argv[++i];
     } else {
-      std::cerr << "usage: serve_demo [--smoke] [--metrics-out FILE] "
-                   "[--trace-out FILE]\n";
+      std::cerr << "usage: serve_demo [--smoke] [--faults] [--ckpt-every N] "
+                   "[--metrics-out FILE] [--trace-out FILE]\n";
       return 2;
     }
   }
+  if (faults && ckpt_every == 0) ckpt_every = 16;
 
   core::WorldConfig config;
   if (smoke) {
@@ -81,11 +100,6 @@ int main(int argc, char** argv) {
   const int day = world.eval.spec.eval_day;
   const double day_offset = day * util::kSecondsPerDay;
 
-  serve::ServiceConfig service_config;
-  service_config.queue.shard_capacity = 1 << 15;
-  serve::DispatchService service(*world.city, *world.index, *served_svm,
-                                 served_agent, day_offset, service_config);
-
   sim::SimConfig sim_config;
   sim_config.num_teams = training.sim.num_teams;
   sim::RescueSimulator simulator(
@@ -95,6 +109,135 @@ int main(int argc, char** argv) {
 
   const mobility::GpsTrace trace =
       sim::DaySlice(world.eval.trace.records, day);
+
+  if (faults) {
+    // --- Chaos drill (DESIGN.md §13) --------------------------------------
+    serve::FaultInjector injector{serve::FaultPlan::Chaos()};
+    std::cout << "Chaos drill: " << trace.size()
+              << " GPS records through FaultPlan::Chaos (seed "
+              << injector.plan().seed << "), checkpoint every " << ckpt_every
+              << " ticks, kills at ticks 97 and 193...\n";
+
+    // Restored models must outlive the services built over them.
+    std::vector<std::unique_ptr<predict::SvmRequestPredictor>> restored_svms;
+    std::vector<std::shared_ptr<rl::DqnAgent>> restored_agents;
+    auto factory = [&](const serve::ServiceCheckpoint* restore_from)
+        -> std::unique_ptr<serve::DispatchService> {
+      serve::ServiceConfig config;
+      config.queue.shard_capacity = 1 << 15;
+      config.decide_chaos = [&injector](util::SimTime now) {
+        if (injector.ShouldFailDecide(now)) {
+          throw std::runtime_error("injected decide failure");
+        }
+      };
+      dispatch::MobiRescueConfig mr;
+      mr.prediction_chaos = [&injector](double now) {
+        if (injector.ShouldFailPrediction(now)) {
+          throw std::runtime_error("injected predictor failure");
+        }
+      };
+      if (restore_from == nullptr) {
+        return std::make_unique<serve::DispatchService>(
+            *world.city, *world.index, *served_svm, served_agent, day_offset,
+            config, mr);
+      }
+      restored_agents.push_back(serve::RestoreAgent(*restore_from));
+      restored_svms.push_back(
+          serve::RestorePredictor(*restore_from, *world.eval.factors));
+      return std::make_unique<serve::DispatchService>(
+          *world.city, *world.index, *restored_svms.back(),
+          restored_agents.back(), day_offset, config, mr);
+    };
+
+    serve::FaultedEpisodeConfig episode;
+    episode.checkpoint_every_n_ticks = ckpt_every;
+    episode.checkpoint_path = "serve_demo_faults_ckpt.txt";
+    serve::FaultedEpisodeOutcome outcome =
+        serve::RunFaultedEpisode(simulator, trace, injector, factory, episode);
+
+    const serve::ServiceMetrics m = outcome.service->metrics();
+    const serve::FaultCounts& f = injector.counts();
+    util::TextTable table({"fault / response", "count"});
+    table.Row().Cell("records dropped").Cell(static_cast<std::size_t>(f.dropped));
+    table.Row().Cell("records duplicated").Cell(
+        static_cast<std::size_t>(f.duplicated));
+    table.Row().Cell("records delayed").Cell(static_cast<std::size_t>(f.delayed));
+    table.Row().Cell("records corrupted").Cell(
+        static_cast<std::size_t>(f.corrupted));
+    table.Row().Cell("records reordered").Cell(
+        static_cast<std::size_t>(f.reordered));
+    table.Row().Cell("quarantined (state)").Cell(
+        static_cast<std::size_t>(m.state.quarantined()));
+    table.Row().Cell("decide failures").Cell(
+        static_cast<std::size_t>(f.decide_failures));
+    table.Row().Cell("predictor failures").Cell(
+        static_cast<std::size_t>(f.predictor_failures));
+    table.Row().Cell("fallback ticks").Cell(
+        static_cast<std::size_t>(m.fallback_ticks));
+    table.Row().Cell("process kills").Cell(static_cast<std::size_t>(f.kills));
+    table.Row().Cell("checkpoints written").Cell(
+        static_cast<std::size_t>(outcome.checkpoints_written));
+    table.Row().Cell("recoveries").Cell(static_cast<std::size_t>(m.recoveries));
+    table.Row().Cell("requests served").Cell(
+        static_cast<std::size_t>(outcome.metrics.total_served()));
+    std::cout << "\n" << table.ToString() << "\n";
+
+    // Self-validation: the drill is only a pass if every layer actually
+    // engaged — corrupt records quarantined, failures absorbed by the
+    // fallback, kills recovered from checkpoints, full day served.
+    bool ok = true;
+    auto require = [&ok](bool cond, const char* what) {
+      if (!cond) {
+        std::cerr << "serve_demo --faults: FAILED: " << what << "\n";
+        ok = false;
+      }
+    };
+    require(outcome.ticks == 288, "episode did not complete 288 ticks");
+    require(m.state.quarantined() > 0, "no records were quarantined");
+    require(m.fallback_ticks > 0, "the fallback dispatcher never served");
+    require(f.kills == 2, "expected exactly 2 executed kills");
+    require(m.recoveries >= 1, "the surviving service recorded no recovery");
+    require(outcome.checkpoints_written > 0, "no checkpoints were written");
+    require(outcome.metrics.total_served() > 0, "no requests were served");
+
+    double quarantined_metric = 0.0;
+    require(obs::ReadMetricValue(obs::Registry::Global(),
+                                 "serve_quarantined_total",
+                                 &quarantined_metric) &&
+                quarantined_metric > 0.0,
+            "serve_quarantined_total not visible in the registry");
+    // Only the surviving service's instruments are still registered (the
+    // first restored instance died at the second kill), so the registry
+    // shows >= 1 recovery, not the full kill count.
+    double recovered_metric = 0.0;
+    require(obs::ReadMetricValue(obs::Registry::Global(),
+                                 "serve_recoveries_total", &recovered_metric) &&
+                recovered_metric >= 1.0,
+            "serve_recoveries_total not visible in the registry");
+
+    if (!metrics_out.empty()) {
+      obs::WritePrometheusTextFile(metrics_out, obs::Registry::Global());
+      std::cout << "wrote Prometheus metrics to " << metrics_out << "\n";
+    }
+    if (!ok) return 1;
+    std::cout << "\nOK: chaos drill survived — " << outcome.ticks
+              << " ticks, " << f.kills << " kills, " << m.recoveries
+              << " recoveries, " << m.state.quarantined()
+              << " records quarantined, served "
+              << outcome.metrics.total_served() << "/"
+              << simulator.requests().size() << " requests\n";
+    return 0;
+  }
+
+  serve::ServiceConfig service_config;
+  service_config.queue.shard_capacity = 1 << 15;
+  if (ckpt_every > 0) {
+    service_config.checkpoint_every_n_ticks = ckpt_every;
+    service_config.checkpoint_path = "serve_demo_periodic_ckpt.txt";
+  }
+  serve::DispatchService service(*world.city, *world.index, *served_svm,
+                                 served_agent, day_offset, service_config);
+
   std::cout << "Streaming " << trace.size()
             << " GPS records through the service (4 producer threads, "
             << service_config.queue.num_shards << " queue shards)...\n";
@@ -121,6 +264,10 @@ int main(int argc, char** argv) {
   table.Row().Cell("people tracked").Cell(m.people_tracked);
   table.Row().Cell("map-matched").Cell(
       static_cast<std::size_t>(m.state.matched));
+  if (ckpt_every > 0) {
+    table.Row().Cell("checkpoints written").Cell(
+        static_cast<std::size_t>(m.checkpoints_written));
+  }
   std::cout << "\n" << table.ToString() << "\n";
 
   std::printf("ingest rate        %10.1f records/sim-s\n", m.ingest_rate_per_s);

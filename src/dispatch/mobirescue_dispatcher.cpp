@@ -169,11 +169,20 @@ void MobiRescueDispatcher::AccrueRewards(const sim::DispatchContext& context) {
 sim::DispatchDecision MobiRescueDispatcher::Decide(
     const sim::DispatchContext& context) {
   // Stage 2 of the framework: refresh the predicted distribution of
-  // potential rescue requests from the current population snapshot.
+  // potential rescue requests from the current population snapshot. A
+  // failed refresh degrades to the last-known distribution (DESIGN.md §13
+  // ladder rung 1) — predictions drift slowly, so a stale {ñ_e} beats no
+  // dispatch at all; the refresh is retried at the next cadence point.
   if (context.now - cached_at_ >= config_.prediction_refresh_s) {
-    const auto& snapshot = tracker_.Snapshot(context.now);
-    cached_distribution_ = predictor_.PredictDistribution(
-        snapshot, context.now, day_offset_s_, index_);
+    try {
+      if (config_.prediction_chaos) config_.prediction_chaos(context.now);
+      const auto& snapshot = tracker_.Snapshot(context.now);
+      cached_distribution_ = predictor_.PredictDistribution(
+          snapshot, context.now, day_offset_s_, index_);
+    } catch (const std::exception&) {
+      ++prediction_failures_;
+      prediction_failures_total_.Increment();
+    }
     cached_at_ = context.now;
   }
   // The dispatching centre also knows about already-appeared pending

@@ -4,10 +4,13 @@
 // RL model while it runs, Section IV-C4).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_set>
 
 #include "dispatch/featurizer.hpp"
+#include "obs/metrics.hpp"
 #include "predict/svm_predictor.hpp"
 #include "rl/dqn_agent.hpp"
 #include "roadnet/spatial_index.hpp"
@@ -46,6 +49,11 @@ struct MobiRescueConfig {
   /// so beats finishing its current leg by at least this margin (s).
   double retarget_margin_s = 120.0;
   int train_steps_per_round = 4;
+  /// Fault-injection hook (DESIGN.md §13): called right before each SVM
+  /// prediction refresh; a throw simulates a predictor failure. The
+  /// dispatcher degrades to its last-known distribution and retries at the
+  /// next refresh cadence.
+  std::function<void(double now)> prediction_chaos;
 };
 
 class MobiRescueDispatcher : public sim::Dispatcher {
@@ -74,6 +82,9 @@ class MobiRescueDispatcher : public sim::Dispatcher {
     return cached_distribution_;
   }
   double prediction_refreshed_at() const { return cached_at_; }
+  /// Prediction refreshes that failed (the dispatcher kept serving on the
+  /// last-known distribution).
+  std::uint64_t prediction_failures() const { return prediction_failures_; }
 
   /// The heuristic prior over one action's features: demand-seeking,
   /// distance- and competition-averse, 0 for the depot action.
@@ -103,6 +114,11 @@ class MobiRescueDispatcher : public sim::Dispatcher {
 
   predict::Distribution cached_distribution_;
   double cached_at_ = -1.0e18;
+  std::uint64_t prediction_failures_ = 0;
+  obs::Counter prediction_failures_total_{
+      "dispatch_prediction_failures_total",
+      "SVM prediction refreshes that threw; the last-known distribution "
+      "was kept."};
 
   /// Open macro-transition per team (semi-MDP style): a decision commits a
   /// team to a leg; the Eq. (5) reward accrues over the leg's rounds and the

@@ -1,6 +1,19 @@
 #include "mobility/data_cleaner.hpp"
 
+#include <cmath>
+#include <unordered_map>
+
 namespace mobirescue::mobility {
+
+namespace {
+
+bool AllFinite(const GpsRecord& r) {
+  return std::isfinite(r.t) && std::isfinite(r.pos.lat) &&
+         std::isfinite(r.pos.lon) && std::isfinite(r.altitude_m) &&
+         std::isfinite(r.speed_mps);
+}
+
+}  // namespace
 
 GpsTrace CleanTrace(const GpsTrace& input, const CleaningConfig& config,
                     CleaningStats* stats) {
@@ -9,28 +22,41 @@ GpsTrace CleanTrace(const GpsTrace& input, const CleaningConfig& config,
   GpsTrace out;
   out.reserve(input.size());
 
-  GpsRecord prev_kept;
-  bool have_prev = false;
+  // Last kept record per person: the relative-position filters must compare
+  // against the same person's history, or an interleaved multi-person trace
+  // bypasses them entirely (every record would be "a different person" from
+  // its predecessor).
+  std::unordered_map<PersonId, GpsRecord> prev_kept;
+  prev_kept.reserve(64);
   for (const GpsRecord& r : input) {
+    if (!AllFinite(r)) {
+      ++local.non_finite;
+      continue;
+    }
     if (!config.box.Contains(r.pos)) {
       ++local.out_of_box;
       continue;
     }
-    if (have_prev && prev_kept.person == r.person) {
-      const double dt = r.t - prev_kept.t;
+    const auto it = prev_kept.find(r.person);
+    if (it != prev_kept.end()) {
+      const GpsRecord& prev = it->second;
+      const double dt = r.t - prev.t;
+      if (dt < 0.0) {
+        ++local.out_of_order;
+        continue;
+      }
       if (dt < config.dedup_window_s) {
         ++local.duplicates;
         continue;
       }
-      const double d = util::ApproxDistanceMeters(prev_kept.pos, r.pos);
+      const double d = util::ApproxDistanceMeters(prev.pos, r.pos);
       if (d / dt > config.max_speed_mps) {
         ++local.teleports;
         continue;
       }
     }
     out.push_back(r);
-    prev_kept = r;
-    have_prev = true;
+    prev_kept[r.person] = r;
   }
   local.kept = out.size();
   if (stats != nullptr) *stats = local;

@@ -1,6 +1,6 @@
 // Stage-1 data cleaning from the MobiRescue framework (Fig. 7): drop
-// positions outside the city bounding box, drop duplicate/out-of-order
-// samples, and clamp physically impossible speeds.
+// non-finite records, positions outside the city bounding box, duplicate
+// and out-of-order samples, and clamp physically impossible speeds.
 #pragma once
 
 #include "mobility/gps_record.hpp"
@@ -19,14 +19,21 @@ struct CleaningConfig {
 
 struct CleaningStats {
   std::size_t input = 0;
+  /// NaN/inf in any field (timestamp, coordinates, altitude, speed).
+  std::size_t non_finite = 0;
   std::size_t out_of_box = 0;
   std::size_t duplicates = 0;
+  /// Timestamp strictly before the person's previous kept record (dt < 0).
+  std::size_t out_of_order = 0;
   std::size_t teleports = 0;
   std::size_t kept = 0;
 };
 
-/// Cleans a trace sorted by (person, time); returns the cleaned trace and
-/// fills `stats` when non-null. Output preserves the sort order.
+/// Cleans a trace; returns the cleaned trace and fills `stats` when
+/// non-null. Output preserves the input order. The dedup/out-of-order/
+/// teleport checks compare each record against the *same person's*
+/// previous kept record, so arbitrarily interleaved multi-person traces
+/// are filtered exactly as if each person's trace were cleaned alone.
 GpsTrace CleanTrace(const GpsTrace& input, const CleaningConfig& config,
                     CleaningStats* stats = nullptr);
 

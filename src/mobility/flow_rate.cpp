@@ -1,6 +1,8 @@
 #include "mobility/flow_rate.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "util/sim_time.hpp"
 
@@ -38,6 +40,39 @@ void FlowRateAnalyzer::Ingest(const MatchedRecord& m) {
       idx;
   if (!seen_.insert(key).second) return;
   ++counts_[idx];
+}
+
+void FlowRateAnalyzer::ExportState(
+    std::vector<std::pair<std::uint64_t, std::uint32_t>>* cells,
+    std::vector<std::uint64_t>* seen) const {
+  cells->clear();
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] != 0) cells->emplace_back(i, counts_[i]);
+  }
+  seen->assign(seen_.begin(), seen_.end());
+  std::sort(seen->begin(), seen->end());
+}
+
+void FlowRateAnalyzer::RestoreState(
+    const std::vector<std::pair<std::uint64_t, std::uint32_t>>& cells,
+    const std::vector<std::uint64_t>& seen) {
+  counts_.assign(counts_.size(), 0);
+  for (const auto& [idx, count] : cells) {
+    if (idx >= counts_.size()) {
+      throw std::runtime_error("FlowRateAnalyzer: cell index out of range");
+    }
+    if (counts_[idx] != 0) {
+      throw std::runtime_error("FlowRateAnalyzer: duplicate cell index");
+    }
+    counts_[idx] = count;
+  }
+  seen_.clear();
+  seen_.reserve(seen.size());
+  for (const std::uint64_t key : seen) {
+    if (!seen_.insert(key).second) {
+      throw std::runtime_error("FlowRateAnalyzer: duplicate dedup key");
+    }
+  }
 }
 
 void FlowRateAnalyzer::Ingest(const std::vector<MatchedRecord>& matched) {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "mobility/map_matcher.hpp"
@@ -56,6 +57,19 @@ class FlowRateAnalyzer {
   std::vector<double> SegmentDailyFlowDifference(int day_a, int day_b) const;
 
   int total_hours() const { return total_hours_; }
+
+  /// Crash-recovery state export (DESIGN.md §13): the nonzero (cell, count)
+  /// pairs and the sorted dedup keys. Deterministic — two analyzers that
+  /// ingested the same records export identical state.
+  void ExportState(std::vector<std::pair<std::uint64_t, std::uint32_t>>* cells,
+                   std::vector<std::uint64_t>* seen) const;
+
+  /// Restores state exported by ExportState into a freshly constructed
+  /// analyzer of the same geometry. Throws std::runtime_error on
+  /// out-of-range cell indices or duplicate entries.
+  void RestoreState(
+      const std::vector<std::pair<std::uint64_t, std::uint32_t>>& cells,
+      const std::vector<std::uint64_t>& seen);
 
  private:
   std::size_t CellIndex(roadnet::SegmentId seg, int hour) const;

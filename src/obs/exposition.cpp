@@ -69,6 +69,20 @@ void RequireGood(const std::ostream& out, const std::string& what,
 
 }  // namespace
 
+bool ReadMetricValue(const Registry& registry, const std::string& name,
+                     double* value) {
+  for (const MetricSnapshot& m : registry.Snapshot()) {
+    if (m.name != name) continue;
+    if (value != nullptr) {
+      *value = m.kind == InstrumentKind::kHistogram
+                   ? static_cast<double>(m.histogram.count)
+                   : m.value;
+    }
+    return true;
+  }
+  return false;
+}
+
 // --- Prometheus text -------------------------------------------------------
 
 void WritePrometheusText(const Registry& registry, std::ostream& out) {

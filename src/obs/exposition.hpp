@@ -22,6 +22,14 @@
 
 namespace mobirescue::obs {
 
+/// Looks up one merged counter/gauge value in a registry snapshot:
+/// returns true and stores the aggregate in `*value` when an instrument
+/// with that name is live. Histograms return their sample count. For
+/// self-validating demos/tests ("did the faulted run actually quarantine
+/// anything?") — not a hot-path API (it snapshots the whole registry).
+bool ReadMetricValue(const Registry& registry, const std::string& name,
+                     double* value);
+
 /// Prometheus text exposition of every live metric: `# HELP`/`# TYPE`
 /// headers, cumulative `_bucket{le="..."}` lines plus `_sum`/`_count` for
 /// histograms.

@@ -1,8 +1,11 @@
 #include "serve/checkpoint.hpp"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 
@@ -14,6 +17,17 @@ namespace {
 
 constexpr const char* kCkptMagic = "mobirescue-ckpt-v1";
 constexpr const char* kDqnMagic = "mobirescue-dqn-v1";
+constexpr const char* kServeStateMagic = "mobirescue-serve-state-v1";
+constexpr const char* kServeStateEnd = "mobirescue-serve-state-end";
+
+// Sanity bounds for sizes read from a (possibly corrupt) file: reject
+// before allocating. Generous vs anything the system produces.
+constexpr std::size_t kMaxFeatureDim = 1u << 16;
+constexpr std::size_t kMaxHiddenLayers = 64;
+constexpr std::size_t kMaxHiddenWidth = 1u << 16;
+constexpr std::size_t kMaxWeightCount = 1u << 28;
+constexpr std::size_t kMaxStateRecords = 1u << 26;
+constexpr std::size_t kMaxFlowEntries = 1u << 28;
 
 void ExpectToken(std::istream& is, const char* token) {
   std::string got;
@@ -22,19 +36,55 @@ void ExpectToken(std::istream& is, const char* token) {
   }
 }
 
+/// strtod-based double parsing: accepts nan/inf (operator>> does not) and
+/// rejects partially-numeric tokens.
+double ReadDouble(std::istream& is, const char* what) {
+  std::string tok;
+  if (!(is >> tok)) {
+    throw std::runtime_error(std::string("LoadCheckpoint: missing ") + what);
+  }
+  const char* begin = tok.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(begin, &end);
+  if (end != begin + tok.size() || end == begin) {
+    throw std::runtime_error(std::string("LoadCheckpoint: bad ") + what +
+                             " '" + tok + "'");
+  }
+  return v;
+}
+
+std::size_t ReadCount(std::istream& is, std::size_t max, const char* what) {
+  std::uint64_t n = 0;
+  if (!(is >> n)) {
+    throw std::runtime_error(std::string("LoadCheckpoint: missing ") + what);
+  }
+  if (n > max) {
+    throw std::runtime_error(std::string("LoadCheckpoint: ") + what +
+                             " out of range");
+  }
+  return static_cast<std::size_t>(n);
+}
+
 void SaveWeightBlock(const std::vector<double>& weights, std::ostream& os) {
   os << weights.size() << "\n";
   for (double w : weights) os << w << " ";
   os << "\n";
 }
 
-void LoadWeightBlock(std::vector<double>& weights, std::istream& is) {
+void LoadWeightBlock(std::vector<double>& weights, std::istream& is,
+                     std::size_t expected) {
   std::size_t n = 0;
   if (!(is >> n)) throw std::runtime_error("LoadCheckpoint: bad DQN size");
-  weights.resize(n);
-  for (double& w : weights) {
-    if (!(is >> w)) throw std::runtime_error("LoadCheckpoint: bad DQN weight");
+  // Empty target blocks mean "sync target to online on restore"; any other
+  // size must match the topology exactly — this is what stops a corrupt
+  // header from driving a huge allocation.
+  if (n != expected && n != 0) {
+    throw std::runtime_error(
+        "LoadCheckpoint: DQN weight block size does not match topology");
   }
+  weights.resize(n);
+  for (double& w : weights) w = ReadDouble(is, "DQN weight");
 }
 
 void SaveDqn(const rl::DqnConfig& config, const std::vector<double>& weights,
@@ -60,9 +110,16 @@ void LoadDqn(rl::DqnConfig& config, std::vector<double>& weights,
   if (!(is >> config.feature_dim >> layers)) {
     throw std::runtime_error("LoadCheckpoint: bad DQN topology");
   }
+  if (config.feature_dim == 0 || config.feature_dim > kMaxFeatureDim ||
+      layers > kMaxHiddenLayers) {
+    throw std::runtime_error("LoadCheckpoint: DQN topology out of range");
+  }
   config.hidden.resize(layers);
   for (std::size_t& h : config.hidden) {
     if (!(is >> h)) throw std::runtime_error("LoadCheckpoint: bad DQN hidden");
+    if (h == 0 || h > kMaxHiddenWidth) {
+      throw std::runtime_error("LoadCheckpoint: DQN hidden width out of range");
+    }
   }
   if (!(is >> config.gamma >> config.learning_rate >> config.batch_size >>
         config.buffer_capacity >> config.target_sync_every >>
@@ -70,11 +127,104 @@ void LoadDqn(rl::DqnConfig& config, std::vector<double>& weights,
         config.epsilon_decay_steps >> config.seed)) {
     throw std::runtime_error("LoadCheckpoint: bad DQN hyperparameters");
   }
-  LoadWeightBlock(weights, is);
-  LoadWeightBlock(target_weights, is);
+  const std::size_t expected = ExpectedDqnWeightCount(config);
+  if (expected > kMaxWeightCount) {
+    throw std::runtime_error("LoadCheckpoint: DQN parameter count too large");
+  }
+  LoadWeightBlock(weights, is, expected);
+  LoadWeightBlock(target_weights, is, expected);
+}
+
+void SaveRecord(const mobility::GpsRecord& r, std::ostream& os) {
+  os << r.person << " " << r.t << " " << r.pos.lat << " " << r.pos.lon << " "
+     << r.altitude_m << " " << r.speed_mps << "\n";
+}
+
+mobility::GpsRecord LoadRecord(std::istream& is) {
+  mobility::GpsRecord r;
+  if (!(is >> r.person)) {
+    throw std::runtime_error("LoadCheckpoint: bad record person id");
+  }
+  r.t = ReadDouble(is, "record time");
+  r.pos.lat = ReadDouble(is, "record lat");
+  r.pos.lon = ReadDouble(is, "record lon");
+  r.altitude_m = ReadDouble(is, "record altitude");
+  r.speed_mps = ReadDouble(is, "record speed");
+  return r;
+}
+
+void SaveServingState(const ServingState& s, std::ostream& os) {
+  os << kServeStateMagic << "\n";
+  os << s.ticks << " " << std::setprecision(17) << s.watermark << "\n";
+  os << "latest " << s.latest.size() << "\n";
+  for (const mobility::GpsRecord& r : s.latest) SaveRecord(r, os);
+  os << "deferred " << s.deferred.size() << "\n";
+  for (const mobility::GpsRecord& r : s.deferred) SaveRecord(r, os);
+  os << "counters " << s.counters.applied << " " << s.counters.matched << " "
+     << s.counters.unmatched << " " << s.counters.quarantined_non_finite
+     << " " << s.counters.quarantined_out_of_box << " "
+     << s.counters.quarantined_stale << "\n";
+  os << "flow-cells " << s.flow_cells.size() << "\n";
+  for (const auto& [idx, count] : s.flow_cells) {
+    os << idx << " " << count << "\n";
+  }
+  os << "flow-seen " << s.flow_seen.size() << "\n";
+  for (const std::uint64_t key : s.flow_seen) os << key << " ";
+  os << "\n" << kServeStateEnd << "\n";
+  if (!os) throw std::runtime_error("SaveCheckpoint: serving-state write failed");
+}
+
+ServingState LoadServingState(std::istream& is) {
+  // Caller has already consumed kServeStateMagic.
+  ServingState s;
+  if (!(is >> s.ticks)) {
+    throw std::runtime_error("LoadCheckpoint: bad serving tick count");
+  }
+  s.watermark = ReadDouble(is, "serving watermark");
+  ExpectToken(is, "latest");
+  s.latest.resize(ReadCount(is, kMaxStateRecords, "latest record count"));
+  for (mobility::GpsRecord& r : s.latest) r = LoadRecord(is);
+  ExpectToken(is, "deferred");
+  s.deferred.resize(ReadCount(is, kMaxStateRecords, "deferred record count"));
+  for (mobility::GpsRecord& r : s.deferred) r = LoadRecord(is);
+  ExpectToken(is, "counters");
+  if (!(is >> s.counters.applied >> s.counters.matched >>
+        s.counters.unmatched >> s.counters.quarantined_non_finite >>
+        s.counters.quarantined_out_of_box >> s.counters.quarantined_stale)) {
+    throw std::runtime_error("LoadCheckpoint: bad stream counters");
+  }
+  ExpectToken(is, "flow-cells");
+  s.flow_cells.resize(ReadCount(is, kMaxFlowEntries, "flow cell count"));
+  for (auto& [idx, count] : s.flow_cells) {
+    if (!(is >> idx >> count)) {
+      throw std::runtime_error("LoadCheckpoint: bad flow cell");
+    }
+  }
+  ExpectToken(is, "flow-seen");
+  s.flow_seen.resize(ReadCount(is, kMaxFlowEntries, "flow seen count"));
+  for (std::uint64_t& key : s.flow_seen) {
+    if (!(is >> key)) {
+      throw std::runtime_error("LoadCheckpoint: bad flow dedup key");
+    }
+  }
+  ExpectToken(is, kServeStateEnd);
+  return s;
 }
 
 }  // namespace
+
+std::size_t ExpectedDqnWeightCount(const rl::DqnConfig& config) {
+  // Mirrors the Mlp layout the agent builds: feature_dim -> hidden... -> 1,
+  // each layer contributing in*out weights + out biases.
+  std::size_t count = 0;
+  std::size_t in = config.feature_dim;
+  for (const std::size_t h : config.hidden) {
+    count += in * h + h;
+    in = h;
+  }
+  count += in + 1;  // linear output head (out = 1)
+  return count;
+}
 
 ServiceCheckpoint MakeCheckpoint(const rl::DqnAgent& agent,
                                  const predict::SvmRequestPredictor& svm) {
@@ -94,6 +244,7 @@ void SaveCheckpoint(const ServiceCheckpoint& ckpt, std::ostream& os) {
   ml::SaveSvm(ckpt.svm, os);
   ml::SaveScaler(ckpt.svm_scaler, os);
   os << std::setprecision(17) << ckpt.svm_threshold << "\n";
+  if (ckpt.has_serving_state) SaveServingState(ckpt.serving, os);
   if (!os) throw std::runtime_error("SaveCheckpoint: write failed");
 }
 
@@ -103,8 +254,20 @@ ServiceCheckpoint LoadCheckpoint(std::istream& is) {
   LoadDqn(ckpt.dqn, ckpt.dqn_weights, ckpt.dqn_target_weights, is);
   ckpt.svm = ml::LoadSvm(is);
   ckpt.svm_scaler = ml::LoadScaler(is);
-  if (!(is >> ckpt.svm_threshold)) {
-    throw std::runtime_error("LoadCheckpoint: bad threshold");
+  ckpt.svm_threshold = ReadDouble(is, "threshold");
+  // Optional serving-state section; EOF here is a valid model-only file.
+  std::string token;
+  if (is >> token) {
+    if (token != kServeStateMagic) {
+      throw std::runtime_error(
+          "LoadCheckpoint: trailing garbage after checkpoint");
+    }
+    ckpt.serving = LoadServingState(is);
+    ckpt.has_serving_state = true;
+    if (is >> token) {
+      throw std::runtime_error(
+          "LoadCheckpoint: trailing garbage after serving state");
+    }
   }
   return ckpt;
 }

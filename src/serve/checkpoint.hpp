@@ -5,21 +5,55 @@
 //
 // The text format uses max-precision doubles (setprecision(17)), so a
 // save/load round trip restores bit-identical Q-values and SVM decision
-// values (checkpoint_test asserts this on probe batches).
+// values (checkpoint_test asserts this on probe batches). NaN/inf weights
+// round-trip too (the loader parses doubles with strtod, which — unlike
+// operator>> — accepts "nan" and "inf").
+//
+// An optional serving-state section (mobirescue-serve-state-v1) after the
+// model blocks captures the live DispatchService state — tick count,
+// watermark, latest per-person positions, deferred records, stream/
+// quarantine counters, and flow-analyzer cells — enabling crash recovery
+// (DESIGN.md §13). Files without it load as model-only checkpoints
+// (backward compatible with pre-recovery v1 files).
+//
+// The loader is hardened against corrupt input: weight-block sizes must
+// match the topology-derived parameter count (a corrupt header can no
+// longer trigger a huge allocation), all counts are bounds-checked before
+// allocation, truncation at any token throws, and trailing garbage after a
+// complete checkpoint throws.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ml/svm/scaler.hpp"
 #include "ml/svm/svm.hpp"
+#include "mobility/gps_record.hpp"
 #include "predict/svm_predictor.hpp"
 #include "rl/dqn_agent.hpp"
+#include "serve/stream_state.hpp"
 #include "weather/disaster_factors.hpp"
 
 namespace mobirescue::serve {
+
+/// Live serving state for crash recovery: everything DispatchService::Tick
+/// accumulates that a restarted process cannot re-derive from the models.
+struct ServingState {
+  std::uint64_t ticks = 0;
+  double watermark = 0.0;
+  /// Latest applied record per person, sorted by person id.
+  std::vector<mobility::GpsRecord> latest;
+  /// Records drained but parked ahead of the watermark.
+  std::vector<mobility::GpsRecord> deferred;
+  StreamStateCounters counters;
+  /// FlowRateAnalyzer state (nonzero cells + sorted dedup keys).
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> flow_cells;
+  std::vector<std::uint64_t> flow_seen;
+};
 
 struct ServiceCheckpoint {
   rl::DqnConfig dqn;
@@ -31,14 +65,24 @@ struct ServiceCheckpoint {
   ml::SvmModel svm;
   ml::FeatureScaler svm_scaler;
   double svm_threshold = 0.0;
+  /// Optional serving-state section (crash recovery). Model-only files
+  /// have has_serving_state == false.
+  bool has_serving_state = false;
+  ServingState serving;
 };
+
+/// The flat parameter count of the DQN network a config describes
+/// (feature_dim -> hidden... -> 1, weights + biases per layer). Saved
+/// weight blocks must have exactly this size.
+std::size_t ExpectedDqnWeightCount(const rl::DqnConfig& config);
 
 /// Captures the trained models from a finished training run.
 ServiceCheckpoint MakeCheckpoint(const rl::DqnAgent& agent,
                                  const predict::SvmRequestPredictor& svm);
 
 /// Writes / reads the checkpoint; throws std::runtime_error on I/O failure
-/// or malformed input.
+/// or malformed input (truncation, size/topology mismatch, trailing
+/// garbage).
 void SaveCheckpoint(const ServiceCheckpoint& ckpt, std::ostream& os);
 ServiceCheckpoint LoadCheckpoint(std::istream& is);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 #include <utility>
 
 #include "obs/trace.hpp"
@@ -16,6 +17,13 @@ double ElapsedMs(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+/// Quarantine needs a box; a service always has a city, so default the
+/// stream validation box to it when the caller left it unset.
+ServiceConfig WithCityBox(ServiceConfig config, const util::BoundingBox& box) {
+  if (!config.state.accept_box) config.state.accept_box = box;
+  return config;
+}
+
 }  // namespace
 
 DispatchService::DispatchService(const roadnet::City& city,
@@ -24,9 +32,11 @@ DispatchService::DispatchService(const roadnet::City& city,
                                  std::shared_ptr<rl::DqnAgent> agent,
                                  double day_offset_s, ServiceConfig config,
                                  dispatch::MobiRescueConfig mr_config)
-    : config_(config),
-      queue_(config.queue),
-      state_(city.network, index, config.state) {
+    : config_(WithCityBox(std::move(config), city.box)),
+      queue_(config_.queue),
+      state_(city.network, index, config_.state),
+      svm_(&svm),
+      fallback_(city) {
   auto mr = std::make_unique<dispatch::MobiRescueDispatcher>(
       city, svm, state_, index, std::move(agent), day_offset_s, mr_config);
   mobirescue_ = mr.get();
@@ -38,10 +48,11 @@ DispatchService::DispatchService(const roadnet::City& city,
                                  const roadnet::SpatialIndex& index,
                                  std::unique_ptr<sim::Dispatcher> dispatcher,
                                  ServiceConfig config)
-    : config_(config),
-      queue_(config.queue),
-      state_(city.network, index, config.state),
-      owned_dispatcher_(std::move(dispatcher)) {
+    : config_(WithCityBox(std::move(config), city.box)),
+      queue_(config_.queue),
+      state_(city.network, index, config_.state),
+      owned_dispatcher_(std::move(dispatcher)),
+      fallback_(city) {
   dispatcher_ = owned_dispatcher_.get();
 }
 
@@ -84,21 +95,64 @@ sim::DispatchDecision DispatchService::Tick(
   AdvanceStateTo(context.now);
   const auto t1 = std::chrono::steady_clock::now();
   sim::DispatchDecision decision;
+  bool used_fallback = false;
   {
     OBS_SPAN("serve.decide");
-    decision = dispatcher_->Decide(context);
+    if (degraded_remaining_ > 0) {
+      // Cooldown from a previous failure/overrun: serve on the fallback.
+      --degraded_remaining_;
+      decision = fallback_.Decide(context);
+      used_fallback = true;
+    } else {
+      try {
+        if (config_.decide_chaos) config_.decide_chaos(context.now);
+        decision = dispatcher_->Decide(context);
+      } catch (const std::exception&) {
+        // Degradation ladder rung 2 (DESIGN.md §13): the tick must still
+        // produce a decision — greedy nearest-team dispatch, and keep the
+        // fallback in charge for the cooldown.
+        ++decide_errors_;
+        decide_errors_counter_.Increment();
+        degraded_remaining_ = config_.degraded_cooldown_ticks;
+        decision = fallback_.Decide(context);
+        used_fallback = true;
+      }
+    }
   }
   const auto t2 = std::chrono::steady_clock::now();
 
   const double drain = ElapsedMs(t0, t1);
   const double decide = ElapsedMs(t1, t2);
+  if (!used_fallback && config_.decide_budget_ms > 0.0 &&
+      decide > config_.decide_budget_ms) {
+    // The decision is already made (and used) — the budget protects the
+    // *next* ticks from a dispatcher that has become slow.
+    ++budget_overruns_;
+    overrun_counter_.Increment();
+    degraded_remaining_ =
+        std::max(degraded_remaining_, config_.degraded_cooldown_ticks);
+  }
+  if (used_fallback) {
+    ++fallback_ticks_;
+    fallback_counter_.Increment();
+  }
+  degraded_gauge_.Set(degraded_remaining_ > 0 ? 1.0 : 0.0);
   drain_ms_.push_back(drain);
   decide_ms_.push_back(decide);
   drain_hist_.Observe(drain);
   decide_hist_.Observe(decide);
   ++ticks_;
+  ++lifetime_ticks_;
   ticks_total_.Increment();
   people_gauge_.Set(static_cast<double>(state_.num_people_seen()));
+
+  if (config_.checkpoint_every_n_ticks > 0 &&
+      !config_.checkpoint_path.empty() && CanCheckpoint() &&
+      lifetime_ticks_ % config_.checkpoint_every_n_ticks == 0) {
+    SaveCheckpointToFile(Checkpoint(), config_.checkpoint_path);
+    ++checkpoints_written_;
+    checkpoint_counter_.Increment();
+  }
   return decision;
 }
 
@@ -117,11 +171,51 @@ sim::MetricsCollector DispatchService::ServeEpisode(
   return simulator.metrics();
 }
 
+ServiceCheckpoint DispatchService::Checkpoint() const {
+  if (!CanCheckpoint()) {
+    throw std::logic_error(
+        "DispatchService::Checkpoint: only MobiRescue services (built from "
+        "an svm + agent) can checkpoint");
+  }
+  ServiceCheckpoint ckpt = MakeCheckpoint(mobirescue_->agent(), *svm_);
+  ckpt.has_serving_state = true;
+  ServingState& s = ckpt.serving;
+  s.ticks = lifetime_ticks_;
+  s.watermark = watermark_;
+  s.latest = state_.ExportLatest();
+  s.deferred = deferred_;
+  s.counters = state_.counters();
+  state_.ExportFlowState(&s.flow_cells, &s.flow_seen);
+  return ckpt;
+}
+
+void DispatchService::RestoreServingState(const ServiceCheckpoint& ckpt) {
+  if (!ckpt.has_serving_state) {
+    throw std::invalid_argument(
+        "DispatchService::RestoreServingState: checkpoint has no serving "
+        "state");
+  }
+  state_.Restore(ckpt.serving.latest, ckpt.serving.counters,
+                 ckpt.serving.flow_cells, ckpt.serving.flow_seen);
+  deferred_ = ckpt.serving.deferred;
+  watermark_ = ckpt.serving.watermark;
+  lifetime_ticks_ = ckpt.serving.ticks;
+  // The restored service continues the crashed instance's reporting
+  // window: its tick count keeps climbing from where the snapshot was.
+  ticks_ = ckpt.serving.ticks;
+  ++recoveries_;
+  recovery_counter_.Increment();
+}
+
 void DispatchService::ResetMetrics() {
   ticks_ = 0;
   deferred_total_ = 0;
   decide_ms_.clear();
   drain_ms_.clear();
+  fallback_ticks_ = 0;
+  decide_errors_ = 0;
+  budget_overruns_ = 0;
+  checkpoints_written_ = 0;
 }
 
 ServiceMetrics DispatchService::metrics() const {
@@ -141,6 +235,12 @@ ServiceMetrics DispatchService::metrics() const {
   if (mobirescue_ != nullptr) {
     m.router_cache = mobirescue_->featurizer().router().cache_stats();
   }
+  m.fallback_ticks = fallback_ticks_;
+  m.decide_errors = decide_errors_;
+  m.budget_overruns = budget_overruns_;
+  m.checkpoints_written = checkpoints_written_;
+  m.recoveries = recoveries_;
+  m.degraded = degraded_remaining_ > 0;
   return m;
 }
 

@@ -13,19 +13,30 @@
 // the snapshot, and records the decision latency the paper contrasts with
 // the ~300 s IP baselines (p50/p95/p99 via util::Summarize).
 //
+// Fault tolerance (DESIGN.md §13): corrupt records are quarantined by the
+// StreamState validation stage; a throwing or budget-overrunning Decide()
+// degrades the service to a greedy nearest-team fallback for a cooldown;
+// and with checkpoint_every_n_ticks set, the full serving state (models +
+// watermark + latest positions + flow counts) is periodically persisted so
+// a killed process can RestoreServingState() and keep ticking.
+//
 // Decisions are bit-identical to the batch core::Pipeline replay of the
 // same day (dispatch_service_test): the dispatcher only sees snapshot
 // content, and the streamed latest-position map equals the batch
 // PopulationTracker's at every tick.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dispatch/mobirescue_dispatcher.hpp"
+#include "dispatch/simple_dispatchers.hpp"
 #include "obs/metrics.hpp"
 #include "roadnet/city_builder.hpp"
 #include "roadnet/router.hpp"
+#include "serve/checkpoint.hpp"
 #include "serve/ingest_queue.hpp"
 #include "serve/stream_state.hpp"
 #include "sim/dispatcher.hpp"
@@ -43,16 +54,32 @@ struct ServiceConfig {
   double tick_period_s = 300.0;
   IngestQueueConfig queue;
   StreamStateConfig state;
+  /// Per-tick Decide() wall-time budget (ms); a tick exceeding it degrades
+  /// the service for `degraded_cooldown_ticks`. 0 disables the budget.
+  double decide_budget_ms = 0.0;
+  /// How many subsequent ticks run the greedy fallback after a Decide()
+  /// failure or budget overrun, before the primary dispatcher is retried.
+  int degraded_cooldown_ticks = 3;
+  /// Fault-injection hook (DESIGN.md §13): called right before the primary
+  /// dispatcher's Decide(); a throw is handled exactly like a dispatcher
+  /// failure (fallback + cooldown).
+  std::function<void(util::SimTime now)> decide_chaos;
+  /// Periodic checkpointing: every N ticks the full serving state is
+  /// written to `checkpoint_path` (MobiRescue services only — the models
+  /// are part of the artifact). 0 disables.
+  std::uint64_t checkpoint_every_n_ticks = 0;
+  std::string checkpoint_path;
 };
 
 /// One consistent view of the service's health, for benches and /metrics.
 ///
 /// Window semantics: the counter-like fields (ingest, router_cache) are
 /// thin views over cumulative registry-backed instruments and never reset;
-/// ticks/deferred/latency percentiles cover the current reporting window —
-/// since construction or the last ResetMetrics(). The registry instruments
-/// (serve_ticks_total, serve_tick_decide_ms, ...) stay cumulative across
-/// resets, as Prometheus requires.
+/// ticks/deferred/latency percentiles and the degradation counters cover
+/// the current reporting window — since construction or the last
+/// ResetMetrics(). The registry instruments (serve_ticks_total,
+/// serve_tick_decide_ms, ...) stay cumulative across resets, as Prometheus
+/// requires.
 struct ServiceMetrics {
   IngestCounters ingest;
   StreamStateCounters state;
@@ -71,13 +98,24 @@ struct ServiceMetrics {
   /// The dispatcher featurizer's shortest-path-tree cache (MobiRescue
   /// dispatcher only; zeros otherwise).
   roadnet::RouterCacheStats router_cache;
+  // Degradation ladder (DESIGN.md §13), window-scoped:
+  std::uint64_t fallback_ticks = 0;    // ticks served by the greedy fallback
+  std::uint64_t decide_errors = 0;     // primary Decide() throws
+  std::uint64_t budget_overruns = 0;   // ticks over decide_budget_ms
+  std::uint64_t checkpoints_written = 0;
+  /// Crash recoveries this service instance performed (lifetime, not
+  /// window: survives ResetMetrics).
+  std::uint64_t recoveries = 0;
+  /// True while the cooldown has the fallback dispatcher in charge.
+  bool degraded = false;
 };
 
 class DispatchService {
  public:
   /// MobiRescue service: builds the DQN dispatcher over the service's own
   /// streamed state. `agent` is typically restored from a checkpoint
-  /// (serve/checkpoint.hpp) — no retraining on boot.
+  /// (serve/checkpoint.hpp) — no retraining on boot. When the stream
+  /// config's accept_box is unset it defaults to the city's bounding box.
   DispatchService(const roadnet::City& city,
                   const roadnet::SpatialIndex& index,
                   const predict::SvmRequestPredictor& svm,
@@ -107,7 +145,10 @@ class DispatchService {
   void AdvanceStateTo(util::SimTime now);
 
   /// One dispatch tick at context.now: drain + apply, then run the
-  /// dispatcher on the snapshot. Records drain and decide latency.
+  /// dispatcher on the snapshot. Records drain and decide latency. If the
+  /// primary dispatcher throws (or the chaos hook does), or the previous
+  /// ticks put the service into cooldown, the greedy fallback decides
+  /// instead — the tick always produces a decision.
   sim::DispatchDecision Tick(const sim::DispatchContext& context);
 
   /// Drives a whole simulated day through the tick loop: for every due
@@ -117,14 +158,31 @@ class DispatchService {
   sim::MetricsCollector ServeEpisode(sim::RescueSimulator& simulator,
                                      TraceStreamer* streamer = nullptr);
 
+  /// True when the service owns checkpointable models (the MobiRescue
+  /// constructor); baseline services cannot checkpoint.
+  bool CanCheckpoint() const {
+    return mobirescue_ != nullptr && svm_ != nullptr;
+  }
+
+  /// Models + live serving state in one artifact (requires
+  /// CanCheckpoint(); throws std::logic_error otherwise).
+  ServiceCheckpoint Checkpoint() const;
+
+  /// Restores the serving-state section of a checkpoint — watermark, tick
+  /// count, latest positions, deferred records, stream/quarantine counters
+  /// and flow state — into this (freshly built) service, and counts a
+  /// recovery event. The models themselves are restored by constructing
+  /// the service from RestoreAgent/RestorePredictor first.
+  void RestoreServingState(const ServiceCheckpoint& ckpt);
+
   ServiceMetrics metrics() const;
 
   /// Starts a new reporting window: clears the per-tick latency samples
-  /// and the window tick/deferred counts, so a long-lived service serving
-  /// episode after episode reports per-window percentiles instead of
-  /// lifetime-mixed samples. Cumulative registry instruments (and the
-  /// ingest/router-cache views) are untouched. Call between episodes, not
-  /// concurrently with Tick().
+  /// and the window tick/deferred/degradation counts, so a long-lived
+  /// service serving episode after episode reports per-window percentiles
+  /// instead of lifetime-mixed samples. Cumulative registry instruments
+  /// (and the ingest/router-cache views) are untouched. Call between
+  /// episodes, not concurrently with Tick().
   void ResetMetrics();
 
   sim::Dispatcher& dispatcher() { return *dispatcher_; }
@@ -133,6 +191,9 @@ class DispatchService {
   /// baseline dispatchers.
   const predict::Distribution* predicted_demand() const;
   const ServiceConfig& config() const { return config_; }
+  util::SimTime watermark() const { return watermark_; }
+  /// Total ticks across recoveries (restored from checkpoints).
+  std::uint64_t lifetime_ticks() const { return lifetime_ticks_; }
 
  private:
   ServiceConfig config_;
@@ -141,8 +202,12 @@ class DispatchService {
   std::unique_ptr<sim::Dispatcher> owned_dispatcher_;
   sim::Dispatcher* dispatcher_ = nullptr;
   /// Set when the dispatcher is the internally-built MobiRescue one
-  /// (introspection: router cache stats, prediction).
+  /// (introspection: router cache stats, prediction; checkpointing).
   dispatch::MobiRescueDispatcher* mobirescue_ = nullptr;
+  /// The SVM the MobiRescue constructor received (checkpointing needs it).
+  const predict::SvmRequestPredictor* svm_ = nullptr;
+  /// Degradation ladder rung 2: flood-aware, zero-latency, model-free.
+  dispatch::GreedyNearestDispatcher fallback_;
 
   // Tick-loop state (single consumer). ticks_/deferred_total_ and the
   // latency sample vectors are window-scoped (see ResetMetrics); the obs
@@ -151,9 +216,17 @@ class DispatchService {
   std::vector<mobility::GpsRecord> deferred_;
   util::SimTime watermark_ = 0.0;
   std::uint64_t ticks_ = 0;
+  std::uint64_t lifetime_ticks_ = 0;
   std::uint64_t deferred_total_ = 0;
   std::vector<double> decide_ms_;
   std::vector<double> drain_ms_;
+  // Degradation state: ticks remaining on the fallback dispatcher.
+  int degraded_remaining_ = 0;
+  std::uint64_t fallback_ticks_ = 0;
+  std::uint64_t decide_errors_ = 0;
+  std::uint64_t budget_overruns_ = 0;
+  std::uint64_t checkpoints_written_ = 0;
+  std::uint64_t recoveries_ = 0;
 
   obs::Counter ticks_total_{"serve_ticks_total",
                             "Dispatch ticks executed."};
@@ -170,6 +243,24 @@ class DispatchService {
                           "Records drained by the most recent tick."};
   obs::Gauge people_gauge_{"serve_people_tracked",
                            "Distinct people in the latest-position state."};
+  obs::Counter fallback_counter_{
+      "serve_fallback_ticks_total",
+      "Ticks decided by the greedy fallback dispatcher."};
+  obs::Counter decide_errors_counter_{
+      "serve_decide_errors_total",
+      "Primary dispatcher Decide() calls that threw."};
+  obs::Counter overrun_counter_{
+      "serve_budget_overruns_total",
+      "Ticks whose Decide() exceeded the configured budget."};
+  obs::Counter checkpoint_counter_{
+      "serve_checkpoints_written_total",
+      "Periodic serving-state checkpoints persisted."};
+  obs::Counter recovery_counter_{
+      "serve_recoveries_total",
+      "Crash recoveries (serving state restored from a checkpoint)."};
+  obs::Gauge degraded_gauge_{
+      "serve_degraded",
+      "1 while the fallback dispatcher is in charge, else 0."};
 };
 
 }  // namespace mobirescue::serve

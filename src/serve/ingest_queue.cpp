@@ -33,11 +33,13 @@ bool ShardedIngestQueue::Push(const mobility::GpsRecord& record) {
     if (shard.size() >= config_.shard_capacity) {
       if (config_.drop_policy == DropPolicy::kDropNewest) {
         dropped_.Increment();
+        dropped_newest_.Increment();
         return false;
       }
       // kDropOldest: evict the head to keep the freshest records.
       ++shard.head;
       dropped_.Increment();
+      dropped_oldest_.Increment();
     }
     shard.buf.push_back(record);
   }
@@ -75,6 +77,8 @@ IngestCounters ShardedIngestQueue::counters() const {
   IngestCounters c;
   c.accepted = accepted_.Value();
   c.dropped = dropped_.Value();
+  c.dropped_newest = dropped_newest_.Value();
+  c.dropped_oldest = dropped_oldest_.Value();
   c.drained = drained_.Value();
   return c;
 }

@@ -43,6 +43,8 @@ struct IngestQueueConfig {
 struct IngestCounters {
   std::uint64_t accepted = 0;  // records enqueued
   std::uint64_t dropped = 0;   // records lost to a full shard (either policy)
+  std::uint64_t dropped_newest = 0;  // incoming records rejected (kDropNewest)
+  std::uint64_t dropped_oldest = 0;  // queued records evicted (kDropOldest)
   std::uint64_t drained = 0;   // records handed to the consumer
 };
 
@@ -96,6 +98,14 @@ class ShardedIngestQueue {
                          "GPS records enqueued by producers."};
   obs::Counter dropped_{"serve_ingest_dropped_total",
                         "GPS records lost to a full shard (either policy)."};
+  // The per-policy split of dropped_: dropped == dropped_newest +
+  // dropped_oldest once producers are quiescent.
+  obs::Counter dropped_newest_{
+      "serve_ingest_dropped_newest_total",
+      "Incoming GPS records rejected by a full shard (kDropNewest)."};
+  obs::Counter dropped_oldest_{
+      "serve_ingest_dropped_oldest_total",
+      "Queued GPS records evicted by a full shard (kDropOldest)."};
   obs::Counter drained_{"serve_ingest_drained_total",
                         "GPS records handed to the tick-loop consumer."};
 };

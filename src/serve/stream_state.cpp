@@ -1,6 +1,19 @@
 #include "serve/stream_state.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace mobirescue::serve {
+
+namespace {
+
+bool AllFinite(const mobility::GpsRecord& r) {
+  return std::isfinite(r.t) && std::isfinite(r.pos.lat) &&
+         std::isfinite(r.pos.lon) && std::isfinite(r.altitude_m) &&
+         std::isfinite(r.speed_mps);
+}
+
+}  // namespace
 
 StreamState::StreamState(const roadnet::RoadNetwork& net,
                          const roadnet::SpatialIndex& index,
@@ -10,8 +23,34 @@ StreamState::StreamState(const roadnet::RoadNetwork& net,
       config_(config) {}
 
 void StreamState::Apply(const mobility::GpsRecord& record) {
+  if (config_.validate) {
+    if (!AllFinite(record)) {
+      ++counters_.quarantined_non_finite;
+      quarantined_total_.Increment();
+      quarantine_non_finite_.Increment();
+      return;
+    }
+    if (config_.accept_box && !config_.accept_box->Contains(record.pos)) {
+      ++counters_.quarantined_out_of_box;
+      quarantined_total_.Increment();
+      quarantine_out_of_box_.Increment();
+      return;
+    }
+  }
+  const auto [it, inserted] = latest_.try_emplace(record.person, record);
+  if (!inserted) {
+    // Strictly-older records are stale; equal timestamps overwrite, which
+    // is what the batch tracker's stable sort resolves to ("latest wins"
+    // among equal-time records) — required for bit-identity.
+    if (config_.validate && record.t < it->second.t) {
+      ++counters_.quarantined_stale;
+      quarantined_total_.Increment();
+      quarantine_stale_.Increment();
+      return;
+    }
+    it->second = record;
+  }
   ++counters_.applied;
-  latest_[record.person] = record;
   dirty_ = true;
 
   mobility::MatchedRecord m;
@@ -36,6 +75,30 @@ const std::vector<mobility::GpsRecord>& StreamState::Snapshot(
     dirty_ = false;
   }
   return snapshot_;
+}
+
+std::vector<mobility::GpsRecord> StreamState::ExportLatest() const {
+  std::vector<mobility::GpsRecord> out;
+  out.reserve(latest_.size());
+  for (const auto& [id, rec] : latest_) out.push_back(rec);
+  std::sort(out.begin(), out.end(),
+            [](const mobility::GpsRecord& a, const mobility::GpsRecord& b) {
+              return a.person < b.person;
+            });
+  return out;
+}
+
+void StreamState::Restore(
+    const std::vector<mobility::GpsRecord>& latest,
+    const StreamStateCounters& counters,
+    const std::vector<std::pair<std::uint64_t, std::uint32_t>>& flow_cells,
+    const std::vector<std::uint64_t>& flow_seen) {
+  latest_.clear();
+  latest_.reserve(latest.size());
+  for (const mobility::GpsRecord& r : latest) latest_[r.person] = r;
+  counters_ = counters;
+  flows_.RestoreState(flow_cells, flow_seen);
+  dirty_ = true;
 }
 
 }  // namespace mobirescue::serve

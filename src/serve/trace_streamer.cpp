@@ -7,23 +7,43 @@
 
 namespace mobirescue::serve {
 
+namespace {
+
+std::vector<TimedDelivery> IdentitySchedule(mobility::GpsTrace trace) {
+  std::vector<TimedDelivery> schedule;
+  schedule.reserve(trace.size());
+  for (const mobility::GpsRecord& r : trace) {
+    schedule.push_back(TimedDelivery{r.t, r});
+  }
+  return schedule;
+}
+
+}  // namespace
+
 TraceStreamer::TraceStreamer(mobility::GpsTrace trace,
+                             DispatchService& service,
+                             TraceStreamerConfig config)
+    : TraceStreamer(IdentitySchedule(std::move(trace)), service, config) {}
+
+TraceStreamer::TraceStreamer(std::vector<TimedDelivery> schedule,
                              DispatchService& service,
                              TraceStreamerConfig config)
     : service_(service), config_(config) {
   if (config_.num_workers == 0) config_.num_workers = 1;
   per_worker_.resize(config_.num_workers);
-  total_records_ = trace.size();
-  for (const mobility::GpsRecord& r : trace) {
-    // Same person -> same worker: per-person time order is preserved end
-    // to end (one producer, one queue shard).
-    per_worker_[ShardedIngestQueue::ShardOf(r.person, config_.num_workers)]
-        .push_back(r);
+  total_records_ = schedule.size();
+  for (const TimedDelivery& d : schedule) {
+    // Same person -> same worker: per-person delivery order is preserved
+    // end to end (one producer, one queue shard).
+    per_worker_[ShardedIngestQueue::ShardOf(d.record.person,
+                                            config_.num_workers)]
+        .push_back(d);
   }
-  for (mobility::GpsTrace& part : per_worker_) {
+  for (std::vector<TimedDelivery>& part : per_worker_) {
     std::stable_sort(part.begin(), part.end(),
-                     [](const mobility::GpsRecord& a,
-                        const mobility::GpsRecord& b) { return a.t < b.t; });
+                     [](const TimedDelivery& a, const TimedDelivery& b) {
+                       return a.deliver_at < b.deliver_at;
+                     });
   }
   delivered_to_.assign(config_.num_workers, -1.0);
   workers_.reserve(config_.num_workers);
@@ -62,7 +82,7 @@ void TraceStreamer::WaitDelivered(util::SimTime target) {
 }
 
 void TraceStreamer::WorkerLoop(std::size_t worker) {
-  const mobility::GpsTrace& records = per_worker_[worker];
+  const std::vector<TimedDelivery>& records = per_worker_[worker];
   std::size_t cursor = 0;
   util::SimTime processed = -1.0;
 
@@ -74,8 +94,8 @@ void TraceStreamer::WorkerLoop(std::size_t worker) {
     lock.unlock();
 
     while (cursor < records.size() &&
-           records[cursor].t <= target + config_.lead_s) {
-      service_.Ingest(records[cursor]);
+           records[cursor].deliver_at <= target + config_.lead_s) {
+      service_.Ingest(records[cursor].record);
       ++cursor;
     }
 

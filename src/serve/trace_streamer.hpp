@@ -7,6 +7,11 @@
 // it exercises the real multi-producer ingestion path while keeping the
 // per-person time order the stream contract requires (one person = one
 // worker = one FIFO).
+//
+// Delivery schedules: the fault injector (DESIGN.md §13) decouples *when a
+// record is delivered* from the timestamp it carries. A TimedDelivery pairs
+// a record with its delivery time; the plain-trace constructor is the
+// identity schedule (deliver_at == record.t).
 #pragma once
 
 #include <condition_variable>
@@ -21,6 +26,13 @@ namespace mobirescue::serve {
 
 class DispatchService;
 
+/// One scheduled delivery: push `record` once the watermark reaches
+/// `deliver_at` (which may differ from record.t under injected faults).
+struct TimedDelivery {
+  util::SimTime deliver_at = 0.0;
+  mobility::GpsRecord record;
+};
+
 struct TraceStreamerConfig {
   std::size_t num_workers = 4;
   /// Records up to this far *ahead* of the watermark may be delivered
@@ -32,8 +44,14 @@ struct TraceStreamerConfig {
 class TraceStreamer {
  public:
   /// Partitions `trace` across workers by person and starts them. Workers
-  /// idle until Advance() moves the watermark.
+  /// idle until Advance() moves the watermark. Identity schedule: every
+  /// record is delivered at its own timestamp.
   TraceStreamer(mobility::GpsTrace trace, DispatchService& service,
+                TraceStreamerConfig config = {});
+
+  /// Streams an explicit delivery schedule (e.g. a fault-injected one).
+  /// Same person -> same worker; each worker delivers in deliver_at order.
+  TraceStreamer(std::vector<TimedDelivery> schedule, DispatchService& service,
                 TraceStreamerConfig config = {});
 
   /// Stops and joins the workers (undelivered records stay undelivered).
@@ -46,8 +64,9 @@ class TraceStreamer {
   /// and wakes the workers.
   void Advance(util::SimTime target);
 
-  /// Blocks until every worker has pushed all records with t <= `target`.
-  /// Advances the watermark itself if needed.
+  /// Blocks until every worker has pushed all records scheduled for
+  /// delivery at or before `target`. Advances the watermark itself if
+  /// needed.
   void WaitDelivered(util::SimTime target);
 
   std::size_t total_records() const { return total_records_; }
@@ -57,9 +76,9 @@ class TraceStreamer {
 
   DispatchService& service_;
   TraceStreamerConfig config_;
-  /// Per-worker record lists, each sorted by time (per-person order is a
-  /// sub-order of that).
-  std::vector<mobility::GpsTrace> per_worker_;
+  /// Per-worker delivery lists, each sorted by deliver_at (per-person
+  /// delivery order is a sub-order of that).
+  std::vector<std::vector<TimedDelivery>> per_worker_;
   std::size_t total_records_ = 0;
 
   std::mutex mu_;

@@ -2,6 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "util/rng.hpp"
+
 namespace mobirescue::mobility {
 namespace {
 
@@ -67,6 +75,113 @@ TEST(DataCleanerTest, EmptyInput) {
 TEST(DataCleanerTest, NullStatsAccepted) {
   GpsTrace trace = {Rec(0, 0, 35.7, -78.9)};
   EXPECT_EQ(CleanTrace(trace, Config(), nullptr).size(), 1u);
+}
+
+TEST(DataCleanerTest, DropsNonFiniteRecords) {
+  GpsTrace trace = {Rec(0, 0, 35.7, -78.9),
+                    Rec(0, 100, std::numeric_limits<double>::quiet_NaN(), -78.9),
+                    Rec(0, 200, 35.7, std::numeric_limits<double>::infinity()),
+                    Rec(0, 300, 35.7, -78.9)};
+  trace.back().speed_mps = std::numeric_limits<double>::quiet_NaN();
+  GpsTrace nan_t = {Rec(1, std::numeric_limits<double>::quiet_NaN(), 35.7, -78.9)};
+  trace.push_back(nan_t[0]);
+
+  CleaningStats stats;
+  const GpsTrace out = CleanTrace(trace, Config(), &stats);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(stats.non_finite, 4u);
+  EXPECT_EQ(stats.kept, 1u);
+}
+
+TEST(DataCleanerTest, DropsOutOfOrderRecords) {
+  // A record strictly older than the person's last kept record is a sensor
+  // fault, not a duplicate: counted separately and never compared by the
+  // speed filter (a negative dt would flip its sign).
+  GpsTrace trace = {Rec(0, 100, 35.70, -78.9), Rec(0, 50, 35.71, -78.9),
+                    Rec(0, 200, 35.70, -78.9)};
+  CleaningStats stats;
+  const GpsTrace out = CleanTrace(trace, Config(), &stats);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(stats.out_of_order, 1u);
+  EXPECT_EQ(stats.duplicates, 0u);
+  EXPECT_EQ(stats.teleports, 0u);
+}
+
+TEST(DataCleanerTest, InterleavedPeopleAreFilteredPerPerson) {
+  // The regression the per-person history map fixes: with people
+  // interleaved record-by-record, the duplicate and teleport filters must
+  // still fire (comparing only against the *same* person's last kept
+  // record, not the previous record in the trace).
+  GpsTrace trace = {
+      Rec(0, 0.0, 35.70, -78.9),  Rec(1, 0.1, 35.75, -78.8),
+      Rec(0, 0.5, 35.70, -78.9),          // duplicate of person 0's first
+      Rec(1, 10.0, 35.75, -78.8),         // fine for person 1
+      Rec(0, 10.0, 35.80, -78.9),         // teleport for person 0 (~11 km/10 s)
+      Rec(1, 20.0, 35.751, -78.8),        // fine
+  };
+  CleaningStats stats;
+  const GpsTrace out = CleanTrace(trace, Config(), &stats);
+  EXPECT_EQ(stats.duplicates, 1u);
+  EXPECT_EQ(stats.teleports, 1u);
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(DataCleanerTest, InterleavedCleanEqualsPerPersonClean) {
+  // Property: because every filter consults only per-person history,
+  // cleaning an interleaved multi-person trace must keep exactly the union
+  // of what cleaning each person's records alone keeps.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    util::Rng rng(seed);
+    constexpr int kPeople = 6;
+    GpsTrace interleaved;
+    std::vector<GpsTrace> solo(kPeople);
+    std::vector<double> clock(kPeople, 0.0);
+    for (int i = 0; i < 400; ++i) {
+      const int p =
+          std::min(kPeople - 1, static_cast<int>(rng.Uniform(0.0, kPeople)));
+      // A mix of clean steps, duplicates, jumps, rewinds and NaNs.
+      const double roll = rng.Uniform(0.0, 1.0);
+      GpsRecord r = Rec(p, clock[p], 35.7 + rng.Uniform(0.0, 0.05),
+                        -78.9 + rng.Uniform(0.0, 0.05));
+      if (roll < 0.15) {
+        r.t = clock[p] + rng.Uniform(0.0, 0.5);  // duplicate window
+      } else if (roll < 0.25) {
+        r.t = clock[p] - rng.Uniform(1.0, 50.0);  // rewind
+      } else if (roll < 0.3) {
+        r.pos.lat = std::numeric_limits<double>::quiet_NaN();
+        r.t = clock[p] + 30.0;
+      } else if (roll < 0.4) {
+        r.pos.lat = 35.7 + rng.Uniform(0.3, 0.5);  // teleport-far hop
+        r.t = clock[p] + 10.0;
+      } else {
+        r.t = clock[p] + rng.Uniform(5.0, 120.0);
+      }
+      clock[p] = std::max(clock[p], r.t);
+      interleaved.push_back(r);
+      solo[p].push_back(r);
+    }
+
+    const GpsTrace got = CleanTrace(interleaved, Config(), nullptr);
+    GpsTrace want;
+    for (const GpsTrace& one : solo) {
+      const GpsTrace kept = CleanTrace(one, Config(), nullptr);
+      want.insert(want.end(), kept.begin(), kept.end());
+    }
+    ASSERT_EQ(got.size(), want.size()) << "seed " << seed;
+    // Compare as per-person subsequences (the interleaving differs).
+    auto key = [](const GpsRecord& r) {
+      return std::make_tuple(r.person, r.t, r.pos.lat, r.pos.lon);
+    };
+    auto by_key = [&key](const GpsRecord& a, const GpsRecord& b) {
+      return key(a) < key(b);
+    };
+    std::sort(want.begin(), want.end(), by_key);
+    GpsTrace got_sorted = got;
+    std::sort(got_sorted.begin(), got_sorted.end(), by_key);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(key(got_sorted[i]), key(want[i])) << "seed " << seed;
+    }
+  }
 }
 
 }  // namespace

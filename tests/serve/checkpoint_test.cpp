@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -148,6 +151,256 @@ TEST(CheckpointTest, MalformedInputThrows) {
 
   EXPECT_THROW(LoadCheckpointFromFile("/nonexistent/path/ckpt.txt"),
                std::runtime_error);
+}
+
+// --- Hardened loading ------------------------------------------------------
+
+std::vector<std::string> Tokens(const std::string& text) {
+  std::istringstream is(text);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+std::string Join(const std::vector<std::string>& tokens, std::size_t count) {
+  std::string out;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i != 0) out += " ";
+    out += tokens[i];
+  }
+  return out;
+}
+
+ServiceCheckpoint FullCheckpoint() {
+  auto agent = TrainedAgent();
+  ServiceCheckpoint ckpt = HandMadeCheckpoint();
+  ckpt.dqn = agent->config();
+  ckpt.dqn_weights = agent->SaveWeights();
+  ckpt.dqn_target_weights = agent->SaveTargetWeights();
+  return ckpt;
+}
+
+ServingState SampleServingState() {
+  ServingState s;
+  s.ticks = 97;
+  s.watermark = 29100.0;
+  mobility::GpsRecord a;
+  a.person = 3;
+  a.t = 29099.5;
+  a.pos = {43.7712345678901, 11.2598765432109};
+  a.altitude_m = 51.25;
+  a.speed_mps = 2.75;
+  mobility::GpsRecord b = a;
+  b.person = 9;
+  b.t = 29100.0;
+  s.latest = {a, b};
+  mobility::GpsRecord deferred = a;
+  deferred.t = 29410.0;
+  s.deferred = {deferred};
+  s.counters.applied = 1234;
+  s.counters.matched = 1000;
+  s.counters.unmatched = 234;
+  s.counters.quarantined_non_finite = 5;
+  s.counters.quarantined_out_of_box = 7;
+  s.counters.quarantined_stale = 2;
+  s.flow_cells = {{12, 3}, {40, 1}};
+  s.flow_seen = {100, 101, 250};
+  return s;
+}
+
+TEST(CheckpointTest, ExpectedWeightCountMatchesTheAgent) {
+  auto agent = TrainedAgent();
+  EXPECT_EQ(ExpectedDqnWeightCount(agent->config()),
+            agent->SaveWeights().size());
+  // 5 -> {16, 8} -> 1: (5*16+16) + (16*8+8) + (8+1).
+  rl::DqnConfig config;
+  config.feature_dim = 5;
+  config.hidden = {16, 8};
+  EXPECT_EQ(ExpectedDqnWeightCount(config), 241u);
+}
+
+TEST(CheckpointTest, NanAndInfWeightsRoundTrip) {
+  ServiceCheckpoint ckpt = FullCheckpoint();
+  ckpt.dqn_weights[0] = std::numeric_limits<double>::quiet_NaN();
+  ckpt.dqn_weights[1] = std::numeric_limits<double>::infinity();
+  ckpt.dqn_weights[2] = -std::numeric_limits<double>::infinity();
+
+  std::stringstream ss;
+  SaveCheckpoint(ckpt, ss);
+  const ServiceCheckpoint loaded = LoadCheckpoint(ss);
+  ASSERT_EQ(loaded.dqn_weights.size(), ckpt.dqn_weights.size());
+  // A poisoned model survives the round trip poisoned (so a monitoring
+  // layer can detect it) instead of failing to parse.
+  EXPECT_TRUE(std::isnan(loaded.dqn_weights[0]));
+  EXPECT_EQ(loaded.dqn_weights[1], std::numeric_limits<double>::infinity());
+  EXPECT_EQ(loaded.dqn_weights[2], -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 3; i < ckpt.dqn_weights.size(); ++i) {
+    EXPECT_EQ(loaded.dqn_weights[i], ckpt.dqn_weights[i]) << i;
+  }
+}
+
+TEST(CheckpointTest, WeightBlockSizeMustMatchTopology) {
+  ServiceCheckpoint ckpt = FullCheckpoint();
+  std::stringstream ss;
+  SaveCheckpoint(ckpt, ss);
+  std::vector<std::string> tokens = Tokens(ss.str());
+
+  // The online weight block's count token directly follows the 2 topology
+  // tokens, 2 hidden widths and 9 hyperparameters after the two magics.
+  const std::size_t count_index = 2 + 2 + 2 + 9;
+  ASSERT_EQ(tokens[count_index],
+            std::to_string(ExpectedDqnWeightCount(ckpt.dqn)));
+
+  // One weight short / one extra: both reject, even though the stream
+  // could satisfy the smaller read.
+  for (const char* bad : {"240", "242"}) {
+    std::vector<std::string> corrupt = tokens;
+    corrupt[count_index] = bad;
+    std::istringstream is(Join(corrupt, corrupt.size()));
+    EXPECT_THROW(LoadCheckpoint(is), std::runtime_error) << bad;
+  }
+
+  // A corrupt header advertising a huge block must throw *before* any
+  // allocation happens (the size is checked against the topology).
+  std::vector<std::string> huge = tokens;
+  huge[count_index] = "999999999999";
+  std::istringstream is(Join(huge, huge.size()));
+  EXPECT_THROW(LoadCheckpoint(is), std::runtime_error);
+}
+
+TEST(CheckpointTest, TopologyBoundsRejectCorruptHeaders) {
+  // feature_dim beyond the sanity bound: rejected before the hidden widths
+  // are even read (no allocation from a corrupt count).
+  std::stringstream huge_dim(
+      "mobirescue-ckpt-v1\nmobirescue-dqn-v1\n9999999 2 16 8\n");
+  EXPECT_THROW(LoadCheckpoint(huge_dim), std::runtime_error);
+
+  std::stringstream huge_layers(
+      "mobirescue-ckpt-v1\nmobirescue-dqn-v1\n5 4096 16\n");
+  EXPECT_THROW(LoadCheckpoint(huge_layers), std::runtime_error);
+
+  std::stringstream zero_width(
+      "mobirescue-ckpt-v1\nmobirescue-dqn-v1\n5 2 16 0\n");
+  EXPECT_THROW(LoadCheckpoint(zero_width), std::runtime_error);
+}
+
+TEST(CheckpointTest, TruncationAtEveryTokenBoundaryThrows) {
+  // The property the loader must hold: a model-only checkpoint cut after
+  // ANY proper prefix of its tokens fails to parse — no silent zero-filled
+  // models, no partial loads.
+  ServiceCheckpoint ckpt = FullCheckpoint();
+  std::stringstream ss;
+  SaveCheckpoint(ckpt, ss);
+  const std::vector<std::string> tokens = Tokens(ss.str());
+  ASSERT_GT(tokens.size(), 100u);
+
+  for (std::size_t n = 0; n < tokens.size(); ++n) {
+    std::istringstream is(Join(tokens, n));
+    EXPECT_THROW(LoadCheckpoint(is), std::runtime_error)
+        << "prefix of " << n << " tokens parsed";
+  }
+  // Sanity: the full document does parse.
+  std::istringstream full(Join(tokens, tokens.size()));
+  EXPECT_NO_THROW(LoadCheckpoint(full));
+}
+
+TEST(CheckpointTest, ServingStateTruncationThrowsAndModelPrefixLoads) {
+  ServiceCheckpoint ckpt = FullCheckpoint();
+  const std::stringstream model_only = [&] {
+    std::stringstream ss;
+    SaveCheckpoint(ckpt, ss);
+    return ss;
+  }();
+  const std::size_t model_tokens = Tokens(model_only.str()).size();
+
+  ckpt.has_serving_state = true;
+  ckpt.serving = SampleServingState();
+  std::stringstream ss;
+  SaveCheckpoint(ckpt, ss);
+  const std::vector<std::string> tokens = Tokens(ss.str());
+  ASSERT_GT(tokens.size(), model_tokens);
+
+  // Cut exactly at the model/serving boundary: a valid v1 model-only file
+  // (backward compatibility with pre-recovery checkpoints).
+  {
+    std::istringstream is(Join(tokens, model_tokens));
+    const ServiceCheckpoint loaded = LoadCheckpoint(is);
+    EXPECT_FALSE(loaded.has_serving_state);
+  }
+  // Cut anywhere inside the serving-state section: throws.
+  for (std::size_t n = model_tokens + 1; n < tokens.size(); ++n) {
+    std::istringstream is(Join(tokens, n));
+    EXPECT_THROW(LoadCheckpoint(is), std::runtime_error)
+        << "serving-state prefix of " << n << " tokens parsed";
+  }
+}
+
+TEST(CheckpointTest, TrailingGarbageThrows) {
+  ServiceCheckpoint ckpt = FullCheckpoint();
+  std::stringstream model_only;
+  SaveCheckpoint(ckpt, model_only);
+  std::istringstream with_garbage(model_only.str() + " 42");
+  EXPECT_THROW(LoadCheckpoint(with_garbage), std::runtime_error);
+
+  ckpt.has_serving_state = true;
+  ckpt.serving = SampleServingState();
+  std::stringstream with_state;
+  SaveCheckpoint(ckpt, with_state);
+  std::istringstream after_state(with_state.str() + " 42");
+  EXPECT_THROW(LoadCheckpoint(after_state), std::runtime_error);
+}
+
+TEST(CheckpointTest, ServingStateRoundTrip) {
+  ServiceCheckpoint ckpt = FullCheckpoint();
+  ckpt.has_serving_state = true;
+  ckpt.serving = SampleServingState();
+
+  std::stringstream ss;
+  SaveCheckpoint(ckpt, ss);
+  const ServiceCheckpoint loaded = LoadCheckpoint(ss);
+
+  ASSERT_TRUE(loaded.has_serving_state);
+  const ServingState& want = ckpt.serving;
+  const ServingState& got = loaded.serving;
+  EXPECT_EQ(got.ticks, want.ticks);
+  EXPECT_EQ(got.watermark, want.watermark);
+  ASSERT_EQ(got.latest.size(), want.latest.size());
+  for (std::size_t i = 0; i < want.latest.size(); ++i) {
+    EXPECT_EQ(got.latest[i].person, want.latest[i].person);
+    EXPECT_EQ(got.latest[i].t, want.latest[i].t);
+    EXPECT_EQ(got.latest[i].pos.lat, want.latest[i].pos.lat);
+    EXPECT_EQ(got.latest[i].pos.lon, want.latest[i].pos.lon);
+    EXPECT_EQ(got.latest[i].speed_mps, want.latest[i].speed_mps);
+  }
+  ASSERT_EQ(got.deferred.size(), want.deferred.size());
+  EXPECT_EQ(got.deferred[0].t, want.deferred[0].t);
+  EXPECT_EQ(got.counters.applied, want.counters.applied);
+  EXPECT_EQ(got.counters.quarantined_non_finite,
+            want.counters.quarantined_non_finite);
+  EXPECT_EQ(got.counters.quarantined_out_of_box,
+            want.counters.quarantined_out_of_box);
+  EXPECT_EQ(got.counters.quarantined_stale, want.counters.quarantined_stale);
+  EXPECT_EQ(got.flow_cells, want.flow_cells);
+  EXPECT_EQ(got.flow_seen, want.flow_seen);
+}
+
+TEST(CheckpointTest, ServingStateCountsAreBoundsChecked) {
+  ServiceCheckpoint ckpt = FullCheckpoint();
+  ckpt.has_serving_state = true;
+  ckpt.serving = SampleServingState();
+  std::stringstream ss;
+  SaveCheckpoint(ckpt, ss);
+  const std::string text = ss.str();
+
+  // Corrupt the "latest <n>" count into an absurd value: the loader must
+  // reject it up front instead of resizing a multi-gigabyte vector.
+  const std::string needle = "latest 2";
+  const std::size_t at = text.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  std::istringstream corrupt(text.substr(0, at) + "latest 99999999999" +
+                             text.substr(at + needle.size()));
+  EXPECT_THROW(LoadCheckpoint(corrupt), std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,233 @@
+// Deterministic fault-injection unit tests: the all-zero plan is the
+// identity (the bit-identity invariant rides on this), every fault kind
+// fires exactly as its probability dictates, and the same (plan, trace)
+// always produces the byte-identical schedule — no hidden RNG state.
+#include "serve/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <set>
+
+namespace mobirescue::serve {
+namespace {
+
+mobility::GpsTrace MakeTrace(int people, int records_each) {
+  mobility::GpsTrace trace;
+  for (int k = 0; k < records_each; ++k) {
+    for (int p = 0; p < people; ++p) {
+      mobility::GpsRecord r;
+      r.person = p;
+      r.t = 60.0 * k + p;  // distinct timestamps, time-ordered
+      r.pos = {43.77 + 0.001 * p, 11.25 + 0.001 * k};
+      r.altitude_m = 50.0;
+      r.speed_mps = 3.0;
+      trace.push_back(r);
+    }
+  }
+  return trace;
+}
+
+// Bit-pattern equality: corrupted records legitimately carry NaN fields,
+// where operator== would deny the byte-identity this file asserts.
+bool BitEq(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool SameRecord(const mobility::GpsRecord& a, const mobility::GpsRecord& b) {
+  return a.person == b.person && BitEq(a.t, b.t) &&
+         BitEq(a.pos.lat, b.pos.lat) && BitEq(a.pos.lon, b.pos.lon) &&
+         BitEq(a.altitude_m, b.altitude_m) && BitEq(a.speed_mps, b.speed_mps);
+}
+
+TEST(FaultPlanTest, ZeroPlanIsEmpty) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.Empty());
+  EXPECT_FALSE(plan.AnyRecordFaults());
+  EXPECT_FALSE(FaultPlan::Chaos().Empty());
+  EXPECT_TRUE(FaultPlan::Chaos().AnyRecordFaults());
+}
+
+TEST(FaultInjectorTest, ZeroPlanIsTheIdentitySchedule) {
+  const mobility::GpsTrace trace = MakeTrace(5, 20);
+  FaultInjector injector{FaultPlan{}};
+  const std::vector<TimedDelivery> schedule = injector.PlanDeliveries(trace);
+
+  ASSERT_EQ(schedule.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(schedule[i].deliver_at, trace[i].t);
+    EXPECT_TRUE(SameRecord(schedule[i].record, trace[i]));
+  }
+  const FaultCounts& c = injector.counts();
+  EXPECT_EQ(c.dropped + c.duplicated + c.delayed + c.corrupted + c.reordered,
+            0u);
+  // The per-tick hooks never fire on a zero plan either.
+  EXPECT_FALSE(injector.ShouldFailDecide(300.0));
+  EXPECT_FALSE(injector.ShouldFailPrediction(300.0));
+  EXPECT_FALSE(injector.KillsBeforeTick(0));
+}
+
+TEST(FaultInjectorTest, SamePlanSameTraceIsByteIdentical) {
+  const mobility::GpsTrace trace = MakeTrace(8, 30);
+  const FaultPlan plan = FaultPlan::Chaos(1234);
+  FaultInjector a{plan};
+  FaultInjector b{plan};
+  const auto sa = a.PlanDeliveries(trace);
+  const auto sb = b.PlanDeliveries(trace);
+
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].deliver_at, sb[i].deliver_at) << i;
+    EXPECT_TRUE(SameRecord(sa[i].record, sb[i].record)) << i;
+  }
+  EXPECT_EQ(a.counts().dropped, b.counts().dropped);
+  EXPECT_EQ(a.counts().corrupted, b.counts().corrupted);
+  EXPECT_EQ(a.counts().reordered, b.counts().reordered);
+
+  // And the hooks replay identically too (hash of time, not a stateful
+  // draw): the exact property restarts rely on.
+  for (int tick = 0; tick < 50; ++tick) {
+    const double now = 300.0 * tick;
+    EXPECT_EQ(a.ShouldFailDecide(now), b.ShouldFailDecide(now));
+    EXPECT_EQ(a.ShouldFailPrediction(now), b.ShouldFailPrediction(now));
+  }
+}
+
+TEST(FaultInjectorTest, SeedChangesTheSchedule) {
+  const mobility::GpsTrace trace = MakeTrace(8, 30);
+  FaultInjector a{FaultPlan::Chaos(1)};
+  FaultInjector b{FaultPlan::Chaos(2)};
+  a.PlanDeliveries(trace);
+  b.PlanDeliveries(trace);
+  // With ~3-5% rates over 240 records two seeds agreeing on every count
+  // would be astonishing.
+  EXPECT_FALSE(a.counts().dropped == b.counts().dropped &&
+               a.counts().corrupted == b.counts().corrupted &&
+               a.counts().delayed == b.counts().delayed &&
+               a.counts().duplicated == b.counts().duplicated);
+}
+
+TEST(FaultInjectorTest, DropProbOneDropsEverything) {
+  const mobility::GpsTrace trace = MakeTrace(3, 10);
+  FaultPlan plan;
+  plan.drop_prob = 1.0;
+  FaultInjector injector{plan};
+  EXPECT_TRUE(injector.PlanDeliveries(trace).empty());
+  EXPECT_EQ(injector.counts().dropped, trace.size());
+}
+
+TEST(FaultInjectorTest, DuplicateProbOneDoublesTheSchedule) {
+  const mobility::GpsTrace trace = MakeTrace(3, 10);
+  FaultPlan plan;
+  plan.duplicate_prob = 1.0;
+  FaultInjector injector{plan};
+  const auto schedule = injector.PlanDeliveries(trace);
+  ASSERT_EQ(schedule.size(), 2 * trace.size());
+  EXPECT_EQ(injector.counts().duplicated, trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_TRUE(SameRecord(schedule[2 * i].record, schedule[2 * i + 1].record));
+    EXPECT_EQ(schedule[2 * i + 1].deliver_at,
+              schedule[2 * i].deliver_at + 1.0);
+  }
+}
+
+TEST(FaultInjectorTest, DelayProbOneDelaysDeliveryNotTimestamp) {
+  const mobility::GpsTrace trace = MakeTrace(3, 10);
+  FaultPlan plan;
+  plan.delay_prob = 1.0;
+  plan.delay_s = 450.0;
+  FaultInjector injector{plan};
+  const auto schedule = injector.PlanDeliveries(trace);
+  ASSERT_EQ(schedule.size(), trace.size());
+  EXPECT_EQ(injector.counts().delayed, trace.size());
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_EQ(schedule[i].deliver_at, trace[i].t + 450.0);
+    EXPECT_EQ(schedule[i].record.t, trace[i].t);  // the record itself is clean
+  }
+}
+
+TEST(FaultInjectorTest, CorruptProbOneHitsEveryRecordWithAllThreeShapes) {
+  const mobility::GpsTrace trace = MakeTrace(10, 30);
+  FaultPlan plan;
+  plan.corrupt_prob = 1.0;
+  FaultInjector injector{plan};
+  const auto schedule = injector.PlanDeliveries(trace);
+  ASSERT_EQ(schedule.size(), trace.size());
+  EXPECT_EQ(injector.counts().corrupted, trace.size());
+
+  int nan_lat = 0, inf_lon = 0, out_of_box = 0;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const mobility::GpsRecord& r = schedule[i].record;
+    if (std::isnan(r.pos.lat)) {
+      ++nan_lat;
+    } else if (std::isinf(r.pos.lon)) {
+      ++inf_lon;
+    } else {
+      EXPECT_EQ(r.pos.lat, trace[i].pos.lat + 90.0) << i;
+      ++out_of_box;
+    }
+  }
+  // All three corruption shapes occur over 300 records.
+  EXPECT_GT(nan_lat, 0);
+  EXPECT_GT(inf_lon, 0);
+  EXPECT_GT(out_of_box, 0);
+}
+
+TEST(FaultInjectorTest, ReorderSwapsConsecutivePerPersonDeliveries) {
+  const mobility::GpsTrace trace = MakeTrace(2, 6);
+  FaultPlan plan;
+  plan.reorder_prob = 1.0;
+  FaultInjector injector{plan};
+  const auto schedule = injector.PlanDeliveries(trace);
+  ASSERT_EQ(schedule.size(), trace.size());
+  // With prob 1 every record not resolving a pending swap starts one, so
+  // per person the 6 records pair up into 3 swaps: 2 people * 3.
+  EXPECT_EQ(injector.counts().reordered, 6u);
+
+  // The delivery-time multiset is conserved (reorder permutes, never
+  // invents), and at least one person's arrival order is non-monotonic.
+  std::multiset<double> original, delivered;
+  bool non_monotonic = false;
+  double prev_person0 = -1.0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    original.insert(trace[i].t);
+    delivered.insert(schedule[i].deliver_at);
+    if (schedule[i].record.person == 0) {
+      if (schedule[i].deliver_at < prev_person0) non_monotonic = true;
+      prev_person0 = schedule[i].deliver_at;
+    }
+  }
+  EXPECT_EQ(original, delivered);
+  EXPECT_TRUE(non_monotonic);
+}
+
+TEST(FaultInjectorTest, KillTicksAreSortedDeduped) {
+  FaultPlan plan;
+  plan.kill_at_ticks = {97, 5, 97, 42};
+  FaultInjector injector{plan};
+  EXPECT_TRUE(injector.KillsBeforeTick(5));
+  EXPECT_TRUE(injector.KillsBeforeTick(42));
+  EXPECT_TRUE(injector.KillsBeforeTick(97));
+  EXPECT_FALSE(injector.KillsBeforeTick(0));
+  EXPECT_FALSE(injector.KillsBeforeTick(96));
+  EXPECT_EQ(injector.plan().kill_at_ticks,
+            (std::vector<std::uint64_t>{5, 42, 97}));
+}
+
+TEST(FaultInjectorTest, FailureHooksCountAndRespectProbabilityEdges) {
+  FaultPlan plan;
+  plan.decide_failure_prob = 1.0;
+  plan.predictor_failure_prob = 0.0;
+  FaultInjector injector{plan};
+  EXPECT_TRUE(injector.ShouldFailDecide(300.0));
+  EXPECT_TRUE(injector.ShouldFailDecide(600.0));
+  EXPECT_FALSE(injector.ShouldFailPrediction(300.0));
+  EXPECT_EQ(injector.counts().decide_failures, 2u);
+  EXPECT_EQ(injector.counts().predictor_failures, 0u);
+}
+
+}  // namespace
+}  // namespace mobirescue::serve

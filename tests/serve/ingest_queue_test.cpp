@@ -6,6 +6,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+
 namespace mobirescue::serve {
 namespace {
 
@@ -183,6 +186,107 @@ TEST(ShardedIngestQueueTest, ConcurrentProducersWithDrainer) {
   const IngestCounters c = queue.counters();
   EXPECT_EQ(c.accepted, c.drained);
   EXPECT_EQ(c.dropped, 0u);
+}
+
+// --- Drop accounting audit (DESIGN.md §13) ---------------------------------
+
+TEST(ShardedIngestQueueTest, DropAccountingSplitsByPolicy) {
+  {
+    IngestQueueConfig config;
+    config.num_shards = 1;
+    config.shard_capacity = 2;
+    config.drop_policy = DropPolicy::kDropNewest;
+    ShardedIngestQueue queue(config);
+    for (int i = 0; i < 7; ++i) queue.Push(Rec(1, i));
+    const IngestCounters c = queue.counters();
+    EXPECT_EQ(c.dropped, 5u);
+    EXPECT_EQ(c.dropped_newest, 5u);
+    EXPECT_EQ(c.dropped_oldest, 0u);
+    // kDropNewest: rejected records were never accepted.
+    EXPECT_EQ(c.accepted, 2u);
+  }
+  {
+    IngestQueueConfig config;
+    config.num_shards = 1;
+    config.shard_capacity = 2;
+    config.drop_policy = DropPolicy::kDropOldest;
+    ShardedIngestQueue queue(config);
+    for (int i = 0; i < 7; ++i) queue.Push(Rec(1, i));
+    const IngestCounters c = queue.counters();
+    EXPECT_EQ(c.dropped, 5u);
+    EXPECT_EQ(c.dropped_oldest, 5u);
+    EXPECT_EQ(c.dropped_newest, 0u);
+    // kDropOldest: everything was accepted; evictions came later.
+    EXPECT_EQ(c.accepted, 7u);
+  }
+}
+
+TEST(ShardedIngestQueueTest, RegistryCountersMatchAccessorsUnderConcurrency) {
+  // The accessor struct and the registry-backed instruments are two views
+  // of the same striped atomics; after a concurrent overflow hammering
+  // they must agree exactly (and dropped must equal its per-policy split).
+  auto read = [](const char* name) {
+    double v = 0.0;
+    obs::ReadMetricValue(obs::Registry::Global(), name, &v);
+    return v;
+  };
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 3000;
+  for (const DropPolicy policy :
+       {DropPolicy::kDropNewest, DropPolicy::kDropOldest}) {
+    // Baselines: any other live queues' contributions (instruments vanish
+    // from the snapshot when their queue dies, hence per-iteration reads).
+    const double accepted0 = read("serve_ingest_accepted_total");
+    const double dropped0 = read("serve_ingest_dropped_total");
+    const double newest0 = read("serve_ingest_dropped_newest_total");
+    const double oldest0 = read("serve_ingest_dropped_oldest_total");
+    const double drained0 = read("serve_ingest_drained_total");
+
+    IngestQueueConfig config;
+    config.num_shards = 2;
+    config.shard_capacity = 64;  // tiny: force heavy drops
+    config.drop_policy = policy;
+    ShardedIngestQueue queue(config);
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&queue, p] {
+        for (int i = 0; i < kPerProducer; ++i) queue.Push(Rec(p, i));
+      });
+    }
+    for (std::thread& t : producers) t.join();
+    std::vector<mobility::GpsRecord> out;
+    queue.DrainInto(out);
+
+    constexpr std::uint64_t kTotal =
+        static_cast<std::uint64_t>(kProducers) * kPerProducer;
+    const IngestCounters c = queue.counters();
+    EXPECT_GT(c.dropped, 0u);
+    // The audit identity: every drop is attributed to exactly one policy.
+    EXPECT_EQ(c.dropped, c.dropped_newest + c.dropped_oldest);
+    if (policy == DropPolicy::kDropNewest) {
+      EXPECT_EQ(c.dropped_oldest, 0u);
+      EXPECT_EQ(c.accepted + c.dropped, kTotal);
+      EXPECT_EQ(c.drained, c.accepted);
+    } else {
+      EXPECT_EQ(c.dropped_newest, 0u);
+      EXPECT_EQ(c.accepted, kTotal);
+      EXPECT_EQ(c.drained, c.accepted - c.dropped);
+    }
+    EXPECT_EQ(out.size(), c.drained);
+
+    // Registry view (while the queue is live): deltas equal the accessors.
+    EXPECT_EQ(read("serve_ingest_accepted_total") - accepted0,
+              static_cast<double>(c.accepted));
+    EXPECT_EQ(read("serve_ingest_dropped_total") - dropped0,
+              static_cast<double>(c.dropped));
+    EXPECT_EQ(read("serve_ingest_dropped_newest_total") - newest0,
+              static_cast<double>(c.dropped_newest));
+    EXPECT_EQ(read("serve_ingest_dropped_oldest_total") - oldest0,
+              static_cast<double>(c.dropped_oldest));
+    EXPECT_EQ(read("serve_ingest_drained_total") - drained0,
+              static_cast<double>(c.drained));
+  }
 }
 
 }  // namespace

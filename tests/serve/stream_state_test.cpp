@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "roadnet/city_builder.hpp"
 #include "roadnet/spatial_index.hpp"
@@ -141,6 +145,150 @@ TEST_F(StreamStateTest, CountsUnmatchedRecords) {
   EXPECT_EQ(c.unmatched, 1u);
   // Unmatched records still update the person's latest position.
   EXPECT_EQ(state.Snapshot(10.0).size(), 2u);
+}
+
+// --- Quarantine (DESIGN.md §13) --------------------------------------------
+
+TEST_F(StreamStateTest, QuarantinesNonFiniteRecords) {
+  StreamState state(city_.network, *index_);
+
+  mobility::GpsRecord nan_lat = At(1, 0.0, 0);
+  nan_lat.pos.lat = std::numeric_limits<double>::quiet_NaN();
+  mobility::GpsRecord inf_lon = At(2, 1.0, 0);
+  inf_lon.pos.lon = std::numeric_limits<double>::infinity();
+  mobility::GpsRecord nan_speed = At(3, 2.0, 0);
+  nan_speed.speed_mps = std::numeric_limits<double>::quiet_NaN();
+  mobility::GpsRecord nan_t = At(4, 3.0, 0);
+  nan_t.t = std::numeric_limits<double>::quiet_NaN();
+
+  for (const auto& r : {nan_lat, inf_lon, nan_speed, nan_t}) state.Apply(r);
+  state.Apply(At(5, 4.0, 0));  // one clean record
+
+  const StreamStateCounters& c = state.counters();
+  EXPECT_EQ(c.quarantined_non_finite, 4u);
+  EXPECT_EQ(c.quarantined(), 4u);
+  EXPECT_EQ(c.applied, 1u);
+  // Quarantined records never reach the latest-position state.
+  EXPECT_EQ(state.num_people_seen(), 1u);
+}
+
+TEST_F(StreamStateTest, QuarantinesOutOfBoxWhenBoxConfigured) {
+  StreamStateConfig config;
+  config.accept_box = city_.box;
+  StreamState state(city_.network, *index_, config);
+
+  mobility::GpsRecord inside = At(1, 0.0, 0);
+  mobility::GpsRecord outside = At(2, 1.0, 0);
+  outside.pos.lat += 90.0;
+  state.Apply(inside);
+  state.Apply(outside);
+
+  EXPECT_EQ(state.counters().applied, 1u);
+  EXPECT_EQ(state.counters().quarantined_out_of_box, 1u);
+  EXPECT_EQ(state.num_people_seen(), 1u);
+}
+
+TEST_F(StreamStateTest, QuarantinesStaleButAcceptsEqualTimestamps) {
+  StreamState state(city_.network, *index_);
+  state.Apply(At(1, 100.0, 0));
+  // Strictly older: stale, the newer position survives.
+  state.Apply(At(1, 50.0, 3));
+  EXPECT_EQ(state.counters().quarantined_stale, 1u);
+  EXPECT_EQ(state.Snapshot(100.0)[0].t, 100.0);
+
+  // Equal timestamp: overwrite, NOT quarantine — the batch tracker's
+  // stable-sort "latest wins" semantics (bit-identity depends on this).
+  const mobility::GpsRecord equal_t = At(1, 100.0, 5);
+  state.Apply(equal_t);
+  EXPECT_EQ(state.counters().quarantined_stale, 1u);
+  EXPECT_EQ(state.counters().applied, 2u);
+  const auto& snap = state.Snapshot(100.0);
+  EXPECT_EQ(snap[0].pos.lat, equal_t.pos.lat);
+  EXPECT_EQ(snap[0].pos.lon, equal_t.pos.lon);
+}
+
+TEST_F(StreamStateTest, ValidationOffTrustsInput) {
+  StreamStateConfig config;
+  config.validate = false;
+  config.accept_box = city_.box;
+  StreamState state(city_.network, *index_, config);
+
+  mobility::GpsRecord nan_lat = At(1, 0.0, 0);
+  nan_lat.pos.lat = std::numeric_limits<double>::quiet_NaN();
+  state.Apply(nan_lat);
+  state.Apply(At(2, 1.0, 0));
+  state.Apply(At(2, 0.5, 3));  // out of order, trusted anyway
+
+  EXPECT_EQ(state.counters().quarantined(), 0u);
+  EXPECT_EQ(state.counters().applied, 3u);
+}
+
+TEST_F(StreamStateTest, ExportRestoreRoundTrip) {
+  // Build two states over the same network; run a day through the first,
+  // export, restore into the second: snapshots, counters and flow counts
+  // must all carry over (this is what crash recovery replays onto).
+  const mobility::GpsTrace trace = SyntheticDay();
+  StreamState original(city_.network, *index_);
+  original.ApplyAll(trace);
+
+  std::vector<mobility::GpsRecord> latest = original.ExportLatest();
+  // ExportLatest is sorted by person (deterministic checkpoint bytes).
+  for (std::size_t i = 1; i < latest.size(); ++i) {
+    EXPECT_LT(latest[i - 1].person, latest[i].person);
+  }
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> cells;
+  std::vector<std::uint64_t> seen;
+  original.ExportFlowState(&cells, &seen);
+
+  StreamState restored(city_.network, *index_);
+  restored.Restore(latest, original.counters(), cells, seen);
+
+  EXPECT_EQ(restored.num_people_seen(), original.num_people_seen());
+  EXPECT_EQ(restored.counters().applied, original.counters().applied);
+  const double t = trace.back().t;
+  ASSERT_EQ(restored.Snapshot(t).size(), original.Snapshot(t).size());
+  for (std::size_t seg = 0; seg < city_.network.num_segments(); ++seg) {
+    for (int h = 0; h < 24; ++h) {
+      ASSERT_DOUBLE_EQ(
+          restored.flows().SegmentFlow(static_cast<roadnet::SegmentId>(seg), h),
+          original.flows().SegmentFlow(static_cast<roadnet::SegmentId>(seg), h))
+          << "seg=" << seg << " hour=" << h;
+    }
+  }
+
+  // The flow dedup state restored too: re-applying an already-counted
+  // record must not double-count anywhere (crash recovery replays records
+  // that overlap the checkpoint).
+  const int hour = static_cast<int>(trace.back().t / 3600.0);
+  std::vector<double> before;
+  for (std::size_t seg = 0; seg < city_.network.num_segments(); ++seg) {
+    before.push_back(
+        restored.flows().SegmentFlow(static_cast<roadnet::SegmentId>(seg), hour));
+  }
+  restored.Apply(trace.back());
+  for (std::size_t seg = 0; seg < city_.network.num_segments(); ++seg) {
+    EXPECT_DOUBLE_EQ(
+        restored.flows().SegmentFlow(static_cast<roadnet::SegmentId>(seg), hour),
+        before[seg])
+        << "seg=" << seg;
+  }
+}
+
+TEST_F(StreamStateTest, RestoreRejectsCorruptFlowState) {
+  StreamState state(city_.network, *index_);
+  const std::vector<mobility::GpsRecord> empty_latest;
+  const StreamStateCounters counters;
+
+  // Cell index past the dense count table.
+  EXPECT_THROW(
+      state.Restore(empty_latest, counters, {{1u << 30, 1}}, {}),
+      std::runtime_error);
+  // Duplicate cell entries.
+  EXPECT_THROW(state.Restore(empty_latest, counters, {{3, 1}, {3, 2}}, {}),
+               std::runtime_error);
+  // Duplicate dedup keys.
+  EXPECT_THROW(state.Restore(empty_latest, counters, {}, {7, 7}),
+               std::runtime_error);
 }
 
 }  // namespace
