@@ -12,6 +12,12 @@
 // derived (splitmix64) from (base_seed, episode index) only — never from
 // which worker ran it or when. Parallel output is therefore bit-identical
 // to the serial run at the same seeds.
+//
+// The speedups compound with the simulator's event-driven core
+// (DESIGN.md §14): the pool parallelizes across episodes while the event
+// queue skips quiet boundaries within each one, so sparse long-horizon
+// batches gain on both axes — and because the two engines are
+// metrics-identical, a batch mixing them would still be deterministic.
 #pragma once
 
 #include <condition_variable>

@@ -23,9 +23,21 @@ struct Team {
   int capacity = 5;
   std::vector<int> onboard;  // request ids riding along
 
-  // Current route (remaining segments) and progress on the first of them.
+  // Current route (remaining segments) and traversal state of the first of
+  // them. A segment is *entered* at an absolute time; its travel time and
+  // openness are evaluated once, at entry, against the condition epoch in
+  // force at that instant, and the arrival time is fixed then
+  // (seg_arrival_time = seg_entry_time + travel). Both engine drivers
+  // (time-stepped and event-driven) share this arithmetic, which is what
+  // makes their metrics bit-identical.
   std::vector<roadnet::SegmentId> route;
-  double seg_elapsed_s = 0.0;
+  bool seg_entered = false;
+  util::SimTime seg_entry_time = 0.0;
+  util::SimTime seg_arrival_time = 0.0;
+  /// When an exogenous BlockTeam freezes a team mid-segment, the pause
+  /// instant is recorded; on resume the entry/arrival times shift by the
+  /// frozen duration (the remaining traversal is served after the block).
+  util::SimTime block_pause_time = -1.0;
 
   // Destination bookkeeping.
   roadnet::SegmentId target_segment = roadnet::kInvalidSegment;
@@ -34,7 +46,14 @@ struct Team {
   // Metrics counters.
   int served_total = 0;
   int served_since_dispatch = 0;
+  /// Materialized drive time toward an assignment since the last dispatch
+  /// round (the Eq. (5) ingredient). Accrual is lazy: while the team is
+  /// actively driving toward a target, `drive_mark` holds the time accrual
+  /// started and the observable value is
+  /// drive_time_since_dispatch + (now - drive_mark); blockage penalties and
+  /// idle waits never accrue. drive_mark < 0 means not accruing.
   double drive_time_since_dispatch = 0.0;
+  double drive_mark = -1.0;
 
   bool Full() const { return static_cast<int>(onboard.size()) >= capacity; }
   bool Serving() const { return mode == TeamMode::kToTarget; }

@@ -1,0 +1,313 @@
+// Engine-parity suite for the discrete-event simulator core (DESIGN.md
+// §14): the event-driven driver must produce bit-identical
+// MetricsCollector output — and identical request lifecycles — to the
+// time-stepped reference loop, at paper scale, across seeds and across
+// all four dispatcher families. Also covers facade re-entrancy on the
+// event driver, exogenous mid-segment blockage parity, and the event
+// sparsity that motivates the engine (ROADMAP item 2).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dispatch/rescue_dispatcher.hpp"
+#include "dispatch/schedule_dispatcher.hpp"
+#include "dispatch/simple_dispatchers.hpp"
+#include "predict/time_series_predictor.hpp"
+#include "sim/simulator.hpp"
+#include "weather/scenario.hpp"
+
+namespace mobirescue::sim {
+namespace {
+
+struct ParityWorld {
+  roadnet::City city;
+  std::unique_ptr<weather::WeatherField> field;
+  std::unique_ptr<weather::FloodModel> flood;
+  std::unique_ptr<predict::TimeSeriesPredictor> predictor;
+};
+
+ParityWorld& SharedWorld() {
+  static ParityWorld world = [] {
+    ParityWorld w;
+    roadnet::CityConfig config;
+    config.grid_width = 10;
+    config.grid_height = 10;
+    config.num_hospitals = 4;
+    w.city = roadnet::BuildCity(config);
+    // A storm overlapping the simulated day, so flood conditions change
+    // across hourly epochs mid-run and blockages actually happen.
+    weather::ScenarioSpec spec = weather::FlorenceScenario();
+    spec.storm.storm_begin_s = 0.2 * util::kSecondsPerDay;
+    spec.storm.storm_peak_s = 0.5 * util::kSecondsPerDay;
+    spec.storm.storm_end_s = 1.2 * util::kSecondsPerDay;
+    w.field = std::make_unique<weather::WeatherField>(w.city.box, spec.storm);
+    w.flood = std::make_unique<weather::FloodModel>(*w.field, w.city.terrain);
+    // Synthetic multi-day demand history for the Rescue (prediction-based)
+    // dispatcher.
+    std::vector<mobility::RescueEvent> history;
+    util::Rng rng(99);
+    for (int day = 0; day < 5; ++day) {
+      for (int i = 0; i < 120; ++i) {
+        mobility::RescueEvent e;
+        e.request_time =
+            day * util::kSecondsPerDay + rng.Uniform(0.0, 20.0 * 3600.0);
+        e.request_segment = static_cast<roadnet::SegmentId>(
+            rng.Index(w.city.network.num_segments()));
+        e.region = w.city.network.segment(e.request_segment).region;
+        history.push_back(e);
+      }
+    }
+    w.predictor = std::make_unique<predict::TimeSeriesPredictor>(history, 5);
+    return w;
+  }();
+  return world;
+}
+
+std::vector<Request> RandomRequests(const roadnet::City& city,
+                                    std::uint64_t seed, int count) {
+  util::Rng rng(seed);
+  std::vector<Request> out;
+  for (int i = 0; i < count; ++i) {
+    Request r;
+    r.id = i;
+    r.appear_time = rng.Uniform(0.0, 20.0 * 3600.0);
+    r.segment =
+        static_cast<roadnet::SegmentId>(rng.Index(city.network.num_segments()));
+    r.pos = city.network.SegmentMidpoint(r.segment);
+    r.region = city.network.segment(r.segment).region;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::unique_ptr<Dispatcher> MakeDispatcher(const std::string& kind,
+                                           std::uint64_t seed,
+                                           int num_teams) {
+  ParityWorld& w = SharedWorld();
+  if (kind == "random") {
+    return std::make_unique<dispatch::RandomDispatcher>(w.city, seed);
+  }
+  if (kind == "greedy") {
+    return std::make_unique<dispatch::GreedyNearestDispatcher>(w.city);
+  }
+  if (kind == "schedule") {
+    return std::make_unique<dispatch::ScheduleDispatcher>(w.city, num_teams);
+  }
+  return std::make_unique<dispatch::RescueDispatcher>(w.city, *w.predictor);
+}
+
+/// Exact (bit-level) equality over everything MetricsCollector exposes.
+void ExpectMetricsBitIdentical(const MetricsCollector& stepped,
+                               const MetricsCollector& event,
+                               int num_teams) {
+  EXPECT_EQ(stepped.total_served(), event.total_served());
+  EXPECT_EQ(stepped.total_timely(), event.total_timely());
+  EXPECT_EQ(stepped.total_delivered(), event.total_delivered());
+  EXPECT_EQ(stepped.served_per_hour(), event.served_per_hour());
+  EXPECT_EQ(stepped.timely_served_per_hour(), event.timely_served_per_hour());
+  // operator== on vector<double> is exact comparison: bit-identity, not
+  // tolerance.
+  EXPECT_EQ(stepped.delay_samples(), event.delay_samples());
+  EXPECT_EQ(stepped.timeliness_samples(), event.timeliness_samples());
+  EXPECT_EQ(stepped.AvgDelayPerHour(), event.AvgDelayPerHour());
+  EXPECT_EQ(stepped.ServingTeamsPerHour(), event.ServingTeamsPerHour());
+  EXPECT_EQ(stepped.ServedPerTeam(num_teams), event.ServedPerTeam(num_teams));
+}
+
+void ExpectWorldsBitIdentical(const RescueSimulator& stepped,
+                              const RescueSimulator& event) {
+  ASSERT_EQ(stepped.requests().size(), event.requests().size());
+  for (std::size_t i = 0; i < stepped.requests().size(); ++i) {
+    const Request& a = stepped.requests()[i];
+    const Request& b = event.requests()[i];
+    EXPECT_EQ(a.status, b.status) << "request " << i;
+    EXPECT_EQ(a.pickup_time, b.pickup_time) << "request " << i;
+    EXPECT_EQ(a.delivery_time, b.delivery_time) << "request " << i;
+    EXPECT_EQ(a.served_by_team, b.served_by_team) << "request " << i;
+    EXPECT_EQ(a.driving_delay_s, b.driving_delay_s) << "request " << i;
+  }
+  ASSERT_EQ(stepped.teams().size(), event.teams().size());
+  for (std::size_t k = 0; k < stepped.teams().size(); ++k) {
+    const Team& a = stepped.teams()[k];
+    const Team& b = event.teams()[k];
+    EXPECT_EQ(a.at, b.at) << "team " << k;
+    EXPECT_EQ(a.mode, b.mode) << "team " << k;
+    EXPECT_EQ(a.onboard, b.onboard) << "team " << k;
+    EXPECT_EQ(a.served_total, b.served_total) << "team " << k;
+  }
+  EXPECT_EQ(stepped.blockage_events(), event.blockage_events());
+}
+
+struct ParityCase {
+  std::string dispatcher;
+  std::uint64_t seed;
+};
+
+class EngineParityTest : public ::testing::TestWithParam<ParityCase> {};
+
+// Tentpole acceptance gate: paper-scale configuration (100 teams, full
+// 24 h day, 5-min rounds, storm overlapping the day), ≥3 seeds × all four
+// dispatcher families, bit-identical metrics and world state.
+TEST_P(EngineParityTest, EventEngineBitIdenticalToSteppedLoop) {
+  ParityWorld& w = SharedWorld();
+  const ParityCase& pc = GetParam();
+
+  SimConfig config;
+  config.num_teams = 100;
+  config.horizon_s = util::kSecondsPerDay;
+  config.seed = pc.seed;
+  auto requests = RandomRequests(w.city, pc.seed * 31 + 7, 300);
+
+  config.engine = SimEngine::kTimeStepped;
+  RescueSimulator stepped(w.city, *w.flood, requests, 0.0, config);
+  auto d1 = MakeDispatcher(pc.dispatcher, pc.seed, config.num_teams);
+  const MetricsCollector m_stepped = stepped.Run(*d1);
+
+  config.engine = SimEngine::kEventDriven;
+  RescueSimulator event(w.city, *w.flood, requests, 0.0, config);
+  auto d2 = MakeDispatcher(pc.dispatcher, pc.seed, config.num_teams);
+  const MetricsCollector m_event = event.Run(*d2);
+
+  ExpectMetricsBitIdentical(m_stepped, m_event, config.num_teams);
+  ExpectWorldsBitIdentical(stepped, event);
+  EXPECT_EQ(stepped.now(), event.now());
+
+  // The event driver must actually be event-driven: it schedules events
+  // and skips quiet boundaries the stepped loop grinds through.
+  EXPECT_EQ(stepped.events_scheduled_total(), 0u);
+  EXPECT_GT(event.events_scheduled_total(), 0u);
+  EXPECT_LE(event.boundaries_visited(), stepped.boundaries_visited());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndDispatchers, EngineParityTest,
+    ::testing::Values(
+        ParityCase{"random", 1}, ParityCase{"random", 2},
+        ParityCase{"random", 3}, ParityCase{"greedy", 1},
+        ParityCase{"greedy", 2}, ParityCase{"greedy", 3},
+        ParityCase{"schedule", 1}, ParityCase{"schedule", 2},
+        ParityCase{"schedule", 3}, ParityCase{"rescue", 1},
+        ParityCase{"rescue", 2}, ParityCase{"rescue", 3}),
+    [](const ::testing::TestParamInfo<ParityCase>& info) {
+      return info.param.dispatcher + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+// The incremental facade behaves identically on the event driver:
+// NextRound without SubmitDecision re-surfaces the same due round, and
+// incremental driving matches Run() bit-for-bit.
+TEST(EventEngineFacadeTest, NextRoundIsReentrantAndIncrementalMatchesRun) {
+  ParityWorld& w = SharedWorld();
+  SimConfig config;
+  config.num_teams = 12;
+  config.horizon_s = 6.0 * 3600.0;
+  config.engine = SimEngine::kEventDriven;
+  auto requests = RandomRequests(w.city, 41, 60);
+
+  RescueSimulator batch(w.city, *w.flood, requests, 0.0, config);
+  dispatch::GreedyNearestDispatcher d_batch(w.city);
+  const MetricsCollector m_batch = batch.Run(d_batch);
+
+  RescueSimulator inc(w.city, *w.flood, requests, 0.0, config);
+  dispatch::GreedyNearestDispatcher d_inc(w.city);
+  DispatchContext ctx;
+  bool first = true;
+  while (inc.NextRound(d_inc, &ctx)) {
+    if (first) {
+      // Re-entry without a decision re-surfaces the same round.
+      const double due_now = ctx.now;
+      DispatchContext again;
+      ASSERT_TRUE(inc.NextRound(d_inc, &again));
+      EXPECT_EQ(again.now, due_now);
+      EXPECT_EQ(again.teams.size(), ctx.teams.size());
+      first = false;
+    }
+    inc.SubmitDecision(d_inc.Decide(ctx));
+  }
+  ExpectMetricsBitIdentical(m_batch, inc.metrics(), config.num_teams);
+}
+
+// Exogenous mid-route BlockTeam (incident reports) must freeze and resume
+// identically in both engines, including the mid-segment pause/shift.
+TEST(EventEngineFacadeTest, ExternalMidRouteBlockageParity) {
+  ParityWorld& w = SharedWorld();
+  SimConfig config;
+  config.num_teams = 10;
+  config.horizon_s = 6.0 * 3600.0;
+  auto requests = RandomRequests(w.city, 7, 50);
+
+  auto run = [&](SimEngine engine) {
+    config.engine = engine;
+    auto sim = std::make_unique<RescueSimulator>(w.city, *w.flood, requests,
+                                                 0.0, config);
+    dispatch::GreedyNearestDispatcher d(w.city);
+    DispatchContext ctx;
+    int round = 0;
+    while (sim->NextRound(d, &ctx)) {
+      sim->SubmitDecision(d.Decide(ctx));
+      // After the second round the fleet is en route: freeze three teams
+      // mid-leg for staggered durations.
+      if (++round == 2) {
+        sim->BlockTeam(0, ctx.now + 900.0);
+        sim->BlockTeam(1, ctx.now + 555.0);
+        sim->BlockTeam(2, ctx.now + 1800.0);
+      }
+    }
+    return sim;
+  };
+
+  auto stepped = run(SimEngine::kTimeStepped);
+  auto event = run(SimEngine::kEventDriven);
+  ExpectMetricsBitIdentical(stepped->metrics(), event->metrics(),
+                            config.num_teams);
+  ExpectWorldsBitIdentical(*stepped, *event);
+}
+
+// Sparse long-horizon scenario: the whole point of the event engine. With
+// a quiet fleet most 10 s boundaries carry no event, so the event driver
+// visits a small fraction of them.
+TEST(EventEngineSparsityTest, QuietBoundariesAreSkipped) {
+  ParityWorld& w = SharedWorld();
+  SimConfig config;
+  config.num_teams = 20;
+  config.horizon_s = util::kSecondsPerDay;
+  // A handful of early requests, then a long tail of nothing.
+  auto requests = RandomRequests(w.city, 11, 10);
+  for (Request& r : requests) r.appear_time *= 0.1;  // all within ~2 h
+
+  config.engine = SimEngine::kTimeStepped;
+  RescueSimulator stepped(w.city, *w.flood, requests, 0.0, config);
+  dispatch::GreedyNearestDispatcher d1(w.city);
+  const MetricsCollector m1 = stepped.Run(d1);
+
+  config.engine = SimEngine::kEventDriven;
+  RescueSimulator event(w.city, *w.flood, requests, 0.0, config);
+  dispatch::GreedyNearestDispatcher d2(w.city);
+  const MetricsCollector m2 = event.Run(d2);
+
+  ExpectMetricsBitIdentical(m1, m2, config.num_teams);
+  // The stepped loop visits every one of horizon/step boundaries; the
+  // event driver only the ones where something could happen (at least the
+  // 5-min dispatch rounds, at most a small multiple of them).
+  const std::uint64_t total_boundaries =
+      static_cast<std::uint64_t>(config.horizon_s / config.step_s);
+  EXPECT_GE(stepped.boundaries_visited(), total_boundaries);
+  EXPECT_LT(event.boundaries_visited(), total_boundaries / 4);
+  // Typed-event accounting is populated.
+  EXPECT_GT(event.events_scheduled(SimEventType::kDispatchRound), 0u);
+  EXPECT_GT(event.events_scheduled(SimEventType::kDecisionEffective), 0u);
+  EXPECT_GT(event.events_scheduled(SimEventType::kRequestAppear), 0u);
+  EXPECT_EQ(event.events_scheduled_total(),
+            event.events_scheduled(SimEventType::kSegmentArrival) +
+                event.events_scheduled(SimEventType::kPickupGrace) +
+                event.events_scheduled(SimEventType::kBlockageExpiry) +
+                event.events_scheduled(SimEventType::kConditionEpoch) +
+                event.events_scheduled(SimEventType::kRequestAppear) +
+                event.events_scheduled(SimEventType::kDispatchRound) +
+                event.events_scheduled(SimEventType::kDecisionEffective));
+}
+
+}  // namespace
+}  // namespace mobirescue::sim

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "weather/scenario.hpp"
 
 namespace mobirescue::sim {
@@ -294,6 +297,225 @@ TEST_F(SimulatorTest, NextRoundIsReentrantUntilSubmit) {
   sim.SubmitDecision(dispatcher.Decide(b));
   ASSERT_TRUE(sim.NextRound(dispatcher, &a));
   EXPECT_GT(a.now, b.now);  // the clock moved to the next period
+}
+
+// Regression (drive-time accounting): the Eq. (5) drive-time feature must
+// charge exactly the driving time actually consumed, not a full step_s per
+// step touched. A team that stops driving mid-round reports the fractional
+// leg time at the next round, bit-exactly.
+TEST_F(SimulatorTest, DriveTimeChargesOnlyConsumedBudget) {
+  SimConfig config = FastConfig(1);
+  // A target segment adjacent to the team's start: the route is exactly
+  // [seg], so the drive ends at the far endpoint — where the request
+  // waits — and the pickup time IS the moment the drive ends (no
+  // intermediate landmarks where an early pickup could happen).
+  roadnet::LandmarkId start;
+  {
+    RescueSimulator probe(city_, *flood_, {}, 0.0, config);
+    start = probe.teams()[0].at;
+  }
+  roadnet::SegmentId seg = roadnet::kInvalidSegment;
+  for (const roadnet::RoadSegment& s : city_.network.segments()) {
+    if (s.from != start || s.to == start) continue;
+    const double travel = s.length_m / s.speed_limit_mps;
+    if (travel > 40.0 && travel < 3000.0) {
+      seg = s.id;
+      break;
+    }
+  }
+  ASSERT_NE(seg, roadnet::kInvalidSegment);
+  std::vector<Request> requests = {MakeRequest(0, 1.0, seg)};
+  requests[0].pos =
+      city_.network.landmark(city_.network.segment(seg).to).pos;
+
+  struct Record {
+    double now = 0.0;
+    double drive = 0.0;
+    TeamMode mode = TeamMode::kIdle;
+  };
+  class CapturingDispatcher : public Dispatcher {
+   public:
+    explicit CapturingDispatcher(roadnet::SegmentId target)
+        : target_(target) {}
+    std::string name() const override { return "capture"; }
+    DispatchDecision Decide(const DispatchContext& context) override {
+      records.push_back({context.now, context.teams[0].drive_time_since_dispatch,
+                         context.teams[0].mode});
+      DispatchDecision d;
+      d.actions.resize(context.teams.size());
+      if (records.size() == 1) d.actions[0] = {ActionKind::kGoto, target_};
+      return d;
+    }
+    std::vector<Record> records;
+
+   private:
+    roadnet::SegmentId target_;
+  };
+
+  RescueSimulator sim(city_, *flood_, requests, 0.0, config);
+  CapturingDispatcher dispatcher(seg);
+  sim.Run(dispatcher);
+
+  const Request& r = sim.requests()[0];
+  ASSERT_NE(r.status, RequestStatus::kPending) << "request never reached";
+  const double completion = r.pickup_time;  // drive toward assignment ends
+  ASSERT_GT(completion, 0.0);
+
+  // Find the first round at/after completion; the round before it started
+  // a fresh accounting period (the kGoto applies at records[0].now with
+  // zero latency, and SubmitDecision resets the counter each round).
+  std::size_t j = 0;
+  while (j < dispatcher.records.size() &&
+         dispatcher.records[j].now < completion) {
+    ++j;
+  }
+  ASSERT_GT(j, 0u);
+  ASSERT_LT(j, dispatcher.records.size());
+  // Exact equality: the counter is completion - prev_round, not a
+  // step-quantized overcount (the hospital leg after completion does not
+  // accrue — it is the service, not the Eq. (5) driving delay).
+  EXPECT_EQ(dispatcher.records[j].drive,
+            completion - dispatcher.records[j - 1].now);
+  // Rounds fully spent driving charge exactly the period, never more.
+  for (std::size_t i = 1; i < j; ++i) {
+    if (dispatcher.records[i - 1].mode == TeamMode::kToTarget) {
+      EXPECT_LE(dispatcher.records[i].drive,
+                dispatcher.records[i].now - dispatcher.records[i - 1].now);
+    }
+  }
+}
+
+// Regression (mid-step condition staleness): openness and travel time are
+// evaluated once, at segment entry, against the condition epoch in force
+// at that instant. A traversal that crosses an hourly flood epoch keeps
+// the entry-time travel time; it is not re-evaluated against the new
+// epoch mid-flight.
+TEST_F(SimulatorTest, SegmentTravelUsesEntryTimeCondition) {
+  // A storm overlapping the day, so hourly epochs actually differ.
+  weather::ScenarioSpec spec = weather::TestScenario();
+  spec.storm.storm_begin_s = 0.1 * util::kSecondsPerDay;
+  spec.storm.storm_peak_s = 0.5 * util::kSecondsPerDay;
+  spec.storm.storm_end_s = 1.2 * util::kSecondsPerDay;
+  weather::WeatherField field(city_.box, spec.storm);
+  weather::FloodModel flood(field, city_.terrain);
+
+  SimConfig config;
+  config.num_teams = 1;
+  config.horizon_s = util::kSecondsPerDay;
+
+  // Where does the (single) team start?
+  roadnet::LandmarkId start;
+  {
+    RescueSimulator probe(city_, flood, {}, 0.0, config);
+    start = probe.teams()[0].at;
+  }
+
+  // Find an adjacent segment (route is then just the segment itself, so
+  // the team enters it exactly when the dispatch decision applies) and an
+  // hour boundary E across which its speed factor changes, with the
+  // traversal long enough to span E.
+  RescueSimulator finder(city_, flood, {}, 0.0, config);
+  roadnet::SegmentId target = roadnet::kInvalidSegment;
+  double entry_boundary = 0.0;
+  double expected_travel = 0.0;
+  for (int hour = 2; hour < 22 && target == roadnet::kInvalidSegment;
+       ++hour) {
+    const double epoch = hour * util::kSecondsPerHour;
+    const roadnet::NetworkCondition& before = finder.ConditionAt(epoch - 10.0);
+    const roadnet::NetworkCondition& after = finder.ConditionAt(epoch + 10.0);
+    for (const roadnet::RoadSegment& seg : city_.network.segments()) {
+      if (seg.from != start) continue;
+      if (!before.IsOpen(seg.id)) continue;
+      const double travel =
+          seg.length_m / (seg.speed_limit_mps * before.SpeedFactor(seg.id));
+      if (travel < 40.0 || travel > 3000.0) continue;
+      if (std::abs(before.SpeedFactor(seg.id) - after.SpeedFactor(seg.id)) <
+          1e-9) {
+        continue;
+      }
+      target = seg.id;
+      entry_boundary = epoch - 10.0;  // last step boundary before the flip
+      expected_travel = travel;
+      break;
+    }
+  }
+  ASSERT_NE(target, roadnet::kInvalidSegment)
+      << "no epoch-crossing segment found; storm spec needs adjusting";
+
+  // Request waits at the far end of the target segment.
+  std::vector<Request> requests = {MakeRequest(0, 60.0, target)};
+  requests[0].pos =
+      city_.network.landmark(city_.network.segment(target).to).pos;
+
+  // Dispatch so the decision applies exactly at entry_boundary: the round
+  // at (entry_boundary - 290), a multiple of 300, plus 290 s of compute
+  // latency lands the action on the last step boundary before the flip.
+  const double goto_round = entry_boundary - 290.0;
+  class TimedDispatcher : public Dispatcher {
+   public:
+    TimedDispatcher(double when, roadnet::SegmentId target)
+        : when_(when), target_(target) {}
+    std::string name() const override { return "timed"; }
+    DispatchDecision Decide(const DispatchContext& context) override {
+      DispatchDecision d;
+      d.actions.resize(context.teams.size());
+      if (context.now == when_) {
+        d.actions[0] = {ActionKind::kGoto, target_};
+        d.compute_latency_s = 290.0;
+      }
+      return d;
+    }
+
+   private:
+    double when_;
+    roadnet::SegmentId target_;
+  };
+
+  RescueSimulator sim(city_, flood, requests, 0.0, config);
+  TimedDispatcher dispatcher(goto_round, target);
+  sim.Run(dispatcher);
+
+  const Request& r = sim.requests()[0];
+  ASSERT_NE(r.status, RequestStatus::kPending);
+  // Arrival (== pickup at the far endpoint) is entry + travel-at-entry,
+  // bit-exactly, even though the traversal crossed into an epoch with a
+  // different speed factor.
+  EXPECT_EQ(r.pickup_time, entry_boundary + expected_travel);
+}
+
+// Regression (pending-index dedup): requests are indexed once, under their
+// pickup landmark; the context's pending list is sorted, duplicate-free
+// and complete without any per-round sort/unique pass.
+TEST_F(SimulatorTest, PendingContextListSortedUniqueComplete) {
+  const roadnet::SegmentId seg = NonHospitalSegment();
+  // Appear order deliberately scrambled relative to id order.
+  std::vector<Request> requests = {
+      MakeRequest(0, 500.0, seg), MakeRequest(1, 90.0, seg),
+      MakeRequest(2, 700.0, seg), MakeRequest(3, 60.0, seg),
+      MakeRequest(4, 250.0, seg)};
+
+  class PendingAudit : public Dispatcher {
+   public:
+    std::string name() const override { return "audit"; }
+    DispatchDecision Decide(const DispatchContext& context) override {
+      for (std::size_t i = 1; i < context.pending.size(); ++i) {
+        sorted_unique &=
+            context.pending[i - 1].id < context.pending[i].id;
+      }
+      max_pending = std::max(max_pending, context.pending.size());
+      DispatchDecision d;
+      d.actions.resize(context.teams.size());
+      return d;
+    }
+    bool sorted_unique = true;
+    std::size_t max_pending = 0;
+  };
+
+  RescueSimulator sim(city_, *flood_, requests, 0.0, FastConfig(1));
+  PendingAudit dispatcher;
+  sim.Run(dispatcher);
+  EXPECT_TRUE(dispatcher.sorted_unique);
+  EXPECT_EQ(dispatcher.max_pending, requests.size());
 }
 
 }  // namespace
