@@ -1,0 +1,229 @@
+// Example: the online continual-learning loop end to end (DESIGN.md §15) —
+// train once, then serve the evaluation day with learning enabled: every
+// served tick feeds the experience collector, the candidate policy trains
+// under a per-tick step budget, the shadow runner scores it on the exact
+// live contexts (never executing its decisions), and the promotion gate
+// compares candidate vs live TD error on a sliding evidence window,
+// hot-swapping weights when the candidate provably improves. Mid-episode
+// the serving process is killed and restored from a cadence-1 checkpoint —
+// the learner's complete dynamic state (replay buffer, open transitions,
+// trainer RNG, evidence window, promotion state machine) rides in the
+// checkpoint's mobirescue-learn-v1 blob, so learning resumes exactly where
+// it died.
+//
+// The demo exits nonzero unless the whole chain actually engaged:
+// transitions collected, gradient steps taken, shadow rounds scored, the
+// gate evaluated, the kill recovered, the day fully served.
+//
+// Flags:
+//   --smoke          shrink the world and training for CI
+//   --steps N        candidate gradient steps per tick (default 8)
+//   --kill-tick N    kill the serving process just before tick N and
+//                    restore from the last checkpoint (default 150;
+//                    0 disables the kill drill)
+//   --metrics-out F  write the metrics registry as Prometheus text
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/world.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/dispatch_service.hpp"
+#include "serve/fault_injector.hpp"
+#include "serve/trace_streamer.hpp"
+#include "sim/request.hpp"
+#include "util/table.hpp"
+
+using namespace mobirescue;
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int steps = 8;
+  std::uint64_t kill_tick = 150;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--steps" && i + 1 < argc) {
+      steps = std::stoi(argv[++i]);
+    } else if (arg == "--kill-tick" && i + 1 < argc) {
+      kill_tick = std::stoull(argv[++i]);
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::cerr << "usage: learn_demo [--smoke] [--steps N] [--kill-tick N] "
+                   "[--metrics-out FILE]\n";
+      return 2;
+    }
+  }
+
+  core::WorldConfig config;
+  if (smoke) {
+    config = core::WorldConfig::Small();
+  } else {
+    config.city.grid_width = 16;
+    config.city.grid_height = 16;
+    config.city.num_hospitals = 7;
+    config.trace.population.num_people = 900;
+  }
+  std::cout << "Building world...\n";
+  const core::World world = core::BuildWorld(config);
+
+  std::cout << "Training MobiRescue's models (the live policy)...\n";
+  auto svm = core::TrainSvmPredictor(world);
+  core::TrainingConfig training;
+  training.episodes = smoke ? 6 : 10;
+  training.sim.num_teams = smoke ? 20 : 50;
+  auto live_agent = core::TrainAgent(world, *svm, training);
+
+  const int day = world.eval.spec.eval_day;
+  const double day_offset = day * util::kSecondsPerDay;
+  sim::SimConfig sim_config;
+  sim_config.num_teams = training.sim.num_teams;
+  sim::RescueSimulator simulator(
+      *world.city, *world.eval.flood,
+      sim::RequestsFromEvents(world.eval.trace.rescues, day), day_offset,
+      sim_config);
+  const mobility::GpsTrace trace = sim::DaySlice(world.eval.trace.records, day);
+
+  // An eager learning configuration so one 288-tick day exercises the full
+  // loop: short warmup, frequent gate checks, a small improvement bar.
+  serve::ServiceConfig service_config;
+  service_config.queue.shard_capacity = 1 << 15;
+  service_config.learn.enabled = true;
+  service_config.learn.trainer.steps_per_tick = steps;
+  service_config.learn.trainer.min_buffer = 32;
+  service_config.learn.promotion.check_every_n_ticks = 4;
+  service_config.learn.promotion.min_evidence = 16;
+  service_config.learn.promotion.min_td_improvement = 0.005;
+  service_config.learn.promotion.watch_window_ticks = 6;
+  service_config.learn.promotion.cooldown_ticks = 8;
+  // Cadence-1 checkpoints + per-round prediction refresh make the kill
+  // drill lossless: the restored process resumes bit-identically.
+  dispatch::MobiRescueConfig mr;
+  mr.prediction_refresh_s = 0.0;
+
+  serve::FaultPlan plan;  // kill-only: the day itself stays clean
+  if (kill_tick > 0) plan.kill_at_ticks = {kill_tick};
+  serve::FaultInjector injector{plan};
+
+  std::cout << "Serving the day with online learning ("
+            << trace.size() << " GPS records, " << steps
+            << " gradient steps/tick"
+            << (kill_tick > 0
+                    ? ", kill at tick " + std::to_string(kill_tick)
+                    : std::string(", no kill"))
+            << ")...\n";
+
+  std::vector<std::unique_ptr<predict::SvmRequestPredictor>> restored_svms;
+  std::vector<std::shared_ptr<rl::DqnAgent>> restored_agents;
+  auto factory = [&](const serve::ServiceCheckpoint* restore_from)
+      -> std::unique_ptr<serve::DispatchService> {
+    if (restore_from == nullptr) {
+      return std::make_unique<serve::DispatchService>(
+          *world.city, *world.index, *svm, live_agent, day_offset,
+          service_config, mr);
+    }
+    restored_agents.push_back(serve::RestoreAgent(*restore_from));
+    restored_svms.push_back(
+        serve::RestorePredictor(*restore_from, *world.eval.factors));
+    return std::make_unique<serve::DispatchService>(
+        *world.city, *world.index, *restored_svms.back(),
+        restored_agents.back(), day_offset, service_config, mr);
+  };
+
+  serve::FaultedEpisodeConfig episode;
+  episode.checkpoint_every_n_ticks = 1;
+  episode.checkpoint_path = "learn_demo_ckpt.txt";
+  serve::FaultedEpisodeOutcome outcome =
+      serve::RunFaultedEpisode(simulator, trace, injector, factory, episode);
+
+  const serve::ServiceMetrics m = outcome.service->metrics();
+  const learn::LearnMetrics& lm = m.learn;
+  util::TextTable table({"learning loop", "value"});
+  table.Row().Cell("ticks observed").Cell(
+      static_cast<std::size_t>(lm.ticks_observed));
+  table.Row().Cell("transitions collected").Cell(
+      static_cast<std::size_t>(lm.transitions));
+  table.Row().Cell("transitions aborted").Cell(
+      static_cast<std::size_t>(lm.aborted_transitions));
+  table.Row().Cell("gradient steps").Cell(
+      static_cast<std::size_t>(lm.train_steps));
+  table.Row().Cell("shadow rounds").Cell(
+      static_cast<std::size_t>(lm.shadow_rounds));
+  table.Row().Cell("promotions").Cell(static_cast<std::size_t>(lm.promotions));
+  table.Row().Cell("rollbacks").Cell(static_cast<std::size_t>(lm.rollbacks));
+  table.Row().Cell("gate rejections").Cell(
+      static_cast<std::size_t>(lm.rejections));
+  table.Row().Cell("promotion state").Cell(lm.promotion_state);
+  table.Row().Cell("process kills").Cell(
+      static_cast<std::size_t>(injector.counts().kills));
+  table.Row().Cell("recoveries").Cell(static_cast<std::size_t>(m.recoveries));
+  table.Row().Cell("requests served").Cell(
+      static_cast<std::size_t>(outcome.metrics.total_served()));
+  std::cout << "\n" << table.ToString() << "\n";
+
+  std::printf("live vs candidate TD   %.5f vs %.5f\n", lm.last_live_td,
+              lm.last_candidate_td);
+  std::printf("shadow agreement       %.3f\n", lm.shadow_agreement);
+  std::printf("tick learn (ms)        p50 %8.3f  p99 %8.3f  max %8.3f\n",
+              m.learn_ms.p50, m.learn_ms.p99, m.learn_ms.max);
+  std::printf("tick decide (ms)       p50 %8.3f  p99 %8.3f  max %8.3f\n",
+              m.decide_ms.p50, m.decide_ms.p99, m.decide_ms.max);
+
+  // Self-validation: the demo is only a pass when every stage of the
+  // stream -> learn -> shadow -> gate -> kill -> recover chain engaged.
+  bool ok = true;
+  auto require = [&ok](bool cond, const char* what) {
+    if (!cond) {
+      std::cerr << "learn_demo: FAILED: " << what << "\n";
+      ok = false;
+    }
+  };
+  require(outcome.ticks == 288, "episode did not complete 288 ticks");
+  require(m.learning, "service was not built with learning enabled");
+  require(lm.ticks_observed == 288,
+          "the learner missed ticks (cadence-1 checkpoints lose nothing)");
+  require(lm.transitions > 0, "no experience was collected");
+  require(steps == 0 || lm.train_steps > 0, "the candidate never trained");
+  require(lm.shadow_rounds > 0, "no shadow rounds were scored");
+  require(lm.promotions + lm.rejections > 0,
+          "the promotion gate never evaluated");
+  if (kill_tick > 0) {
+    require(injector.counts().kills == 1, "expected exactly 1 executed kill");
+    require(m.recoveries >= 1, "the restored service recorded no recovery");
+  }
+  require(outcome.metrics.total_served() > 0, "no requests were served");
+
+  double promotions_metric = -1.0;
+  require(obs::ReadMetricValue(obs::Registry::Global(),
+                               "learn_promotions_total", &promotions_metric) &&
+              promotions_metric >= 0.0,
+          "learn_promotions_total not visible in the registry");
+  double transitions_metric = 0.0;
+  require(obs::ReadMetricValue(obs::Registry::Global(),
+                               "learn_transitions_total",
+                               &transitions_metric) &&
+              transitions_metric > 0.0,
+          "learn_transitions_total not visible in the registry");
+
+  if (!metrics_out.empty()) {
+    obs::WritePrometheusTextFile(metrics_out, obs::Registry::Global());
+    std::cout << "wrote Prometheus metrics to " << metrics_out << "\n";
+  }
+  if (!ok) return 1;
+  std::cout << "\nOK: learned online through a mid-episode kill — "
+            << lm.transitions << " transitions, " << lm.train_steps
+            << " gradient steps, " << lm.promotions << " promotion(s), "
+            << lm.rejections << " rejection(s), served "
+            << outcome.metrics.total_served() << "/"
+            << simulator.requests().size() << " requests\n";
+  return 0;
+}

@@ -33,6 +33,9 @@ void MobiRescueDispatcher::DecideByAssignment(
     const sim::DispatchContext& context, RoundData& round,
     std::unordered_set<roadnet::SegmentId>& pending_now,
     sim::DispatchDecision& decision) {
+  // A round that ends on an early return was not scored — its capture
+  // stays invalid (the learner just accrues rewards on such rounds).
+  if (capture_enabled_) capture_ = RoundCapture{};
   // Serving teams keep their legs, with the pending-swing exception.
   std::vector<std::size_t> rows;  // decidable teams
   for (std::size_t k = 0; k < context.teams.size(); ++k) {
@@ -148,6 +151,25 @@ void MobiRescueDispatcher::DecideByAssignment(
       // to the dispatching centre.
       action.kind = sim::ActionKind::kKeep;
     }
+  }
+
+  if (capture_enabled_) {
+    // Hand the round's scored action space to the learning subsystem.
+    // Everything below was already computed for the live decision; the
+    // vectors consumed past this point are moved, not copied.
+    capture_.valid = true;
+    capture_.live_actions.reserve(rows.size());
+    for (const std::size_t k : rows) {
+      capture_.live_actions.push_back(decision.actions[k]);
+    }
+    capture_.rows = std::move(rows);
+    capture_.team_begin = std::move(team_begin);
+    capture_.cand_row = std::move(cand_row);
+    capture_.columns = std::move(columns);
+    capture_.candidates = round.candidates;
+    capture_.live_q = qs;
+    capture_.prior_weight = config_.prior_weight;
+    capture_.feature_rows = std::move(feature_rows);
   }
 }
 

@@ -32,6 +32,40 @@ struct RewardWeights {
   double gamma = 0.01;        // per serving team
 };
 
+/// One evaluation round's scored action space, captured verbatim from
+/// DecideByAssignment for the learning subsystem (src/learn/): the feature
+/// rows and Q-values the live policy computed anyway, plus the row/column
+/// layout needed to re-score the same round under a different Q-network.
+/// Capturing moves already-built vectors — it never changes what the live
+/// policy decides.
+struct RoundCapture {
+  /// False when the round had no decidable teams or no candidates (nothing
+  /// was scored), or when capturing is disabled.
+  bool valid = false;
+  /// All scored feature rows of the round: for each decidable team its
+  /// depot row followed by one row per reachable candidate.
+  std::vector<std::vector<double>> feature_rows;
+  /// Indices (into the context's team array) of the decidable teams.
+  std::vector<std::size_t> rows;
+  /// Per decidable team: index of its depot row in `feature_rows`.
+  std::vector<std::size_t> team_begin;
+  /// cand_row[r][i] = feature row of (decidable team r, candidate i), or
+  /// SIZE_MAX when candidate i was unreachable for that team.
+  std::vector<std::vector<std::size_t>> cand_row;
+  /// Assignment columns: candidate index per column (deep-demand
+  /// candidates are replicated).
+  std::vector<std::size_t> columns;
+  std::vector<roadnet::SegmentId> candidates;
+  /// The live policy's Q-values for `feature_rows` (same order).
+  std::vector<double> live_q;
+  /// The live policy's chosen action per decidable team (parallel to
+  /// `rows`).
+  std::vector<sim::TeamAction> live_actions;
+  /// The residual-prior weight the live score used (score = prior_weight *
+  /// HeuristicPrior + Q); shadows must use the same blend.
+  double prior_weight = 0.0;
+};
+
 struct MobiRescueConfig {
   /// Inference latency charged per round; paper: < 0.5 s.
   double compute_latency_s = 0.4;
@@ -90,6 +124,12 @@ class MobiRescueDispatcher : public sim::Dispatcher {
   /// distance- and competition-averse, 0 for the depot action.
   static double HeuristicPrior(const std::vector<double>& features);
 
+  /// Round capture for the learning subsystem: when enabled, every
+  /// evaluation-mode Decide() stores the round's scored action space in
+  /// last_capture(). Off by default — frozen-policy serving pays nothing.
+  void EnableRoundCapture(bool enabled) { capture_enabled_ = enabled; }
+  const RoundCapture& last_capture() const { return capture_; }
+
  private:
   /// Accrues the per-round reward ingredients onto each team's open
   /// macro-transition.
@@ -131,6 +171,9 @@ class MobiRescueDispatcher : public sim::Dispatcher {
   };
   std::vector<PendingTransition> pending_;
   double last_loss_ = 0.0;
+
+  bool capture_enabled_ = false;
+  RoundCapture capture_;
 };
 
 }  // namespace mobirescue::dispatch

@@ -1,0 +1,39 @@
+#include "learn/budgeted_trainer.hpp"
+
+#include <chrono>
+
+namespace mobirescue::learn {
+
+int BudgetedTrainer::OnTick(std::uint64_t tick) {
+  if (config_.steps_per_tick <= 0) return 0;
+  if (config_.train_every_n_ticks > 1 &&
+      tick % static_cast<std::uint64_t>(config_.train_every_n_ticks) != 0) {
+    return 0;
+  }
+  if (candidate_.buffer().size() < config_.min_buffer) return 0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  int run = 0;
+  for (int s = 0; s < config_.steps_per_tick; ++s) {
+    if (config_.time_budget_ms > 0.0) {
+      const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                    std::chrono::steady_clock::now() - t0)
+                                    .count();
+      if (elapsed_ms >= config_.time_budget_ms) {
+        ++budget_overruns_;
+        overruns_total_.Increment();
+        break;
+      }
+    }
+    last_loss_ = candidate_.TrainStep();
+    ++run;
+  }
+  steps_run_ += static_cast<std::uint64_t>(run);
+  if (run > 0) steps_total_.Increment(static_cast<std::uint64_t>(run));
+  tick_train_ms_.Observe(std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
+  return run;
+}
+
+}  // namespace mobirescue::learn

@@ -1,0 +1,60 @@
+// Budgeted off-tick training of the candidate policy (DESIGN.md §15).
+//
+// The trainer never touches the live agent: it runs DqnAgent::TrainStep on
+// the *candidate* clone, inside the serving tick but after the decide
+// latency was measured, under an explicit per-tick budget. The step budget
+// (steps_per_tick, train_every_n_ticks, min_buffer) is deterministic; the
+// optional time budget is a wall-clock safety valve that trades that
+// determinism for a hard latency cap (see learn_config.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "learn/learn_config.hpp"
+#include "obs/metrics.hpp"
+#include "rl/dqn_agent.hpp"
+
+namespace mobirescue::learn {
+
+class BudgetedTrainer {
+ public:
+  BudgetedTrainer(TrainerConfig config, rl::DqnAgent& candidate)
+      : config_(config), candidate_(candidate) {}
+
+  /// Runs this tick's training budget (tick is the service's served-tick
+  /// ordinal, used only for the train_every_n_ticks cadence). Returns the
+  /// number of gradient steps actually run.
+  int OnTick(std::uint64_t tick);
+
+  std::uint64_t steps_run() const { return steps_run_; }
+  std::uint64_t budget_overruns() const { return budget_overruns_; }
+  double last_loss() const { return last_loss_; }
+
+  /// Checkpoint restore of the trainer's own counters (the candidate
+  /// agent's state is serialised separately by the learner).
+  void RestoreCounters(std::uint64_t steps_run, std::uint64_t budget_overruns,
+                       double last_loss) {
+    steps_run_ = steps_run;
+    budget_overruns_ = budget_overruns;
+    last_loss_ = last_loss;
+  }
+
+ private:
+  TrainerConfig config_;
+  rl::DqnAgent& candidate_;
+  std::uint64_t steps_run_ = 0;
+  std::uint64_t budget_overruns_ = 0;
+  double last_loss_ = 0.0;
+
+  obs::Counter steps_total_{"learn_train_steps_total",
+                            "Candidate-policy gradient steps run online."};
+  obs::Counter overruns_total_{
+      "learn_budget_overruns_total",
+      "Training ticks that hit the wall-clock budget before finishing "
+      "their step budget."};
+  obs::Histogram tick_train_ms_{"learn_train_tick_ms",
+                                "Per-tick candidate training time (ms).",
+                                obs::Histogram::LatencyBucketsMs()};
+};
+
+}  // namespace mobirescue::learn

@@ -1,0 +1,329 @@
+#include "learn/learner.hpp"
+
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace mobirescue::learn {
+
+namespace {
+
+constexpr char kLearnMagic[] = "mobirescue-learn-v1";
+constexpr char kLearnEnd[] = "mobirescue-learn-end";
+/// Upper bound on any serialised count; rejects absurd sizes before they
+/// turn into allocations (same hardening stance as serve/checkpoint.cpp).
+constexpr std::size_t kMaxCount = 1u << 24;
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::string ReadToken(std::istream& in) {
+  std::string tok;
+  if (!(in >> tok)) {
+    throw std::invalid_argument("learn state: unexpected end of input");
+  }
+  return tok;
+}
+
+void ExpectToken(std::istream& in, const char* want) {
+  const std::string tok = ReadToken(in);
+  if (tok != want) {
+    throw std::invalid_argument(std::string("learn state: expected '") +
+                                want + "', got '" + tok + "'");
+  }
+}
+
+/// strtod-based read so nan/inf round-trip (operator>> rejects them).
+double ReadDouble(std::istream& in) {
+  const std::string tok = ReadToken(in);
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end != tok.c_str() + tok.size()) {
+    throw std::invalid_argument("learn state: bad double '" + tok + "'");
+  }
+  return v;
+}
+
+std::uint64_t ReadU64(std::istream& in) {
+  const std::string tok = ReadToken(in);
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (end != tok.c_str() + tok.size()) {
+    throw std::invalid_argument("learn state: bad integer '" + tok + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::size_t ReadCount(std::istream& in, std::size_t max = kMaxCount) {
+  const std::uint64_t v = ReadU64(in);
+  if (v > max) {
+    throw std::invalid_argument("learn state: count out of bounds");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+void WriteVector(std::ostream& out, const std::vector<double>& v) {
+  out << v.size();
+  for (const double x : v) out << ' ' << x;
+  out << '\n';
+}
+
+std::vector<double> ReadVector(std::istream& in) {
+  const std::size_t n = ReadCount(in);
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = ReadDouble(in);
+  return v;
+}
+
+void WriteTransition(std::ostream& out, const rl::Transition& t) {
+  out << "t " << t.reward << ' ' << (t.terminal ? 1 : 0) << ' '
+      << t.duration_rounds << ' ';
+  WriteVector(out, t.features);
+  out << t.next_candidates.size() << '\n';
+  for (const std::vector<double>& c : t.next_candidates) WriteVector(out, c);
+}
+
+rl::Transition ReadTransition(std::istream& in) {
+  ExpectToken(in, "t");
+  rl::Transition t;
+  t.reward = ReadDouble(in);
+  t.terminal = ReadU64(in) != 0;
+  t.duration_rounds = static_cast<int>(ReadU64(in));
+  t.features = ReadVector(in);
+  const std::size_t n = ReadCount(in);
+  t.next_candidates.resize(n);
+  for (std::size_t i = 0; i < n; ++i) t.next_candidates[i] = ReadVector(in);
+  return t;
+}
+
+}  // namespace
+
+OnlineLearner::OnlineLearner(const LearnConfig& config,
+                             dispatch::RewardWeights reward,
+                             std::shared_ptr<rl::DqnAgent> live)
+    : config_(config),
+      live_(std::move(live)),
+      candidate_([&] {
+        // Candidate clone: live architecture, its own streamed-experience
+        // buffer and an independent sampler stream (the live agent's
+        // offline training stream is never replayed online).
+        rl::DqnConfig c = live_->config();
+        c.buffer_capacity = config.buffer_capacity;
+        c.seed = SplitMix64(config.seed);
+        auto agent = std::make_shared<rl::DqnAgent>(c);
+        agent->LoadWeights(live_->SaveWeights());
+        agent->LoadTargetWeights(live_->SaveTargetWeights());
+        return agent;
+      }()),
+      collector_(reward,
+                 [this](rl::Transition t) {
+                   promotion_.AddEvidence(t);
+                   candidate_->mutable_buffer().Push(std::move(t));
+                 }),
+      trainer_(config.trainer, *candidate_),
+      shadow_(config.shadow),
+      promotion_(config.promotion, *live_, *candidate_) {
+  candidate_policy_ = shadow_.AddPolicy("candidate", candidate_);
+}
+
+void OnlineLearner::OnServedTick(std::uint64_t tick,
+                                 const sim::DispatchContext& context,
+                                 const dispatch::RoundCapture& capture,
+                                 bool used_fallback) {
+  ++ticks_;
+  if (used_fallback) {
+    // The executed actions were not the policy's: abort attribution and
+    // let the promotion ladder see the fault (rollback inside the watch
+    // window).
+    collector_.OnFallbackTick(context);
+    promotion_.OnTick(tick, true, shadow_.SawNonFiniteQ(candidate_policy_));
+    return;
+  }
+  collector_.Observe(context, capture);
+  shadow_.OnTick(tick, capture);
+  trainer_.OnTick(tick);
+  promotion_.OnTick(tick, false, shadow_.SawNonFiniteQ(candidate_policy_));
+}
+
+LearnMetrics OnlineLearner::metrics() const {
+  LearnMetrics m;
+  m.ticks_observed = ticks_;
+  m.transitions = collector_.transitions();
+  m.aborted_transitions = collector_.aborted();
+  m.train_steps = trainer_.steps_run();
+  m.budget_overruns = trainer_.budget_overruns();
+  m.shadow_rounds = shadow_.rounds_scored();
+  m.promotions = promotion_.promotions();
+  m.rollbacks = promotion_.rollbacks();
+  m.rejections = promotion_.rejections();
+  m.last_loss = trainer_.last_loss();
+  m.last_live_td = promotion_.last_live_td();
+  m.last_candidate_td = promotion_.last_candidate_td();
+  m.shadow_agreement = shadow_.MeanAgreement(candidate_policy_);
+  m.promotion_state = PromotionStateName(promotion_.state());
+  return m;
+}
+
+std::string OnlineLearner::SaveStateString() const {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  out << kLearnMagic << '\n';
+  out << "ticks " << ticks_ << '\n';
+
+  out << "candidate-weights ";
+  WriteVector(out, candidate_->SaveWeights());
+  out << "candidate-target ";
+  WriteVector(out, candidate_->SaveTargetWeights());
+  out << "trainer-rng ";
+  candidate_->SaveTrainerState(out);
+  out << '\n';
+
+  const rl::ReplayBuffer& buf = candidate_->buffer();
+  out << "buffer " << buf.size() << ' ' << buf.cursor() << ' ' << buf.pushes()
+      << ' ' << buf.evictions() << '\n';
+  for (const rl::Transition& t : buf.data()) WriteTransition(out, t);
+
+  const auto& pending = collector_.pending();
+  out << "collector " << pending.size() << '\n';
+  for (const ExperienceCollector::Pending& p : pending) {
+    out << (p.valid ? 1 : 0) << ' ' << (p.is_standdown ? 1 : 0) << ' '
+        << p.accumulated << ' ' << p.rounds << ' ';
+    WriteVector(out, p.features);
+  }
+  out << "collector-counters " << collector_.transitions() << ' '
+      << collector_.aborted() << '\n';
+
+  out << "trainer-counters " << trainer_.steps_run() << ' '
+      << trainer_.budget_overruns() << ' ' << trainer_.last_loss() << '\n';
+
+  out << "shadow " << shadow_.rounds_scored() << ' ' << shadow_.log().size()
+      << '\n';
+  for (const ShadowRecord& rec : shadow_.log()) {
+    out << rec.tick << ' ' << rec.policy << ' ' << rec.agreement << ' '
+        << (rec.q_finite ? 1 : 0) << '\n';
+  }
+
+  const PromotionController::Snapshot snap = promotion_.snapshot();
+  out << "promotion " << static_cast<int>(snap.state) << ' ' << snap.watch_left
+      << ' ' << snap.cooldown_left << ' ' << snap.promotions << ' '
+      << snap.rollbacks << ' ' << snap.rejections << ' ' << snap.last_live_td
+      << ' ' << snap.last_candidate_td << '\n';
+  out << "promotion-ticks " << snap.promotion_ticks.size();
+  for (const std::uint64_t t : snap.promotion_ticks) out << ' ' << t;
+  out << '\n';
+  out << "evidence " << snap.evidence.size() << '\n';
+  for (const rl::Transition& t : snap.evidence) WriteTransition(out, t);
+  out << "rollback ";
+  WriteVector(out, snap.rollback_online);
+  WriteVector(out, snap.rollback_target);
+
+  out << kLearnEnd << '\n';
+  return out.str();
+}
+
+void OnlineLearner::LoadStateString(const std::string& blob) {
+  std::istringstream in(blob);
+  ExpectToken(in, kLearnMagic);
+  ExpectToken(in, "ticks");
+  ticks_ = ReadU64(in);
+
+  ExpectToken(in, "candidate-weights");
+  const std::vector<double> online = ReadVector(in);
+  ExpectToken(in, "candidate-target");
+  const std::vector<double> target = ReadVector(in);
+  if (online.size() != candidate_->SaveWeights().size() ||
+      target.size() != online.size()) {
+    throw std::invalid_argument("learn state: weight count mismatch");
+  }
+  candidate_->LoadWeights(online);        // also syncs target...
+  candidate_->LoadTargetWeights(target);  // ...then restore the lagged copy
+  ExpectToken(in, "trainer-rng");
+  candidate_->LoadTrainerState(in);
+
+  ExpectToken(in, "buffer");
+  const std::size_t buf_size = ReadCount(in);
+  const std::size_t cursor = ReadCount(in);
+  const std::uint64_t pushes = ReadU64(in);
+  const std::uint64_t evictions = ReadU64(in);
+  std::vector<rl::Transition> data(buf_size);
+  for (std::size_t i = 0; i < buf_size; ++i) data[i] = ReadTransition(in);
+  candidate_->mutable_buffer().Restore(std::move(data), cursor, pushes,
+                                       evictions);
+
+  ExpectToken(in, "collector");
+  const std::size_t teams = ReadCount(in);
+  std::vector<ExperienceCollector::Pending> pending(teams);
+  for (std::size_t i = 0; i < teams; ++i) {
+    pending[i].valid = ReadU64(in) != 0;
+    pending[i].is_standdown = ReadU64(in) != 0;
+    pending[i].accumulated = ReadDouble(in);
+    pending[i].rounds = static_cast<int>(ReadU64(in));
+    pending[i].features = ReadVector(in);
+  }
+  ExpectToken(in, "collector-counters");
+  const std::uint64_t transitions = ReadU64(in);
+  const std::uint64_t aborted = ReadU64(in);
+  collector_.RestorePending(std::move(pending), transitions, aborted);
+
+  ExpectToken(in, "trainer-counters");
+  const std::uint64_t steps = ReadU64(in);
+  const std::uint64_t overruns = ReadU64(in);
+  const double last_loss = ReadDouble(in);
+  trainer_.RestoreCounters(steps, overruns, last_loss);
+
+  ExpectToken(in, "shadow");
+  const std::uint64_t rounds_scored = ReadU64(in);
+  const std::size_t log_size = ReadCount(in);
+  std::deque<ShadowRecord> log;
+  for (std::size_t i = 0; i < log_size; ++i) {
+    ShadowRecord rec;
+    rec.tick = ReadU64(in);
+    rec.policy = ReadCount(in);
+    rec.agreement = ReadDouble(in);
+    rec.q_finite = ReadU64(in) != 0;
+    log.push_back(rec);
+  }
+  shadow_.Restore(std::move(log), rounds_scored);
+
+  ExpectToken(in, "promotion");
+  PromotionController::Snapshot snap;
+  const std::uint64_t state = ReadU64(in);
+  if (state > 3) throw std::invalid_argument("learn state: bad state");
+  snap.state = static_cast<PromotionState>(state);
+  snap.watch_left = static_cast<int>(ReadU64(in));
+  snap.cooldown_left = static_cast<int>(ReadU64(in));
+  snap.promotions = ReadU64(in);
+  snap.rollbacks = ReadU64(in);
+  snap.rejections = ReadU64(in);
+  snap.last_live_td = ReadDouble(in);
+  snap.last_candidate_td = ReadDouble(in);
+  ExpectToken(in, "promotion-ticks");
+  const std::size_t n_promos = ReadCount(in);
+  snap.promotion_ticks.resize(n_promos);
+  for (std::size_t i = 0; i < n_promos; ++i) {
+    snap.promotion_ticks[i] = ReadU64(in);
+  }
+  ExpectToken(in, "evidence");
+  const std::size_t n_evidence = ReadCount(in);
+  for (std::size_t i = 0; i < n_evidence; ++i) {
+    snap.evidence.push_back(ReadTransition(in));
+  }
+  ExpectToken(in, "rollback");
+  snap.rollback_online = ReadVector(in);
+  snap.rollback_target = ReadVector(in);
+  promotion_.Restore(std::move(snap));
+
+  ExpectToken(in, kLearnEnd);
+  std::string extra;
+  if (in >> extra) {
+    throw std::invalid_argument("learn state: trailing garbage");
+  }
+}
+
+}  // namespace mobirescue::learn

@@ -1,0 +1,97 @@
+// OnlineLearner: facade wiring the continual-learning subsystem into the
+// serving stack (DESIGN.md §15).
+//
+//   served tick ──> ExperienceCollector ──> candidate replay buffer
+//                                       └─> promotion evidence window
+//               ──> ShadowPolicyRunner  (candidate scored, never executed)
+//               ──> BudgetedTrainer     (candidate gradient steps)
+//               ──> PromotionController (evidence gate, hot swap, rollback)
+//
+// The live agent stays frozen between promotions; all training happens on
+// a candidate clone seeded from the live weights with its own sampler
+// stream. Everything runs synchronously on the serving thread, after the
+// decide latency was measured, so learning cost never shows up as decide
+// latency and the whole subsystem is deterministic under the contract in
+// learn_config.hpp.
+//
+// The learner's complete dynamic state round-trips through the service
+// checkpoint as an opaque `mobirescue-learn-v1 ... mobirescue-learn-end`
+// token blob (SaveStateString/LoadStateString), so a crash-recovered
+// service resumes training, evaluation, and promotion bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "dispatch/mobirescue_dispatcher.hpp"
+#include "learn/budgeted_trainer.hpp"
+#include "learn/experience_collector.hpp"
+#include "learn/learn_config.hpp"
+#include "learn/promotion_controller.hpp"
+#include "learn/shadow_runner.hpp"
+#include "rl/dqn_agent.hpp"
+#include "sim/dispatcher.hpp"
+
+namespace mobirescue::learn {
+
+/// Snapshot of the learner's observable state for ServiceMetrics.
+struct LearnMetrics {
+  std::uint64_t ticks_observed = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t aborted_transitions = 0;
+  std::uint64_t train_steps = 0;
+  std::uint64_t budget_overruns = 0;
+  std::uint64_t shadow_rounds = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t rejections = 0;
+  double last_loss = 0.0;
+  double last_live_td = 0.0;
+  double last_candidate_td = 0.0;
+  double shadow_agreement = 1.0;
+  const char* promotion_state = "warmup";
+};
+
+class OnlineLearner {
+ public:
+  /// `live` is the serving agent promotions hot-swap into; the candidate
+  /// clone is built from its current weights with an independent sampler
+  /// stream derived from `config.seed`.
+  OnlineLearner(const LearnConfig& config, dispatch::RewardWeights reward,
+                std::shared_ptr<rl::DqnAgent> live);
+
+  /// One served tick. `capture` is the live round's scored action space
+  /// (invalid on unscored rounds); `used_fallback` marks ticks served by
+  /// the degradation ladder instead of the policy.
+  void OnServedTick(std::uint64_t tick, const sim::DispatchContext& context,
+                    const dispatch::RoundCapture& capture, bool used_fallback);
+
+  LearnMetrics metrics() const;
+
+  /// The complete dynamic state as a mobirescue-learn-v1 token blob.
+  std::string SaveStateString() const;
+  void LoadStateString(const std::string& blob);
+
+  // Component access for tests, the demo, and operators.
+  rl::DqnAgent& candidate() { return *candidate_; }
+  const rl::DqnAgent& candidate() const { return *candidate_; }
+  const ExperienceCollector& collector() const { return collector_; }
+  const BudgetedTrainer& trainer() const { return trainer_; }
+  const ShadowPolicyRunner& shadow() const { return shadow_; }
+  const PromotionController& promotion() const { return promotion_; }
+  std::uint64_t ticks_observed() const { return ticks_; }
+
+ private:
+  LearnConfig config_;
+  std::shared_ptr<rl::DqnAgent> live_;
+  std::shared_ptr<rl::DqnAgent> candidate_;
+  ExperienceCollector collector_;
+  BudgetedTrainer trainer_;
+  ShadowPolicyRunner shadow_;
+  PromotionController promotion_;
+  std::size_t candidate_policy_ = 0;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace mobirescue::learn

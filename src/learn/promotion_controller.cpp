@@ -1,0 +1,178 @@
+#include "learn/promotion_controller.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace mobirescue::learn {
+
+const char* PromotionStateName(PromotionState s) {
+  switch (s) {
+    case PromotionState::kWarmup: return "warmup";
+    case PromotionState::kEvaluating: return "evaluating";
+    case PromotionState::kWatching: return "watching";
+    case PromotionState::kCooldown: return "cooldown";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool AllFinite(const std::vector<double>& v) {
+  for (const double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void PromotionController::AddEvidence(rl::Transition t) {
+  evidence_.push_back(std::move(t));
+  while (evidence_.size() > config_.evidence_window) evidence_.pop_front();
+  if (state_ == PromotionState::kWarmup &&
+      evidence_.size() >= config_.min_evidence) {
+    state_ = PromotionState::kEvaluating;
+  }
+}
+
+double PromotionController::MeanTdError(
+    const rl::DqnAgent& agent, const std::deque<rl::Transition>& window) {
+  if (window.empty()) return 0.0;
+  const double gamma = agent.config().gamma;
+  double sum = 0.0;
+  for (const rl::Transition& t : window) {
+    const double pred = agent.QValue(t.features);
+    double y = t.reward;
+    if (!t.terminal && !t.next_candidates.empty()) {
+      const std::vector<double> next_q = agent.QValues(t.next_candidates);
+      double best = next_q[0];
+      for (const double q : next_q) {
+        if (q > best) best = q;
+      }
+      y += std::pow(gamma, std::max(1, t.duration_rounds)) * best;
+    }
+    sum += std::abs(y - pred);
+  }
+  return sum / static_cast<double>(window.size());
+}
+
+void PromotionController::EvaluateGate(std::uint64_t tick,
+                                       bool candidate_q_nonfinite) {
+  last_live_td_ = MeanTdError(live_, evidence_);
+  last_candidate_td_ = MeanTdError(candidate_, evidence_);
+
+  // Hard rejections: a candidate that produces garbage anywhere must never
+  // reach the live path, whatever its TD error claims.
+  const bool healthy = !candidate_q_nonfinite &&
+                       AllFinite(candidate_.SaveWeights()) &&
+                       AllFinite(candidate_.SaveTargetWeights()) &&
+                       std::isfinite(last_candidate_td_) &&
+                       std::isfinite(last_live_td_);
+  const bool capped =
+      config_.max_promotions > 0 &&
+      promotions_ >= static_cast<std::uint64_t>(config_.max_promotions);
+  // Strict improvement: a candidate bit-identical to live has equal TD
+  // error and can never pass (min_td_improvement > 0 guards the <= too).
+  const bool improves =
+      healthy && last_candidate_td_ < last_live_td_ &&
+      last_candidate_td_ <=
+          last_live_td_ * (1.0 - config_.min_td_improvement);
+
+  if (improves && !capped) {
+    Promote(tick);
+  } else {
+    ++rejections_;
+    rejections_total_.Increment();
+    state_ = PromotionState::kCooldown;
+    cooldown_left_ = config_.cooldown_ticks;
+  }
+}
+
+void PromotionController::Promote(std::uint64_t tick) {
+  rollback_online_ = live_.SaveWeights();
+  rollback_target_ = live_.SaveTargetWeights();
+  live_.LoadWeights(candidate_.SaveWeights());
+  live_.LoadTargetWeights(candidate_.SaveTargetWeights());
+  ++promotions_;
+  promotions_total_.Increment();
+  promotion_ticks_.push_back(tick);
+  state_ = PromotionState::kWatching;
+  watch_left_ = config_.watch_window_ticks;
+}
+
+void PromotionController::Rollback() {
+  live_.LoadWeights(rollback_online_);
+  live_.LoadTargetWeights(rollback_target_);
+  rollback_online_.clear();
+  rollback_target_.clear();
+  ++rollbacks_;
+  rollbacks_total_.Increment();
+  state_ = PromotionState::kCooldown;
+  cooldown_left_ = config_.cooldown_ticks;
+}
+
+void PromotionController::OnTick(std::uint64_t tick, bool used_fallback,
+                                 bool candidate_q_nonfinite) {
+  switch (state_) {
+    case PromotionState::kWarmup:
+      break;  // AddEvidence advances out of warmup
+    case PromotionState::kEvaluating:
+      if (config_.check_every_n_ticks > 0 &&
+          tick % static_cast<std::uint64_t>(config_.check_every_n_ticks) ==
+              0 &&
+          evidence_.size() >= config_.min_evidence) {
+        EvaluateGate(tick, candidate_q_nonfinite);
+      }
+      break;
+    case PromotionState::kWatching:
+      if (used_fallback && config_.rollback_on_fallback) {
+        Rollback();
+        break;
+      }
+      if (--watch_left_ <= 0) {
+        rollback_online_.clear();
+        rollback_target_.clear();
+        state_ = PromotionState::kCooldown;
+        cooldown_left_ = config_.cooldown_ticks;
+      }
+      break;
+    case PromotionState::kCooldown:
+      if (--cooldown_left_ <= 0) state_ = PromotionState::kEvaluating;
+      break;
+  }
+  state_gauge_.Set(static_cast<double>(state_));
+}
+
+PromotionController::Snapshot PromotionController::snapshot() const {
+  Snapshot s;
+  s.state = state_;
+  s.watch_left = watch_left_;
+  s.cooldown_left = cooldown_left_;
+  s.evidence = evidence_;
+  s.promotions = promotions_;
+  s.rollbacks = rollbacks_;
+  s.rejections = rejections_;
+  s.promotion_ticks = promotion_ticks_;
+  s.rollback_online = rollback_online_;
+  s.rollback_target = rollback_target_;
+  s.last_live_td = last_live_td_;
+  s.last_candidate_td = last_candidate_td_;
+  return s;
+}
+
+void PromotionController::Restore(Snapshot s) {
+  state_ = s.state;
+  watch_left_ = s.watch_left;
+  cooldown_left_ = s.cooldown_left;
+  evidence_ = std::move(s.evidence);
+  promotions_ = s.promotions;
+  rollbacks_ = s.rollbacks;
+  rejections_ = s.rejections;
+  promotion_ticks_ = std::move(s.promotion_ticks);
+  rollback_online_ = std::move(s.rollback_online);
+  rollback_target_ = std::move(s.rollback_target);
+  last_live_td_ = s.last_live_td;
+  last_candidate_td_ = s.last_candidate_td;
+}
+
+}  // namespace mobirescue::learn

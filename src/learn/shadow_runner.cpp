@@ -1,0 +1,132 @@
+#include "learn/shadow_runner.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "opt/hungarian.hpp"
+#include "sim/dispatcher.hpp"
+
+namespace mobirescue::learn {
+
+std::size_t ShadowPolicyRunner::AddPolicy(
+    std::string name, std::shared_ptr<const rl::DqnAgent> agent) {
+  policies_.push_back({std::move(name), std::move(agent)});
+  return policies_.size() - 1;
+}
+
+void ShadowPolicyRunner::OnTick(std::uint64_t tick,
+                                const dispatch::RoundCapture& capture) {
+  if (policies_.empty() || !capture.valid) return;
+  if (config_.shadow_every_n_ticks > 1 &&
+      tick % static_cast<std::uint64_t>(config_.shadow_every_n_ticks) != 0) {
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+
+  for (std::size_t p = 0; p < policies_.size(); ++p) {
+    // One batched forward pass over the rows the live policy already
+    // featurised — the expensive part of the round is never repeated.
+    const std::vector<double> qs =
+        policies_[p].agent->QValues(capture.feature_rows);
+    bool q_finite = true;
+    for (const double q : qs) {
+      if (!std::isfinite(q)) {
+        q_finite = false;
+        break;
+      }
+    }
+
+    std::size_t agree = 0;
+    if (q_finite) {
+      // Replicate the live margin/assignment tail exactly, with shadow Q.
+      opt::AssignmentProblem problem;
+      problem.rows = capture.rows.size();
+      problem.cols = capture.columns.size();
+      problem.cost.assign(problem.rows * problem.cols, opt::kForbiddenCost);
+      std::vector<std::vector<double>> margin(
+          problem.rows, std::vector<double>(problem.cols));
+      for (std::size_t r = 0; r < capture.rows.size(); ++r) {
+        const std::size_t depot = capture.team_begin[r];
+        const double depot_score =
+            capture.prior_weight * dispatch::MobiRescueDispatcher::
+                                       HeuristicPrior(
+                                           capture.feature_rows[depot]) +
+            qs[depot];
+        std::vector<double> by_candidate(
+            capture.candidates.size(),
+            -std::numeric_limits<double>::infinity());
+        for (std::size_t i = 0; i < capture.candidates.size(); ++i) {
+          const std::size_t row = capture.cand_row[r][i];
+          if (row == SIZE_MAX) continue;
+          by_candidate[i] = capture.prior_weight *
+                                dispatch::MobiRescueDispatcher::HeuristicPrior(
+                                    capture.feature_rows[row]) +
+                            qs[row] - depot_score;
+        }
+        for (std::size_t c = 0; c < capture.columns.size(); ++c) {
+          const double m = by_candidate[capture.columns[c]];
+          margin[r][c] = m;
+          if (std::isfinite(m)) problem.at(r, c) = -m;
+        }
+      }
+      const opt::AssignmentResult result = opt::SolveAssignment(problem);
+      for (std::size_t r = 0; r < capture.rows.size(); ++r) {
+        const int col = result.row_to_col[r];
+        sim::TeamAction shadow;
+        if (col >= 0 && margin[r][static_cast<std::size_t>(col)] > 0.0) {
+          shadow.kind = sim::ActionKind::kGoto;
+          shadow.target =
+              capture.candidates[capture.columns[static_cast<std::size_t>(col)]];
+        } else {
+          shadow.kind = sim::ActionKind::kKeep;
+        }
+        const sim::TeamAction& live = capture.live_actions[r];
+        if (shadow.kind == live.kind &&
+            (shadow.kind != sim::ActionKind::kGoto ||
+             shadow.target == live.target)) {
+          ++agree;
+        }
+      }
+    }
+
+    ShadowRecord rec;
+    rec.tick = tick;
+    rec.policy = p;
+    rec.agreement = capture.rows.empty()
+                        ? 1.0
+                        : static_cast<double>(agree) /
+                              static_cast<double>(capture.rows.size());
+    rec.q_finite = q_finite;
+    log_.push_back(rec);
+    while (log_.size() > config_.log_capacity) log_.pop_front();
+    if (p == 0) agreement_gauge_.Set(rec.agreement);
+  }
+
+  ++rounds_scored_;
+  rounds_total_.Increment();
+  shadow_ms_.Observe(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
+}
+
+double ShadowPolicyRunner::MeanAgreement(std::size_t policy) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const ShadowRecord& rec : log_) {
+    if (rec.policy != policy) continue;
+    sum += rec.agreement;
+    ++n;
+  }
+  return n == 0 ? 1.0 : sum / static_cast<double>(n);
+}
+
+bool ShadowPolicyRunner::SawNonFiniteQ(std::size_t policy) const {
+  for (const ShadowRecord& rec : log_) {
+    if (rec.policy == policy && !rec.q_finite) return true;
+  }
+  return false;
+}
+
+}  // namespace mobirescue::learn

@@ -252,4 +252,33 @@ void Mlp::LoadWeights(std::span<const double> flat) {
   }
 }
 
+std::vector<double> Mlp::SaveOptimizerState() const {
+  std::vector<double> flat;
+  flat.reserve(2 * num_parameters());
+  for (const DenseLayer& layer : layers_) {
+    flat.insert(flat.end(), layer.mw.data().begin(), layer.mw.data().end());
+    flat.insert(flat.end(), layer.vw.data().begin(), layer.vw.data().end());
+    flat.insert(flat.end(), layer.mb.data().begin(), layer.mb.data().end());
+    flat.insert(flat.end(), layer.vb.data().begin(), layer.vb.data().end());
+  }
+  return flat;
+}
+
+void Mlp::LoadOptimizerState(std::span<const double> flat) {
+  if (flat.size() != 2 * num_parameters()) {
+    throw std::invalid_argument("LoadOptimizerState: size mismatch");
+  }
+  std::size_t pos = 0;
+  const auto take = [&](Matrix& m) {
+    std::copy_n(flat.begin() + pos, m.size(), m.data().begin());
+    pos += m.size();
+  };
+  for (DenseLayer& layer : layers_) {
+    take(layer.mw);
+    take(layer.vw);
+    take(layer.mb);
+    take(layer.vb);
+  }
+}
+
 }  // namespace mobirescue::ml

@@ -80,6 +80,15 @@ class Mlp {
   std::vector<double> SaveWeights() const;
   void LoadWeights(std::span<const double> flat);
 
+  /// Adam moment buffers (mw, vw, mb, vb per layer) as one flat vector of
+  /// 2 * num_parameters() doubles. Weights alone don't pin the training
+  /// trajectory — the next Backward after a restore is only bit-identical
+  /// to the uninterrupted run's when the moments and timestep come back too.
+  std::vector<double> SaveOptimizerState() const;
+  void LoadOptimizerState(std::span<const double> flat);
+  std::int64_t adam_t() const { return adam_t_; }
+  void set_adam_t(std::int64_t t) { adam_t_ = t; }
+
  private:
   static double Act(double x, Activation a);
   static double ActGrad(double pre, Activation a);

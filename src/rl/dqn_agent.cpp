@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
+#include <string>
 
 #include "obs/trace.hpp"
 
@@ -183,6 +188,48 @@ double DqnAgent::TrainStep() {
 void DqnAgent::LoadWeights(std::span<const double> w) {
   online_.LoadWeights(w);
   target_.CopyWeightsFrom(online_);
+}
+
+void DqnAgent::SaveTrainerState(std::ostream& out) const {
+  // mt19937_64 streams its complete 312-word state; decisions_ pins the
+  // epsilon schedule and train_steps_ pins the target-sync phase; the
+  // online net's Adam moments and timestep pin the optimizer, so the first
+  // TrainStep after a restore is bit-identical to the uninterrupted run's.
+  out << rng_.engine() << ' ' << decisions_ << ' ' << train_steps_ << ' '
+      << online_.adam_t();
+  const std::vector<double> opt = online_.SaveOptimizerState();
+  out << ' ' << opt.size() << std::setprecision(17);
+  for (const double v : opt) out << ' ' << v;
+}
+
+void DqnAgent::LoadTrainerState(std::istream& in) {
+  std::int64_t adam_t = 0;
+  std::size_t opt_count = 0;
+  in >> rng_.engine() >> decisions_ >> train_steps_ >> adam_t >> opt_count;
+  if (!in) {
+    throw std::invalid_argument("DqnAgent::LoadTrainerState: bad stream");
+  }
+  if (opt_count != online_.SaveOptimizerState().size()) {
+    throw std::invalid_argument(
+        "DqnAgent::LoadTrainerState: optimizer state size mismatch");
+  }
+  std::vector<double> opt(opt_count);
+  for (double& v : opt) {
+    // strtod so nan/inf moments (a poisoned candidate's) round-trip;
+    // operator>> rejects them.
+    std::string tok;
+    if (!(in >> tok)) {
+      throw std::invalid_argument("DqnAgent::LoadTrainerState: bad stream");
+    }
+    char* end = nullptr;
+    v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) {
+      throw std::invalid_argument(
+          "DqnAgent::LoadTrainerState: bad optimizer value '" + tok + "'");
+    }
+  }
+  online_.set_adam_t(adam_t);
+  online_.LoadOptimizerState(opt);
 }
 
 }  // namespace mobirescue::rl

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -77,7 +78,18 @@ class DqnAgent {
   std::size_t decisions_made() const { return decisions_; }
   std::size_t train_steps() const { return train_steps_; }
   const ReplayBuffer& buffer() const { return buffer_; }
+  /// Direct buffer access for the online learner (checkpoint restore and
+  /// concurrent-append producers).
+  ReplayBuffer& mutable_buffer() { return buffer_; }
   const DqnConfig& config() const { return config_; }
+
+  /// Serialises the training-loop state the weights don't carry: the
+  /// sampler RNG engine, the decision counter (epsilon schedule) and the
+  /// gradient-step counter (target-sync phase). Together with
+  /// SaveWeights/SaveTargetWeights and the buffer contents this makes a
+  /// resumed training run bit-identical to an uninterrupted one.
+  void SaveTrainerState(std::ostream& out) const;
+  void LoadTrainerState(std::istream& in);
 
   /// Direct weight access for checkpointing.
   std::vector<double> SaveWeights() const { return online_.SaveWeights(); }

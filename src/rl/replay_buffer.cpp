@@ -1,16 +1,26 @@
 #include "rl/replay_buffer.hpp"
 
 #include <numeric>
+#include <stdexcept>
 
 namespace mobirescue::rl {
 
 void ReplayBuffer::Push(Transition t) {
+  ++pushes_;
+  pushes_total_.Increment();
   if (data_.size() < capacity_) {
     data_.push_back(std::move(t));
   } else {
+    ++evictions_;
+    evictions_total_.Increment();
     data_[next_] = std::move(t);
     next_ = (next_ + 1) % capacity_;
   }
+}
+
+void ReplayBuffer::PushConcurrent(Transition t) {
+  std::lock_guard<std::mutex> lock(append_mutex_);
+  Push(std::move(t));
 }
 
 std::vector<const Transition*> ReplayBuffer::Sample(std::size_t n,
@@ -34,6 +44,20 @@ std::vector<const Transition*> ReplayBuffer::Sample(std::size_t n,
     }
   }
   return out;
+}
+
+void ReplayBuffer::Restore(std::vector<Transition> data, std::size_t cursor,
+                           std::uint64_t pushes, std::uint64_t evictions) {
+  if (data.size() > capacity_) {
+    throw std::invalid_argument("ReplayBuffer::Restore: data over capacity");
+  }
+  if (capacity_ != 0 && cursor >= capacity_) {
+    throw std::invalid_argument("ReplayBuffer::Restore: cursor out of range");
+  }
+  data_ = std::move(data);
+  next_ = cursor;
+  pushes_ = pushes;
+  evictions_ = evictions;
 }
 
 }  // namespace mobirescue::rl

@@ -5,11 +5,22 @@
 // chosen (team, candidate) pair, the team's share of the Eq. (5) reward, and
 // the feature vectors of every candidate available at the next round (for
 // the max_a' Q(s', a') bootstrap target).
+//
+// Threading contract: Push() is the single-writer fast path (offline
+// training, the serving tick loop). PushConcurrent() serialises appends
+// under an internal mutex for multi-producer collectors. Sample()/size()
+// and the checkpoint accessors are NOT synchronised against concurrent
+// appends — callers must quiesce producers (or hold their own lock) before
+// reading; the online learner does this by running its entire tick phase
+// on the serving thread.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace mobirescue::rl {
@@ -30,18 +41,43 @@ class ReplayBuffer {
   explicit ReplayBuffer(std::size_t capacity) : capacity_(capacity) {}
 
   void Push(Transition t);
+  /// Mutex-guarded append for concurrent producers (see file comment).
+  void PushConcurrent(Transition t);
   std::size_t size() const { return data_.size(); }
   std::size_t capacity() const { return capacity_; }
   bool empty() const { return data_.empty(); }
+
+  /// Lifetime append/eviction totals (evictions = appends that overwrote
+  /// the oldest slot once the ring was full). Also exported through the
+  /// obs registry as rl_replay_pushes_total / rl_replay_evictions_total.
+  std::uint64_t pushes() const { return pushes_; }
+  std::uint64_t evictions() const { return evictions_; }
 
   /// Uniform random sample: without replacement when n <= size() (no
   /// transition appears twice in a minibatch), with replacement otherwise.
   std::vector<const Transition*> Sample(std::size_t n, util::Rng& rng) const;
 
+  // Checkpointing access: the stored transitions in slot order plus the
+  // ring cursor. Restore() rebuilds both so sampling after a restore is
+  // bit-identical to the uninterrupted run.
+  const std::vector<Transition>& data() const { return data_; }
+  std::size_t cursor() const { return next_; }
+  void Restore(std::vector<Transition> data, std::size_t cursor,
+               std::uint64_t pushes, std::uint64_t evictions);
+
  private:
   std::size_t capacity_;
   std::size_t next_ = 0;
   std::vector<Transition> data_;
+  std::mutex append_mutex_;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t evictions_ = 0;
+
+  obs::Counter pushes_total_{"rl_replay_pushes_total",
+                             "Transitions appended to a replay buffer."};
+  obs::Counter evictions_total_{
+      "rl_replay_evictions_total",
+      "Replay appends that evicted the oldest transition (ring full)."};
 };
 
 }  // namespace mobirescue::rl

@@ -19,6 +19,8 @@ constexpr const char* kCkptMagic = "mobirescue-ckpt-v1";
 constexpr const char* kDqnMagic = "mobirescue-dqn-v1";
 constexpr const char* kServeStateMagic = "mobirescue-serve-state-v1";
 constexpr const char* kServeStateEnd = "mobirescue-serve-state-end";
+constexpr const char* kLearnMagic = "mobirescue-learn-v1";
+constexpr const char* kLearnEnd = "mobirescue-learn-end";
 
 // Sanity bounds for sizes read from a (possibly corrupt) file: reject
 // before allocating. Generous vs anything the system produces.
@@ -28,6 +30,7 @@ constexpr std::size_t kMaxHiddenWidth = 1u << 16;
 constexpr std::size_t kMaxWeightCount = 1u << 28;
 constexpr std::size_t kMaxStateRecords = 1u << 26;
 constexpr std::size_t kMaxFlowEntries = 1u << 28;
+constexpr std::size_t kMaxLearnTokens = 1u << 26;
 
 void ExpectToken(std::istream& is, const char* token) {
   std::string got;
@@ -245,6 +248,8 @@ void SaveCheckpoint(const ServiceCheckpoint& ckpt, std::ostream& os) {
   ml::SaveScaler(ckpt.svm_scaler, os);
   os << std::setprecision(17) << ckpt.svm_threshold << "\n";
   if (ckpt.has_serving_state) SaveServingState(ckpt.serving, os);
+  // The learner blob carries its own begin/end magics; written verbatim.
+  if (!ckpt.learner_state.empty()) os << ckpt.learner_state;
   if (!os) throw std::runtime_error("SaveCheckpoint: write failed");
 }
 
@@ -255,21 +260,39 @@ ServiceCheckpoint LoadCheckpoint(std::istream& is) {
   ckpt.svm = ml::LoadSvm(is);
   ckpt.svm_scaler = ml::LoadScaler(is);
   ckpt.svm_threshold = ReadDouble(is, "threshold");
-  // Optional serving-state section; EOF here is a valid model-only file.
+  // Optional serving-state and learner sections; EOF here is a valid
+  // model-only file.
   std::string token;
-  if (is >> token) {
-    if (token != kServeStateMagic) {
-      throw std::runtime_error(
-          "LoadCheckpoint: trailing garbage after checkpoint");
-    }
+  if (!(is >> token)) return ckpt;
+  if (token == kServeStateMagic) {
     ckpt.serving = LoadServingState(is);
     ckpt.has_serving_state = true;
-    if (is >> token) {
-      throw std::runtime_error(
-          "LoadCheckpoint: trailing garbage after serving state");
-    }
+    if (!(is >> token)) return ckpt;
   }
-  return ckpt;
+  if (token == kLearnMagic) {
+    // Captured token-wise into the opaque blob the learner parses itself;
+    // token capture whitespace-normalises, which the format permits.
+    std::string blob = token;
+    bool closed = false;
+    std::size_t tokens = 0;
+    while (is >> token) {
+      blob += ' ';
+      blob += token;
+      if (++tokens > kMaxLearnTokens) {
+        throw std::runtime_error("LoadCheckpoint: learner state too large");
+      }
+      if (token == kLearnEnd) {
+        closed = true;
+        break;
+      }
+    }
+    if (!closed) {
+      throw std::runtime_error("LoadCheckpoint: truncated learner state");
+    }
+    ckpt.learner_state = std::move(blob);
+    if (!(is >> token)) return ckpt;
+  }
+  throw std::runtime_error("LoadCheckpoint: trailing garbage after checkpoint");
 }
 
 void SaveCheckpointToFile(const ServiceCheckpoint& ckpt,

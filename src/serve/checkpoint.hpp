@@ -69,6 +69,13 @@ struct ServiceCheckpoint {
   /// have has_serving_state == false.
   bool has_serving_state = false;
   ServingState serving;
+  /// Optional online-learner section (DESIGN.md §15): the learner's
+  /// complete dynamic state as a `mobirescue-learn-v1 ...
+  /// mobirescue-learn-end` token blob, produced and parsed by
+  /// learn::OnlineLearner::SaveStateString/LoadStateString. The checkpoint
+  /// layer treats it as opaque tokens (whitespace-normalised on load, which
+  /// the token format is insensitive to). Empty means "no learner".
+  std::string learner_state;
 };
 
 /// The flat parameter count of the DQN network a config describes

@@ -36,12 +36,22 @@ DispatchService::DispatchService(const roadnet::City& city,
       queue_(config_.queue),
       state_(city.network, index, config_.state),
       svm_(&svm),
+      live_agent_(std::move(agent)),
       fallback_(city) {
   auto mr = std::make_unique<dispatch::MobiRescueDispatcher>(
-      city, svm, state_, index, std::move(agent), day_offset_s, mr_config);
+      city, svm, state_, index, live_agent_, day_offset_s, mr_config);
   mobirescue_ = mr.get();
   owned_dispatcher_ = std::move(mr);
   dispatcher_ = owned_dispatcher_.get();
+  if (config_.learn.enabled) {
+    // The learner rides on the live round's captured action space; the
+    // capture only fills vectors Decide() already built, so frozen-policy
+    // decisions are unchanged (dispatch_service_test proves bit-identity
+    // with learning disabled, learn tests with it enabled).
+    learner_ = std::make_unique<learn::OnlineLearner>(
+        config_.learn, mr_config.reward, live_agent_);
+    mobirescue_->EnableRoundCapture(true);
+  }
 }
 
 DispatchService::DispatchService(const roadnet::City& city,
@@ -139,12 +149,27 @@ sim::DispatchDecision DispatchService::Tick(
   degraded_gauge_.Set(degraded_remaining_ > 0 ? 1.0 : 0.0);
   drain_ms_.push_back(drain);
   decide_ms_.push_back(decide);
+  decision_ms_.push_back(drain + decide);
   drain_hist_.Observe(drain);
   decide_hist_.Observe(decide);
   ++ticks_;
   ++lifetime_ticks_;
   ticks_total_.Increment();
   people_gauge_.Set(static_cast<double>(state_.num_people_seen()));
+
+  if (learner_ != nullptr) {
+    // After the decide timing (learning cost must never read as decide
+    // latency), before the periodic checkpoint (which must capture this
+    // tick's learner state). The tick ordinal is the lifetime count so
+    // train/gate cadences stay aligned across crash recoveries.
+    OBS_SPAN("serve.learn");
+    const auto l0 = std::chrono::steady_clock::now();
+    learner_->OnServedTick(lifetime_ticks_, context, mobirescue_->last_capture(),
+                           used_fallback);
+    const double learn = ElapsedMs(l0, std::chrono::steady_clock::now());
+    learn_ms_.push_back(learn);
+    learn_hist_.Observe(learn);
+  }
 
   if (config_.checkpoint_every_n_ticks > 0 &&
       !config_.checkpoint_path.empty() && CanCheckpoint() &&
@@ -186,6 +211,7 @@ ServiceCheckpoint DispatchService::Checkpoint() const {
   s.deferred = deferred_;
   s.counters = state_.counters();
   state_.ExportFlowState(&s.flow_cells, &s.flow_seen);
+  if (learner_ != nullptr) ckpt.learner_state = learner_->SaveStateString();
   return ckpt;
 }
 
@@ -203,6 +229,13 @@ void DispatchService::RestoreServingState(const ServiceCheckpoint& ckpt) {
   // The restored service continues the crashed instance's reporting
   // window: its tick count keeps climbing from where the snapshot was.
   ticks_ = ckpt.serving.ticks;
+  if (learner_ != nullptr && !ckpt.learner_state.empty()) {
+    // The live agent's (possibly promoted) weights came back through the
+    // checkpoint's DQN section; this restores everything around them —
+    // candidate training state, replay buffer, open transitions, evidence
+    // window, promotion state machine and the rollback snapshot.
+    learner_->LoadStateString(ckpt.learner_state);
+  }
   ++recoveries_;
   recovery_counter_.Increment();
 }
@@ -212,6 +245,8 @@ void DispatchService::ResetMetrics() {
   deferred_total_ = 0;
   decide_ms_.clear();
   drain_ms_.clear();
+  decision_ms_.clear();
+  learn_ms_.clear();
   fallback_ticks_ = 0;
   decide_errors_ = 0;
   budget_overruns_ = 0;
@@ -228,6 +263,7 @@ ServiceMetrics DispatchService::metrics() const {
   m.people_tracked = state_.num_people_seen();
   m.decide_ms = util::Summarize(decide_ms_);
   m.drain_ms = util::Summarize(drain_ms_);
+  m.decision_ms = util::Summarize(decision_ms_);
   if (watermark_ > 0.0) {
     m.ingest_rate_per_s =
         static_cast<double>(m.ingest.accepted) / watermark_;
@@ -241,6 +277,11 @@ ServiceMetrics DispatchService::metrics() const {
   m.checkpoints_written = checkpoints_written_;
   m.recoveries = recoveries_;
   m.degraded = degraded_remaining_ > 0;
+  if (learner_ != nullptr) {
+    m.learning = true;
+    m.learn = learner_->metrics();
+    m.learn_ms = util::Summarize(learn_ms_);
+  }
   return m;
 }
 

@@ -33,6 +33,7 @@
 
 #include "dispatch/mobirescue_dispatcher.hpp"
 #include "dispatch/simple_dispatchers.hpp"
+#include "learn/learner.hpp"
 #include "obs/metrics.hpp"
 #include "roadnet/city_builder.hpp"
 #include "roadnet/router.hpp"
@@ -69,6 +70,10 @@ struct ServiceConfig {
   /// are part of the artifact). 0 disables.
   std::uint64_t checkpoint_every_n_ticks = 0;
   std::string checkpoint_path;
+  /// Online continual learning (DESIGN.md §15; MobiRescue services only).
+  /// Disabled by default: the frozen-policy serving path is untouched —
+  /// bit-identical decisions, no capture, no learner allocation.
+  learn::LearnConfig learn;
 };
 
 /// One consistent view of the service's health, for benches and /metrics.
@@ -93,6 +98,11 @@ struct ServiceMetrics {
   util::PercentileSummary decide_ms;
   /// Per-tick drain-and-apply wall time (ms).
   util::PercentileSummary drain_ms;
+  /// Per-tick decision-path wall time (drain + decide, ms): the latency
+  /// from tick start until the decision exists. Post-decision work inside
+  /// the tick (the learner, checkpointing) is excluded — it delays the
+  /// tick's return, never the decision.
+  util::PercentileSummary decision_ms;
   /// Mean ingested records per simulated second (accepted / watermark).
   double ingest_rate_per_s = 0.0;
   /// The dispatcher featurizer's shortest-path-tree cache (MobiRescue
@@ -108,6 +118,13 @@ struct ServiceMetrics {
   std::uint64_t recoveries = 0;
   /// True while the cooldown has the fallback dispatcher in charge.
   bool degraded = false;
+  /// Online learning (DESIGN.md §15): present when the service was built
+  /// with config.learn.enabled.
+  bool learning = false;
+  learn::LearnMetrics learn;
+  /// Per-tick learner wall time (collector + shadow + trainer + gate), ms;
+  /// window-scoped like decide_ms.
+  util::PercentileSummary learn_ms;
 };
 
 class DispatchService {
@@ -186,6 +203,10 @@ class DispatchService {
   void ResetMetrics();
 
   sim::Dispatcher& dispatcher() { return *dispatcher_; }
+  /// The online learner; nullptr unless config.learn.enabled on a
+  /// MobiRescue service.
+  learn::OnlineLearner* learner() { return learner_.get(); }
+  const learn::OnlineLearner* learner() const { return learner_.get(); }
   const StreamState& state() const { return state_; }
   /// The MobiRescue dispatcher's cached {ñ_e} prediction; nullptr for
   /// baseline dispatchers.
@@ -206,6 +227,10 @@ class DispatchService {
   dispatch::MobiRescueDispatcher* mobirescue_ = nullptr;
   /// The SVM the MobiRescue constructor received (checkpointing needs it).
   const predict::SvmRequestPredictor* svm_ = nullptr;
+  /// Shared handle on the serving agent — the learner hot-swaps weights
+  /// through it on promotion.
+  std::shared_ptr<rl::DqnAgent> live_agent_;
+  std::unique_ptr<learn::OnlineLearner> learner_;
   /// Degradation ladder rung 2: flood-aware, zero-latency, model-free.
   dispatch::GreedyNearestDispatcher fallback_;
 
@@ -220,6 +245,8 @@ class DispatchService {
   std::uint64_t deferred_total_ = 0;
   std::vector<double> decide_ms_;
   std::vector<double> drain_ms_;
+  std::vector<double> decision_ms_;
+  std::vector<double> learn_ms_;
   // Degradation state: ticks remaining on the fallback dispatcher.
   int degraded_remaining_ = 0;
   std::uint64_t fallback_ticks_ = 0;
@@ -238,6 +265,9 @@ class DispatchService {
                               obs::Histogram::LatencyBucketsMs()};
   obs::Histogram drain_hist_{"serve_tick_drain_ms",
                              "Per-tick drain-and-apply wall time (ms).",
+                             obs::Histogram::LatencyBucketsMs()};
+  obs::Histogram learn_hist_{"serve_tick_learn_ms",
+                             "Per-tick online-learning wall time (ms).",
                              obs::Histogram::LatencyBucketsMs()};
   obs::Gauge depth_gauge_{"serve_queue_depth",
                           "Records drained by the most recent tick."};

@@ -73,6 +73,8 @@ class Rng {
   Rng Fork() { return Rng(engine_() ^ 0xD1B54A32D192ED03ULL); }
 
   std::mt19937_64& engine() { return engine_; }
+  /// Const access for checkpointing (mt19937_64 streams its full state).
+  const std::mt19937_64& engine() const { return engine_; }
 
  private:
   std::mt19937_64 engine_;

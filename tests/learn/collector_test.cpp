@@ -1,0 +1,173 @@
+// ExperienceCollector unit tests over synthetic captures: macro-transition
+// open/accrue/close semantics mirroring the offline training path, the
+// stand-down streak rule, and fallback-tick attribution aborts.
+#include "learn/experience_collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mobirescue::learn {
+namespace {
+
+constexpr std::size_t kDim = 3;
+
+std::vector<double> Row(double tag) { return {tag, tag + 0.5, tag + 1.0}; }
+
+/// One decidable team (index 0) with a depot row and two candidates.
+dispatch::RoundCapture TwoCandidateCapture(sim::TeamAction action) {
+  dispatch::RoundCapture c;
+  c.valid = true;
+  c.feature_rows = {Row(0.0), Row(1.0), Row(2.0)};  // depot, cand 0, cand 1
+  c.rows = {0};
+  c.team_begin = {0};
+  c.cand_row = {{1, 2}};
+  c.columns = {0, 1};
+  c.candidates = {roadnet::SegmentId{7}, roadnet::SegmentId{9}};
+  c.live_q = {0.1, 0.2, 0.3};
+  c.live_actions = {action};
+  c.prior_weight = 0.5;
+  return c;
+}
+
+sim::DispatchContext OneTeamContext(int served, double drive_s) {
+  sim::DispatchContext ctx;
+  ctx.teams.resize(1);
+  ctx.teams[0].served_since_dispatch = served;
+  ctx.teams[0].drive_time_since_dispatch = drive_s;
+  return ctx;
+}
+
+sim::TeamAction Goto(roadnet::SegmentId seg) {
+  sim::TeamAction a;
+  a.kind = sim::ActionKind::kGoto;
+  a.target = seg;
+  return a;
+}
+
+sim::TeamAction Keep() { return sim::TeamAction{}; }
+
+class CollectorTest : public ::testing::Test {
+ protected:
+  dispatch::RewardWeights reward_{2.0, 0.001, 0.01};
+  std::vector<rl::Transition> sunk_;
+  ExperienceCollector collector_{reward_, [this](rl::Transition t) {
+                                   sunk_.push_back(std::move(t));
+                                 }};
+};
+
+TEST_F(CollectorTest, GotoOpensTransitionWithGammaCharge) {
+  collector_.Observe(OneTeamContext(0, 0.0), TwoCandidateCapture(Goto(9)));
+  EXPECT_TRUE(sunk_.empty());  // nothing to close on the first decision
+  ASSERT_EQ(collector_.pending().size(), 1u);
+  const ExperienceCollector::Pending& p = collector_.pending()[0];
+  ASSERT_TRUE(p.valid);
+  EXPECT_FALSE(p.is_standdown);
+  EXPECT_EQ(p.features, Row(2.0));  // candidate 1's row
+  EXPECT_DOUBLE_EQ(p.accumulated, -reward_.gamma);
+  EXPECT_EQ(p.rounds, 0);
+}
+
+TEST_F(CollectorTest, RewardAccruesAndClosesOnNextDecision) {
+  collector_.Observe(OneTeamContext(0, 0.0), TwoCandidateCapture(Goto(9)));
+  // Two unscored rounds while driving: rewards accrue, transition stays
+  // open.
+  dispatch::RoundCapture invalid;
+  collector_.Observe(OneTeamContext(1, 100.0), invalid);
+  collector_.Observe(OneTeamContext(2, 50.0), invalid);
+  EXPECT_TRUE(sunk_.empty());
+
+  // Next scored round (the team decides again): the transition closes with
+  // the accrued Eq. (5) reward and the current action set as bootstrap
+  // candidates.
+  collector_.Observe(OneTeamContext(0, 10.0), TwoCandidateCapture(Goto(7)));
+  ASSERT_EQ(sunk_.size(), 1u);
+  const rl::Transition& t = sunk_[0];
+  EXPECT_EQ(t.features, Row(2.0));
+  const double expect_reward = -reward_.gamma +
+                               reward_.alpha * (1 + 2 + 0) -
+                               reward_.beta * (100.0 + 50.0 + 10.0);
+  EXPECT_DOUBLE_EQ(t.reward, expect_reward);
+  EXPECT_EQ(t.duration_rounds, 3);
+  EXPECT_FALSE(t.terminal);
+  // Bootstrap candidates: depot row first, then both reachable candidates.
+  ASSERT_EQ(t.next_candidates.size(), 3u);
+  EXPECT_EQ(t.next_candidates[0], Row(0.0));
+  EXPECT_EQ(t.next_candidates[1], Row(1.0));
+  EXPECT_EQ(t.next_candidates[2], Row(2.0));
+  EXPECT_EQ(collector_.transitions(), 1u);
+}
+
+TEST_F(CollectorTest, UnreachableCandidateRowsAreSkippedInBootstrap) {
+  collector_.Observe(OneTeamContext(0, 0.0), TwoCandidateCapture(Goto(9)));
+  dispatch::RoundCapture next = TwoCandidateCapture(Goto(7));
+  next.cand_row = {{1, SIZE_MAX}};  // candidate 1 now unreachable
+  collector_.Observe(OneTeamContext(0, 0.0), next);
+  ASSERT_EQ(sunk_.size(), 1u);
+  ASSERT_EQ(sunk_[0].next_candidates.size(), 2u);
+  EXPECT_EQ(sunk_[0].next_candidates[0], Row(0.0));
+  EXPECT_EQ(sunk_[0].next_candidates[1], Row(1.0));
+}
+
+TEST_F(CollectorTest, StandDownStreakContributesOneTransition) {
+  // First stand-down opens a depot transition (no gamma charge)...
+  collector_.Observe(OneTeamContext(0, 0.0), TwoCandidateCapture(Keep()));
+  ASSERT_TRUE(collector_.pending()[0].valid);
+  EXPECT_TRUE(collector_.pending()[0].is_standdown);
+  EXPECT_DOUBLE_EQ(collector_.pending()[0].accumulated, 0.0);
+
+  // ...the second stand-down closes it but opens nothing, and further
+  // re-affirmations stay no-ops: one transition per streak.
+  collector_.Observe(OneTeamContext(0, 0.0), TwoCandidateCapture(Keep()));
+  collector_.Observe(OneTeamContext(0, 0.0), TwoCandidateCapture(Keep()));
+  collector_.Observe(OneTeamContext(0, 0.0), TwoCandidateCapture(Keep()));
+  EXPECT_EQ(sunk_.size(), 1u);
+  EXPECT_FALSE(collector_.pending()[0].valid);
+  EXPECT_EQ(sunk_[0].features, Row(0.0));  // the depot row
+
+  // Serving again re-arms the streak rule.
+  collector_.Observe(OneTeamContext(0, 0.0), TwoCandidateCapture(Goto(7)));
+  collector_.Observe(OneTeamContext(0, 0.0), TwoCandidateCapture(Keep()));
+  EXPECT_EQ(sunk_.size(), 2u);                  // the serving leg closed
+  EXPECT_TRUE(collector_.pending()[0].valid);   // new stand-down opened
+  EXPECT_TRUE(collector_.pending()[0].is_standdown);
+}
+
+TEST_F(CollectorTest, FallbackTickAbortsOpenTransitions) {
+  collector_.Observe(OneTeamContext(0, 0.0), TwoCandidateCapture(Goto(9)));
+  ASSERT_TRUE(collector_.pending()[0].valid);
+  collector_.OnFallbackTick(OneTeamContext(1, 30.0));
+  EXPECT_FALSE(collector_.pending()[0].valid);
+  EXPECT_EQ(collector_.aborted(), 1u);
+  EXPECT_TRUE(sunk_.empty());
+
+  // The next policy decision starts fresh — the fallback's actions never
+  // leak into the policy's attribution.
+  collector_.Observe(OneTeamContext(0, 0.0), TwoCandidateCapture(Goto(7)));
+  EXPECT_TRUE(sunk_.empty());
+  EXPECT_TRUE(collector_.pending()[0].valid);
+}
+
+TEST_F(CollectorTest, RestorePendingRoundTripsOpenState) {
+  collector_.Observe(OneTeamContext(0, 0.0), TwoCandidateCapture(Goto(9)));
+  collector_.Observe(OneTeamContext(2, 40.0), dispatch::RoundCapture{});
+  const auto saved = collector_.pending();
+
+  std::vector<rl::Transition> other_sunk;
+  ExperienceCollector restored(
+      reward_, [&other_sunk](rl::Transition t) { other_sunk.push_back(t); });
+  restored.RestorePending(saved, collector_.transitions(),
+                          collector_.aborted());
+
+  // Both collectors now close the same transition identically.
+  restored.Observe(OneTeamContext(0, 5.0), TwoCandidateCapture(Goto(7)));
+  collector_.Observe(OneTeamContext(0, 5.0), TwoCandidateCapture(Goto(7)));
+  ASSERT_EQ(sunk_.size(), 1u);
+  ASSERT_EQ(other_sunk.size(), 1u);
+  EXPECT_EQ(sunk_[0].reward, other_sunk[0].reward);
+  EXPECT_EQ(sunk_[0].duration_rounds, other_sunk[0].duration_rounds);
+  EXPECT_EQ(sunk_[0].features, other_sunk[0].features);
+}
+
+}  // namespace
+}  // namespace mobirescue::learn
