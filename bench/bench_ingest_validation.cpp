@@ -11,9 +11,9 @@
 //
 // and FAILS (exit 1) if validation adds more than 5% to the per-record
 // cost. `--json PATH [--smoke]` writes mobirescue-bench-v1 JSON; the
-// overhead percentage rides in the `size` field. Measurements interleave
-// rep by rep and take the min, so one scheduler hiccup cannot fail the
-// gate.
+// overhead percentage rides in the `size` field. The gate takes the median
+// of three interleaved min-of-reps runs (bench::MeasureOverheadMedian), so
+// it holds under a parallel ctest schedule without RUN_SERIAL.
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -100,20 +100,15 @@ int main(int argc, char** argv) {
     checked_loop.Step();
   }
 
-  // Interleave the measurements rep by rep: both variants see the same
-  // clock/thermal state, so the min-of-reps ratio isolates the validation
-  // cost from scheduler noise.
-  bench::BenchTiming plain, checked;
-  for (int rep = 0; rep < 5; ++rep) {
-    const bench::BenchTiming p =
-        bench::MeasureNsPerOp([&plain_loop] { plain_loop.Step(); }, min_time_s);
-    const bench::BenchTiming c = bench::MeasureNsPerOp(
-        [&checked_loop] { checked_loop.Step(); }, min_time_s);
-    if (rep == 0 || p.ns_per_op < plain.ns_per_op) plain = p;
-    if (rep == 0 || c.ns_per_op < checked.ns_per_op) checked = c;
-  }
-  const double overhead_pct =
-      (checked.ns_per_op - plain.ns_per_op) / plain.ns_per_op * 100.0;
+  // Median of three interleaved min-of-reps runs: within a run both
+  // variants see the same clock/thermal state, and the median across runs
+  // discards the one a sibling ctest process happened to skew.
+  const bench::OverheadMeasurement m = bench::MeasureOverheadMedian(
+      [&plain_loop] { plain_loop.Step(); },
+      [&checked_loop] { checked_loop.Step(); }, min_time_s);
+  const bench::BenchTiming plain = m.baseline;
+  const bench::BenchTiming checked = m.subject;
+  const double overhead_pct = m.overhead_pct;
 
   // Sanity: the validating path must not have quarantined anything — this
   // stream is clean, so any quarantine would mean the bench (or the guard)

@@ -1,5 +1,6 @@
 #include "bench_json.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <cmath>
@@ -35,6 +36,34 @@ BenchTiming MeasureNsPerOp(const std::function<void()>& fn,
     }
     batch = next;
   }
+}
+
+OverheadMeasurement MeasureOverheadMedian(
+    const std::function<void()>& baseline,
+    const std::function<void()>& subject, double min_time_s, int reps,
+    int runs) {
+  if (reps < 1) reps = 1;
+  if (runs < 1) runs = 1;
+  std::vector<OverheadMeasurement> measured;
+  measured.reserve(static_cast<std::size_t>(runs));
+  for (int run = 0; run < runs; ++run) {
+    OverheadMeasurement m;
+    for (int rep = 0; rep < reps; ++rep) {
+      const BenchTiming b = MeasureNsPerOp(baseline, min_time_s);
+      const BenchTiming s = MeasureNsPerOp(subject, min_time_s);
+      if (rep == 0 || b.ns_per_op < m.baseline.ns_per_op) m.baseline = b;
+      if (rep == 0 || s.ns_per_op < m.subject.ns_per_op) m.subject = s;
+    }
+    m.overhead_pct = (m.subject.ns_per_op - m.baseline.ns_per_op) /
+                     m.baseline.ns_per_op * 100.0;
+    measured.push_back(m);
+  }
+  std::sort(measured.begin(), measured.end(),
+            [](const OverheadMeasurement& a, const OverheadMeasurement& b) {
+              return a.overhead_pct < b.overhead_pct;
+            });
+  // Lower middle for even run counts: still discards the worst run.
+  return measured[(measured.size() - 1) / 2];
 }
 
 namespace {

@@ -202,16 +202,12 @@ int main(int argc, char** argv) {
   }
   require(outcome.metrics.total_served() > 0, "no requests were served");
 
-  double promotions_metric = -1.0;
-  require(obs::ReadMetricValue(obs::Registry::Global(),
-                               "learn_promotions_total", &promotions_metric) &&
-              promotions_metric >= 0.0,
+  obs::SnapshotDelta registry(obs::Registry::Global());
+  require(registry.Has("learn_promotions_total") &&
+              registry.Read("learn_promotions_total") >= 0.0,
           "learn_promotions_total not visible in the registry");
-  double transitions_metric = 0.0;
-  require(obs::ReadMetricValue(obs::Registry::Global(),
-                               "learn_transitions_total",
-                               &transitions_metric) &&
-              transitions_metric > 0.0,
+  require(registry.Has("learn_transitions_total") &&
+              registry.Read("learn_transitions_total") > 0.0,
           "learn_transitions_total not visible in the registry");
 
   if (!metrics_out.empty()) {

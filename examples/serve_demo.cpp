@@ -18,8 +18,16 @@
 // self-validates that quarantine, fallback and recovery all actually fired.
 // `--ckpt-every N` sets the periodic checkpoint cadence (ticks; default 16
 // under --faults, off otherwise).
+// `--incident-out DIR` arms the incident writer (DESIGN.md §16): the
+// flight recorder's ring is widened to hold the whole day, every
+// degradation entry / crash-restore dumps a mobirescue-incident-v1 bundle
+// into DIR (created if missing), and a final bundle of the full episode is
+// written, validated, and — under --faults — checked for the
+// quarantine -> fallback -> kill -> restore event sequence. Each bundle
+// ships with a `.trace.json` Chrome-trace view (open in Perfetto).
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <stdexcept>
@@ -29,7 +37,9 @@
 #include "core/pipeline.hpp"
 #include "core/world.hpp"
 #include "obs/exposition.hpp"
+#include "obs/incident.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/dispatch_service.hpp"
@@ -47,6 +57,7 @@ int main(int argc, char** argv) {
   std::uint64_t ckpt_every = 0;
   std::string metrics_out;
   std::string trace_out;
+  std::string incident_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -59,13 +70,27 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (arg == "--incident-out" && i + 1 < argc) {
+      incident_out = argv[++i];
     } else {
       std::cerr << "usage: serve_demo [--smoke] [--faults] [--ckpt-every N] "
-                   "[--metrics-out FILE] [--trace-out FILE]\n";
+                   "[--metrics-out FILE] [--trace-out FILE] "
+                   "[--incident-out DIR]\n";
       return 2;
     }
   }
   if (faults && ckpt_every == 0) ckpt_every = 16;
+
+  obs::IncidentConfig incident_config;
+  if (!incident_out.empty()) {
+    std::filesystem::create_directories(incident_out);
+    incident_config.dir = incident_out;
+    incident_config.label = "serve-demo";
+    // The final bundle shows the whole served day, not just the default
+    // 2048-event tail; widen the black box to match.
+    incident_config.event_window = std::size_t{1} << 16;
+    obs::FlightRecorder::Global().set_ring_capacity(std::size_t{1} << 16);
+  }
 
   core::WorldConfig config;
   if (smoke) {
@@ -125,6 +150,7 @@ int main(int argc, char** argv) {
         -> std::unique_ptr<serve::DispatchService> {
       serve::ServiceConfig config;
       config.queue.shard_capacity = 1 << 15;
+      config.incident = incident_config;
       config.decide_chaos = [&injector](util::SimTime now) {
         if (injector.ShouldFailDecide(now)) {
           throw std::runtime_error("injected decide failure");
@@ -200,20 +226,46 @@ int main(int argc, char** argv) {
     require(outcome.checkpoints_written > 0, "no checkpoints were written");
     require(outcome.metrics.total_served() > 0, "no requests were served");
 
-    double quarantined_metric = 0.0;
-    require(obs::ReadMetricValue(obs::Registry::Global(),
-                                 "serve_quarantined_total",
-                                 &quarantined_metric) &&
-                quarantined_metric > 0.0,
+    obs::SnapshotDelta registry(obs::Registry::Global());
+    require(registry.Has("serve_quarantined_total") &&
+                registry.Read("serve_quarantined_total") > 0.0,
             "serve_quarantined_total not visible in the registry");
     // Only the surviving service's instruments are still registered (the
     // first restored instance died at the second kill), so the registry
     // shows >= 1 recovery, not the full kill count.
-    double recovered_metric = 0.0;
-    require(obs::ReadMetricValue(obs::Registry::Global(),
-                                 "serve_recoveries_total", &recovered_metric) &&
-                recovered_metric >= 1.0,
+    require(registry.Has("serve_recoveries_total") &&
+                registry.Read("serve_recoveries_total") >= 1.0,
             "serve_recoveries_total not visible in the registry");
+
+    if (!incident_out.empty()) {
+      // Final bundle of the whole drill, then prove it is well-formed and
+      // that the black box caught the fault chain in causal order.
+      const std::string bundle =
+          outcome.service->DumpIncident("drill-complete");
+      require(!bundle.empty(), "incident writer produced no bundle");
+      if (!bundle.empty()) {
+        std::string error;
+        require(obs::ValidateIncidentJsonFile(bundle, &error),
+                "incident bundle failed validation");
+        if (!error.empty()) std::cerr << "  validator: " << error << "\n";
+        std::vector<std::string> kinds;
+        require(obs::ReadIncidentEventKinds(bundle, &kinds, &error),
+                "incident bundle event timeline unreadable");
+        // Greedy subsequence: some quarantine, then a fallback entry,
+        // then a process kill, then the checkpoint restore.
+        const char* expected[] = {"quarantine", "fallback_enter", "kill",
+                                  "restore"};
+        std::size_t want = 0;
+        for (const std::string& kind : kinds) {
+          if (want < 4 && kind == expected[want]) ++want;
+        }
+        require(want == 4,
+                "bundle missing the quarantine -> fallback -> kill -> "
+                "restore sequence");
+        std::cout << "wrote incident bundle " << bundle << " (" << kinds.size()
+                  << " events; Chrome-trace view alongside)\n";
+      }
+    }
 
     if (!metrics_out.empty()) {
       obs::WritePrometheusTextFile(metrics_out, obs::Registry::Global());
@@ -231,6 +283,7 @@ int main(int argc, char** argv) {
 
   serve::ServiceConfig service_config;
   service_config.queue.shard_capacity = 1 << 15;
+  service_config.incident = incident_config;
   if (ckpt_every > 0) {
     service_config.checkpoint_every_n_ticks = ckpt_every;
     service_config.checkpoint_path = "serve_demo_periodic_ckpt.txt";
@@ -306,6 +359,16 @@ int main(int argc, char** argv) {
     }
     std::cout << "wrote Chrome trace to " << trace_out
               << " (open in Perfetto or chrome://tracing)\n";
+  }
+  if (!incident_out.empty()) {
+    const std::string bundle = service.DumpIncident("day-complete");
+    std::string error;
+    if (bundle.empty() ||
+        !obs::ValidateIncidentJsonFile(bundle, &error)) {
+      std::cerr << "serve_demo: invalid incident bundle: " << error << "\n";
+      return 1;
+    }
+    std::cout << "wrote incident bundle " << bundle << "\n";
   }
   std::cout << "\nOK: served " << metrics.total_served() << "/"
             << simulator.requests().size()

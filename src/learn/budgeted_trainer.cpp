@@ -1,6 +1,9 @@
 #include "learn/budgeted_trainer.hpp"
 
 #include <chrono>
+#include <cstdio>
+
+#include "obs/recorder.hpp"
 
 namespace mobirescue::learn {
 
@@ -22,6 +25,12 @@ int BudgetedTrainer::OnTick(std::uint64_t tick) {
       if (elapsed_ms >= config_.time_budget_ms) {
         ++budget_overruns_;
         overruns_total_.Increment();
+        char attrs[96];
+        std::snprintf(attrs, sizeof(attrs),
+                      "tick=%llu steps_run=%d elapsed_ms=%.3f",
+                      static_cast<unsigned long long>(tick), run, elapsed_ms);
+        obs::FlightRecorder::Global().Emit(obs::Severity::kWarn, "learn",
+                                           "train_budget_overrun", attrs);
         break;
       }
     }

@@ -1,7 +1,10 @@
 #include "learn/promotion_controller.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <utility>
+
+#include "obs/recorder.hpp"
 
 namespace mobirescue::learn {
 
@@ -25,6 +28,46 @@ bool AllFinite(const std::vector<double>& v) {
 }
 
 }  // namespace
+
+std::vector<obs::HealthRule> PromotionController::DefaultGateRules(
+    const PromotionConfig& config) {
+  std::vector<obs::HealthRule> rules;
+  obs::HealthRule nonfinite;
+  nonfinite.name = "candidate-nonfinite";
+  nonfinite.selector = "learn_candidate_nonfinite";
+  nonfinite.observed = true;
+  nonfinite.cmp = obs::HealthCmp::kGreaterThan;
+  nonfinite.threshold = 0.0;
+  rules.push_back(std::move(nonfinite));
+  // Strict improvement as exact sign tests: for finite doubles a and b,
+  // a − b is never rounded to zero unless a == b (gradual underflow), so
+  // "gap <= 0" is bit-identical to "!(cand < live)" and "margin > 0" to
+  // "!(cand <= live·(1−improvement))".
+  obs::HealthRule gap;
+  gap.name = "candidate-td-gap";
+  gap.selector = "learn_td_gap";
+  gap.observed = true;
+  gap.cmp = obs::HealthCmp::kLessOrEqual;
+  gap.threshold = 0.0;
+  rules.push_back(std::move(gap));
+  obs::HealthRule margin;
+  margin.name = "candidate-td-margin";
+  margin.selector = "learn_td_margin";
+  margin.observed = true;
+  margin.cmp = obs::HealthCmp::kGreaterThan;
+  margin.threshold = 0.0;
+  rules.push_back(std::move(margin));
+  if (config.rollback_on_fallback) {
+    obs::HealthRule watch;
+    watch.name = "watch-fallback";
+    watch.selector = "learn_watch_fallback";
+    watch.observed = true;
+    watch.cmp = obs::HealthCmp::kGreaterThan;
+    watch.threshold = 0.0;
+    rules.push_back(std::move(watch));
+  }
+  return rules;
+}
 
 void PromotionController::AddEvidence(rl::Transition t) {
   evidence_.push_back(std::move(t));
@@ -62,27 +105,43 @@ void PromotionController::EvaluateGate(std::uint64_t tick,
   last_candidate_td_ = MeanTdError(candidate_, evidence_);
 
   // Hard rejections: a candidate that produces garbage anywhere must never
-  // reach the live path, whatever its TD error claims.
-  const bool healthy = !candidate_q_nonfinite &&
-                       AllFinite(candidate_.SaveWeights()) &&
-                       AllFinite(candidate_.SaveTargetWeights()) &&
-                       std::isfinite(last_candidate_td_) &&
-                       std::isfinite(last_live_td_);
+  // reach the live path, whatever its TD error claims. Fed to the engine
+  // as one observation; a NaN TD would also trip the margin rules on
+  // their own (non-finite samples fail closed).
+  const bool nonfinite = candidate_q_nonfinite ||
+                         !AllFinite(candidate_.SaveWeights()) ||
+                         !AllFinite(candidate_.SaveTargetWeights()) ||
+                         !std::isfinite(last_candidate_td_) ||
+                         !std::isfinite(last_live_td_);
+  gate_.Observe("learn_candidate_nonfinite", nonfinite ? 1.0 : 0.0);
+  gate_.Observe("learn_td_gap", last_live_td_ - last_candidate_td_);
+  gate_.Observe("learn_td_margin",
+                last_candidate_td_ -
+                    last_live_td_ * (1.0 - config_.min_td_improvement));
+  // A gate evaluation is not a watch tick: clear the watch signal so a
+  // rollback in some earlier watch window cannot veto this candidate.
+  gate_.Observe("learn_watch_fallback", 0.0);
+  const obs::HealthVerdict& verdict = gate_.Evaluate();
   const bool capped =
       config_.max_promotions > 0 &&
       promotions_ >= static_cast<std::uint64_t>(config_.max_promotions);
-  // Strict improvement: a candidate bit-identical to live has equal TD
-  // error and can never pass (min_td_improvement > 0 guards the <= too).
-  const bool improves =
-      healthy && last_candidate_td_ < last_live_td_ &&
-      last_candidate_td_ <=
-          last_live_td_ * (1.0 - config_.min_td_improvement);
 
-  if (improves && !capped) {
+  if (verdict.healthy && !capped) {
     Promote(tick);
   } else {
     ++rejections_;
     rejections_total_.Increment();
+    char attrs[160];
+    std::snprintf(attrs, sizeof(attrs),
+                  "tick=%llu tripped=%s live_td=%.6g cand_td=%.6g",
+                  static_cast<unsigned long long>(tick),
+                  capped ? "promotion-cap"
+                         : (verdict.tripped.empty()
+                                ? "none"
+                                : verdict.tripped.front().c_str()),
+                  last_live_td_, last_candidate_td_);
+    obs::FlightRecorder::Global().Emit(obs::Severity::kInfo, "learn",
+                                       "gate_rejection", attrs);
     state_ = PromotionState::kCooldown;
     cooldown_left_ = config_.cooldown_ticks;
   }
@@ -98,6 +157,13 @@ void PromotionController::Promote(std::uint64_t tick) {
   promotion_ticks_.push_back(tick);
   state_ = PromotionState::kWatching;
   watch_left_ = config_.watch_window_ticks;
+  char attrs[128];
+  std::snprintf(attrs, sizeof(attrs),
+                "tick=%llu live_td=%.6g cand_td=%.6g",
+                static_cast<unsigned long long>(tick), last_live_td_,
+                last_candidate_td_);
+  obs::FlightRecorder::Global().Emit(obs::Severity::kInfo, "learn",
+                                     "promotion", attrs);
 }
 
 void PromotionController::Rollback() {
@@ -109,6 +175,12 @@ void PromotionController::Rollback() {
   rollbacks_total_.Increment();
   state_ = PromotionState::kCooldown;
   cooldown_left_ = config_.cooldown_ticks;
+  char attrs[96];
+  std::snprintf(attrs, sizeof(attrs), "watch_left=%d promotions=%llu",
+                watch_left_,
+                static_cast<unsigned long long>(promotions_));
+  obs::FlightRecorder::Global().Emit(obs::Severity::kError, "learn",
+                                     "rollback", attrs);
 }
 
 void PromotionController::OnTick(std::uint64_t tick, bool used_fallback,
@@ -124,8 +196,14 @@ void PromotionController::OnTick(std::uint64_t tick, bool used_fallback,
         EvaluateGate(tick, candidate_q_nonfinite);
       }
       break;
-    case PromotionState::kWatching:
-      if (used_fallback && config_.rollback_on_fallback) {
+    case PromotionState::kWatching: {
+      // Bit-identity with the pre-§16 inline check: the watch-fallback
+      // rule exists iff rollback_on_fallback, trips iff the observation
+      // is > 0, and the other gate observations are stale from the
+      // promoting evaluation (which passed, so they cannot trip).
+      gate_.Observe("learn_watch_fallback", used_fallback ? 1.0 : 0.0);
+      const obs::HealthVerdict& watch = gate_.Evaluate();
+      if (watch.Tripped("watch-fallback")) {
         Rollback();
         break;
       }
@@ -136,6 +214,7 @@ void PromotionController::OnTick(std::uint64_t tick, bool used_fallback,
         cooldown_left_ = config_.cooldown_ticks;
       }
       break;
+    }
     case PromotionState::kCooldown:
       if (--cooldown_left_ <= 0) state_ = PromotionState::kEvaluating;
       break;

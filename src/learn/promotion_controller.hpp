@@ -22,6 +22,15 @@
 // LoadTargetWeights and snapshots the pre-promotion live weights; a
 // fallback tick inside the watch window restores them (a bad promotion is
 // handled like any other fault: detect, revert, cool down).
+//
+// Since DESIGN.md §16 the gate's predicates are obs::HealthRule data
+// evaluated by an obs::HealthEngine, not inline comparisons: the
+// controller observes the finiteness verdict, the TD gap (live − cand)
+// and the TD margin (cand − live·(1−improvement)) into the engine and
+// promotes iff the verdict is healthy. DefaultGateRules reproduces the
+// old hardcoded gate bit-identically (the margin rules compare exact
+// IEEE subtraction signs, and non-finite samples fail closed) — the learn
+// tests prove it. A custom rule set swaps the whole gate.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +38,7 @@
 #include <vector>
 
 #include "learn/learn_config.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "rl/dqn_agent.hpp"
 #include "rl/replay_buffer.hpp"
@@ -43,7 +53,30 @@ class PromotionController {
  public:
   PromotionController(const PromotionConfig& config, rl::DqnAgent& live,
                       rl::DqnAgent& candidate)
-      : config_(config), live_(live), candidate_(candidate) {}
+      : PromotionController(config, live, candidate,
+                            DefaultGateRules(config)) {}
+
+  /// Custom gate: `gate_rules` replace DefaultGateRules entirely. The
+  /// controller observes "learn_candidate_nonfinite", "learn_td_gap",
+  /// "learn_td_margin" before each gate evaluation and
+  /// "learn_watch_fallback" on watch ticks; rules select those keys (or
+  /// any registry metric).
+  PromotionController(const PromotionConfig& config, rl::DqnAgent& live,
+                      rl::DqnAgent& candidate,
+                      std::vector<obs::HealthRule> gate_rules)
+      : config_(config),
+        live_(live),
+        candidate_(candidate),
+        gate_(std::move(gate_rules)) {}
+
+  /// The rule set reproducing the hardcoded pre-§16 gate bit-identically:
+  /// candidate-nonfinite (> 0 trips), candidate-td-gap (live − cand <= 0
+  /// trips: no strict improvement), candidate-td-margin (cand −
+  /// live·(1−min_td_improvement) > 0 trips: improvement below the bar),
+  /// and — when config.rollback_on_fallback — watch-fallback (> 0 trips a
+  /// watch-window rollback).
+  static std::vector<obs::HealthRule> DefaultGateRules(
+      const PromotionConfig& config);
 
   /// Feeds one closed transition into the sliding evidence window.
   void AddEvidence(rl::Transition t);
@@ -66,6 +99,8 @@ class PromotionController {
   /// TD errors from the most recent gate evaluation (NaN before the first).
   double last_live_td() const { return last_live_td_; }
   double last_candidate_td() const { return last_candidate_td_; }
+  /// The gate's health engine (last verdict, trip counts).
+  const obs::HealthEngine& gate() const { return gate_; }
 
   /// Mean TD error of `agent` over `window` (its own online net scores
   /// both the prediction and the bootstrap). Public for tests.
@@ -98,6 +133,7 @@ class PromotionController {
   PromotionConfig config_;
   rl::DqnAgent& live_;
   rl::DqnAgent& candidate_;
+  obs::HealthEngine gate_;
 
   PromotionState state_ = PromotionState::kWarmup;
   int watch_left_ = 0;

@@ -2,9 +2,11 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <utility>
 
+#include "obs/recorder.hpp"
 #include "opt/hungarian.hpp"
 #include "sim/dispatcher.hpp"
 
@@ -99,6 +101,16 @@ void ShadowPolicyRunner::OnTick(std::uint64_t tick,
                         : static_cast<double>(agree) /
                               static_cast<double>(capture.rows.size());
     rec.q_finite = q_finite;
+    if (!q_finite || rec.agreement < 1.0) {
+      char attrs[128];
+      std::snprintf(attrs, sizeof(attrs),
+                    "tick=%llu policy=%s agreement=%.4f q_finite=%d",
+                    static_cast<unsigned long long>(tick),
+                    policies_[p].name.c_str(), rec.agreement,
+                    q_finite ? 1 : 0);
+      obs::FlightRecorder::Global().Emit(obs::Severity::kWarn, "learn",
+                                         "shadow_divergence", attrs);
+    }
     log_.push_back(rec);
     while (log_.size() > config_.log_capacity) log_.pop_front();
     if (p == 0) agreement_gauge_.Set(rec.agreement);

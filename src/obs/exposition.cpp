@@ -1,13 +1,12 @@
 #include "obs/exposition.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "obs/json_walker.hpp"
 
 namespace mobirescue::obs {
 
@@ -71,16 +70,7 @@ void RequireGood(const std::ostream& out, const std::string& what,
 
 bool ReadMetricValue(const Registry& registry, const std::string& name,
                      double* value) {
-  for (const MetricSnapshot& m : registry.Snapshot()) {
-    if (m.name != name) continue;
-    if (value != nullptr) {
-      *value = m.kind == InstrumentKind::kHistogram
-                   ? static_cast<double>(m.histogram.count)
-                   : m.value;
-    }
-    return true;
-  }
-  return false;
+  return ReadSnapshotValue(registry.Snapshot(), name, value);
 }
 
 // --- Prometheus text -------------------------------------------------------
@@ -233,134 +223,10 @@ void WriteChromeTraceFile(const std::string& path,
 
 namespace {
 
-// Minimal recursive-descent JSON walker, the same dependency-free idiom as
-// bench::ValidateBenchJsonFile (the image carries no JSON library). Handles
-// the general grammar so unknown fields — nested "args" objects and the
-// like — are tolerated.
-struct JsonCursor {
-  const char* p;
-  const char* end;
-  std::string error;
-
-  bool Fail(const std::string& message) {
-    if (error.empty()) error = message;
-    return false;
-  }
-  void SkipWs() {
-    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
-  }
-  bool Consume(char c) {
-    SkipWs();
-    if (p >= end || *p != c) {
-      return Fail(std::string("expected '") + c + "'");
-    }
-    ++p;
-    return true;
-  }
-  bool ConsumeIf(char c) {
-    SkipWs();
-    if (p < end && *p == c) {
-      ++p;
-      return true;
-    }
-    return false;
-  }
-  char Peek() {
-    SkipWs();
-    return p < end ? *p : '\0';
-  }
-  bool ParseString(std::string* out) {
-    SkipWs();
-    if (p >= end || *p != '"') return Fail("expected string");
-    ++p;
-    out->clear();
-    while (p < end && *p != '"') {
-      if (*p == '\\') {
-        ++p;
-        if (p >= end) return Fail("bad escape");
-        switch (*p) {
-          case 'n': *out += '\n'; break;
-          case 't': *out += '\t'; break;
-          default: *out += *p;
-        }
-      } else {
-        *out += *p;
-      }
-      ++p;
-    }
-    if (p >= end) return Fail("unterminated string");
-    ++p;
-    return true;
-  }
-  bool ParseNumber(double* out) {
-    SkipWs();
-    char* parse_end = nullptr;
-    *out = std::strtod(p, &parse_end);
-    if (parse_end == p) return Fail("expected number");
-    p = parse_end;
-    return true;
-  }
-  bool ConsumeLiteral(const char* lit) {
-    SkipWs();
-    const std::size_t n = std::strlen(lit);
-    if (static_cast<std::size_t>(end - p) < n ||
-        std::strncmp(p, lit, n) != 0) {
-      return Fail(std::string("expected ") + lit);
-    }
-    p += n;
-    return true;
-  }
-  /// Skips one complete JSON value of any type.
-  bool SkipValue() {
-    switch (Peek()) {
-      case '{': {
-        ++p;
-        if (ConsumeIf('}')) return true;
-        for (;;) {
-          std::string key;
-          if (!ParseString(&key)) return false;
-          if (!Consume(':')) return false;
-          if (!SkipValue()) return false;
-          if (ConsumeIf(',')) continue;
-          return Consume('}');
-        }
-      }
-      case '[': {
-        ++p;
-        if (ConsumeIf(']')) return true;
-        for (;;) {
-          if (!SkipValue()) return false;
-          if (ConsumeIf(',')) continue;
-          return Consume(']');
-        }
-      }
-      case '"': {
-        std::string s;
-        return ParseString(&s);
-      }
-      case 't': return ConsumeLiteral("true");
-      case 'f': return ConsumeLiteral("false");
-      case 'n': return ConsumeLiteral("null");
-      default: {
-        double d;
-        return ParseNumber(&d);
-      }
-    }
-  }
-};
-
-bool ReadWholeFile(const std::string& path, std::string* text,
-                   std::string* error) {
-  std::ifstream in(path);
-  if (!in) {
-    if (error != nullptr) *error = "cannot open " + path;
-    return false;
-  }
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  *text = buffer.str();
-  return true;
-}
+// The recursive-descent walker lives in obs/json_walker.hpp, shared with
+// the incident-bundle validator.
+using internal::JsonCursor;
+using internal::ReadWholeFile;
 
 bool ValidateOneTraceEvent(JsonCursor& cur, std::size_t index) {
   const std::string where = "traceEvents[" + std::to_string(index) + "]: ";
@@ -411,6 +277,14 @@ bool ValidateOneTraceEvent(JsonCursor& cur, std::size_t index) {
     }
     if (!has_pid || !has_tid) {
       return cur.Fail(where + "complete event needs pid and tid");
+    }
+  } else if (ph == "i") {
+    // Instant events: incident bundles mark flight events this way.
+    if (!has_ts || ts < 0.0) {
+      return cur.Fail(where + "instant event needs ts >= 0");
+    }
+    if (!has_pid || !has_tid) {
+      return cur.Fail(where + "instant event needs pid and tid");
     }
   } else if (ph != "M") {
     return cur.Fail(where + "unexpected phase '" + ph + "'");

@@ -24,9 +24,10 @@ namespace mobirescue::obs {
 
 /// Looks up one merged counter/gauge value in a registry snapshot:
 /// returns true and stores the aggregate in `*value` when an instrument
-/// with that name is live. Histograms return their sample count. For
-/// self-validating demos/tests ("did the faulted run actually quarantine
-/// anything?") — not a hot-path API (it snapshots the whole registry).
+/// with that name is live. Histograms return their sample count. Thin
+/// wrapper over ReadSnapshotValue kept for existing callers; new code
+/// wanting baseline-relative reads should use obs::SnapshotDelta
+/// (obs/metrics.hpp).
 bool ReadMetricValue(const Registry& registry, const std::string& name,
                      double* value);
 
@@ -62,7 +63,8 @@ void WriteChromeTraceFile(const std::string& path,
                           const TraceRecorder& recorder);
 /// Structural check of a Chrome trace file: a top-level object with a
 /// "traceEvents" array whose entries carry a non-empty name, a known phase
-/// ("X" complete events need numeric ts >= 0, dur >= 0, pid, tid). On
+/// ("X" complete events need numeric ts >= 0, dur >= 0, pid, tid; "i"
+/// instant events — incident markers — need ts >= 0, pid, tid). On
 /// failure returns false and stores a description in `*error`.
 bool ValidateChromeTraceFile(const std::string& path, std::string* error);
 

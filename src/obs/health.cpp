@@ -1,0 +1,110 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace mobirescue::obs {
+
+namespace {
+
+bool Compare(HealthCmp cmp, double value, double threshold) {
+  switch (cmp) {
+    case HealthCmp::kGreaterThan: return value > threshold;
+    case HealthCmp::kGreaterOrEqual: return value >= threshold;
+    case HealthCmp::kLessThan: return value < threshold;
+    case HealthCmp::kLessOrEqual: return value <= threshold;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool HealthVerdict::Tripped(const std::string& rule_name) const {
+  return std::find(tripped.begin(), tripped.end(), rule_name) !=
+         tripped.end();
+}
+
+HealthEngine::HealthEngine(std::vector<HealthRule> rules,
+                           const Registry& registry,
+                           const std::string& gauge_name,
+                           const std::string& gauge_help)
+    : rules_(std::move(rules)),
+      windows_(rules_.size()),
+      registry_(&registry) {
+  for (const HealthRule& rule : rules_) {
+    if (!rule.observed) any_registry_rules_ = true;
+  }
+  if (!gauge_name.empty()) {
+    gauge_ = std::make_unique<Gauge>(gauge_name, gauge_help);
+    gauge_->Set(1.0);  // healthy until an evaluation says otherwise
+  }
+}
+
+void HealthEngine::Observe(const std::string& key, double value) {
+  observations_[key] = value;
+}
+
+double HealthEngine::SampleRule(
+    const HealthRule& rule,
+    const std::vector<MetricSnapshot>& snapshot) const {
+  if (rule.observed) {
+    const auto it = observations_.find(rule.selector);
+    return it == observations_.end() ? 0.0 : it->second;
+  }
+  for (const MetricSnapshot& m : snapshot) {
+    if (m.name != rule.selector) continue;
+    if (m.kind == InstrumentKind::kHistogram) {
+      return rule.signal == HealthSignal::kQuantile
+                 ? m.histogram.Quantile(rule.quantile)
+                 : static_cast<double>(m.histogram.count);
+    }
+    return m.value;
+  }
+  return 0.0;  // instrument not (yet) live
+}
+
+const HealthVerdict& HealthEngine::Evaluate() {
+  std::vector<MetricSnapshot> snapshot;
+  if (any_registry_rules_) snapshot = registry_->Snapshot();
+
+  last_ = HealthVerdict{};
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const HealthRule& rule = rules_[i];
+    const double sample = SampleRule(rule, snapshot);
+    double value = sample;
+    if (rule.signal == HealthSignal::kDelta ||
+        rule.signal == HealthSignal::kBurnRate) {
+      std::deque<double>& window = windows_[i];
+      window.push_back(sample);
+      const std::size_t keep =
+          static_cast<std::size_t>(std::max(1, rule.window_ticks)) + 1;
+      while (window.size() > keep) window.pop_front();
+      const double delta = window.back() - window.front();
+      const double span = static_cast<double>(window.size() - 1);
+      if (rule.signal == HealthSignal::kDelta) {
+        value = delta;
+      } else {
+        const double per_tick = span > 0.0 ? delta / span : 0.0;
+        value = rule.burn_budget != 0.0 ? per_tick / rule.burn_budget
+                                        : per_tick;
+      }
+    }
+    // Fail closed: a poisoned (non-finite) signal always trips.
+    const bool tripped =
+        !std::isfinite(value) || Compare(rule.cmp, value, rule.threshold);
+    if (tripped) {
+      last_.healthy = false;
+      last_.tripped.push_back(rule.name);
+      if (rule.action == HealthAction::kDegrade) {
+        last_.degrade_tripped.push_back(rule.name);
+      }
+      ++trips_;
+    }
+  }
+  ++evaluations_;
+  if (gauge_ != nullptr) gauge_->Set(last_.healthy ? 1.0 : 0.0);
+  return last_;
+}
+
+}  // namespace mobirescue::obs

@@ -1,0 +1,128 @@
+// SLO health engine: declarative rules over metrics (DESIGN.md §16).
+//
+// The serving stack used to hard-code its health gates — "a decide error
+// degrades", "a candidate promotes when its TD error improves by 2%" —
+// inline in DispatchService and PromotionController. The engine lifts
+// those predicates into data: a `HealthRule` names a signal (a registry
+// metric, a histogram quantile, or a value the component observes
+// directly), a shape (instant value, windowed delta, burn rate), a
+// comparison, and an action. Components evaluate the engine off the tick
+// hot path and act on the verdict; operators add rules without touching
+// dispatch code.
+//
+// Fail-closed: a rule whose sample is non-finite (NaN/Inf — a poisoned
+// metric) always trips, regardless of the comparison. That is what makes
+// the promotion gate's finiteness checks expressible as rules.
+//
+// The engine is NOT thread-safe: each owner (a service, a controller)
+// drives its own engine from its own tick/check cadence. Registry reads
+// use Registry::Snapshot(), which is safe against concurrent writers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mobirescue::obs {
+
+enum class HealthSignal {
+  kValue,     // the sample itself
+  kDelta,     // sample now minus sample window_ticks evaluations ago
+  kBurnRate,  // per-evaluation delta over the window, divided by burn_budget
+  kQuantile,  // histogram selectors only: Quantile(quantile) of the merge
+};
+
+enum class HealthCmp {
+  kGreaterThan,
+  kGreaterOrEqual,
+  kLessThan,
+  kLessOrEqual,
+};
+
+enum class HealthAction {
+  kObserve,  // trips mark the verdict unhealthy; no ladder action implied
+  kDegrade,  // serve: trips (re)arm the degradation-ladder cooldown
+};
+
+/// One declarative SLO rule. The rule trips when `signal(selector)` `cmp`
+/// `threshold` holds (or the sample is non-finite).
+struct HealthRule {
+  /// Stable rule name, reported in verdicts and incident attrs.
+  std::string name;
+  /// Registry metric name (observed == false) or an Observe() key
+  /// (observed == true) for values the owner feeds in directly.
+  std::string selector;
+  bool observed = false;
+  HealthSignal signal = HealthSignal::kValue;
+  HealthCmp cmp = HealthCmp::kGreaterThan;
+  double threshold = 0.0;
+  /// kDelta/kBurnRate: how many past evaluations the window spans.
+  int window_ticks = 1;
+  /// kBurnRate: the budgeted per-evaluation increase; the rule's value is
+  /// observed-rate / burn_budget (an SLO burn multiple).
+  double burn_budget = 1.0;
+  /// kQuantile: which quantile of the histogram selector.
+  double quantile = 0.99;
+  HealthAction action = HealthAction::kObserve;
+};
+
+/// One evaluation's outcome: which rules tripped, grouped overall health.
+struct HealthVerdict {
+  bool healthy = true;
+  /// Names of tripped rules, in rule order.
+  std::vector<std::string> tripped;
+  /// Names of tripped rules whose action is kDegrade, in rule order.
+  std::vector<std::string> degrade_tripped;
+
+  bool Tripped(const std::string& rule_name) const;
+};
+
+class HealthEngine {
+ public:
+  /// `gauge_name`, when non-empty, registers a gauge in the global
+  /// registry that tracks the last verdict (1 healthy, 0 unhealthy).
+  explicit HealthEngine(std::vector<HealthRule> rules,
+                        const Registry& registry = Registry::Global(),
+                        const std::string& gauge_name = {},
+                        const std::string& gauge_help = {});
+
+  HealthEngine(const HealthEngine&) = delete;
+  HealthEngine& operator=(const HealthEngine&) = delete;
+
+  /// Feeds a value for observed-selector rules; kept until overwritten
+  /// (absent keys sample as 0). Cheap: a map store, no evaluation.
+  void Observe(const std::string& key, double value);
+
+  /// Evaluates every rule (one registry snapshot when any rule needs it)
+  /// and returns the verdict. Windowed rules advance their window by one
+  /// evaluation. Off the hot path by design.
+  const HealthVerdict& Evaluate();
+
+  const HealthVerdict& last() const { return last_; }
+  const std::vector<HealthRule>& rules() const { return rules_; }
+  std::uint64_t evaluations() const { return evaluations_; }
+  /// Total rule trips across all evaluations.
+  std::uint64_t trips() const { return trips_; }
+
+ private:
+  double SampleRule(const HealthRule& rule,
+                    const std::vector<MetricSnapshot>& snapshot) const;
+
+  std::vector<HealthRule> rules_;
+  /// Per-rule sample history for kDelta/kBurnRate (parallel to rules_).
+  std::vector<std::deque<double>> windows_;
+  std::map<std::string, double> observations_;
+  const Registry* registry_;
+  bool any_registry_rules_ = false;
+  std::unique_ptr<Gauge> gauge_;
+  HealthVerdict last_;
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t trips_ = 0;
+};
+
+}  // namespace mobirescue::obs

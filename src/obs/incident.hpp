@@ -1,0 +1,88 @@
+// Incident bundles: self-contained "what just happened" snapshots
+// (DESIGN.md §16).
+//
+// On a trigger — degradation entry, learner rollback, crash-restore, or an
+// explicit DumpIncident() — the writer captures the recent flight-recorder
+// window, the metric registry's movement since the previous bundle, and
+// the retained trace rings into one `mobirescue-incident-v1` JSON file,
+// plus (optionally) a Chrome trace_event view of the same window with the
+// flight events as instant markers, loadable in Perfetto next to the
+// spans. Bundles are numbered per writer, so a flapping service leaves a
+// browsable sequence.
+//
+// Like every exposition in this repo, the format ships with a
+// dependency-free structural validator so demos and tests self-check what
+// they wrote.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+
+namespace mobirescue::obs {
+
+struct IncidentConfig {
+  /// Directory bundles are written into (must exist). Empty disables the
+  /// writer: Dump() becomes a no-op returning "".
+  std::string dir;
+  /// Free-form bundle label ("serve", a deployment name, ...).
+  std::string label = "serve";
+  /// How many most-recent flight events a bundle captures.
+  std::size_t event_window = 2048;
+  /// Also write a `<bundle>.trace.json` Chrome-trace view of the window.
+  bool chrome_trace = true;
+};
+
+class IncidentWriter {
+ public:
+  explicit IncidentWriter(IncidentConfig config,
+                          const Registry& registry = Registry::Global(),
+                          FlightRecorder& flight = FlightRecorder::Global(),
+                          const TraceRecorder& trace =
+                              TraceRecorder::Global());
+
+  IncidentWriter(const IncidentWriter&) = delete;
+  IncidentWriter& operator=(const IncidentWriter&) = delete;
+
+  bool enabled() const { return !config_.dir.empty(); }
+  const IncidentConfig& config() const { return config_; }
+
+  /// Writes bundle `<dir>/incident-NNNNNN-<trigger>.json` (and its Chrome
+  /// trace companion when configured) and returns its path; "" when the
+  /// writer is disabled. Metric deltas are relative to the previous dump
+  /// (writer construction for the first); the baseline rebases after each
+  /// dump. Throws std::runtime_error when the file cannot be written.
+  std::string Dump(const std::string& trigger);
+
+  /// Bundles written so far.
+  std::uint64_t dumps() const { return sequence_; }
+
+ private:
+  IncidentConfig config_;
+  const Registry* registry_;
+  FlightRecorder* flight_;
+  const TraceRecorder* trace_;
+  SnapshotDelta delta_;
+  std::uint64_t sequence_ = 0;
+};
+
+/// Structural check of a mobirescue-incident-v1 bundle: schema tag,
+/// non-empty trigger and label, numeric sequence, an events array whose
+/// entries carry seq/ts_us numbers, a known severity, non-empty
+/// component/kind, and a metrics array whose entries carry name, a known
+/// kind, value and delta. On failure returns false and stores a
+/// description in `*error`.
+bool ValidateIncidentJsonFile(const std::string& path, std::string* error);
+
+/// Reads the event timeline of a bundle: appends each event's kind, in
+/// bundle (seq) order, to `*kinds`. For self-validating demos asserting
+/// "quarantine happened before the kill".
+bool ReadIncidentEventKinds(const std::string& path,
+                            std::vector<std::string>* kinds,
+                            std::string* error);
+
+}  // namespace mobirescue::obs

@@ -33,6 +33,32 @@ bool ValidMetricName(const std::string& name) {
 
 }  // namespace
 
+// --- HistogramSnapshot -----------------------------------------------------
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const std::uint64_t next = cumulative + counts[b];
+    if (static_cast<double>(next) >= target && counts[b] > 0) {
+      if (b >= bounds.size()) {
+        // +Inf bucket: no finite upper edge to interpolate toward.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lower = b == 0 ? 0.0 : bounds[b - 1];
+      const double upper = bounds[b];
+      const double within =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(counts[b]);
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, within));
+    }
+    cumulative = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 // --- Counter ---------------------------------------------------------------
 
 Counter::Counter(Registry& registry, std::string name, std::string help)
@@ -235,6 +261,57 @@ std::size_t Registry::num_instruments() const {
   std::size_t n = 0;
   for (const auto& [name, group] : groups_) n += group.members.size();
   return n;
+}
+
+// --- SnapshotDelta ---------------------------------------------------------
+
+bool ReadSnapshotValue(const std::vector<MetricSnapshot>& snapshot,
+                       const std::string& name, double* value) {
+  for (const MetricSnapshot& m : snapshot) {
+    if (m.name != name) continue;
+    if (value != nullptr) {
+      *value = m.kind == InstrumentKind::kHistogram
+                   ? static_cast<double>(m.histogram.count)
+                   : m.value;
+    }
+    return true;
+  }
+  return false;
+}
+
+SnapshotDelta::SnapshotDelta() : SnapshotDelta(Registry::Global()) {}
+
+SnapshotDelta::SnapshotDelta(const Registry& registry)
+    : registry_(&registry) {
+  Rebase();
+}
+
+void SnapshotDelta::Rebase() {
+  baseline_.clear();
+  for (const MetricSnapshot& m : registry_->Snapshot()) {
+    baseline_[m.name] = m.kind == InstrumentKind::kHistogram
+                            ? static_cast<double>(m.histogram.count)
+                            : m.value;
+  }
+}
+
+double SnapshotDelta::Read(const std::string& name) const {
+  double value = 0.0;
+  ReadSnapshotValue(registry_->Snapshot(), name, &value);
+  return value;
+}
+
+bool SnapshotDelta::Has(const std::string& name) const {
+  return ReadSnapshotValue(registry_->Snapshot(), name, nullptr);
+}
+
+double SnapshotDelta::Baseline(const std::string& name) const {
+  const auto it = baseline_.find(name);
+  return it == baseline_.end() ? 0.0 : it->second;
+}
+
+double SnapshotDelta::Delta(const std::string& name) const {
+  return Read(name) - Baseline(name);
 }
 
 }  // namespace mobirescue::obs

@@ -133,6 +133,12 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> counts;
   std::uint64_t count = 0;
   double sum = 0.0;
+
+  /// Linear-interpolated quantile estimate from the bucket counts (the
+  /// Prometheus histogram_quantile estimator). `q` is clamped to [0, 1].
+  /// Returns 0 when the histogram is empty; the highest finite bound when
+  /// the quantile lands in the +Inf bucket.
+  double Quantile(double q) const;
 };
 
 /// Fixed-bucket histogram: Observe(v) lands in the first bucket whose
@@ -233,6 +239,45 @@ class Registry {
 
   mutable std::mutex mutex_;
   std::map<std::string, Group> groups_;
+};
+
+/// Looks up one merged metric in a snapshot: returns true and stores the
+/// aggregate in `*value` when an instrument with that name is present.
+/// Counters/gauges read their merged value; histograms their sample count.
+bool ReadSnapshotValue(const std::vector<MetricSnapshot>& snapshot,
+                       const std::string& name, double* value);
+
+/// Baseline-relative registry reads: captures a snapshot at construction
+/// and answers "what is this metric now" (Read) and "how much did it move
+/// since the baseline" (Delta). This is the one idiom behind the
+/// self-validating demos, the incident bundles' metric sections, and the
+/// tests that used to hand-diff counter pairs. Not a hot-path API — every
+/// Read/Delta snapshots the whole registry.
+///
+/// Instruments are RAII: a name absent from a snapshot (its owner died, or
+/// was not yet born) reads as 0, so a delta across an instrument's whole
+/// lifetime is its final value.
+class SnapshotDelta {
+ public:
+  /// Captures the baseline from the process-global registry.
+  SnapshotDelta();
+  explicit SnapshotDelta(const Registry& registry);
+
+  /// Current merged value of `name` (histograms: sample count); 0 when no
+  /// such instrument is live.
+  double Read(const std::string& name) const;
+  /// True when an instrument named `name` is live right now.
+  bool Has(const std::string& name) const;
+  /// Read(name) minus the baseline value (0 when absent from baseline).
+  double Delta(const std::string& name) const;
+  /// Baseline value captured at construction / last Rebase (0 if absent).
+  double Baseline(const std::string& name) const;
+  /// Re-captures the baseline, so subsequent deltas are relative to now.
+  void Rebase();
+
+ private:
+  const Registry* registry_;
+  std::map<std::string, double> baseline_;
 };
 
 }  // namespace mobirescue::obs

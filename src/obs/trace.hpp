@@ -70,6 +70,13 @@ class TraceRecorder {
   /// Nanoseconds since the recorder's epoch (monotonic clock).
   std::uint64_t NowNs() const;
 
+  /// Steady-clock time at the recorder's epoch, for aligning span
+  /// timestamps with another recorder's (incident bundles merge flight
+  /// events and spans onto one timeline).
+  std::int64_t epoch_steady_ns() const {
+    return epoch_ns_.load(std::memory_order_relaxed);
+  }
+
   /// Appends one completed span to this thread's ring. Normally called by
   /// ScopedSpan's destructor.
   void Record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns);

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "serve/trace_streamer.hpp"
 
@@ -26,6 +28,50 @@ ServiceConfig WithCityBox(ServiceConfig config, const util::BoundingBox& box) {
 
 }  // namespace
 
+std::vector<obs::HealthRule> DispatchService::DefaultHealthRules(
+    const ServiceConfig& config) {
+  std::vector<obs::HealthRule> rules;
+  // Ladder rung 2 triggers, expressed as rules. Both observe values the
+  // tick loop feeds in (not registry counters) so each evaluation sees
+  // exactly this tick's evidence — the counters stay cumulative.
+  obs::HealthRule error_rule;
+  error_rule.name = "decide-error";
+  error_rule.selector = "serve_decide_error";
+  error_rule.observed = true;
+  error_rule.cmp = obs::HealthCmp::kGreaterThan;
+  error_rule.threshold = 0.0;
+  error_rule.action = obs::HealthAction::kDegrade;
+  rules.push_back(std::move(error_rule));
+  if (config.decide_budget_ms > 0.0) {
+    obs::HealthRule budget_rule;
+    budget_rule.name = "decide-budget";
+    budget_rule.selector = "serve_decide_over_ms";
+    budget_rule.observed = true;
+    budget_rule.cmp = obs::HealthCmp::kGreaterThan;
+    budget_rule.threshold = config.decide_budget_ms;
+    budget_rule.action = obs::HealthAction::kDegrade;
+    rules.push_back(std::move(budget_rule));
+  }
+  return rules;
+}
+
+std::vector<obs::HealthRule> DispatchService::EffectiveHealthRules(
+    const ServiceConfig& config) {
+  std::vector<obs::HealthRule> rules;
+  if (!config.replace_default_health_rules) {
+    rules = DefaultHealthRules(config);
+  }
+  rules.insert(rules.end(), config.health_rules.begin(),
+               config.health_rules.end());
+  return rules;
+}
+
+std::unique_ptr<obs::IncidentWriter> DispatchService::MakeIncidentWriter(
+    const ServiceConfig& config) {
+  if (config.incident.dir.empty()) return nullptr;
+  return std::make_unique<obs::IncidentWriter>(config.incident);
+}
+
 DispatchService::DispatchService(const roadnet::City& city,
                                  const roadnet::SpatialIndex& index,
                                  const predict::SvmRequestPredictor& svm,
@@ -37,7 +83,11 @@ DispatchService::DispatchService(const roadnet::City& city,
       state_(city.network, index, config_.state),
       svm_(&svm),
       live_agent_(std::move(agent)),
-      fallback_(city) {
+      fallback_(city),
+      health_(EffectiveHealthRules(config_), obs::Registry::Global(),
+              "serve_healthy",
+              "1 when the last SLO health evaluation passed, else 0."),
+      incidents_(MakeIncidentWriter(config_)) {
   auto mr = std::make_unique<dispatch::MobiRescueDispatcher>(
       city, svm, state_, index, live_agent_, day_offset_s, mr_config);
   mobirescue_ = mr.get();
@@ -62,7 +112,11 @@ DispatchService::DispatchService(const roadnet::City& city,
       queue_(config_.queue),
       state_(city.network, index, config_.state),
       owned_dispatcher_(std::move(dispatcher)),
-      fallback_(city) {
+      fallback_(city),
+      health_(EffectiveHealthRules(config_), obs::Registry::Global(),
+              "serve_healthy",
+              "1 when the last SLO health evaluation passed, else 0."),
+      incidents_(MakeIncidentWriter(config_)) {
   dispatcher_ = owned_dispatcher_.get();
 }
 
@@ -101,11 +155,20 @@ void DispatchService::AdvanceStateTo(util::SimTime now) {
 sim::DispatchDecision DispatchService::Tick(
     const sim::DispatchContext& context) {
   OBS_SPAN("serve.tick");
+  obs::FlightRecorder& flight = obs::FlightRecorder::Global();
+  char attrs[128];
+  const unsigned long long tick_no =
+      static_cast<unsigned long long>(lifetime_ticks_ + 1);
+  std::snprintf(attrs, sizeof(attrs), "tick=%llu now=%.0f", tick_no,
+                context.now);
+  flight.Emit(obs::Severity::kInfo, "serve", "tick_start", attrs);
+  const bool was_degraded = degraded_remaining_ > 0;
   const auto t0 = std::chrono::steady_clock::now();
   AdvanceStateTo(context.now);
   const auto t1 = std::chrono::steady_clock::now();
   sim::DispatchDecision decision;
   bool used_fallback = false;
+  bool primary_threw = false;
   {
     OBS_SPAN("serve.decide");
     if (degraded_remaining_ > 0) {
@@ -119,11 +182,11 @@ sim::DispatchDecision DispatchService::Tick(
         decision = dispatcher_->Decide(context);
       } catch (const std::exception&) {
         // Degradation ladder rung 2 (DESIGN.md §13): the tick must still
-        // produce a decision — greedy nearest-team dispatch, and keep the
-        // fallback in charge for the cooldown.
+        // produce a decision — greedy nearest-team dispatch. The cooldown
+        // itself is armed below by the health engine's decide-error rule.
         ++decide_errors_;
         decide_errors_counter_.Increment();
-        degraded_remaining_ = config_.degraded_cooldown_ticks;
+        primary_threw = true;
         decision = fallback_.Decide(context);
         used_fallback = true;
       }
@@ -136,15 +199,37 @@ sim::DispatchDecision DispatchService::Tick(
   if (!used_fallback && config_.decide_budget_ms > 0.0 &&
       decide > config_.decide_budget_ms) {
     // The decision is already made (and used) — the budget protects the
-    // *next* ticks from a dispatcher that has become slow.
+    // *next* ticks from a dispatcher that has become slow. The counter
+    // stays here; degrading is the decide-budget rule's call.
     ++budget_overruns_;
     overrun_counter_.Increment();
+  }
+  // SLO health evaluation (DESIGN.md §16), off the decision path. The
+  // default rules reproduce the old hardcoded ladder bit-identically: a
+  // degrade trip can only fire on a tick that ran the primary dispatcher
+  // (cooldown/fallback ticks observe clean samples), and on such ticks
+  // degraded_remaining_ is 0, so the max() equals the old assignments.
+  health_.Observe("serve_decide_error", primary_threw ? 1.0 : 0.0);
+  health_.Observe("serve_decide_over_ms", used_fallback ? 0.0 : decide);
+  const obs::HealthVerdict& verdict = health_.Evaluate();
+  if (!verdict.degrade_tripped.empty()) {
     degraded_remaining_ =
         std::max(degraded_remaining_, config_.degraded_cooldown_ticks);
   }
   if (used_fallback) {
     ++fallback_ticks_;
     fallback_counter_.Increment();
+  }
+  if (used_fallback != fallback_active_) {
+    if (used_fallback) {
+      std::snprintf(attrs, sizeof(attrs), "tick=%llu reason=%s", tick_no,
+                    primary_threw ? "decide_error" : "cooldown");
+      flight.Emit(obs::Severity::kWarn, "serve", "fallback_enter", attrs);
+    } else {
+      std::snprintf(attrs, sizeof(attrs), "tick=%llu", tick_no);
+      flight.Emit(obs::Severity::kInfo, "serve", "fallback_exit", attrs);
+    }
+    fallback_active_ = used_fallback;
   }
   degraded_gauge_.Set(degraded_remaining_ > 0 ? 1.0 : 0.0);
   drain_ms_.push_back(drain);
@@ -169,6 +254,13 @@ sim::DispatchDecision DispatchService::Tick(
     const double learn = ElapsedMs(l0, std::chrono::steady_clock::now());
     learn_ms_.push_back(learn);
     learn_hist_.Observe(learn);
+    const std::uint64_t rollbacks = learner_->promotion().rollbacks();
+    if (rollbacks > learner_rollbacks_seen_) {
+      // A promotion was reverted inside the watch window — capture the
+      // evidence trail (the controller already flight-recorded the event).
+      learner_rollbacks_seen_ = rollbacks;
+      DumpIncident("rollback");
+    }
   }
 
   if (config_.checkpoint_every_n_ticks > 0 &&
@@ -177,8 +269,23 @@ sim::DispatchDecision DispatchService::Tick(
     SaveCheckpointToFile(Checkpoint(), config_.checkpoint_path);
     ++checkpoints_written_;
     checkpoint_counter_.Increment();
+    std::snprintf(attrs, sizeof(attrs), "tick=%llu", tick_no);
+    flight.Emit(obs::Severity::kInfo, "serve", "checkpoint", attrs);
+  }
+  std::snprintf(attrs, sizeof(attrs),
+                "tick=%llu decide_ms=%.3f drain_ms=%.3f fallback=%d", tick_no,
+                decide, drain, used_fallback ? 1 : 0);
+  flight.Emit(obs::Severity::kInfo, "serve", "tick_end", attrs);
+  if (!was_degraded && degraded_remaining_ > 0) {
+    // First tick of a degradation episode: bundle the window that led in.
+    DumpIncident("degradation");
   }
   return decision;
+}
+
+std::string DispatchService::DumpIncident(const std::string& trigger) {
+  if (incidents_ == nullptr) return "";
+  return incidents_->Dump(trigger);
 }
 
 sim::MetricsCollector DispatchService::ServeEpisode(
@@ -238,6 +345,16 @@ void DispatchService::RestoreServingState(const ServiceCheckpoint& ckpt) {
   }
   ++recoveries_;
   recovery_counter_.Increment();
+  // The restore edge is incident-worthy in itself: the flight window shows
+  // what the crashed instance was doing, the metric delta what was lost.
+  char attrs[64];
+  std::snprintf(attrs, sizeof(attrs), "ticks=%llu",
+                static_cast<unsigned long long>(lifetime_ticks_));
+  obs::FlightRecorder::Global().Emit(obs::Severity::kWarn, "serve",
+                                     "restore", attrs);
+  learner_rollbacks_seen_ =
+      learner_ != nullptr ? learner_->promotion().rollbacks() : 0;
+  DumpIncident("restore");
 }
 
 void DispatchService::ResetMetrics() {
@@ -276,6 +393,8 @@ ServiceMetrics DispatchService::metrics() const {
   m.budget_overruns = budget_overruns_;
   m.checkpoints_written = checkpoints_written_;
   m.recoveries = recoveries_;
+  m.incidents = incidents_ != nullptr ? incidents_->dumps() : 0;
+  m.health_trips = health_.trips();
   m.degraded = degraded_remaining_ > 0;
   if (learner_ != nullptr) {
     m.learning = true;

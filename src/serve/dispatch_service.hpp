@@ -34,6 +34,8 @@
 #include "dispatch/mobirescue_dispatcher.hpp"
 #include "dispatch/simple_dispatchers.hpp"
 #include "learn/learner.hpp"
+#include "obs/health.hpp"
+#include "obs/incident.hpp"
 #include "obs/metrics.hpp"
 #include "roadnet/city_builder.hpp"
 #include "roadnet/router.hpp"
@@ -74,6 +76,20 @@ struct ServiceConfig {
   /// Disabled by default: the frozen-policy serving path is untouched —
   /// bit-identical decisions, no capture, no learner allocation.
   learn::LearnConfig learn;
+  /// Extra SLO health rules (DESIGN.md §16), appended to the built-in
+  /// ladder rules (DispatchService::DefaultHealthRules): kObserve rules
+  /// only affect the health gauge and incident evidence; kDegrade rules
+  /// join the degradation ladder (a trip (re)arms the fallback cooldown).
+  std::vector<obs::HealthRule> health_rules;
+  /// Replace the built-in ladder rules entirely with `health_rules`. The
+  /// defaults reproduce the pre-engine hardcoded ladder bit-identically
+  /// (dispatch_service_test proves it); replacing them changes what
+  /// degrades the service — operator's choice.
+  bool replace_default_health_rules = false;
+  /// Incident bundles (DESIGN.md §16): with `incident.dir` set, the
+  /// service dumps a mobirescue-incident-v1 bundle on degradation entry,
+  /// crash-restore, and learner rollback — plus explicit DumpIncident().
+  obs::IncidentConfig incident;
 };
 
 /// One consistent view of the service's health, for benches and /metrics.
@@ -116,6 +132,12 @@ struct ServiceMetrics {
   /// Crash recoveries this service instance performed (lifetime, not
   /// window: survives ResetMetrics).
   std::uint64_t recoveries = 0;
+  /// Incident bundles this service dumped (lifetime; 0 when the incident
+  /// writer is disabled).
+  std::uint64_t incidents = 0;
+  /// Health-engine rule trips (lifetime; the default rules trip once per
+  /// decide error / budget overrun).
+  std::uint64_t health_trips = 0;
   /// True while the cooldown has the fallback dispatcher in charge.
   bool degraded = false;
   /// Online learning (DESIGN.md §15): present when the service was built
@@ -194,6 +216,24 @@ class DispatchService {
 
   ServiceMetrics metrics() const;
 
+  /// The built-in ladder rules the health engine evaluates every tick:
+  /// "decide-error" (the primary Decide() threw this tick) and, when
+  /// config.decide_budget_ms > 0, "decide-budget" (a primary tick's decide
+  /// time exceeded the budget). Both carry HealthAction::kDegrade, so
+  /// their trips arm the fallback cooldown — bit-identical to the old
+  /// hardcoded ladder. Public so tests/operators can reproduce or extend
+  /// the exact default set.
+  static std::vector<obs::HealthRule> DefaultHealthRules(
+      const ServiceConfig& config);
+
+  /// Writes an incident bundle now (config.incident.dir must be set;
+  /// returns "" when the writer is disabled). Also called internally on
+  /// degradation entry, crash-restore, and learner rollback.
+  std::string DumpIncident(const std::string& trigger);
+
+  /// The service's SLO health engine (verdict history, rule list).
+  const obs::HealthEngine& health() const { return health_; }
+
   /// Starts a new reporting window: clears the per-tick latency samples
   /// and the window tick/deferred/degradation counts, so a long-lived
   /// service serving episode after episode reports per-window percentiles
@@ -217,6 +257,13 @@ class DispatchService {
   std::uint64_t lifetime_ticks() const { return lifetime_ticks_; }
 
  private:
+  /// DefaultHealthRules (unless replaced) plus config.health_rules.
+  static std::vector<obs::HealthRule> EffectiveHealthRules(
+      const ServiceConfig& config);
+  /// Builds the incident writer when config.incident.dir is set.
+  static std::unique_ptr<obs::IncidentWriter> MakeIncidentWriter(
+      const ServiceConfig& config);
+
   ServiceConfig config_;
   ShardedIngestQueue queue_;
   StreamState state_;
@@ -233,6 +280,11 @@ class DispatchService {
   std::unique_ptr<learn::OnlineLearner> learner_;
   /// Degradation ladder rung 2: flood-aware, zero-latency, model-free.
   dispatch::GreedyNearestDispatcher fallback_;
+  /// SLO health engine driving the ladder (DESIGN.md §16): evaluated once
+  /// per tick, after the decide timing, off the decision path.
+  obs::HealthEngine health_;
+  /// Incident-bundle writer; null unless config.incident.dir is set.
+  std::unique_ptr<obs::IncidentWriter> incidents_;
 
   // Tick-loop state (single consumer). ticks_/deferred_total_ and the
   // latency sample vectors are window-scoped (see ResetMetrics); the obs
@@ -249,6 +301,11 @@ class DispatchService {
   std::vector<double> learn_ms_;
   // Degradation state: ticks remaining on the fallback dispatcher.
   int degraded_remaining_ = 0;
+  /// Whether the previous tick was served by the fallback — drives the
+  /// flight recorder's fallback_enter/fallback_exit edge events.
+  bool fallback_active_ = false;
+  /// Learner rollbacks already incident-dumped (edge detection).
+  std::uint64_t learner_rollbacks_seen_ = 0;
   std::uint64_t fallback_ticks_ = 0;
   std::uint64_t decide_errors_ = 0;
   std::uint64_t budget_overruns_ = 0;

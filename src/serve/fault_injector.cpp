@@ -1,11 +1,13 @@
 #include "serve/fault_injector.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/recorder.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/dispatch_service.hpp"
 
@@ -226,6 +228,11 @@ FaultedEpisodeOutcome RunFaultedEpisode(sim::RescueSimulator& simulator,
                                                  *service, config.streamer);
       injector.RecordKill();
       ++outcome.kills;
+      char attrs[48];
+      std::snprintf(attrs, sizeof(attrs), "tick=%llu",
+                    static_cast<unsigned long long>(tick));
+      obs::FlightRecorder::Global().Emit(obs::Severity::kError, "serve",
+                                         "kill", attrs);
     }
     if (!simulator.NextRound(service->dispatcher(), &ctx)) break;
     streamer->WaitDelivered(ctx.now);

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+
+#include "obs/recorder.hpp"
 
 namespace mobirescue::serve {
 
@@ -11,6 +14,14 @@ bool AllFinite(const mobility::GpsRecord& r) {
   return std::isfinite(r.t) && std::isfinite(r.pos.lat) &&
          std::isfinite(r.pos.lon) && std::isfinite(r.altitude_m) &&
          std::isfinite(r.speed_mps);
+}
+
+void EmitQuarantine(mobility::PersonId person, const char* reason) {
+  char attrs[64];
+  std::snprintf(attrs, sizeof(attrs), "person=%d reason=%s",
+                static_cast<int>(person), reason);
+  obs::FlightRecorder::Global().Emit(obs::Severity::kWarn, "serve",
+                                     "quarantine", attrs);
 }
 
 }  // namespace
@@ -28,12 +39,14 @@ void StreamState::Apply(const mobility::GpsRecord& record) {
       ++counters_.quarantined_non_finite;
       quarantined_total_.Increment();
       quarantine_non_finite_.Increment();
+      EmitQuarantine(record.person, "non_finite");
       return;
     }
     if (config_.accept_box && !config_.accept_box->Contains(record.pos)) {
       ++counters_.quarantined_out_of_box;
       quarantined_total_.Increment();
       quarantine_out_of_box_.Increment();
+      EmitQuarantine(record.person, "out_of_box");
       return;
     }
   }
@@ -46,6 +59,7 @@ void StreamState::Apply(const mobility::GpsRecord& record) {
       ++counters_.quarantined_stale;
       quarantined_total_.Increment();
       quarantine_stale_.Increment();
+      EmitQuarantine(record.person, "stale");
       return;
     }
     it->second = record;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace mobirescue::sim {
@@ -90,6 +92,10 @@ const roadnet::NetworkCondition& RescueSimulator::ConditionAt(SimTime t) {
                                 city_.network,
                                 (hour + 0.5) * util::kSecondsPerHour))
              .first;
+    char attrs[32];
+    std::snprintf(attrs, sizeof(attrs), "hour=%d", hour);
+    obs::FlightRecorder::Global().Emit(obs::Severity::kInfo, "sim",
+                                       "condition_epoch", attrs);
   }
   return it->second;
 }
@@ -433,6 +439,13 @@ void RescueSimulator::AdvanceTeam(Team& team, SimTime T) {
         // current objective on the true network as seen at discovery time.
         ++blockage_events_;
         blockage_counter_.Increment();
+        {
+          char attrs[64];
+          std::snprintf(attrs, sizeof(attrs), "team=%d segment=%d t=%.0f",
+                        team.id, static_cast<int>(sid), t);
+          obs::FlightRecorder::Global().Emit(obs::Severity::kWarn, "sim",
+                                             "blockage", attrs);
+        }
         StopDriveCharge(team, t);
         BlockTeam(team.id, t + config_.blockage_penalty_s);
         const TeamMode mode = team.mode;

@@ -113,6 +113,81 @@ TEST(PromotionControllerTest, BetterCandidatePromotesThenRollsBackOnFault) {
   EXPECT_EQ(live.SaveWeights(), pre_promotion);
 }
 
+TEST(PromotionControllerTest, DefaultGateRulesMatchTheImplicitGate) {
+  // DESIGN.md §16: the 4-arg ctor given DefaultGateRules(config) must walk
+  // the state machine exactly like the 3-arg ctor — same rejections, same
+  // promotion tick, same watch-window rollback. Two identically seeded
+  // agent pairs, one controller each, driven by the same script.
+  const PromotionConfig config = FastGate();
+  rl::DqnAgent live_a(TinyConfig(11));
+  rl::DqnAgent cand_a(TinyConfig(12));
+  rl::DqnAgent live_b(TinyConfig(11));
+  rl::DqnAgent cand_b(TinyConfig(12));
+  PromotionController implicit_gate(config, live_a, cand_a);
+  PromotionController explicit_gate(
+      config, live_b, cand_b, PromotionController::DefaultGateRules(config));
+  Feed(implicit_gate, 8);
+  Feed(explicit_gate, 8);
+
+  auto step = [&](std::uint64_t tick, bool fallback, bool nonfinite) {
+    implicit_gate.OnTick(tick, fallback, nonfinite);
+    explicit_gate.OnTick(tick, fallback, nonfinite);
+    ASSERT_EQ(implicit_gate.state(), explicit_gate.state()) << "tick " << tick;
+    ASSERT_EQ(implicit_gate.promotions(), explicit_gate.promotions());
+    ASSERT_EQ(implicit_gate.rejections(), explicit_gate.rejections());
+    ASSERT_EQ(implicit_gate.rollbacks(), explicit_gate.rollbacks());
+  };
+
+  // Phase 1: a nonfinite shadow verdict, then equal-weights evaluations —
+  // every gate pass is a rejection plus its cooldown, in lockstep.
+  step(1, false, true);
+  for (std::uint64_t tick = 2; tick <= 8; ++tick) step(tick, false, false);
+  EXPECT_GT(implicit_gate.rejections(), 0u);
+  EXPECT_EQ(implicit_gate.promotions(), 0u);
+
+  // Phase 2: train one candidate past the gate margin and mirror its
+  // weights into the other pair, so both gates see the same evidence.
+  for (int i = 0; i < 64; ++i) cand_a.Push(MakeTransition(0.1 * (i % 8)));
+  std::deque<rl::Transition> window;
+  for (int i = 0; i < 8; ++i) window.push_back(MakeTransition(0.1 * (i + 1)));
+  for (int step_i = 0; step_i < 400; ++step_i) {
+    cand_a.TrainStep();
+    if (PromotionController::MeanTdError(cand_a, window) <
+        0.9 * PromotionController::MeanTdError(live_a, window)) {
+      break;
+    }
+  }
+  ASSERT_LT(PromotionController::MeanTdError(cand_a, window),
+            0.98 * PromotionController::MeanTdError(live_a, window))
+      << "training failed to beat the frozen live net on synthetic data";
+  cand_b.LoadWeights(cand_a.SaveWeights());
+  cand_b.LoadTargetWeights(cand_a.SaveTargetWeights());
+
+  // Phase 3: ride out any remaining cooldown, promote, then roll back on a
+  // watch-window fallback tick — still in lockstep.
+  std::uint64_t tick = 9;
+  while (implicit_gate.promotions() == 0 && tick < 20) {
+    step(tick++, false, false);
+  }
+  ASSERT_EQ(implicit_gate.promotions(), 1u);
+  ASSERT_EQ(implicit_gate.state(), PromotionState::kWatching);
+  EXPECT_EQ(live_a.SaveWeights(), live_b.SaveWeights());
+  step(tick, /*fallback=*/true, false);
+  EXPECT_EQ(implicit_gate.rollbacks(), 1u);
+  EXPECT_EQ(implicit_gate.state(), PromotionState::kCooldown);
+  EXPECT_EQ(live_a.SaveWeights(), live_b.SaveWeights());
+
+  // The two gates evaluated the same number of times and agree on the TD
+  // readings of the last evaluation, bit for bit.
+  EXPECT_EQ(implicit_gate.gate().evaluations(),
+            explicit_gate.gate().evaluations());
+  EXPECT_EQ(implicit_gate.gate().trips(), explicit_gate.gate().trips());
+  EXPECT_DOUBLE_EQ(implicit_gate.last_live_td(),
+                   explicit_gate.last_live_td());
+  EXPECT_DOUBLE_EQ(implicit_gate.last_candidate_td(),
+                   explicit_gate.last_candidate_td());
+}
+
 TEST(PromotionControllerTest, NonFiniteCandidateIsRejected) {
   rl::DqnAgent live(TinyConfig(11));
   rl::DqnAgent candidate(TinyConfig(12));

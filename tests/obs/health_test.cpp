@@ -1,0 +1,187 @@
+#include "obs/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mobirescue::obs {
+namespace {
+
+// Local registries keep these tests independent of instruments registered
+// by production code in the same process.
+
+HealthRule ObservedRule(std::string name, std::string key, HealthCmp cmp,
+                        double threshold,
+                        HealthAction action = HealthAction::kObserve) {
+  HealthRule rule;
+  rule.name = std::move(name);
+  rule.selector = std::move(key);
+  rule.observed = true;
+  rule.cmp = cmp;
+  rule.threshold = threshold;
+  rule.action = action;
+  return rule;
+}
+
+TEST(HealthEngineTest, ObservedValueRuleTripsPerComparison) {
+  Registry registry;
+  HealthEngine engine(
+      {ObservedRule("errors", "errors", HealthCmp::kGreaterThan, 0.0)},
+      registry);
+  engine.Observe("errors", 0.0);
+  EXPECT_TRUE(engine.Evaluate().healthy);
+  engine.Observe("errors", 1.0);
+  const HealthVerdict& v = engine.Evaluate();
+  EXPECT_FALSE(v.healthy);
+  EXPECT_TRUE(v.Tripped("errors"));
+  EXPECT_TRUE(v.degrade_tripped.empty());  // kObserve never escalates
+  EXPECT_EQ(engine.evaluations(), 2u);
+  EXPECT_EQ(engine.trips(), 1u);
+}
+
+TEST(HealthEngineTest, AbsentObservedKeySamplesZero) {
+  Registry registry;
+  HealthEngine engine(
+      {ObservedRule("lag", "never_fed", HealthCmp::kGreaterOrEqual, 0.0)},
+      registry);
+  // 0 >= 0 trips: the rule sees 0, not a missing-sample error.
+  EXPECT_TRUE(engine.Evaluate().Tripped("lag"));
+}
+
+TEST(HealthEngineTest, NonFiniteSampleFailsClosed) {
+  Registry registry;
+  // The comparison alone would never trip (NaN < 0 is false): fail-closed
+  // must trip anyway.
+  HealthEngine engine(
+      {ObservedRule("poisoned", "q", HealthCmp::kLessThan, 0.0)}, registry);
+  engine.Observe("q", std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(engine.Evaluate().healthy);
+  engine.Observe("q", std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(engine.Evaluate().healthy);
+  engine.Observe("q", 1.0);
+  EXPECT_TRUE(engine.Evaluate().healthy);
+}
+
+TEST(HealthEngineTest, RegistryRuleReadsCounterAndAbsentReadsZero) {
+  Registry registry;
+  HealthRule rule;
+  rule.name = "drops";
+  rule.selector = "test_drops_total";
+  rule.cmp = HealthCmp::kGreaterThan;
+  rule.threshold = 2.0;
+  rule.action = HealthAction::kDegrade;
+  HealthEngine engine({rule}, registry);
+
+  EXPECT_TRUE(engine.Evaluate().healthy);  // instrument not yet live: 0
+  Counter drops(registry, "test_drops_total", "Drops.");
+  drops.Increment(3);
+  const HealthVerdict& v = engine.Evaluate();
+  EXPECT_FALSE(v.healthy);
+  ASSERT_EQ(v.degrade_tripped.size(), 1u);
+  EXPECT_EQ(v.degrade_tripped[0], "drops");
+}
+
+TEST(HealthEngineTest, DeltaRuleSeesMovementNotLevel) {
+  Registry registry;
+  Counter ticks(registry, "test_ticks_total", "Ticks.");
+  ticks.Increment(1000);  // large level must not matter
+  HealthRule rule;
+  rule.name = "tick-rate";
+  rule.selector = "test_ticks_total";
+  rule.signal = HealthSignal::kDelta;
+  rule.window_ticks = 2;
+  rule.cmp = HealthCmp::kGreaterThan;
+  rule.threshold = 5.0;
+  HealthEngine engine({rule}, registry);
+
+  EXPECT_TRUE(engine.Evaluate().healthy);  // window of one sample: delta 0
+  ticks.Increment(4);
+  EXPECT_TRUE(engine.Evaluate().healthy);  // +4 over the window
+  ticks.Increment(4);
+  EXPECT_FALSE(engine.Evaluate().healthy);  // +8 over two evaluations
+}
+
+TEST(HealthEngineTest, BurnRateDividesPerEvaluationDeltaByBudget) {
+  Registry registry;
+  Counter errors(registry, "test_errors_total", "Errors.");
+  HealthRule rule;
+  rule.name = "error-burn";
+  rule.selector = "test_errors_total";
+  rule.signal = HealthSignal::kBurnRate;
+  rule.window_ticks = 4;
+  rule.burn_budget = 2.0;  // 2 errors per evaluation budgeted
+  rule.cmp = HealthCmp::kGreaterThan;
+  rule.threshold = 1.0;  // trips above 1x budget
+  HealthEngine engine({rule}, registry);
+
+  engine.Evaluate();  // seed the window
+  errors.Increment(2);
+  EXPECT_TRUE(engine.Evaluate().healthy);  // 2/eval = exactly 1x budget
+  errors.Increment(6);
+  EXPECT_FALSE(engine.Evaluate().healthy);  // 4/eval = 2x budget
+}
+
+TEST(HealthEngineTest, QuantileRuleReadsHistogram) {
+  Registry registry;
+  Histogram latency(registry, "test_latency_ms", "Latency.",
+                    {1.0, 10.0, 100.0});
+  for (int i = 0; i < 99; ++i) latency.Observe(0.5);
+  latency.Observe(50.0);
+  HealthRule rule;
+  rule.name = "p999";
+  rule.selector = "test_latency_ms";
+  rule.signal = HealthSignal::kQuantile;
+  rule.quantile = 0.999;
+  rule.cmp = HealthCmp::kGreaterThan;
+  rule.threshold = 10.0;
+  HealthEngine engine({rule}, registry);
+  // The p99.9 lands in the (10, 100] bucket: above the 10 ms threshold.
+  EXPECT_FALSE(engine.Evaluate().healthy);
+}
+
+TEST(HealthEngineTest, GaugeTracksVerdict) {
+  Registry registry;
+  HealthEngine engine(
+      {ObservedRule("errors", "errors", HealthCmp::kGreaterThan, 0.0)},
+      registry, "test_healthy_gauge",
+      "1 when the last evaluation passed.");
+  // The verdict gauge registers in the GLOBAL registry (it is an exported
+  // service-health signal, whatever registry the rules read from).
+  SnapshotDelta global(Registry::Global());
+  EXPECT_EQ(global.Read("test_healthy_gauge"), 1.0);  // healthy until told
+  engine.Observe("errors", 1.0);
+  engine.Evaluate();
+  EXPECT_EQ(global.Read("test_healthy_gauge"), 0.0);
+  engine.Observe("errors", 0.0);
+  engine.Evaluate();
+  EXPECT_EQ(global.Read("test_healthy_gauge"), 1.0);
+}
+
+TEST(HealthEngineTest, RuleOrderIsPreservedInVerdicts) {
+  Registry registry;
+  HealthEngine engine(
+      {ObservedRule("a", "a", HealthCmp::kGreaterThan, 0.0,
+                    HealthAction::kDegrade),
+       ObservedRule("b", "b", HealthCmp::kGreaterThan, 0.0),
+       ObservedRule("c", "c", HealthCmp::kGreaterThan, 0.0,
+                    HealthAction::kDegrade)},
+      registry);
+  engine.Observe("a", 1.0);
+  engine.Observe("b", 1.0);
+  engine.Observe("c", 1.0);
+  const HealthVerdict& v = engine.Evaluate();
+  ASSERT_EQ(v.tripped.size(), 3u);
+  EXPECT_EQ(v.tripped[0], "a");
+  EXPECT_EQ(v.tripped[2], "c");
+  ASSERT_EQ(v.degrade_tripped.size(), 2u);
+  EXPECT_EQ(v.degrade_tripped[0], "a");
+  EXPECT_EQ(v.degrade_tripped[1], "c");
+}
+
+}  // namespace
+}  // namespace mobirescue::obs

@@ -1,0 +1,153 @@
+#include "obs/incident.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+
+namespace mobirescue::obs {
+namespace {
+
+std::string TempDir() { return std::string(::testing::TempDir()); }
+
+TEST(IncidentWriterTest, DisabledWriterIsANoOp) {
+  Registry registry;
+  FlightRecorder flight;
+  TraceRecorder trace;
+  IncidentWriter writer({}, registry, flight, trace);  // empty dir
+  EXPECT_FALSE(writer.enabled());
+  EXPECT_EQ(writer.Dump("anything"), "");
+  EXPECT_EQ(writer.dumps(), 0u);
+}
+
+TEST(IncidentWriterTest, BundleRoundTripsThroughItsValidator) {
+  Registry registry;
+  Counter errors(registry, "incident_test_errors_total", "Errors.");
+  FlightRecorder flight;
+  TraceRecorder trace;
+  flight.Emit(Severity::kWarn, "serve", "quarantine", "person=3");
+  flight.Emit(Severity::kError, "serve", "kill", "tick=97");
+  errors.Increment(2);
+
+  IncidentConfig config;
+  config.dir = TempDir();
+  config.label = "unit";
+  IncidentWriter writer(config, registry, flight, trace);
+  const std::string path = writer.Dump("unit-test");
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(writer.dumps(), 1u);
+
+  std::string error;
+  EXPECT_TRUE(ValidateIncidentJsonFile(path, &error)) << error;
+
+  std::vector<std::string> kinds;
+  ASSERT_TRUE(ReadIncidentEventKinds(path, &kinds, &error)) << error;
+  ASSERT_EQ(kinds.size(), 2u);
+  EXPECT_EQ(kinds[0], "quarantine");
+  EXPECT_EQ(kinds[1], "kill");
+}
+
+TEST(IncidentWriterTest, MetricDeltasRebaseBetweenDumps) {
+  Registry registry;
+  Counter errors(registry, "incident_test_rebase_total", "Errors.");
+  FlightRecorder flight;
+  TraceRecorder trace;
+  IncidentConfig config;
+  config.dir = TempDir();
+  config.chrome_trace = false;
+  IncidentWriter writer(config, registry, flight, trace);
+
+  errors.Increment(5);
+  flight.Emit(Severity::kInfo, "serve", "tick_start");
+  const std::string first = writer.Dump("first");
+  errors.Increment(2);
+  const std::string second = writer.Dump("second");
+
+  // The first bundle carries the +5 movement, the second only the +2
+  // since the first — the baseline rebases at each dump.
+  auto read_delta = [](const std::string& path) {
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const std::string needle = "\"incident_test_rebase_total\"";
+    const std::size_t at = text.find(needle);
+    EXPECT_NE(at, std::string::npos);
+    const std::size_t delta_at = text.find("\"delta\":", at);
+    EXPECT_NE(delta_at, std::string::npos);
+    return std::stod(text.substr(delta_at + 8));
+  };
+  EXPECT_EQ(read_delta(first), 5.0);
+  EXPECT_EQ(read_delta(second), 2.0);
+}
+
+TEST(IncidentWriterTest, EventWindowCapsTheTimeline) {
+  Registry registry;
+  FlightRecorder flight;
+  TraceRecorder trace;
+  for (int i = 0; i < 50; ++i) {
+    flight.Emit(Severity::kInfo, "sim", "condition_epoch",
+                "hour=" + std::to_string(i));
+  }
+  IncidentConfig config;
+  config.dir = TempDir();
+  config.event_window = 8;
+  config.chrome_trace = false;
+  IncidentWriter writer(config, registry, flight, trace);
+  const std::string path = writer.Dump("window");
+  std::string error;
+  std::vector<std::string> kinds;
+  ASSERT_TRUE(ReadIncidentEventKinds(path, &kinds, &error)) << error;
+  EXPECT_EQ(kinds.size(), 8u);  // the most recent window only
+}
+
+TEST(IncidentWriterTest, ChromeTraceCompanionValidates) {
+  Registry registry;
+  FlightRecorder flight;
+  TraceRecorder trace;
+  trace.Enable();
+  { ScopedSpan span("tick", trace); }
+  trace.Disable();
+  flight.Emit(Severity::kWarn, "serve", "fallback_enter", "reason=test");
+
+  IncidentConfig config;
+  config.dir = TempDir();
+  IncidentWriter writer(config, registry, flight, trace);
+  const std::string path = writer.Dump("trace-view");
+  ASSERT_FALSE(path.empty());
+  // The companion replaces the bundle's .json suffix with .trace.json.
+  const std::string trace_path =
+      path.substr(0, path.size() - 5) + ".trace.json";
+  std::string error;
+  // The companion is standard Chrome trace_event JSON: spans as complete
+  // events, flight events as instants — the repo's own validator accepts
+  // it, so Perfetto will too.
+  EXPECT_TRUE(ValidateChromeTraceFile(trace_path, &error)) << error;
+}
+
+TEST(IncidentValidatorTest, RejectsStructurallyBrokenBundles) {
+  const std::string path =
+      TempDir() + "incident_test_broken_bundle.json";
+  {
+    std::ofstream out(path);
+    out << "{\"schema\": \"mobirescue-incident-v1\", \"label\": \"x\", "
+           "\"trigger\": \"t\", \"sequence\": 1, \"events_dropped\": 0, "
+           "\"spans_retained\": 0, \"events\": [{\"seq\": 1, \"ts_us\": 0, "
+           "\"severity\": \"catastrophic\", \"component\": \"serve\", "
+           "\"kind\": \"kill\", \"attrs\": \"\"}], \"metrics\": []}";
+  }
+  std::string error;
+  EXPECT_FALSE(ValidateIncidentJsonFile(path, &error));
+  EXPECT_NE(error.find("severity"), std::string::npos) << error;
+
+  EXPECT_FALSE(ValidateIncidentJsonFile(
+      TempDir() + "incident_test_no_such_file.json", &error));
+}
+
+}  // namespace
+}  // namespace mobirescue::obs

@@ -229,6 +229,129 @@ TEST(RegistryTest, SnapshotWhileWritersRun) {
   EXPECT_GE(c.Value(), last);
 }
 
+TEST(HistogramTest, EmptyWindowQuantilesAreZero) {
+  Registry reg;
+  Histogram h(reg, "test_empty_ms", "x", {1.0, 10.0});
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  // No samples: every percentile reads 0, never NaN or a bucket edge.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.999), 0.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesAndClampsAtInfBucket) {
+  Registry reg;
+  Histogram h(reg, "test_quantile_ms", "x", {1.0, 10.0});
+  for (int i = 0; i < 5; ++i) h.Observe(0.5);   // le 1 bucket
+  for (int i = 0; i < 5; ++i) h.Observe(100.0);  // +Inf bucket
+  const HistogramSnapshot snap = h.Snapshot();
+  // The median exhausts the first bucket: interpolation reaches its upper
+  // bound exactly.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 1.0);
+  // A quantile landing in the +Inf bucket has no finite edge to
+  // interpolate toward: it clamps to the highest finite bound.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.99), 10.0);
+  // Out-of-range q is clamped, not rejected.
+  EXPECT_DOUBLE_EQ(snap.Quantile(-1.0), snap.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(snap.Quantile(2.0), snap.Quantile(1.0));
+}
+
+TEST(RegistryTest, SameNameMergeStaysCoherentUnderConcurrentSnapshots) {
+  // Same-name histogram instances churn (register, observe, deregister)
+  // and a conflicting-bounds registration is attempted mid-stream, all
+  // while observer threads snapshot the registry. Every snapshot must see
+  // a well-formed merge: bucket counts consistent with the total, never a
+  // torn or half-registered group.
+  Registry reg;
+  Histogram base(reg, "test_merge_churn_ms", "x", {1.0, 10.0});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> observers;
+  for (int t = 0; t < 2; ++t) {
+    observers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::vector<MetricSnapshot> snap = reg.Snapshot();
+        for (const MetricSnapshot& m : snap) {
+          if (m.name != "test_merge_churn_ms") continue;
+          ASSERT_EQ(m.histogram.counts.size(), 3u);
+          std::uint64_t total = 0;
+          for (std::uint64_t c : m.histogram.counts) total += c;
+          EXPECT_EQ(total, m.histogram.count);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 100; ++i) {
+    Histogram extra(reg, "test_merge_churn_ms", "x", {1.0, 10.0});
+    extra.Observe(0.5);
+    base.Observe(5.0);
+    // A bounds conflict must throw without disturbing the live group,
+    // even while snapshots are being taken.
+    EXPECT_THROW(Histogram(reg, "test_merge_churn_ms", "x", {1.0, 20.0}),
+                 std::invalid_argument);
+  }
+  stop.store(true);
+  for (std::thread& t : observers) t.join();
+  // The churned instances died with their samples; only `base` remains.
+  const std::vector<MetricSnapshot> snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].histogram.count, 100u);
+  EXPECT_EQ(snap[0].histogram.counts[1], 100u);  // all in (1, 10]
+}
+
+TEST(SnapshotDeltaTest, ReadsDeltasAndAbsentNamesAsZero) {
+  Registry reg;
+  Counter c(reg, "test_delta_total", "x");
+  c.Increment(3);
+  SnapshotDelta delta(reg);
+  EXPECT_TRUE(delta.Has("test_delta_total"));
+  EXPECT_DOUBLE_EQ(delta.Read("test_delta_total"), 3.0);
+  EXPECT_DOUBLE_EQ(delta.Baseline("test_delta_total"), 3.0);
+  EXPECT_DOUBLE_EQ(delta.Delta("test_delta_total"), 0.0);
+  c.Increment(4);
+  EXPECT_DOUBLE_EQ(delta.Read("test_delta_total"), 7.0);
+  EXPECT_DOUBLE_EQ(delta.Delta("test_delta_total"), 4.0);
+  // Names nobody registered read as zero everywhere, never throw.
+  EXPECT_FALSE(delta.Has("test_never_registered"));
+  EXPECT_DOUBLE_EQ(delta.Read("test_never_registered"), 0.0);
+  EXPECT_DOUBLE_EQ(delta.Delta("test_never_registered"), 0.0);
+}
+
+TEST(SnapshotDeltaTest, RebaseMovesTheBaseline) {
+  Registry reg;
+  Counter c(reg, "test_rebase_total", "x");
+  SnapshotDelta delta(reg);
+  c.Increment(5);
+  EXPECT_DOUBLE_EQ(delta.Delta("test_rebase_total"), 5.0);
+  delta.Rebase();
+  EXPECT_DOUBLE_EQ(delta.Delta("test_rebase_total"), 0.0);
+  c.Increment(2);
+  EXPECT_DOUBLE_EQ(delta.Delta("test_rebase_total"), 2.0);
+}
+
+TEST(SnapshotDeltaTest, LifetimeDeltaCoversBirthAndDeath) {
+  Registry reg;
+  SnapshotDelta delta(reg);  // baseline taken before the instrument exists
+  {
+    Counter c(reg, "test_lifetime_total", "x");
+    c.Increment(5);
+    EXPECT_DOUBLE_EQ(delta.Delta("test_lifetime_total"), 5.0);
+  }
+  // RAII deregistration: the dead instrument reads 0 again.
+  EXPECT_FALSE(delta.Has("test_lifetime_total"));
+  EXPECT_DOUBLE_EQ(delta.Read("test_lifetime_total"), 0.0);
+}
+
+TEST(SnapshotDeltaTest, HistogramsReadAsSampleCounts) {
+  Registry reg;
+  Histogram h(reg, "test_hist_reads_ms", "x", {1.0});
+  SnapshotDelta delta(reg);
+  h.Observe(0.5);
+  h.Observe(50.0);
+  EXPECT_DOUBLE_EQ(delta.Read("test_hist_reads_ms"), 2.0);
+  EXPECT_DOUBLE_EQ(delta.Delta("test_hist_reads_ms"), 2.0);
+}
+
 TEST(RegistryTest, GlobalRegistryCarriesComponentInstruments) {
   // Default-constructed instruments join the process-global registry.
   const std::size_t before = Registry::Global().num_instruments();

@@ -9,7 +9,9 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "core/pipeline.hpp"
 #include "core/world.hpp"
@@ -162,6 +164,57 @@ TEST_F(DispatchServiceTest, TickLatencyWellUnderIpBaselineBudget) {
   // The featurizer's tree cache is exercised by the tick loop.
   EXPECT_GT(metrics.router_cache.hits + metrics.router_cache.misses, 0u);
   EXPECT_GT(metrics.ingest_rate_per_s, 0.0);
+}
+
+TEST_F(DispatchServiceTest, DefaultHealthRulesReproduceTheHardcodedLadder) {
+  // DESIGN.md §16: the declarative health engine's default rules must
+  // drive the degradation ladder exactly as the pre-engine hardcoded
+  // gates did. Run the same faulted day twice — once on the built-in
+  // rules, once with DefaultHealthRules(config) installed explicitly via
+  // the replace path — exercising both ladder rules: two injected decide
+  // failures plus a budget every primary tick overruns. Decisions and
+  // ladder metrics must match decision-for-decision.
+  auto run = [](bool replace_rules) {
+    ServiceConfig config;
+    config.queue.shard_capacity = 1 << 15;
+    config.degraded_cooldown_ticks = 4;
+    config.decide_budget_ms = 1e-9;  // every primary tick overruns
+    int failures_armed = 2;
+    config.decide_chaos = [failures_armed](util::SimTime) mutable {
+      if (failures_armed > 0) {
+        --failures_armed;
+        throw std::runtime_error("injected decide failure");
+      }
+    };
+    if (replace_rules) {
+      config.replace_default_health_rules = true;
+      config.health_rules = DispatchService::DefaultHealthRules(config);
+    }
+    DispatchService service(*world_->city, *world_->index, *svm_, agent_,
+                            DayOffset(), config);
+    sim::RescueSimulator simulator = MakeSimulator();
+    TraceStreamer streamer(DayTrace(), service);
+    service.ServeEpisode(simulator, &streamer);
+    return std::make_pair(Outcome(simulator), service.metrics());
+  };
+
+  const auto built_in = run(false);
+  const auto explicit_rules = run(true);
+  ExpectIdentical(built_in.first, explicit_rules.first);
+
+  const ServiceMetrics& a = built_in.second;
+  const ServiceMetrics& b = explicit_rules.second;
+  EXPECT_EQ(a.decide_errors, 2u);
+  EXPECT_EQ(a.decide_errors, b.decide_errors);
+  EXPECT_EQ(a.budget_overruns, b.budget_overruns);
+  EXPECT_EQ(a.fallback_ticks, b.fallback_ticks);
+  EXPECT_EQ(a.health_trips, b.health_trips);
+  EXPECT_EQ(a.degraded, b.degraded);
+  // The ladder actually engaged: both failure ticks and the cooldowns
+  // after every overrun served on the fallback, but never the whole day.
+  EXPECT_GT(a.fallback_ticks, 0u);
+  EXPECT_LT(a.fallback_ticks, 288u);
+  EXPECT_GT(a.health_trips, 0u);
 }
 
 TEST_F(DispatchServiceTest, CheckpointRestartServesIdentically) {

@@ -225,22 +225,14 @@ TEST(ShardedIngestQueueTest, RegistryCountersMatchAccessorsUnderConcurrency) {
   // The accessor struct and the registry-backed instruments are two views
   // of the same striped atomics; after a concurrent overflow hammering
   // they must agree exactly (and dropped must equal its per-policy split).
-  auto read = [](const char* name) {
-    double v = 0.0;
-    obs::ReadMetricValue(obs::Registry::Global(), name, &v);
-    return v;
-  };
   constexpr int kProducers = 8;
   constexpr int kPerProducer = 3000;
   for (const DropPolicy policy :
        {DropPolicy::kDropNewest, DropPolicy::kDropOldest}) {
-    // Baselines: any other live queues' contributions (instruments vanish
-    // from the snapshot when their queue dies, hence per-iteration reads).
-    const double accepted0 = read("serve_ingest_accepted_total");
-    const double dropped0 = read("serve_ingest_dropped_total");
-    const double newest0 = read("serve_ingest_dropped_newest_total");
-    const double oldest0 = read("serve_ingest_dropped_oldest_total");
-    const double drained0 = read("serve_ingest_drained_total");
+    // Baseline: any other live queues' contributions (instruments vanish
+    // from the snapshot when their queue dies, hence a fresh delta per
+    // iteration).
+    obs::SnapshotDelta delta(obs::Registry::Global());
 
     IngestQueueConfig config;
     config.num_shards = 2;
@@ -276,15 +268,15 @@ TEST(ShardedIngestQueueTest, RegistryCountersMatchAccessorsUnderConcurrency) {
     EXPECT_EQ(out.size(), c.drained);
 
     // Registry view (while the queue is live): deltas equal the accessors.
-    EXPECT_EQ(read("serve_ingest_accepted_total") - accepted0,
+    EXPECT_EQ(delta.Delta("serve_ingest_accepted_total"),
               static_cast<double>(c.accepted));
-    EXPECT_EQ(read("serve_ingest_dropped_total") - dropped0,
+    EXPECT_EQ(delta.Delta("serve_ingest_dropped_total"),
               static_cast<double>(c.dropped));
-    EXPECT_EQ(read("serve_ingest_dropped_newest_total") - newest0,
+    EXPECT_EQ(delta.Delta("serve_ingest_dropped_newest_total"),
               static_cast<double>(c.dropped_newest));
-    EXPECT_EQ(read("serve_ingest_dropped_oldest_total") - oldest0,
+    EXPECT_EQ(delta.Delta("serve_ingest_dropped_oldest_total"),
               static_cast<double>(c.dropped_oldest));
-    EXPECT_EQ(read("serve_ingest_drained_total") - drained0,
+    EXPECT_EQ(delta.Delta("serve_ingest_drained_total"),
               static_cast<double>(c.drained));
   }
 }

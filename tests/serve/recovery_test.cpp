@@ -20,6 +20,7 @@
 #include "core/pipeline.hpp"
 #include "core/world.hpp"
 #include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/dispatch_service.hpp"
 #include "sim/population_tracker.hpp"
@@ -108,12 +109,6 @@ class RecoveryTest : public ::testing::Test {
     }
   }
 
-  static double MetricValue(const std::string& name) {
-    double value = 0.0;
-    obs::ReadMetricValue(obs::Registry::Global(), name, &value);
-    return value;
-  }
-
   static core::World* world_;
   static predict::SvmRequestPredictor* svm_;
   static std::shared_ptr<rl::DqnAgent> agent_;
@@ -165,8 +160,7 @@ TEST_F(RecoveryTest, KillMidEpisodeRestoresFromCheckpointAndFinishes) {
       std::make_shared<std::vector<std::unique_ptr<predict::SvmRequestPredictor>>>();
   auto restored_agents = std::make_shared<std::vector<std::shared_ptr<rl::DqnAgent>>>();
 
-  const double recoveries_before = MetricValue("serve_recoveries_total");
-  const double quarantined_before = MetricValue("serve_quarantined_total");
+  obs::SnapshotDelta registry_delta(obs::Registry::Global());
 
   sim::RescueSimulator simulator = MakeSimulator();
   FaultedEpisodeConfig episode;
@@ -228,8 +222,8 @@ TEST_F(RecoveryTest, KillMidEpisodeRestoresFromCheckpointAndFinishes) {
   // /metrics scrape of the real service would show). Only the surviving
   // instance's instruments are live, so the registry shows its 1 recovery,
   // not the full kill count.
-  EXPECT_GE(MetricValue("serve_recoveries_total"), recoveries_before + 1.0);
-  EXPECT_GT(MetricValue("serve_quarantined_total"), quarantined_before);
+  EXPECT_GE(registry_delta.Delta("serve_recoveries_total"), 1.0);
+  EXPECT_GT(registry_delta.Delta("serve_quarantined_total"), 0.0);
 
   // And the requests were actually handled: the episode produced a full
   // day's worth of terminal request states.
