@@ -1,0 +1,282 @@
+// Million-person closed-loop ingest load generator (DESIGN.md §17).
+//
+// Drives the full streaming ingest path — ShardedIngestQueue::Push, drain,
+// StreamState::ApplyBatch — at metro scale twice over the *same* record
+// stream:
+//
+//   single_state_apply    config.shards = 1: the classic path (scalar
+//                         NearestSegment per record, one flow analyzer
+//                         with one process-wide dedup set)
+//   sharded_state_apply   config.shards = 16: region-sharded batches
+//                         (cell-grouped SoA nearest-segment scans,
+//                         per-shard flow analyzers with small dedup sets)
+//
+// and reports sustained records/sec for both, the ingest queue's per-shard
+// balance (max/mean cumulative accepted) and the drop rate. Both passes
+// must finish in *bit-identical* derived state — the bench asserts the
+// latest-position and exported-flow bytes match before reporting anything,
+// so the speedup can never come from skipped work.
+//
+// Full mode simulates 1,000,000 people over 10 five-minute reporting
+// windows (10M records) and FAILS (exit 1) if the sharded path does not
+// sustain >= 10x the single-state throughput, or if anything was dropped.
+// `--json PATH [--smoke]` writes mobirescue-bench-v1 JSON (the committed
+// BENCH_scale.json artifact); --smoke shrinks to 2,000 people / 6 windows
+// and skips the throughput gate (schema and parity only).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "roadnet/city_builder.hpp"
+#include "roadnet/spatial_index.hpp"
+#include "serve/ingest_queue.hpp"
+#include "serve/stream_state.hpp"
+
+using namespace mobirescue;
+
+namespace {
+
+constexpr int kQueueShards = 16;
+constexpr int kStateShards = 16;
+constexpr double kWindowSeconds = 300.0;
+
+std::uint64_t SplitMix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double UnitDouble(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+/// One reporting window's records: every person pings once, position drawn
+/// deterministically from (person, window) — identical streams for both
+/// passes, per-person timestamps strictly increasing across windows.
+void SynthWindow(const util::BoundingBox& box, int people, int window,
+                 std::vector<mobility::GpsRecord>& out) {
+  out.clear();
+  out.reserve(static_cast<std::size_t>(people));
+  for (int p = 0; p < people; ++p) {
+    const std::uint64_t h = SplitMix64(
+        (static_cast<std::uint64_t>(p) << 20) ^ static_cast<std::uint64_t>(window) ^ 0xC0FFEEULL);
+    mobility::GpsRecord r;
+    r.person = p;
+    r.t = window * kWindowSeconds +
+          UnitDouble(SplitMix64(h ^ 1)) * (kWindowSeconds - 1.0);
+    r.pos = box.At(UnitDouble(h), UnitDouble(SplitMix64(h)));
+    r.altitude_m = 20.0 + 50.0 * UnitDouble(SplitMix64(h ^ 2));
+    r.speed_mps = 3.0 + 17.0 * UnitDouble(SplitMix64(h ^ 3));
+    out.push_back(r);
+  }
+}
+
+struct LoadRun {
+  double seconds = 0.0;          // timed ingest loop (push + drain + apply)
+  std::uint64_t records = 0;     // records pushed
+  double drop_rate = 0.0;        // dropped / pushed
+  double shard_imbalance = 0.0;  // queue max/mean cumulative accepted
+};
+
+/// The closed loop: synthesize a window (untimed — identical for both
+/// configurations), then push it through a fresh sharded queue in
+/// capacity-safe chunks, drain, and fold each drained batch into `state`.
+LoadRun RunClosedLoop(const util::BoundingBox& box, serve::StreamState& state,
+                      int people, int windows) {
+  serve::IngestQueueConfig qcfg;
+  qcfg.num_shards = kQueueShards;
+  qcfg.shard_capacity = 8192;
+  serve::ShardedIngestQueue queue(qcfg);
+  // Chunked so the closed loop never overruns a shard: 64k records over 16
+  // shards is ~4k per shard, half the capacity even if ids were lopsided.
+  const std::size_t kChunk = 65536;
+
+  LoadRun run;
+  std::vector<mobility::GpsRecord> window_buf;
+  std::vector<mobility::GpsRecord> drained;
+  drained.reserve(kChunk);
+  for (int w = 0; w < windows; ++w) {
+    SynthWindow(box, people, w, window_buf);
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t i = 0;
+    while (i < window_buf.size()) {
+      const std::size_t n = std::min(kChunk, window_buf.size() - i);
+      for (std::size_t k = 0; k < n; ++k) queue.Push(window_buf[i + k]);
+      drained.clear();
+      queue.DrainInto(drained);
+      state.ApplyBatch(drained.data(), drained.size());
+      i += n;
+    }
+    run.seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    run.records += window_buf.size();
+  }
+  const serve::IngestCounters c = queue.counters();
+  run.drop_rate = c.accepted > 0 ? static_cast<double>(c.dropped) /
+                                       static_cast<double>(c.accepted + c.dropped)
+                                 : 0.0;
+  run.shard_imbalance = queue.ShardImbalance();
+  return run;
+}
+
+/// Bit-identity between the two passes; any divergence voids the bench.
+bool StatesIdentical(const serve::StreamState& a, const serve::StreamState& b,
+                     std::string* why) {
+  const auto la = a.ExportLatest();
+  const auto lb = b.ExportLatest();
+  if (la.size() != lb.size()) {
+    *why = "latest-position sizes differ";
+    return false;
+  }
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    if (la[i].person != lb[i].person || la[i].t != lb[i].t ||
+        la[i].pos.lat != lb[i].pos.lat || la[i].pos.lon != lb[i].pos.lon ||
+        la[i].speed_mps != lb[i].speed_mps) {
+      *why = "latest-position record " + std::to_string(i) + " differs";
+      return false;
+    }
+  }
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ca, cb;
+  std::vector<std::uint64_t> sa, sb;
+  a.ExportFlowState(&ca, &sa);
+  b.ExportFlowState(&cb, &sb);
+  if (ca != cb) {
+    *why = "flow cell counts differ";
+    return false;
+  }
+  if (sa != sb) {
+    *why = "flow dedup sets differ";
+    return false;
+  }
+  if (a.counters().applied != b.counters().applied ||
+      a.counters().matched != b.counters().matched ||
+      a.counters().unmatched != b.counters().unmatched) {
+    *why = "stream counters differ";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  int people = 1'000'000;
+  int windows = 10;
+  int grid = 256;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--people") == 0 && i + 1 < argc) {
+      people = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--windows") == 0 && i + 1 < argc) {
+      windows = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--grid") == 0 && i + 1 < argc) {
+      grid = std::atoi(argv[++i]);
+    }
+  }
+  if (smoke) {
+    people = 2000;
+    windows = 6;
+  }
+
+  // Metro-scale world: a 256x256 street grid (~265k directed segments, ~84m
+  // blocks — downtown street density, not an arterial skeleton) under the
+  // default 64x64-cell index — the same construction DispatchService
+  // serves from.
+  roadnet::CityConfig city_config;
+  city_config.grid_width = grid;
+  city_config.grid_height = grid;
+  const roadnet::City city = roadnet::BuildCity(city_config);
+  const roadnet::SpatialIndex index(city.network, city.box);
+
+  serve::StreamStateConfig single_cfg;
+  single_cfg.accept_box = city.box;
+  serve::StreamStateConfig sharded_cfg = single_cfg;
+  sharded_cfg.shards = kStateShards;
+
+  serve::StreamState single_state(city.network, index, single_cfg);
+  serve::StreamState sharded_state(city.network, index, sharded_cfg);
+
+  std::printf("bench_load: %d people x %d windows on a %dx%d city (%zu segments)\n",
+              people, windows, city_config.grid_width, city_config.grid_height,
+              city.network.num_segments());
+
+  const LoadRun single = RunClosedLoop(city.box, single_state, people, windows);
+  const LoadRun sharded =
+      RunClosedLoop(city.box, sharded_state, people, windows);
+
+  std::string why;
+  if (!StatesIdentical(single_state, sharded_state, &why)) {
+    std::fprintf(stderr, "FAIL: sharded state diverged from single: %s\n",
+                 why.c_str());
+    return 1;
+  }
+
+  const double single_rps = single.records / single.seconds;
+  const double sharded_rps = sharded.records / sharded.seconds;
+  const double speedup = sharded_rps / single_rps;
+  const double single_ns = single.seconds * 1e9 / single.records;
+  const double sharded_ns = sharded.seconds * 1e9 / sharded.records;
+
+  std::printf("%-20s %14s %14s %10s %10s\n", "op", "records/s", "ns_per_rec",
+              "imbalance", "drop_rate");
+  std::printf("%-20s %14.0f %14.1f %10.4f %10.6f\n", "single_state_apply",
+              single_rps, single_ns, single.shard_imbalance, single.drop_rate);
+  std::printf("%-20s %14.0f %14.1f %10.4f %10.6f\n", "sharded_state_apply",
+              sharded_rps, sharded_ns, sharded.shard_imbalance,
+              sharded.drop_rate);
+  std::printf("sharded speedup: %.2fx (gate: >= 10x, full mode only)\n",
+              speedup);
+  std::printf("state parity: identical (latest positions, flow cells, dedup "
+              "sets, counters)\n");
+
+  char dims[160];
+  std::snprintf(dims, sizeof(dims),
+                "people=%d,windows=%d,shards=%d,imbalance=%.4f,drop_rate=%.6f",
+                people, windows, kStateShards, sharded.shard_imbalance,
+                sharded.drop_rate);
+  std::vector<bench::BenchRecord> records;
+  records.push_back({"single_state_apply", dims, single_ns,
+                     static_cast<std::int64_t>(single.records), 0.0});
+  records.push_back({"sharded_state_apply", dims, sharded_ns,
+                     static_cast<std::int64_t>(sharded.records), speedup});
+
+  if (!json_path.empty()) {
+    bench::WriteBenchJsonFile(json_path, smoke ? "scale-smoke" : "scale",
+                              records);
+    std::string error;
+    if (!bench::ValidateBenchJsonFile(json_path, &error)) {
+      std::fprintf(stderr, "bench JSON failed validation: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!smoke) {
+    if (single.drop_rate > 0.0 || sharded.drop_rate > 0.0) {
+      std::fprintf(stderr, "FAIL: closed loop dropped records (%.6f / %.6f)\n",
+                   single.drop_rate, sharded.drop_rate);
+      return 1;
+    }
+    if (speedup < 10.0) {
+      std::fprintf(stderr,
+                   "FAIL: sharded ingest sustained only %.2fx the "
+                   "single-state throughput (gate 10x)\n",
+                   speedup);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -27,9 +27,13 @@ std::size_t FlowRateAnalyzer::CellIndex(roadnet::SegmentId seg,
 }
 
 void FlowRateAnalyzer::Ingest(const MatchedRecord& m) {
-  if (m.speed_mps < moving_threshold_) return;
+  IngestReturningCell(m);
+}
+
+std::size_t FlowRateAnalyzer::IngestReturningCell(const MatchedRecord& m) {
+  if (m.speed_mps < moving_threshold_) return kNoCell;
   const int hour = util::HourIndex(m.t);
-  if (hour < 0 || hour >= total_hours_) return;
+  if (hour < 0 || hour >= total_hours_) return kNoCell;
   const std::size_t idx = CellIndex(m.segment, hour);
   // One count per (person, segment, hour), regardless of record order or
   // how the trace is split across Ingest calls. person < 2^32 and
@@ -38,8 +42,9 @@ void FlowRateAnalyzer::Ingest(const MatchedRecord& m) {
       static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.person)) *
           counts_.size() +
       idx;
-  if (!seen_.insert(key).second) return;
+  if (!seen_.Insert(key)) return kNoCell;
   ++counts_[idx];
+  return idx;
 }
 
 void FlowRateAnalyzer::ExportState(
@@ -49,7 +54,9 @@ void FlowRateAnalyzer::ExportState(
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     if (counts_[i] != 0) cells->emplace_back(i, counts_[i]);
   }
-  seen->assign(seen_.begin(), seen_.end());
+  seen->clear();
+  seen->reserve(seen_.size());
+  seen_.ForEach([&](std::uint64_t key) { seen->push_back(key); });
   std::sort(seen->begin(), seen->end());
 }
 
@@ -67,9 +74,9 @@ void FlowRateAnalyzer::RestoreState(
     counts_[idx] = count;
   }
   seen_.clear();
-  seen_.reserve(seen.size());
+  seen_.Reserve(seen.size());
   for (const std::uint64_t key : seen) {
-    if (!seen_.insert(key).second) {
+    if (!seen_.Insert(key)) {
       throw std::runtime_error("FlowRateAnalyzer: duplicate dedup key");
     }
   }

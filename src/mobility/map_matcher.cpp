@@ -21,6 +21,23 @@ std::vector<MatchedRecord> MapMatcher::MatchTrace(const GpsTrace& trace) const {
   return out;
 }
 
+std::size_t MapMatcher::MatchBatch(const GpsRecord* records, std::size_t n,
+                                   std::vector<MatchedRecord>* out) const {
+  std::vector<util::GeoPoint> pts(n);
+  for (std::size_t i = 0; i < n; ++i) pts[i] = records[i].pos;
+  std::vector<roadnet::SegmentId> sids(n, roadnet::kInvalidSegment);
+  index_.NearestSegments(pts.data(), n, config_.max_match_distance_m,
+                         sids.data());
+  std::size_t matched = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sids[i] == roadnet::kInvalidSegment) continue;
+    const GpsRecord& r = records[i];
+    out->push_back({r.person, r.t, sids[i], r.speed_mps, r.pos});
+    ++matched;
+  }
+  return matched;
+}
+
 std::vector<Trajectory> MapMatcher::BuildTrajectories(
     const std::vector<MatchedRecord>& matched) const {
   std::vector<Trajectory> out;

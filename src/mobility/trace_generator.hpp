@@ -20,8 +20,17 @@
 //     trapped and emit rescue requests;
 //   * after the storm: flood recedes (FloodModel recession), mobility
 //     partially recovers — the Fig. 5 "after < before" gap.
+//
+// Generation is person-streamable: each person's chunk is derived from an
+// RNG stream seeded by (config seed, person id) alone, so chunks are
+// independent of generation order and can be emitted one at a time without
+// materialising the city-wide trace (GenerateStreaming), re-generated on
+// demand (GeneratePerson), or concatenated into the classic whole-trace
+// result (Generate) — all three bit-identical per person.
 #pragma once
 
+#include <array>
+#include <functional>
 #include <vector>
 
 #include "mobility/gps_record.hpp"
@@ -85,35 +94,85 @@ struct TraceResult {
   std::vector<RescueEvent> rescues; // ground truth, sorted by request time
 };
 
+/// One person's slice of the trace: the unit of streaming generation.
+struct PersonTrace {
+  Person person;
+  GpsTrace records;                  // sorted by time
+  std::vector<RescueEvent> rescues;  // in emission order
+};
+
 /// Generates the trace for one scenario over the city. Deterministic for a
-/// fixed config (seed included).
+/// fixed config (seed included). Not thread-safe: the per-hour network
+/// condition cache mutates lazily, so concurrent chunk generation needs one
+/// TraceGenerator per thread.
 class TraceGenerator {
  public:
   TraceGenerator(const roadnet::City& city, const weather::WeatherField& field,
                  const weather::FloodModel& flood,
                  const weather::ScenarioSpec& scenario, TraceConfig config);
 
+  /// Whole-trace generation, built on the streaming core: concatenates
+  /// every person's chunk (population order = ascending person id, chunks
+  /// time-sorted, so records land already (person, time)-sorted) and
+  /// re-sorts rescues city-wide by request time.
   TraceResult Generate();
+
+  /// Streams the trace one person at a time: builds the population, then
+  /// hands each person's finished chunk to `sink` and drops it — peak
+  /// live trace memory is one person, not the city. Returns the
+  /// population. Chunk contents are bit-identical to the same person's
+  /// slice of Generate() (trace_stream_test proves it at paper scale).
+  std::vector<Person> GenerateStreaming(
+      const std::function<void(PersonTrace&&)>& sink);
+
+  /// One person's chunk, independent of every other person: the person's
+  /// RNG stream is derived from (config seed, person id) alone, so chunks
+  /// can be generated in any order or re-generated on demand, always
+  /// bit-identical.
+  PersonTrace GeneratePerson(const Person& person);
 
   /// Storm severity in [0, 1] at a position/time: blends rain intensity and
   /// flood depth; drives trip suppression. Exposed for tests.
   double SeverityAt(const util::GeoPoint& p, util::SimTime t) const;
 
+  /// Outcome of one routed trip. Exposed for tests (the closed-segment
+  /// regression drives EmitTrip straight through a closure epoch).
+  struct TripOutcome {
+    util::SimTime arrival = 0.0;
+    roadnet::LandmarkId reached = roadnet::kInvalidLandmark;
+  };
+
+  /// Drives a route, emitting samples. The route is planned under the
+  /// departure hour's conditions, but each segment is re-checked against
+  /// the conditions of the hour it is *entered* in — a trip spanning an
+  /// hour boundary can meet a closure the plan never saw. A segment that
+  /// is closed (or slowed to a standstill) at entry truncates the trip at
+  /// that segment's entry landmark; the pre-fix code divided the segment
+  /// length by the zero speed factor and poisoned every later timestamp
+  /// of the trip with inf/NaN.
+  TripOutcome EmitTrip(util::Rng& rng, PersonId person,
+                       roadnet::LandmarkId from, roadnet::LandmarkId to,
+                       util::SimTime depart, GpsTrace& out);
+
+  /// Network condition (flood closures) for a given hour, cached. Exposed
+  /// for tests that stage EmitTrip scenarios across closure epochs.
+  const roadnet::NetworkCondition& ConditionAtHour(int hour_index);
+
  private:
   /// Hour-of-day trip weighting (commute peaks).
   static double HourWeight(int hour);
 
-  /// Network condition (flood closures) for a given hour, cached.
-  const roadnet::NetworkCondition& ConditionAtHour(int hour_index);
+  /// The person's private RNG stream, a pure function of (seed, id).
+  util::Rng PersonRng(PersonId id) const;
 
-  void EmitStationary(PersonId person, const util::GeoPoint& pos,
-                      double altitude, util::SimTime from, util::SimTime to,
-                      double sample_s, GpsTrace& out);
-  /// Drives a route, emitting samples; returns arrival time.
-  util::SimTime EmitTrip(PersonId person, roadnet::LandmarkId from,
-                         roadnet::LandmarkId to, util::SimTime depart,
-                         GpsTrace& out);
-  util::GeoPoint Jitter(const util::GeoPoint& p);
+  void EmitStationary(util::Rng& rng, PersonId person,
+                      const util::GeoPoint& pos, double altitude,
+                      util::SimTime from, util::SimTime to, double sample_s,
+                      GpsTrace& out);
+  util::GeoPoint Jitter(util::Rng& rng, const util::GeoPoint& p);
+
+  void GeneratePersonInto(const Person& person, GpsTrace& records,
+                          std::vector<RescueEvent>& rescues);
 
   const roadnet::City& city_;
   const weather::WeatherField& field_;
@@ -122,9 +181,10 @@ class TraceGenerator {
   TraceConfig config_;
   roadnet::Router router_;
   roadnet::SpatialIndex index_;
-  util::Rng rng_;
   std::vector<roadnet::NetworkCondition> hour_conditions_;
   std::vector<bool> hour_condition_ready_;
+  std::array<double, 24> hour_weights_{};
+  std::vector<roadnet::LandmarkId> hospitals_sorted_;
 };
 
 }  // namespace mobirescue::mobility

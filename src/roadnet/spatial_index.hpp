@@ -2,6 +2,7 @@
 // queries — the hot path of GPS map matching (Section IV-A stage 1).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "roadnet/road_network.hpp"
@@ -12,6 +13,15 @@ namespace mobirescue::roadnet {
 /// Buckets segment midpoints into a lat/lon grid. Nearest-segment queries
 /// search outward ring-by-ring from the query cell, then refine candidates
 /// by exact point-to-segment distance.
+///
+/// Two query paths share the same ring traversal and candidate order:
+///   - NearestSegment: the scalar reference — one PointToSegmentMeters call
+///     per candidate, chasing segment/landmark pointers;
+///   - NearestSegments: the batched path — per-cell SoA arrays of segment
+///     endpoint constants (projection frame precomputed at build time), so
+///     the candidate scan is a contiguous, auto-vectorizable FP loop the way
+///     the GEMM kernels batched the MLP (src/ml). Results are identical per
+///     query (spatial_index_test proves id-for-id equality).
 class SpatialIndex {
  public:
   /// Builds an index over all segments of `net`, covering `box`. The grid is
@@ -26,24 +36,72 @@ class SpatialIndex {
   SegmentId NearestSegment(const util::GeoPoint& p,
                            double max_radius_m = -1.0) const;
 
+  /// Batched nearest-segment: out[i] equals NearestSegment(pts[i],
+  /// max_radius_m) for every i. The SoA candidate scan makes this the
+  /// per-record map-matching hot path at scale; grouping queries by cell
+  /// (see serve::StreamState) keeps each cell's candidate block hot in
+  /// cache across consecutive queries.
+  void NearestSegments(const util::GeoPoint* pts, std::size_t n,
+                       double max_radius_m, SegmentId* out) const;
+
   /// All segments whose midpoint lies within `radius_m` of `p`.
   std::vector<SegmentId> SegmentsNear(const util::GeoPoint& p,
                                       double radius_m) const;
+
+  int cells_per_side() const { return cells_; }
+  std::size_t num_cells() const { return grid_.size(); }
+  /// Row-major grid cell containing `p` (clamped into the box). The region
+  /// sharding of serve::StreamState keys its geographic partition off this.
+  std::size_t CellOf(const util::GeoPoint& p) const;
+  /// The cell a segment is bucketed in (by midpoint).
+  std::size_t CellOfSegment(SegmentId sid) const { return seg_cell_[sid]; }
 
  private:
   int CellX(double lon) const;
   int CellY(double lat) const;
   const std::vector<SegmentId>& Cell(int cx, int cy) const;
 
+  /// Squared distance (metres²) from `p` to the box along each axis, using
+  /// the same per-degree scale as the cell dimensions; 0 inside the box.
+  double OutOfBoxDistSq(const util::GeoPoint& p) const;
+
+  /// Lower bound (metres) on the point-to-segment distance of any segment
+  /// bucketed in ring `ring` around the query cell, for a query whose
+  /// squared out-of-box offset is `out2_m`. Valid for clamped (out-of-box)
+  /// queries and anisotropic cells: uses the *minimum* cell dimension, not
+  /// the diagonal (the diagonal overestimates the bound and lets the scan
+  /// stop before the true nearest segment — the pre-fix bug).
+  double RingLowerBound(int ring, double out2_m) const;
+
+  /// One batched query over the SoA layout; result-identical to the scalar
+  /// NearestSegment (same traversal, same candidate order, same strict-<
+  /// first-wins selection).
+  SegmentId NearestSegmentSoA(const util::GeoPoint& p,
+                              double max_radius_m) const;
+
   const RoadNetwork& net_;
   util::BoundingBox box_;
   int cells_;
   double cell_w_deg_, cell_h_deg_;
-  double cell_diag_m_;
+  double cell_w_m_, cell_h_m_;
+  double min_cell_m_;
   /// Half the longest segment: bounds how far a segment's nearest point can
   /// be from its (bucketed) midpoint.
   double max_half_len_m_ = 0.0;
   std::vector<std::vector<SegmentId>> grid_;
+  std::vector<std::size_t> seg_cell_;
+
+  // SoA candidate blocks, one contiguous run per cell (CSR layout; the
+  // in-cell order equals grid_'s bucket order so both query paths see the
+  // same candidate sequence). Per candidate the local projection frame of
+  // util::PointToSegmentMeters is precomputed: the frame origin (a.lat,
+  // a.lon), cos of the frame latitude, the segment vector (bx, by) and its
+  // squared length — every value bit-identical to what the scalar path
+  // recomputes per call, so batched distances match bitwise.
+  std::vector<std::size_t> cell_begin_;  // num_cells + 1 offsets into soa_*
+  std::vector<SegmentId> soa_sid_;
+  std::vector<double> soa_a_lat_, soa_a_lon_, soa_cos_lat_;
+  std::vector<double> soa_bx_, soa_by_, soa_len2_;
 };
 
 }  // namespace mobirescue::roadnet

@@ -138,17 +138,22 @@ void DispatchService::AdvanceStateTo(util::SimTime now) {
   depth_gauge_.Set(static_cast<double>(queue_.DrainInto(incoming_)));
 
   std::uint64_t parked = 0;
+  applicable_.clear();
   for (const mobility::GpsRecord& r : incoming_) {
     if (r.t <= now) {
-      state_.Apply(r);
+      applicable_.push_back(r);
     } else {
       deferred_.push_back(r);
       ++deferred_total_;
       ++parked;
     }
   }
+  // One batch in drain order: identical to Apply per record, and the
+  // region-sharded state gets whole drains to cell-group its matching.
+  state_.ApplyBatch(applicable_.data(), applicable_.size());
   if (parked != 0) deferred_counter_.Increment(parked);
   incoming_.clear();
+  imbalance_gauge_.Set(queue_.ShardImbalance());
   watermark_ = std::max(watermark_, now);
 }
 
@@ -375,6 +380,7 @@ ServiceMetrics DispatchService::metrics() const {
   m.ingest = queue_.counters();
   m.state = state_.counters();
   m.queue_depths = queue_.Depths();
+  m.shard_imbalance = queue_.ShardImbalance();
   m.ticks = ticks_;
   m.deferred = deferred_total_;
   m.people_tracked = state_.num_people_seen();

@@ -121,6 +121,11 @@ struct ServiceMetrics {
   util::PercentileSummary decision_ms;
   /// Mean ingested records per simulated second (accepted / watermark).
   double ingest_rate_per_s = 0.0;
+  /// Ingest-queue balance: max/mean of per-shard cumulative accepted
+  /// counts (1.0 = perfect, 0 before any record). Audits the splitmix64
+  /// person sharding under real id distributions (sequential ids at 1M
+  /// must stay near 1.0 — ingest_queue_test pins the bound).
+  double shard_imbalance = 0.0;
   /// The dispatcher featurizer's shortest-path-tree cache (MobiRescue
   /// dispatcher only; zeros otherwise).
   roadnet::RouterCacheStats router_cache;
@@ -291,6 +296,9 @@ class DispatchService {
   // instruments below mirror them cumulatively for exposition.
   std::vector<mobility::GpsRecord> incoming_;
   std::vector<mobility::GpsRecord> deferred_;
+  /// Drained records due this tick, handed to StreamState::ApplyBatch in
+  /// drain order (the sharded state batches its matching per drain).
+  std::vector<mobility::GpsRecord> applicable_;
   util::SimTime watermark_ = 0.0;
   std::uint64_t ticks_ = 0;
   std::uint64_t lifetime_ticks_ = 0;
@@ -328,6 +336,9 @@ class DispatchService {
                              obs::Histogram::LatencyBucketsMs()};
   obs::Gauge depth_gauge_{"serve_queue_depth",
                           "Records drained by the most recent tick."};
+  obs::Gauge imbalance_gauge_{
+      "serve_ingest_shard_imbalance",
+      "Max/mean of per-shard cumulative accepted records (1.0 = even)."};
   obs::Gauge people_gauge_{"serve_people_tracked",
                            "Distinct people in the latest-position state."};
   obs::Counter fallback_counter_{

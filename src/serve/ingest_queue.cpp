@@ -1,5 +1,6 @@
 #include "serve/ingest_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace mobirescue::serve {
@@ -42,9 +43,33 @@ bool ShardedIngestQueue::Push(const mobility::GpsRecord& record) {
       dropped_oldest_.Increment();
     }
     shard.buf.push_back(record);
+    ++shard.accepted;
   }
   accepted_.Increment();
   return true;
+}
+
+std::vector<std::uint64_t> ShardedIngestQueue::ShardAccepted() const {
+  std::vector<std::uint64_t> accepted;
+  accepted.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    accepted.push_back(shard.accepted);
+  }
+  return accepted;
+}
+
+double ShardedIngestQueue::ShardImbalance() const {
+  const std::vector<std::uint64_t> accepted = ShardAccepted();
+  std::uint64_t max = 0, total = 0;
+  for (const std::uint64_t a : accepted) {
+    max = std::max(max, a);
+    total += a;
+  }
+  if (total == 0) return 0.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(accepted.size());
+  return static_cast<double>(max) / mean;
 }
 
 std::size_t ShardedIngestQueue::DrainInto(

@@ -69,6 +69,17 @@ class ShardedIngestQueue {
   /// Current queued depth of each shard (racy snapshot, for metrics).
   std::vector<std::size_t> Depths() const;
 
+  /// Cumulative records accepted per shard (racy snapshot across shards;
+  /// each entry exact under its shard lock). The basis of the balance
+  /// audit: splitmix64 sharding must spread even strictly sequential
+  /// person ids evenly (ingest_queue_test pins a bound at 1M people).
+  std::vector<std::uint64_t> ShardAccepted() const;
+
+  /// Max/mean of ShardAccepted(): 1.0 = perfectly balanced. Returns 0
+  /// before any record is accepted. Exported as the service gauge
+  /// serve_ingest_shard_imbalance (ServiceMetrics::shard_imbalance).
+  double ShardImbalance() const;
+
   IngestCounters counters() const;
 
   const IngestQueueConfig& config() const { return config_; }
@@ -85,6 +96,8 @@ class ShardedIngestQueue {
     /// erase-from-front; the buffer is compacted on drain.
     std::vector<mobility::GpsRecord> buf;
     std::size_t head = 0;
+    /// Cumulative accepted count (under mu): feeds the balance audit.
+    std::uint64_t accepted = 0;
 
     std::size_t size() const { return buf.size() - head; }
   };

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mobirescue::util {
+
+/// Open-addressing hash set of uint64 keys, tuned for the streaming dedup
+/// hot path: one linear-probe run per lookup (a single cache line in the
+/// common case) instead of the bucket-pointer chase of std::unordered_set.
+/// Insert-only (no erase), so probing never needs tombstones. Key 0 is
+/// carried out-of-band in a flag, freeing 0 as the empty-slot sentinel.
+class FlatSet64 {
+ public:
+  FlatSet64() { slots_.resize(kMinSlots, 0); }
+
+  /// True when the key was newly inserted, false when already present —
+  /// the same contract as std::unordered_set::insert().second.
+  bool Insert(std::uint64_t key) {
+    if (key == 0) {
+      const bool fresh = !has_zero_;
+      has_zero_ = true;
+      size_ += fresh ? 1 : 0;
+      return fresh;
+    }
+    // Grow before probing so the load factor stays below ~0.7 and probe
+    // runs stay short.
+    if ((size_ + 1) * 10 >= slots_.size() * 7) Grow(slots_.size() * 2);
+    std::size_t i = Mix(key) & (slots_.size() - 1);
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) return false;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    slots_[i] = key;
+    ++size_;
+    return true;
+  }
+
+  bool Contains(std::uint64_t key) const {
+    if (key == 0) return has_zero_;
+    std::size_t i = Mix(key) & (slots_.size() - 1);
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) return true;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    return false;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    slots_.assign(kMinSlots, 0);
+    has_zero_ = false;
+    size_ = 0;
+  }
+
+  /// Pre-sizes the table for `n` keys (rounded up to keep load below 0.7).
+  void Reserve(std::size_t n) {
+    std::size_t want = kMinSlots;
+    while (n * 10 >= want * 7) want *= 2;
+    if (want > slots_.size()) Grow(want);
+  }
+
+  /// Visits every key in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (has_zero_) fn(std::uint64_t{0});
+    for (const std::uint64_t k : slots_) {
+      if (k != 0) fn(k);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMinSlots = 16;  // power of two
+
+  /// SplitMix64 finalizer: full-avalanche mix so sequential keys spread.
+  static std::uint64_t Mix(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  void Grow(std::size_t new_slots) {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(new_slots, 0);
+    for (const std::uint64_t k : old) {
+      if (k == 0) continue;
+      std::size_t i = Mix(k) & (slots_.size() - 1);
+      while (slots_[i] != 0) i = (i + 1) & (slots_.size() - 1);
+      slots_[i] = k;
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  bool has_zero_ = false;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mobirescue::util

@@ -1,0 +1,61 @@
+#include "util/geo_batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mobirescue::util {
+
+// Each loop body is the scalar function's body verbatim with the first
+// argument read from the SoA arrays. Commutative-only rewrites (none here)
+// would be safe; anything else would break the bitwise contract.
+
+void ApproxDistanceMetersBatch(const double* a_lat, const double* a_lon,
+                               std::size_t n, const GeoPoint& b, double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mean_lat = DegToRad((a_lat[i] + b.lat) / 2.0);
+    const double dx = DegToRad(b.lon - a_lon[i]) * std::cos(mean_lat);
+    const double dy = DegToRad(b.lat - a_lat[i]);
+    out[i] = kEarthRadiusM * std::sqrt(dx * dx + dy * dy);
+  }
+}
+
+void HaversineMetersBatch(const double* a_lat, const double* a_lon,
+                          std::size_t n, const GeoPoint& b, double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lat1 = DegToRad(a_lat[i]);
+    const double lat2 = DegToRad(b.lat);
+    const double dlat = lat2 - lat1;
+    const double dlon = DegToRad(b.lon - a_lon[i]);
+    const double s1 = std::sin(dlat / 2.0);
+    const double s2 = std::sin(dlon / 2.0);
+    const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+    out[i] = 2.0 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+  }
+}
+
+void PointToSegmentMetersBatch(const GeoPoint& p, const double* a_lat,
+                               const double* a_lon, const double* b_lat,
+                               const double* b_lon, std::size_t n,
+                               double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mean_lat = DegToRad(a_lat[i]);
+    const double cos_lat = std::cos(mean_lat);
+    const double ax = 0.0, ay = 0.0;
+    const double bx = DegToRad(b_lon[i] - a_lon[i]) * cos_lat;
+    const double by = DegToRad(b_lat[i] - a_lat[i]);
+    const double px = DegToRad(p.lon - a_lon[i]) * cos_lat;
+    const double py = DegToRad(p.lat - a_lat[i]);
+
+    const double vx = bx - ax, vy = by - ay;
+    const double len2 = vx * vx + vy * vy;
+    double t = 0.0;
+    if (len2 > 0.0) {
+      t = std::clamp((px * vx + py * vy) / len2, 0.0, 1.0);
+    }
+    const double cx = ax + t * vx, cy = ay + t * vy;
+    const double dx = px - cx, dy = py - cy;
+    out[i] = kEarthRadiusM * std::sqrt(dx * dx + dy * dy);
+  }
+}
+
+}  // namespace mobirescue::util

@@ -1,0 +1,37 @@
+// Batched geo kernels over structure-of-arrays inputs — the SoA face of
+// the scalar primitives in util/geo.hpp, for hot paths that measure many
+// distances against one query point (nearest-segment candidate scans,
+// radius filters, load generators).
+//
+// Contract: every output element is BITWISE identical to the corresponding
+// scalar call (geo_batch_test proves it). The kernels replicate the scalar
+// op sequence exactly and the build never enables -ffast-math or
+// -march=native, so no FP reordering or FMA contraction can split the two
+// paths; the win comes from contiguous SoA operands and loop vectorization,
+// the way the GEMM kernels batched the MLP (src/ml).
+#pragma once
+
+#include <cstddef>
+
+#include "util/geo.hpp"
+
+namespace mobirescue::util {
+
+/// out[i] = ApproxDistanceMeters({a_lat[i], a_lon[i]}, b).
+void ApproxDistanceMetersBatch(const double* a_lat, const double* a_lon,
+                               std::size_t n, const GeoPoint& b, double* out);
+
+/// out[i] = HaversineMeters({a_lat[i], a_lon[i]}, b).
+void HaversineMetersBatch(const double* a_lat, const double* a_lon,
+                          std::size_t n, const GeoPoint& b, double* out);
+
+/// out[i] = PointToSegmentMeters(p, {a_lat[i], a_lon[i]},
+///                                  {b_lat[i], b_lon[i]}).
+/// The generic SoA entry; roadnet::SpatialIndex additionally precomputes
+/// the per-segment projection frame at build time for its candidate scan.
+void PointToSegmentMetersBatch(const GeoPoint& p, const double* a_lat,
+                               const double* a_lon, const double* b_lat,
+                               const double* b_lon, std::size_t n,
+                               double* out);
+
+}  // namespace mobirescue::util

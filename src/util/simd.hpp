@@ -1,0 +1,22 @@
+#pragma once
+
+// MR_TARGET_CLONES: per-function runtime SIMD dispatch for hot SoA kernels.
+//
+// On x86-64 ELF with GCC, the annotated function is compiled twice — a
+// baseline SSE2 body and an AVX2 body — and the dynamic loader picks one
+// per host at startup (ifunc), so a single binary runs everywhere and uses
+// 4-wide double lanes where the CPU has them.
+//
+// Bit-exactness: the clone list deliberately enables *only* AVX2, never
+// FMA. Every operation the kernels use (mul, add, sub, div, sqrt, min,
+// max, compare/blend) is IEEE-754 correctly rounded per lane, so the AVX2
+// body produces bit-identical results to the baseline body — widening the
+// vectors never changes the answer, and the scalar-parity contracts in
+// DESIGN.md §17.2 hold under either clone. Enabling FMA would break this
+// (contraction skips the intermediate rounding); do not add it.
+#if defined(__x86_64__) && defined(__ELF__) && defined(__GNUC__) && \
+    !defined(__clang__)
+#define MR_TARGET_CLONES __attribute__((target_clones("default", "avx2")))
+#else
+#define MR_TARGET_CLONES
+#endif

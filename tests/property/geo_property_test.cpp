@@ -1,0 +1,161 @@
+// Property tests for the spatial index and the batched geo kernels: over
+// random road networks and random query points (inside the box, far outside
+// it, with and without radius limits, with long segments whose nearest point
+// is far from their bucketed midpoint), the grid-accelerated nearest-segment
+// answer must match brute force, and the batched SoA path must return the
+// same segment id as the scalar reference for every query.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "roadnet/road_network.hpp"
+#include "roadnet/spatial_index.hpp"
+#include "util/geo.hpp"
+#include "util/geo_batch.hpp"
+#include "util/rng.hpp"
+
+namespace mobirescue::roadnet {
+namespace {
+
+struct RandomWorld {
+  RoadNetwork net;
+  util::BoundingBox box;
+};
+
+/// A random network: mostly short segments, a few very long ones (their
+/// nearest point can be many cells from their midpoint — the max_half_len
+/// slack in the ring bound exists for exactly these).
+RandomWorld BuildRandomWorld(util::Rng& rng, int num_segments) {
+  RandomWorld w;
+  // Random box shape: aspect ratios from tall-thin to wide-flat, so cells
+  // are anisotropic more often than not.
+  const double lat0 = rng.Uniform(34.0, 36.0);
+  const double lon0 = rng.Uniform(-80.0, -78.0);
+  w.box = {{lat0, lon0},
+           {lat0 + rng.Uniform(0.01, 0.4), lon0 + rng.Uniform(0.01, 0.4)}};
+  for (int i = 0; i < num_segments; ++i) {
+    const util::GeoPoint a =
+        w.box.At(rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0));
+    const bool long_segment = rng.Bernoulli(0.1);
+    const double reach = long_segment ? 0.5 : 0.02;
+    const util::GeoPoint b = w.box.At(
+        std::clamp(rng.Uniform(-reach, reach) +
+                       (a.lon - w.box.south_west.lon) /
+                           (w.box.north_east.lon - w.box.south_west.lon),
+                   0.0, 1.0),
+        std::clamp(rng.Uniform(-reach, reach) +
+                       (a.lat - w.box.south_west.lat) /
+                           (w.box.north_east.lat - w.box.south_west.lat),
+                   0.0, 1.0));
+    const LandmarkId la = w.net.AddLandmark(a, 0.0, 1);
+    const LandmarkId lb = w.net.AddLandmark(b, 0.0, 1);
+    w.net.AddSegment(la, lb, 10.0);
+  }
+  return w;
+}
+
+double DistTo(const RoadNetwork& net, SegmentId sid, const util::GeoPoint& p) {
+  const RoadSegment& seg = net.segment(sid);
+  return util::PointToSegmentMeters(p, net.landmark(seg.from).pos,
+                                    net.landmark(seg.to).pos);
+}
+
+SegmentId BruteNearest(const RoadNetwork& net, const util::GeoPoint& p,
+                       double max_radius_m) {
+  SegmentId best = kInvalidSegment;
+  double best_d = 1e18;
+  for (const RoadSegment& seg : net.segments()) {
+    const double d = DistTo(net, seg.id, p);
+    if (d < best_d) {
+      best_d = d;
+      best = seg.id;
+    }
+  }
+  if (max_radius_m >= 0.0 && best != kInvalidSegment && best_d > max_radius_m) {
+    return kInvalidSegment;
+  }
+  return best;
+}
+
+TEST(GeoPropertyTest, NearestSegmentMatchesBruteForceOnRandomWorlds) {
+  util::Rng rng(20240601);
+  for (int world = 0; world < 12; ++world) {
+    RandomWorld w = BuildRandomWorld(rng, 60 + world * 25);
+    const int cells = 1 + static_cast<int>(rng.Index(24));
+    SpatialIndex index(w.net, w.box, cells);
+    for (int q = 0; q < 120; ++q) {
+      // Mix of interior points and points well outside the box (the
+      // clamped-cell early-termination case).
+      const double span = q % 3 == 0 ? 2.5 : 1.0;
+      const util::GeoPoint p = w.box.At(rng.Uniform(0.5 - span, 0.5 + span),
+                                        rng.Uniform(0.5 - span, 0.5 + span));
+      const double radius =
+          q % 4 == 0 ? rng.Uniform(50.0, 5000.0) : -1.0;
+      const SegmentId fast = index.NearestSegment(p, radius);
+      const SegmentId brute = BruteNearest(w.net, p, radius);
+      if (fast == brute) continue;  // same id, including both-invalid
+      // Distinct ids are only acceptable as exact geometric ties.
+      ASSERT_NE(fast, kInvalidSegment)
+          << "world " << world << " cells " << cells << " missed a segment at "
+          << p.lat << "," << p.lon << " radius " << radius;
+      ASSERT_NE(brute, kInvalidSegment);
+      ASSERT_EQ(DistTo(w.net, fast, p), DistTo(w.net, brute, p))
+          << "world " << world << " cells " << cells << " point " << p.lat
+          << "," << p.lon << " radius " << radius;
+    }
+  }
+}
+
+TEST(GeoPropertyTest, BatchedNearestMatchesScalarOnRandomWorlds) {
+  util::Rng rng(77);
+  for (int world = 0; world < 8; ++world) {
+    RandomWorld w = BuildRandomWorld(rng, 120);
+    SpatialIndex index(w.net, w.box, 1 + static_cast<int>(rng.Index(20)));
+    std::vector<util::GeoPoint> pts;
+    for (int q = 0; q < 300; ++q) {
+      pts.push_back(
+          w.box.At(rng.Uniform(-1.0, 2.0), rng.Uniform(-1.0, 2.0)));
+    }
+    const double radius = world % 2 == 0 ? -1.0 : rng.Uniform(100.0, 3000.0);
+    std::vector<SegmentId> batch(pts.size(), kInvalidSegment);
+    index.NearestSegments(pts.data(), pts.size(), radius, batch.data());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      ASSERT_EQ(index.NearestSegment(pts[i], radius), batch[i])
+          << "world " << world << " query " << i;
+    }
+  }
+}
+
+TEST(GeoPropertyTest, BatchedKernelsMatchScalarOnRandomInputs) {
+  util::Rng rng(31337);
+  for (int round = 0; round < 5; ++round) {
+    const std::size_t n = 64 + rng.Index(512);
+    std::vector<double> a_lat(n), a_lon(n), b_lat(n), b_lon(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a_lat[i] = rng.Uniform(-60.0, 60.0);
+      a_lon[i] = rng.Uniform(-179.0, 179.0);
+      b_lat[i] = a_lat[i] + rng.Uniform(-0.5, 0.5);
+      b_lon[i] = a_lon[i] + rng.Uniform(-0.5, 0.5);
+    }
+    const util::GeoPoint ref{rng.Uniform(-60.0, 60.0),
+                             rng.Uniform(-179.0, 179.0)};
+    std::vector<double> approx(n), hav(n), p2s(n);
+    util::ApproxDistanceMetersBatch(a_lat.data(), a_lon.data(), n, ref,
+                                    approx.data());
+    util::HaversineMetersBatch(a_lat.data(), a_lon.data(), n, ref, hav.data());
+    util::PointToSegmentMetersBatch(ref, a_lat.data(), a_lon.data(),
+                                    b_lat.data(), b_lon.data(), n, p2s.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      const util::GeoPoint a{a_lat[i], a_lon[i]};
+      const util::GeoPoint b{b_lat[i], b_lon[i]};
+      ASSERT_EQ(util::ApproxDistanceMeters(a, ref), approx[i]);
+      ASSERT_EQ(util::HaversineMeters(a, ref), hav[i]);
+      ASSERT_EQ(util::PointToSegmentMeters(ref, a, b), p2s[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mobirescue::roadnet

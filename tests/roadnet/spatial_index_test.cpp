@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "roadnet/city_builder.hpp"
 #include "util/rng.hpp"
 
@@ -78,6 +81,102 @@ TEST_F(SpatialIndexTest, SegmentsNearReturnsNeighbourhood) {
     const util::GeoPoint mid = city_.network.SegmentMidpoint(sid);
     EXPECT_LE(util::ApproxDistanceMeters(center, mid), 3000.0 + 1.0);
   }
+}
+
+TEST_F(SpatialIndexTest, OutOfBoxQueriesMatchBruteForce) {
+  // Queries clamp into the border cells; the ring bound must account for
+  // the out-of-box offset or the scan stops too early.
+  util::Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const util::GeoPoint p =
+        city_.box.At(rng.Uniform(-0.6, 1.6), rng.Uniform(-0.6, 1.6));
+    const SegmentId fast = index_->NearestSegment(p);
+    const SegmentId brute = BruteNearest(p);
+    ASSERT_NE(fast, kInvalidSegment);
+    EXPECT_NEAR(DistTo(fast, p), DistTo(brute, p), 1.0)
+        << "point " << p.lat << "," << p.lon;
+  }
+}
+
+TEST_F(SpatialIndexTest, BatchedQueriesMatchScalarIdForId) {
+  // The SoA path must return the *same segment id* as the scalar reference
+  // for every query — not merely an equally-near one — including ties,
+  // out-of-box queries, and radius-limited misses.
+  util::Rng rng(17);
+  for (const double radius : {-1.0, 250.0, 2000.0}) {
+    std::vector<util::GeoPoint> pts;
+    for (int i = 0; i < 400; ++i) {
+      pts.push_back(
+          city_.box.At(rng.Uniform(-0.3, 1.3), rng.Uniform(-0.3, 1.3)));
+    }
+    std::vector<SegmentId> batch(pts.size(), kInvalidSegment);
+    index_->NearestSegments(pts.data(), pts.size(), radius, batch.data());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      ASSERT_EQ(index_->NearestSegment(pts[i], radius), batch[i])
+          << "radius " << radius << " point " << i;
+    }
+  }
+}
+
+TEST_F(SpatialIndexTest, CellMappingIsConsistent) {
+  ASSERT_EQ(index_->num_cells(),
+            static_cast<std::size_t>(index_->cells_per_side()) *
+                index_->cells_per_side());
+  for (const RoadSegment& seg : city_.network.segments()) {
+    const std::size_t cell =
+        index_->CellOf(city_.network.SegmentMidpoint(seg.id));
+    EXPECT_EQ(index_->CellOfSegment(seg.id), cell);
+    EXPECT_LT(cell, index_->num_cells());
+  }
+}
+
+TEST(SpatialIndexBoundTest, AnisotropicCellsFindFarRingNearSegment) {
+  // Deterministic reproduction of the pre-fix early-termination bug. The
+  // box is far wider than tall, so grid cells are ~8.4 km x ~0.14 km. The
+  // old ring bound used the cell *diagonal* ((ring-1) * diag - max_half):
+  // after finding a same-cell segment 600 m away it stopped at ring 2,
+  // because 1 * diag >> 600 m — even though a segment three rings up in
+  // the short direction sits only ~420 m away. The fixed bound uses the
+  // minimum cell dimension and keeps scanning.
+  const util::BoundingBox box{{35.0, -79.0}, {35.01, -78.1}};
+  RoadNetwork net;
+  const util::GeoPoint p = box.At(0.5, 0.5);
+
+  // Same-cell decoy ~600 m east of p (short segment, horizontal).
+  const double deg_per_m_lon = 1.0 / (111320.0 * std::cos(35.0 * 3.14159 / 180.0));
+  const LandmarkId a0 =
+      net.AddLandmark({p.lat, p.lon + 600.0 * deg_per_m_lon}, 0.0, 1);
+  const LandmarkId a1 =
+      net.AddLandmark({p.lat, p.lon + 620.0 * deg_per_m_lon}, 0.0, 1);
+  const SegmentId decoy = net.AddSegment(a0, a1, 10.0);
+
+  // True nearest ~420 m north of p — three grid rows up.
+  const double deg_per_m_lat = 1.0 / 111320.0;
+  const LandmarkId b0 =
+      net.AddLandmark({p.lat + 417.0 * deg_per_m_lat, p.lon}, 0.0, 1);
+  const LandmarkId b1 = net.AddLandmark(
+      {p.lat + 417.0 * deg_per_m_lat, p.lon + 20.0 * deg_per_m_lon}, 0.0, 1);
+  const SegmentId target = net.AddSegment(b0, b1, 10.0);
+
+  SpatialIndex index(net, box, 8);
+  auto dist = [&](SegmentId sid) {
+    return util::PointToSegmentMeters(p, net.landmark(net.segment(sid).from).pos,
+                                      net.landmark(net.segment(sid).to).pos);
+  };
+  ASSERT_LT(dist(target), dist(decoy));
+
+  // The old diagonal-based bound would have pruned the scan before ring 3:
+  // its ring-2 lower bound already exceeds the decoy distance.
+  const double cell_w_m = box.WidthMeters() / 8.0;
+  const double cell_h_m = box.HeightMeters() / 8.0;
+  const double cell_diag_m = std::hypot(cell_w_m, cell_h_m);
+  ASSERT_GT(1.0 * cell_diag_m - 20.0, dist(decoy))
+      << "fixture no longer reproduces the pre-fix pruning";
+
+  EXPECT_EQ(index.NearestSegment(p), target);
+  SegmentId batched = kInvalidSegment;
+  index.NearestSegments(&p, 1, -1.0, &batched);
+  EXPECT_EQ(batched, target);
 }
 
 TEST_F(SpatialIndexTest, EmptyNetwork) {

@@ -1,0 +1,99 @@
+// Bitwise parity of the SoA geo kernels (util/geo_batch.hpp) against their
+// scalar references: identical inputs must produce identical bits, not just
+// nearby doubles — the contract that lets the batched hot paths replace the
+// scalar ones anywhere without changing a single result.
+#include "util/geo_batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/geo.hpp"
+#include "util/rng.hpp"
+
+namespace mobirescue::util {
+namespace {
+
+struct SoaPoints {
+  std::vector<double> lat, lon;
+};
+
+SoaPoints RandomPoints(Rng& rng, std::size_t n, const BoundingBox& box) {
+  SoaPoints pts;
+  pts.lat.reserve(n);
+  pts.lon.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.lat.push_back(rng.Uniform(box.south_west.lat, box.north_east.lat));
+    pts.lon.push_back(rng.Uniform(box.south_west.lon, box.north_east.lon));
+  }
+  return pts;
+}
+
+class GeoBatchTest : public ::testing::Test {
+ protected:
+  Rng rng_{2024};
+  BoundingBox box_ = kCharlotteCropBox;
+};
+
+TEST_F(GeoBatchTest, ApproxDistanceMatchesScalarBitwise) {
+  const SoaPoints pts = RandomPoints(rng_, 4096, box_);
+  const GeoPoint ref{box_.At(0.37, 0.81)};
+  std::vector<double> batch(pts.lat.size());
+  ApproxDistanceMetersBatch(pts.lat.data(), pts.lon.data(), pts.lat.size(),
+                            ref, batch.data());
+  for (std::size_t i = 0; i < pts.lat.size(); ++i) {
+    const double scalar =
+        ApproxDistanceMeters({pts.lat[i], pts.lon[i]}, ref);
+    ASSERT_EQ(scalar, batch[i]) << "element " << i;
+  }
+}
+
+TEST_F(GeoBatchTest, HaversineMatchesScalarBitwise) {
+  const SoaPoints pts = RandomPoints(rng_, 4096, box_);
+  const GeoPoint ref{box_.At(0.12, 0.44)};
+  std::vector<double> batch(pts.lat.size());
+  HaversineMetersBatch(pts.lat.data(), pts.lon.data(), pts.lat.size(), ref,
+                       batch.data());
+  for (std::size_t i = 0; i < pts.lat.size(); ++i) {
+    const double scalar = HaversineMeters({pts.lat[i], pts.lon[i]}, ref);
+    ASSERT_EQ(scalar, batch[i]) << "element " << i;
+  }
+}
+
+TEST_F(GeoBatchTest, PointToSegmentMatchesScalarBitwise) {
+  const SoaPoints a = RandomPoints(rng_, 2048, box_);
+  const SoaPoints b = RandomPoints(rng_, 2048, box_);
+  const GeoPoint p{box_.At(0.5, 0.5)};
+  std::vector<double> batch(a.lat.size());
+  PointToSegmentMetersBatch(p, a.lat.data(), a.lon.data(), b.lat.data(),
+                            b.lon.data(), a.lat.size(), batch.data());
+  for (std::size_t i = 0; i < a.lat.size(); ++i) {
+    const double scalar = PointToSegmentMeters(
+        p, {a.lat[i], a.lon[i]}, {b.lat[i], b.lon[i]});
+    ASSERT_EQ(scalar, batch[i]) << "element " << i;
+  }
+}
+
+TEST_F(GeoBatchTest, DegenerateSegmentsMatchScalar) {
+  // Zero-length segments exercise the len2 == 0 branch.
+  const SoaPoints a = RandomPoints(rng_, 256, box_);
+  std::vector<double> batch(a.lat.size());
+  const GeoPoint p{box_.At(0.9, 0.1)};
+  PointToSegmentMetersBatch(p, a.lat.data(), a.lon.data(), a.lat.data(),
+                            a.lon.data(), a.lat.size(), batch.data());
+  for (std::size_t i = 0; i < a.lat.size(); ++i) {
+    const double scalar = PointToSegmentMeters(
+        p, {a.lat[i], a.lon[i]}, {a.lat[i], a.lon[i]});
+    ASSERT_EQ(scalar, batch[i]) << "element " << i;
+  }
+}
+
+TEST_F(GeoBatchTest, EmptyBatchIsANoOp) {
+  double sentinel = -1.0;
+  ApproxDistanceMetersBatch(nullptr, nullptr, 0, {0.0, 0.0}, &sentinel);
+  HaversineMetersBatch(nullptr, nullptr, 0, {0.0, 0.0}, &sentinel);
+  EXPECT_EQ(sentinel, -1.0);
+}
+
+}  // namespace
+}  // namespace mobirescue::util
